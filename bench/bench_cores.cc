@@ -1,0 +1,93 @@
+// E9 — Section 6.2 core structure: cores of bicycles are K4 (bounded
+// degree) while the pointed expansions are their own cores (unbounded
+// degree) — the paper's evidence that Theorems 6.5/6.7 do not extend to
+// non-Boolean queries via plebian companions. Also benchmarks core
+// computation across stock families.
+
+#include <benchmark/benchmark.h>
+
+#include "core/plebian.h"
+#include "graph/builders.h"
+#include "hom/core.h"
+#include "structure/gaifman.h"
+#include "structure/generators.h"
+
+namespace hompres {
+namespace {
+
+void BM_CoreOfBicycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Structure b = UndirectedGraphStructure(BicycleGraph(n));
+  int core_size = 0;
+  int core_degree = 0;
+  for (auto _ : state) {
+    Structure core = ComputeCore(b);
+    core_size = core.UniverseSize();
+    core_degree = StructureDegree(core);
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["core_size"] = static_cast<double>(core_size);      // 4
+  state.counters["core_degree"] = static_cast<double>(core_degree);  // 3
+  state.counters["structure_degree"] =
+      static_cast<double>(StructureDegree(b));  // n (unbounded)
+}
+
+BENCHMARK(BM_CoreOfBicycle)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_CoreOfBipartite(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  Structure g = UndirectedGraphStructure(GridGraph(3, side));
+  int core_size = 0;
+  for (auto _ : state) {
+    Structure core = ComputeCore(g);
+    core_size = core.UniverseSize();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["core_size"] = static_cast<double>(core_size);  // 2 (K2)
+}
+
+BENCHMARK(BM_CoreOfBipartite)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_OddWheelIsCore(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Structure w = UndirectedGraphStructure(WheelGraph(n));
+  bool is_core = false;
+  for (auto _ : state) {
+    is_core = IsCore(w);
+    benchmark::DoNotOptimize(is_core);
+  }
+  // Odd wheels (odd rim length) are cores; even wheels collapse to K3...
+  // n odd => W_n is a core.
+  state.counters["is_core"] = is_core ? 1.0 : 0.0;
+  state.counters["rim_odd"] = (n % 2 == 1) ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_OddWheelIsCore)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_PointedBicycleCoreDegree(benchmark::State& state) {
+  // The Section 6.2 counterexample through the plebian lens: expanding a
+  // bicycle with its hub as a constant produces a companion whose core
+  // retains the high-degree rim.
+  const int n = static_cast<int>(state.range(0));
+  Structure b = UndirectedGraphStructure(BicycleGraph(n));
+  PointedStructure pointed{b, {0}};  // hub
+  int companion_core_degree = 0;
+  for (auto _ : state) {
+    Structure companion = PlebianCompanion(pointed);
+    Structure core = ComputeCore(companion);
+    companion_core_degree = StructureDegree(core);
+    benchmark::DoNotOptimize(core);
+  }
+  // Unpointed core degree is 3 (K4); the pointed companion's core keeps
+  // the wheel's rim structure, so its degree grows with n.
+  state.counters["companion_core_degree"] =
+      static_cast<double>(companion_core_degree);
+  state.counters["unpointed_core_degree"] = 3.0;
+}
+
+BENCHMARK(BM_PointedBicycleCoreDegree)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace
+}  // namespace hompres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// E14 — Engine baselines: arc-consistency vs naive homomorphism search,
+// exact vs heuristic treewidth, and core computation cost. These ablate
+// the design choices DESIGN.md calls out (the solver architecture is the
+// substrate every theorem-level experiment stands on).
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "graph/builders.h"
+#include "cq/decomposed_eval.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "structure/gaifman.h"
+#include "structure/generators.h"
+#include "structure/vocabulary.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+namespace {
+
+// Hard coloring (homomorphism) instances: iterated Mycielski graphs are
+// triangle-free with chromatic number rising by one per level, so
+// "level-L Mycielskian -> K_{L+1}" is unsatisfiable and forces real
+// search. Level 1 = C5 (Mycielskian of K2), level 2 = the Grötzsch graph
+// (11 vertices), level 3 = 23 vertices.
+Structure MycielskiInstance(int level) {
+  Graph g = CompleteGraph(2);
+  for (int i = 0; i < level; ++i) g = MycielskiGraph(g);
+  return UndirectedGraphStructure(g);
+}
+
+void BM_HomomorphismWithAC(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  Structure a = MycielskiInstance(level);
+  // chi = level + 2, so level+1 colors are not enough: unsatisfiable.
+  Structure target = UndirectedGraphStructure(CompleteGraph(level + 1));
+  bool sat = true;
+  for (auto _ : state) {
+    auto h = FindHomomorphism(a, target);
+    sat = h.has_value();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["satisfiable"] = sat ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_HomomorphismWithAC)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_HomomorphismNaive(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  Structure a = MycielskiInstance(level);
+  Structure target = UndirectedGraphStructure(CompleteGraph(level + 1));
+  HomOptions naive;
+  naive.use_arc_consistency = false;
+  bool sat = true;
+  for (auto _ : state) {
+    auto h = FindHomomorphism(a, target, naive);
+    sat = h.has_value();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["satisfiable"] = sat ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_HomomorphismNaive)->Arg(1)->Arg(2)->Iterations(3);
+
+void BM_ExactTreewidth(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  Graph g = RandomGraph(n, 0.3, rng);
+  int tw = 0;
+  for (auto _ : state) {
+    tw = ExactTreewidth(g);
+    benchmark::DoNotOptimize(tw);
+  }
+  state.counters["treewidth"] = static_cast<double>(tw);
+}
+
+BENCHMARK(BM_ExactTreewidth)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_HeuristicTreewidth(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(31);
+  Graph g = RandomGraph(n, 0.3, rng);
+  int width = 0;
+  for (auto _ : state) {
+    width = TreewidthUpperBound(g);
+    benchmark::DoNotOptimize(width);
+  }
+  state.counters["heuristic_width"] = static_cast<double>(width);
+  state.counters["exact_width"] =
+      n <= 16 ? static_cast<double>(ExactTreewidth(g)) : -1.0;
+}
+
+BENCHMARK(BM_HeuristicTreewidth)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CoreComputation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Structure b = UndirectedGraphStructure(BicycleGraph(n));
+  for (auto _ : state) {
+    Structure core = ComputeCore(b);
+    benchmark::DoNotOptimize(core);
+  }
+}
+
+BENCHMARK(BM_CoreComputation)->Arg(5)->Arg(7)->Arg(9);
+
+// Bounded-treewidth DP evaluation (Dechter-Pearl) vs the generic
+// backtracking solver on long path queries: the DP's |B|^{w+1} bound is
+// the tractability result the paper's introduction cites.
+void BM_PathQueryViaTreewidthDp(benchmark::State& state) {
+  const int query_length = static_cast<int>(state.range(0));
+  const int target_size = static_cast<int>(state.range(1));
+  ConjunctiveQuery q = ConjunctiveQuery::BooleanQueryOf(
+      DirectedPathStructure(query_length));
+  Rng rng(41);
+  Structure b =
+      RandomStructure(GraphVocabulary(), target_size, 3 * target_size, rng);
+  const TreeDecomposition td =
+      ExactTreeDecomposition(GaifmanGraph(q.Canonical()));
+  bool result = false;
+  for (auto _ : state) {
+    result = SatisfiedByTreewidthDp(q, b, td);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["satisfied"] = result ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_PathQueryViaTreewidthDp)
+    ->Args({8, 10})
+    ->Args({8, 20})
+    ->Args({16, 20});
+
+void BM_PathQueryViaSolver(benchmark::State& state) {
+  const int query_length = static_cast<int>(state.range(0));
+  const int target_size = static_cast<int>(state.range(1));
+  ConjunctiveQuery q = ConjunctiveQuery::BooleanQueryOf(
+      DirectedPathStructure(query_length));
+  Rng rng(41);
+  Structure b =
+      RandomStructure(GraphVocabulary(), target_size, 3 * target_size, rng);
+  bool result = false;
+  for (auto _ : state) {
+    result = q.SatisfiedBy(b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["satisfied"] = result ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_PathQueryViaSolver)
+    ->Args({8, 10})
+    ->Args({8, 20})
+    ->Args({16, 20});
+
+void BM_HomomorphismCounting(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Structure cycle = UndirectedGraphStructure(CycleGraph(5));
+  Structure target = UndirectedGraphStructure(CompleteGraph(n));
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = CountHomomorphisms(cycle, target);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["hom_count"] = static_cast<double>(count);
+}
+
+BENCHMARK(BM_HomomorphismCounting)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace hompres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// E3 — Lemma 3.4: graphs of degree <= k with enough vertices contain a
+// d-scattered set of size m with NO removals. The bench runs the greedy
+// ball-packing and reports three numbers per (k, d, m):
+//   * success at the paper's literal bound m * k^d — measurably < 1 for
+//     small parameters (the Petersen graph is a concrete counterexample
+//     at (3,1,3): 10 > 9 vertices, 3-regular, no 1-scattered pair), since
+//     the proof's "|N_d| <= k^d" estimate undercounts small balls;
+//   * success at the safe ball-packing bound m * (k+1)^{2d} — always 1;
+//   * the measured threshold (smallest n where 20/20 random graphs
+//     succeed), far below the safe bound.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/lemmas.h"
+#include "graph/builders.h"
+#include "graph/scattered.h"
+
+namespace hompres {
+namespace {
+
+double SuccessRate(int n, int k, int d, int m, int trials, uint64_t seed) {
+  Rng rng(seed);
+  int successes = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    Graph g = RandomBoundedDegreeGraph(n, k, n / 4, rng);
+    if (Lemma34ScatteredSet(g, d, m).has_value()) ++successes;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+void BM_Lemma34AtLiteralPaperBound(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int m = static_cast<int>(state.range(2));
+  const int n = static_cast<int>(Lemma34Bound(k, d, m)) + 1;
+  Rng rng(11);
+  long long trials = 0;
+  long long successes = 0;
+  for (auto _ : state) {
+    Graph g = RandomBoundedDegreeGraph(n, k, n / 4, rng);
+    ++trials;
+    if (Lemma34ScatteredSet(g, d, m).has_value()) ++successes;
+  }
+  state.counters["literal_bound_N"] =
+      static_cast<double>(Lemma34Bound(k, d, m));
+  state.counters["success_at_literal_bound"] =
+      static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+BENCHMARK(BM_Lemma34AtLiteralPaperBound)
+    ->Args({3, 1, 3})
+    ->Args({3, 2, 3})
+    ->Args({4, 1, 4})
+    ->Args({3, 2, 5});
+
+void BM_Lemma34AtBallPackingBound(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int m = static_cast<int>(state.range(2));
+  const int n = static_cast<int>(Lemma34BallPackingBound(k, d, m)) + 1;
+  Rng rng(11);
+  long long trials = 0;
+  long long successes = 0;
+  for (auto _ : state) {
+    Graph g = RandomBoundedDegreeGraph(n, k, n / 4, rng);
+    ++trials;
+    if (Lemma34ScatteredSet(g, d, m).has_value()) ++successes;
+  }
+  state.counters["safe_bound_N"] =
+      static_cast<double>(Lemma34BallPackingBound(k, d, m));
+  state.counters["success_at_safe_bound"] =
+      static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+BENCHMARK(BM_Lemma34AtBallPackingBound)
+    ->Args({3, 1, 3})
+    ->Args({4, 1, 4})
+    ->Args({3, 2, 3});
+
+// Petersen: the concrete counterexample to the literal bound at (3,1,3).
+void BM_Lemma34PetersenCounterexample(benchmark::State& state) {
+  Graph petersen(10);
+  // Outer C5, inner pentagram, spokes.
+  for (int i = 0; i < 5; ++i) {
+    petersen.AddEdge(i, (i + 1) % 5);
+    petersen.AddEdge(5 + i, 5 + (i + 2) % 5);
+    petersen.AddEdge(i, 5 + i);
+  }
+  int max_scattered = 0;
+  for (auto _ : state) {
+    max_scattered = MaxScatteredSetSize(petersen, 1);
+    benchmark::DoNotOptimize(max_scattered);
+  }
+  state.counters["vertices"] = 10.0;
+  state.counters["literal_bound_N"] =
+      static_cast<double>(Lemma34Bound(3, 1, 3));  // 9 < 10, yet:
+  state.counters["max_1_scattered"] =
+      static_cast<double>(max_scattered);  // 1
+}
+
+BENCHMARK(BM_Lemma34PetersenCounterexample);
+
+// Measured threshold: smallest n (linear scan) where 20/20 random
+// degree-<=k graphs of size n contain the set.
+void BM_Lemma34MeasuredThreshold(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const int m = static_cast<int>(state.range(2));
+  int measured = -1;
+  for (auto _ : state) {
+    const int cap = static_cast<int>(Lemma34BallPackingBound(k, d, m)) + 1;
+    for (int n = m; n <= cap; ++n) {
+      if (SuccessRate(n, k, d, m, 20, 99) == 1.0) {
+        measured = n;
+        break;
+      }
+    }
+  }
+  state.counters["measured_threshold_N"] = static_cast<double>(measured);
+  state.counters["literal_bound_N"] =
+      static_cast<double>(Lemma34Bound(k, d, m));
+  state.counters["safe_bound_N"] =
+      static_cast<double>(Lemma34BallPackingBound(k, d, m));
+}
+
+BENCHMARK(BM_Lemma34MeasuredThreshold)
+    ->Args({3, 1, 3})
+    ->Args({3, 2, 3})
+    ->Args({4, 1, 4})
+    ->Iterations(1);
+
+// Exact maximum scattered set vs the greedy lower bound on grids (degree
+// 4, the classic bounded-degree family).
+void BM_ScatteredOnGrids(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  Graph grid = GridGraph(side, side);
+  int greedy = 0;
+  for (auto _ : state) {
+    greedy = static_cast<int>(GreedyScatteredSet(grid, 1).size());
+    benchmark::DoNotOptimize(greedy);
+  }
+  state.counters["greedy_size"] = static_cast<double>(greedy);
+  state.counters["vertices"] = static_cast<double>(grid.NumVertices());
+}
+
+BENCHMARK(BM_ScatteredOnGrids)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace hompres
+
+BENCHMARK_MAIN();

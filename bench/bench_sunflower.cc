@@ -1,0 +1,88 @@
+// E5 — Theorem 4.1 (Sunflower Lemma): families of k-sets larger than
+// k!(p-1)^k always contain a p-petal sunflower. Benchmarks the
+// Erdos-Rado finder and measures the success rate exactly at, above, and
+// below the bound (above: always 1.0; below: can dip).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "combinatorics/sunflower.h"
+
+namespace hompres {
+namespace {
+
+std::vector<std::vector<int>> RandomFamily(int count, int k, int universe,
+                                           Rng& rng) {
+  std::vector<std::vector<int>> family;
+  while (static_cast<int>(family.size()) < count) {
+    std::vector<int> set;
+    while (static_cast<int>(set.size()) < k) {
+      const int x = static_cast<int>(
+          rng.Uniform(static_cast<uint64_t>(universe)));
+      if (std::find(set.begin(), set.end(), x) == set.end()) {
+        set.push_back(x);
+      }
+    }
+    std::sort(set.begin(), set.end());
+    if (std::find(family.begin(), family.end(), set) == family.end()) {
+      family.push_back(std::move(set));
+    }
+  }
+  return family;
+}
+
+void RunAtSize(benchmark::State& state, int k, int p, double fraction) {
+  const int bound = static_cast<int>(SunflowerBound(k, p));
+  const int count = std::max(p, static_cast<int>(bound * fraction) + 1);
+  Rng rng(31);
+  long long trials = 0;
+  long long successes = 0;
+  for (auto _ : state) {
+    auto family = RandomFamily(count, k, 6 * count, rng);
+    ++trials;
+    if (FindSunflower(family, p).has_value()) ++successes;
+  }
+  state.counters["family_size"] = static_cast<double>(count);
+  state.counters["paper_bound"] = static_cast<double>(bound);
+  state.counters["success_rate"] =
+      static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+void BM_SunflowerAboveBound(benchmark::State& state) {
+  RunAtSize(state, static_cast<int>(state.range(0)),
+            static_cast<int>(state.range(1)), 1.0);
+}
+
+BENCHMARK(BM_SunflowerAboveBound)
+    ->Args({2, 3})
+    ->Args({2, 4})
+    ->Args({3, 3});
+
+void BM_SunflowerBelowBound(benchmark::State& state) {
+  RunAtSize(state, static_cast<int>(state.range(0)),
+            static_cast<int>(state.range(1)), 0.25);
+}
+
+BENCHMARK(BM_SunflowerBelowBound)
+    ->Args({2, 3})
+    ->Args({2, 4})
+    ->Args({3, 3});
+
+void BM_SunflowerFinderScaling(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  Rng rng(77);
+  auto family = RandomFamily(count, 3, 4 * count, rng);
+  for (auto _ : state) {
+    auto sunflower = FindSunflower(family, 4);
+    benchmark::DoNotOptimize(sunflower);
+  }
+}
+
+BENCHMARK(BM_SunflowerFinderScaling)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+}  // namespace hompres
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+// hompres_cli: a small interactive shell over the library. Define
+// structures in the text format, then query them: homomorphisms, cores,
+// treewidth, FO evaluation, Datalog, scattered sets.
+//
+//   ./build/examples/hompres_cli
+//   > let a = |A|=3; E={(0 1),(1 2),(2 0)}
+//   > let b = |A|=2; E={(0 1),(1 0)}
+//   > hom a b
+//   > core a
+//   > eval a exists x E(x,x)
+//   > tw a
+//   > help
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/preservation.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "fo/eval.h"
+#include "fo/parser.h"
+#include "graph/scattered.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "structure/gaifman.h"
+#include "structure/parser.h"
+#include "structure/vocabulary.h"
+#include "tw/tree_decomposition.h"
+
+namespace {
+
+using namespace hompres;
+
+void PrintHelp() {
+  std::printf(
+      "commands (vocabulary is {E/2}):\n"
+      "  let <name> = |A|=<n>; E={(a b),...}   define a structure\n"
+      "  show <name>                            print it\n"
+      "  hom <a> <b>                            homomorphism a -> b?\n"
+      "  core <name>                            compute the core\n"
+      "  tw <name>                              exact treewidth (n<=22)\n"
+      "  eval <name> <FO sentence>              evaluate a sentence\n"
+      "  datalog <name> <rules>                 run a Datalog program\n"
+      "  scattered <name> <s> <d>               max d-scattered set after\n"
+      "                                         removing <= s vertices\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  std::map<std::string, Structure> environment;
+  const Vocabulary voc = GraphVocabulary();
+  PrintHelp();
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help" || command.empty()) {
+      PrintHelp();
+    } else if (command == "let") {
+      std::string name;
+      std::string equals;
+      in >> name >> equals;
+      std::string rest;
+      std::getline(in, rest);
+      std::string error;
+      auto s = ParseStructure(rest, voc, &error);
+      if (equals != "=" || !s.has_value()) {
+        std::printf("error: %s\n", error.empty() ? "usage: let x = |A|=..."
+                                                 : error.c_str());
+      } else {
+        environment.insert_or_assign(name, std::move(*s));
+        std::printf("ok\n");
+      }
+    } else if (command == "show" || command == "core" || command == "tw") {
+      std::string name;
+      in >> name;
+      auto it = environment.find(name);
+      if (it == environment.end()) {
+        std::printf("error: unknown structure '%s'\n", name.c_str());
+      } else if (command == "show") {
+        std::printf("%s\n", it->second.DebugString().c_str());
+      } else if (command == "core") {
+        std::printf("%s\n", ComputeCore(it->second).DebugString().c_str());
+      } else {
+        std::printf("treewidth = %d\n", StructureTreewidth(it->second));
+      }
+    } else if (command == "hom") {
+      std::string a;
+      std::string b;
+      in >> a >> b;
+      auto ita = environment.find(a);
+      auto itb = environment.find(b);
+      if (ita == environment.end() || itb == environment.end()) {
+        std::printf("error: unknown structure\n");
+      } else {
+        auto h = FindHomomorphism(ita->second, itb->second);
+        if (!h.has_value()) {
+          std::printf("no homomorphism\n");
+        } else {
+          std::printf("h = [");
+          for (size_t i = 0; i < h->size(); ++i) {
+            std::printf("%s%d->%d", i ? ", " : "", static_cast<int>(i),
+                        (*h)[i]);
+          }
+          std::printf("]\n");
+        }
+      }
+    } else if (command == "eval") {
+      std::string name;
+      in >> name;
+      std::string rest;
+      std::getline(in, rest);
+      auto it = environment.find(name);
+      std::string error;
+      auto f = ParseFormula(rest, &error);
+      if (it == environment.end()) {
+        std::printf("error: unknown structure '%s'\n", name.c_str());
+      } else if (!f.has_value()) {
+        std::printf("parse error: %s\n", error.c_str());
+      } else if (!IsSentence(*f)) {
+        std::printf("error: formula has free variables\n");
+      } else {
+        std::printf("%s\n",
+                    EvaluateSentence(it->second, *f) ? "true" : "false");
+      }
+    } else if (command == "datalog") {
+      std::string name;
+      in >> name;
+      std::string rest;
+      std::getline(in, rest);
+      auto it = environment.find(name);
+      std::string error;
+      auto program = ParseDatalogProgram(rest, voc, &error);
+      if (it == environment.end()) {
+        std::printf("error: unknown structure '%s'\n", name.c_str());
+      } else if (!program.has_value()) {
+        std::printf("parse error: %s\n", error.c_str());
+      } else {
+        DatalogResult result = EvaluateSemiNaive(*program, it->second);
+        for (int idb = 0; idb < program->Idb().NumRelations(); ++idb) {
+          std::printf("%s:", program->Idb().Name(idb).c_str());
+          for (const Tuple& t : result.idb[static_cast<size_t>(idb)]) {
+            std::printf(" (");
+            for (size_t i = 0; i < t.size(); ++i) {
+              std::printf("%s%d", i ? " " : "", t[i]);
+            }
+            std::printf(")");
+          }
+          std::printf("\n");
+        }
+        std::printf("fixpoint after %d stage(s)\n", result.stages);
+      }
+    } else if (command == "scattered") {
+      std::string name;
+      int s = 0;
+      int d = 0;
+      in >> name >> s >> d;
+      auto it = environment.find(name);
+      if (it == environment.end() || s < 0 || d < 0) {
+        std::printf("error: usage: scattered <name> <s> <d>\n");
+      } else {
+        const Graph g = GaifmanGraph(it->second);
+        const auto witness =
+            FindScatteredAfterRemoval(g, s, d, /*m=*/1);
+        int best = 0;
+        for (int m = 1; m <= g.NumVertices(); ++m) {
+          if (FindScatteredAfterRemoval(g, s, d, m).has_value()) {
+            best = m;
+          } else {
+            break;
+          }
+        }
+        (void)witness;
+        std::printf("max %d-scattered set after removing <= %d: %d\n", d, s,
+                    best);
+      }
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

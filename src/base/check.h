@@ -1,0 +1,40 @@
+// Lightweight CHECK macros for enforcing programmer-error invariants.
+//
+// The library does not use exceptions (see DESIGN.md); conditions that
+// indicate a bug in the caller abort the process with a diagnostic, while
+// operations that can legitimately fail return bool/std::optional instead.
+
+#ifndef HOMPRES_BASE_CHECK_H_
+#define HOMPRES_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hompres::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::abort();
+}
+
+}  // namespace hompres::internal
+
+// Aborts with a diagnostic if `condition` is false. Always evaluated,
+// including in release builds: the library's correctness arguments (e.g.
+// "every tree decomposition we output is valid") rely on these firing.
+#define HOMPRES_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::hompres::internal::CheckFailed(__FILE__, __LINE__, #condition);   \
+    }                                                                     \
+  } while (0)
+
+#define HOMPRES_CHECK_EQ(a, b) HOMPRES_CHECK((a) == (b))
+#define HOMPRES_CHECK_NE(a, b) HOMPRES_CHECK((a) != (b))
+#define HOMPRES_CHECK_LT(a, b) HOMPRES_CHECK((a) < (b))
+#define HOMPRES_CHECK_LE(a, b) HOMPRES_CHECK((a) <= (b))
+#define HOMPRES_CHECK_GT(a, b) HOMPRES_CHECK((a) > (b))
+#define HOMPRES_CHECK_GE(a, b) HOMPRES_CHECK((a) >= (b))
+
+#endif  // HOMPRES_BASE_CHECK_H_

@@ -1,0 +1,68 @@
+// Deterministic random number generation for structure/graph generators.
+//
+// All randomized generators in the library take an explicit `Rng&` so that
+// every experiment is reproducible from its seed. The engine is a SplitMix64
+// (fast, tiny state, good statistical quality for test-workload purposes).
+
+#ifndef HOMPRES_BASE_RNG_H_
+#define HOMPRES_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace hompres {
+
+// Deterministic pseudo-random generator. Copyable so call sites can fork a
+// stream; a copy replays the same sequence.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  // Next raw 64-bit value (SplitMix64 step).
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  // sampling to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound) {
+    HOMPRES_CHECK_GT(bound, 0u);
+    const uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    HOMPRES_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Bernoulli trial with probability p in [0, 1].
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53 random bits give a uniform double in [0, 1).
+    const double u =
+        static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_RNG_H_

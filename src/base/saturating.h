@@ -1,0 +1,54 @@
+// Saturating 64-bit arithmetic for the paper's effective bounds.
+//
+// The bounds in Lemma 4.2 (N = k(m-1)^{k!(p-1)^k}) and Theorem 5.3
+// (iterated Ramsey towers) overflow any fixed-width integer almost
+// immediately. The bound calculators in src/core use these helpers; a
+// saturated value is reported as "astronomical" by the benches, which is
+// faithful to the paper (they are upper bounds, and the benches measure the
+// actual thresholds, which are far smaller).
+
+#ifndef HOMPRES_BASE_SATURATING_H_
+#define HOMPRES_BASE_SATURATING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hompres {
+
+inline constexpr uint64_t kSaturated = std::numeric_limits<uint64_t>::max();
+
+// a + b, saturating at uint64_t max.
+constexpr uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+// a * b, saturating at uint64_t max.
+constexpr uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+// base^exp, saturating at uint64_t max.
+constexpr uint64_t SatPow(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < exp; ++i) {
+    result = SatMul(result, base);
+    if (result == kSaturated) return kSaturated;
+  }
+  return result;
+}
+
+// n!, saturating at uint64_t max.
+constexpr uint64_t SatFactorial(uint64_t n) {
+  uint64_t result = 1;
+  for (uint64_t i = 2; i <= n; ++i) {
+    result = SatMul(result, i);
+    if (result == kSaturated) return kSaturated;
+  }
+  return result;
+}
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_SATURATING_H_

@@ -1,0 +1,42 @@
+#include "base/subsets.h"
+
+#include <limits>
+
+namespace hompres {
+
+bool NextCombination(int n, std::vector<int>& indices) {
+  const int k = static_cast<int>(indices.size());
+  int i = k - 1;
+  while (i >= 0 && indices[static_cast<size_t>(i)] == n - k + i) --i;
+  if (i < 0) return false;
+  ++indices[static_cast<size_t>(i)];
+  for (int j = i + 1; j < k; ++j) {
+    indices[static_cast<size_t>(j)] = indices[static_cast<size_t>(j - 1)] + 1;
+  }
+  return true;
+}
+
+std::vector<int> FirstCombination(int n, int k) {
+  HOMPRES_CHECK_GE(k, 0);
+  HOMPRES_CHECK_LE(k, n);
+  std::vector<int> c(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) c[static_cast<size_t>(i)] = i;
+  return c;
+}
+
+uint64_t BinomialSaturating(int n, int k) {
+  HOMPRES_CHECK_GE(n, 0);
+  HOMPRES_CHECK_GE(k, 0);
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    const uint64_t factor = static_cast<uint64_t>(n - k + i);
+    if (result > kMax / factor) return kMax;
+    result = result * factor / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+}  // namespace hompres

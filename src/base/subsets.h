@@ -1,0 +1,100 @@
+// Enumeration helpers for k-element subsets and tuples.
+//
+// Several constructions in the paper quantify over "every k-element subset"
+// (Ramsey colorings, sunflower petals, minor branch sets); these helpers
+// centralize the enumeration so callers stay readable.
+
+#ifndef HOMPRES_BASE_SUBSETS_H_
+#define HOMPRES_BASE_SUBSETS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hompres {
+
+// In-place advance of a k-combination of {0, ..., n-1} in lexicographic
+// order. `indices` must hold a valid combination (strictly increasing).
+// Returns false when `indices` was the last combination.
+bool NextCombination(int n, std::vector<int>& indices);
+
+// First k-combination of {0, ..., n-1}: {0, 1, ..., k-1}.
+// Requires 0 <= k <= n.
+std::vector<int> FirstCombination(int n, int k);
+
+// Invokes `fn(subset)` for every k-element subset of {0, ..., n-1} in
+// lexicographic order until fn returns false (early exit) or the
+// enumeration is exhausted. Returns true iff the enumeration completed.
+template <typename Fn>
+bool ForEachCombination(int n, int k, Fn&& fn) {
+  HOMPRES_CHECK_GE(k, 0);
+  if (k > n) return true;
+  std::vector<int> c = FirstCombination(n, k);
+  for (;;) {
+    if (!fn(static_cast<const std::vector<int>&>(c))) return false;
+    if (!NextCombination(n, c)) return true;
+  }
+}
+
+// Invokes `fn(tuple)` for every length-k tuple over {0, ..., n-1} (n^k
+// tuples, odometer order) until fn returns false. Returns true iff the
+// enumeration completed. For k > 0 and n == 0 there are no tuples.
+// Requires k >= 0, n >= 0.
+template <typename Fn>
+bool ForEachTuple(int n, int k, Fn&& fn) {
+  HOMPRES_CHECK_GE(k, 0);
+  HOMPRES_CHECK_GE(n, 0);
+  std::vector<int> t(static_cast<size_t>(k), 0);
+  if (k == 0) return fn(static_cast<const std::vector<int>&>(t));
+  if (n == 0) return true;
+  for (;;) {
+    if (!fn(static_cast<const std::vector<int>&>(t))) return false;
+    int pos = k - 1;
+    while (pos >= 0 && t[static_cast<size_t>(pos)] == n - 1) {
+      t[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++t[static_cast<size_t>(pos)];
+  }
+}
+
+// Number of k-element subsets of an n-element set, saturating at
+// uint64_t max. Requires n, k >= 0.
+uint64_t BinomialSaturating(int n, int k);
+
+// Invokes `fn(block_of)` for every set partition of {0, ..., n-1}, where
+// block_of[i] is the (0-based, first-seen order) block of element i —
+// i.e. restricted growth strings. fn returns false to stop. Returns true
+// iff the enumeration completed. Requires n >= 0; for n == 0 the single
+// empty partition is visited. Bell(n) partitions, so keep n small.
+template <typename Fn>
+bool ForEachSetPartition(int n, Fn&& fn) {
+  HOMPRES_CHECK_GE(n, 0);
+  std::vector<int> block(static_cast<size_t>(n), 0);
+  if (n == 0) return fn(static_cast<const std::vector<int>&>(block));
+  // Restricted growth strings: block[0] = 0 and
+  // block[i] <= 1 + max(block[0..i-1]).
+  for (;;) {
+    if (!fn(static_cast<const std::vector<int>&>(block))) return false;
+    int i = n - 1;
+    for (; i > 0; --i) {
+      int max_prefix = 0;
+      for (int j = 0; j < i; ++j) {
+        max_prefix = std::max(max_prefix, block[static_cast<size_t>(j)]);
+      }
+      if (block[static_cast<size_t>(i)] <= max_prefix) {
+        ++block[static_cast<size_t>(i)];
+        for (int j = i + 1; j < n; ++j) block[static_cast<size_t>(j)] = 0;
+        break;
+      }
+    }
+    if (i == 0) return true;
+  }
+}
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_SUBSETS_H_

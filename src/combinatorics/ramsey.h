@@ -1,0 +1,57 @@
+// Ramsey machinery (Theorem 5.1).
+//
+// The paper uses r(l, k, m): a bound N such that any l-coloring of the
+// k-element subsets of a set with more than N elements admits a set I with
+// |I| > m on which the coloring is constant. The finder below is exact
+// (exhaustive over candidate subsets) and intended for the tiny instances
+// the benches explore; the bound calculators implement the paper's bound
+// *functions* b(n) and c(n) of Lemma 5.2 / Theorem 5.3 with saturating
+// arithmetic (these towers overflow immediately, which the benches report
+// as "astronomical" — they are upper bounds only).
+
+#ifndef HOMPRES_COMBINATORICS_RAMSEY_H_
+#define HOMPRES_COMBINATORICS_RAMSEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hompres {
+
+// A coloring of the k-element subsets of {0..n-1}: receives a sorted
+// k-subset, returns its color in [0, l).
+using SubsetColoring = std::function<int(const std::vector<int>&)>;
+
+// Exact: a subset I of {0..n-1} with |I| == size whose k-subsets all get
+// the same color, or nullopt. Exhaustive (n choose size); keep n small.
+std::optional<std::vector<int>> FindMonochromaticSubset(
+    int n, int k, const SubsetColoring& coloring, int size);
+
+// Graph specialization (k = 2, l = 2): a clique or independent set of the
+// given size; `clique_out` reports which one was found.
+std::optional<std::vector<int>> FindCliqueOrIndependentSet(const Graph& g,
+                                                           int size,
+                                                           bool* clique_out);
+
+// An upper-bound surrogate for the Ramsey number r(l, k, m) in the
+// paper's notation (any l-coloring of k-subsets of a set of size > r
+// has a monochromatic set of size > m). Exact for k = 1 (pigeonhole:
+// l * m); for k >= 2 uses the Erdos-Rado stepping-up recursion, which
+// saturates almost immediately. Requires l >= 1, k >= 1, m >= 0.
+uint64_t RamseyBound(uint64_t l, uint64_t k, uint64_t m);
+
+// Lemma 5.2's bound function b(n) = r(k+1, k, (k-2)n + k - 2) and its
+// iterate b^i, plus the overall N = b^{k-2}(m).
+uint64_t Lemma52BoundStep(int k, uint64_t n);
+uint64_t Lemma52Bound(int k, uint64_t m);
+
+// Theorem 5.3's c(n) = r(2, 2, b^{k-2}(n)) and N = c^d(m).
+uint64_t Theorem53BoundStep(int k, uint64_t n);
+uint64_t Theorem53Bound(int k, int d, uint64_t m);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_COMBINATORICS_RAMSEY_H_

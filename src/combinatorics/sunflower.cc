@@ -1,0 +1,149 @@
+#include "combinatorics/sunflower.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+#include "base/saturating.h"
+
+namespace hompres {
+
+namespace {
+
+bool Disjoint(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+// Recursive Erdos-Rado search. `sets` are the current (possibly reduced)
+// sets; `original` maps each to its index in the caller's family; `core`
+// accumulates removed popular elements.
+std::optional<Sunflower> Search(std::vector<std::vector<int>> sets,
+                                std::vector<int> original,
+                                std::vector<int> core, int p) {
+  if (static_cast<int>(sets.size()) < p) return std::nullopt;
+  // Greedy maximal pairwise-disjoint subfamily.
+  std::vector<int> disjoint;  // indices into `sets`
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool ok = true;
+    for (int j : disjoint) {
+      if (!Disjoint(sets[i], sets[static_cast<size_t>(j)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) disjoint.push_back(static_cast<int>(i));
+  }
+  if (static_cast<int>(disjoint.size()) >= p) {
+    Sunflower result;
+    result.core = std::move(core);
+    for (int i = 0; i < p; ++i) {
+      result.petals.push_back(original[static_cast<size_t>(
+          disjoint[static_cast<size_t>(i)])]);
+    }
+    std::sort(result.petals.begin(), result.petals.end());
+    return result;
+  }
+  // Some empty set with a non-maximal disjoint family can only happen if
+  // an empty set exists, in which case every other set is disjoint from
+  // it; if we get here with an empty set then p > |sets| was ruled out
+  // above, so all sets are nonempty... unless duplicates-after-reduction
+  // exist, which the caller contract excludes.
+  // Find the most popular element among the union of the disjoint sets
+  // (which hits every set, by maximality).
+  std::map<int, int> frequency;
+  for (int j : disjoint) {
+    for (int x : sets[static_cast<size_t>(j)]) frequency[x] = 0;
+  }
+  if (frequency.empty()) return std::nullopt;  // all sets empty
+  for (const auto& set : sets) {
+    for (int x : set) {
+      auto it = frequency.find(x);
+      if (it != frequency.end()) ++it->second;
+    }
+  }
+  int best = -1;
+  int best_count = -1;
+  for (const auto& [x, count] : frequency) {
+    if (count > best_count) {
+      best = x;
+      best_count = count;
+    }
+  }
+  // Recurse on the sets containing `best`, with `best` removed.
+  std::vector<std::vector<int>> next_sets;
+  std::vector<int> next_original;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    auto it = std::lower_bound(sets[i].begin(), sets[i].end(), best);
+    if (it != sets[i].end() && *it == best) {
+      std::vector<int> reduced = sets[i];
+      reduced.erase(std::lower_bound(reduced.begin(), reduced.end(), best));
+      next_sets.push_back(std::move(reduced));
+      next_original.push_back(original[i]);
+    }
+  }
+  core.push_back(best);
+  return Search(std::move(next_sets), std::move(next_original),
+                std::move(core), p);
+}
+
+}  // namespace
+
+std::optional<Sunflower> FindSunflower(
+    const std::vector<std::vector<int>>& family, int p) {
+  HOMPRES_CHECK_GE(p, 1);
+  std::vector<std::vector<int>> sets = family;
+  std::vector<int> original(family.size());
+  for (size_t i = 0; i < family.size(); ++i) {
+    HOMPRES_CHECK(std::is_sorted(sets[i].begin(), sets[i].end()));
+    HOMPRES_CHECK(std::adjacent_find(sets[i].begin(), sets[i].end()) ==
+                  sets[i].end());
+    original[i] = static_cast<int>(i);
+  }
+  auto result = Search(std::move(sets), std::move(original), {}, p);
+  if (result.has_value()) {
+    std::sort(result->core.begin(), result->core.end());
+    HOMPRES_CHECK(VerifySunflower(family, *result, p));
+  }
+  return result;
+}
+
+bool VerifySunflower(const std::vector<std::vector<int>>& family,
+                     const Sunflower& s, int p) {
+  if (static_cast<int>(s.petals.size()) < p) return false;
+  for (size_t i = 0; i < s.petals.size(); ++i) {
+    const int idx = s.petals[i];
+    if (idx < 0 || idx >= static_cast<int>(family.size())) return false;
+    if (i > 0 && s.petals[i] <= s.petals[i - 1]) return false;
+  }
+  for (size_t i = 0; i < s.petals.size(); ++i) {
+    for (size_t j = i + 1; j < s.petals.size(); ++j) {
+      const auto& a = family[static_cast<size_t>(s.petals[i])];
+      const auto& b = family[static_cast<size_t>(s.petals[j])];
+      std::vector<int> intersection;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(intersection));
+      if (intersection != s.core) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t SunflowerBound(int k, int p) {
+  HOMPRES_CHECK_GE(k, 0);
+  HOMPRES_CHECK_GE(p, 1);
+  return SatMul(SatFactorial(static_cast<uint64_t>(k)),
+                SatPow(static_cast<uint64_t>(p - 1),
+                       static_cast<uint64_t>(k)));
+}
+
+}  // namespace hompres

@@ -1,0 +1,46 @@
+// The Sunflower Lemma of Erdos and Rado (Theorem 4.1).
+//
+// A sunflower with p petals in a family of sets is a subfamily of p sets
+// whose pairwise intersections all equal one common core. The lemma: any
+// family of more than k!(p-1)^k distinct k-element sets contains one. The
+// finder below implements the constructive proof (maximal disjoint
+// subfamily, else recurse on a popular element) and is guaranteed to
+// succeed above the bound; Lemma 4.2 runs it on the bags of a long path in
+// a tree decomposition.
+
+#ifndef HOMPRES_COMBINATORICS_SUNFLOWER_H_
+#define HOMPRES_COMBINATORICS_SUNFLOWER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hompres {
+
+struct Sunflower {
+  // Indices into the input family, strictly increasing.
+  std::vector<int> petals;
+  // The common pairwise intersection, sorted.
+  std::vector<int> core;
+};
+
+// Searches `family` (sets of ints; each set sorted, duplicate-free, and
+// the sets pairwise distinct) for a sunflower with `p` petals. Implements
+// the Erdos-Rado recursion, so it is guaranteed to find one whenever
+// |family| > k!(p-1)^k where k is the maximum set size; below the bound it
+// may or may not. Requires p >= 1.
+std::optional<Sunflower> FindSunflower(
+    const std::vector<std::vector<int>>& family, int p);
+
+// True iff `s` is a sunflower with >= p petals in `family`: all petal
+// indices valid and distinct, and every pair of petal sets intersects in
+// exactly s.core.
+bool VerifySunflower(const std::vector<std::vector<int>>& family,
+                     const Sunflower& s, int p);
+
+// The paper's threshold k!(p-1)^k (saturating).
+uint64_t SunflowerBound(int k, int p);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_COMBINATORICS_SUNFLOWER_H_

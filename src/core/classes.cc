@@ -1,0 +1,79 @@
+#include "core/classes.h"
+
+#include "graph/minor.h"
+#include "hom/core.h"
+#include "structure/gaifman.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+
+StructureClass AllStructuresClass() {
+  return {"all", [](const Structure&) { return true; }};
+}
+
+StructureClass BoundedDegreeClass(int k) {
+  return {"degree<=" + std::to_string(k),
+          [k](const Structure& a) { return StructureDegree(a) <= k; }};
+}
+
+StructureClass BoundedTreewidthClass(int k) {
+  return {"treewidth<" + std::to_string(k), [k](const Structure& a) {
+            return StructureTreewidth(a) < k;
+          }};
+}
+
+StructureClass ExcludesMinorClass(int h) {
+  return {"no-K" + std::to_string(h) + "-minor",
+          [h](const Structure& a) {
+            return !HasCompleteMinor(GaifmanGraph(a), h);
+          }};
+}
+
+StructureClass CoresBoundedDegreeClass(int k) {
+  return {"core-degree<=" + std::to_string(k),
+          [k](const Structure& a) {
+            return StructureDegree(ComputeCore(a)) <= k;
+          }};
+}
+
+StructureClass CoresBoundedTreewidthClass(int k) {
+  return {"core-treewidth<" + std::to_string(k),
+          [k](const Structure& a) {
+            return StructureTreewidth(ComputeCore(a)) < k;
+          }};
+}
+
+StructureClass CoresExcludeMinorClass(int h) {
+  return {"core-no-K" + std::to_string(h) + "-minor",
+          [h](const Structure& a) {
+            return !HasCompleteMinor(GaifmanGraph(ComputeCore(a)), h);
+          }};
+}
+
+bool CheckClosedUnderSubstructures(const StructureClass& c,
+                                   const std::vector<Structure>& samples) {
+  for (const Structure& a : samples) {
+    if (!c.contains(a)) return false;
+    for (int e = 0; e < a.UniverseSize(); ++e) {
+      if (!c.contains(a.RemoveElement(e))) return false;
+    }
+    for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+      for (int i = 0; i < static_cast<int>(a.Tuples(rel).size()); ++i) {
+        if (!c.contains(a.RemoveTuple(rel, i))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckClosedUnderDisjointUnions(const StructureClass& c,
+                                    const std::vector<Structure>& samples) {
+  for (const Structure& a : samples) {
+    for (const Structure& b : samples) {
+      if (!c.contains(a.DisjointUnion(b))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hompres

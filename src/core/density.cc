@@ -1,0 +1,29 @@
+#include "core/density.h"
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "graph/scattered.h"
+#include "structure/gaifman.h"
+
+namespace hompres {
+
+int MaxScatteredAfterRemoval(const Graph& g, int s, int d) {
+  HOMPRES_CHECK_GE(s, 0);
+  HOMPRES_CHECK_GE(d, 0);
+  int best = 0;
+  const int n = g.NumVertices();
+  for (int size = 0; size <= std::min(s, n); ++size) {
+    ForEachCombination(n, size, [&](const std::vector<int>& removed) {
+      const Graph reduced = g.RemoveVertices(removed);
+      best = std::max(best, MaxScatteredSetSize(reduced, d));
+      return true;
+    });
+  }
+  return best;
+}
+
+int StructureScatterProfile(const Structure& a, int s, int d) {
+  return MaxScatteredAfterRemoval(GaifmanGraph(a), s, d);
+}
+
+}  // namespace hompres

@@ -1,0 +1,29 @@
+// The Theorem 3.2 density condition, measurable.
+//
+// Ajtai-Gurevich: if q is first-order and preserved under homomorphisms
+// (on a class closed under substructures and disjoint unions), then for
+// every s there are d and m such that no minimal model of q has a
+// d-scattered set of size m after removing at most s elements. This
+// header turns the condition into a measurement: the scattered-set
+// profile of a structure, used by the benches to show that minimal
+// models stay "dense" while arbitrary large class members do not.
+
+#ifndef HOMPRES_CORE_DENSITY_H_
+#define HOMPRES_CORE_DENSITY_H_
+
+#include "graph/graph.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+// The largest m such that some removal of at most s vertices leaves a
+// d-scattered set of size m. Exact (exponential in s and the
+// independent-set search); intended for small graphs.
+int MaxScatteredAfterRemoval(const Graph& g, int s, int d);
+
+// The same measure applied to a structure's Gaifman graph.
+int StructureScatterProfile(const Structure& a, int s, int d);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_DENSITY_H_

@@ -1,0 +1,128 @@
+#include "core/extension_preservation.h"
+
+#include <string>
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "fo/eval.h"
+#include "structure/isomorphism.h"
+
+namespace hompres {
+
+bool IsExtensionMinimalModel(const BooleanQuery& q, const Structure& a,
+                             const StructureClass& c) {
+  if (!c.contains(a) || !q(a)) return false;
+  for (int e = 0; e < a.UniverseSize(); ++e) {
+    const Structure reduced = a.RemoveElement(e);
+    if (c.contains(reduced) && q(reduced)) return false;
+  }
+  return true;
+}
+
+std::vector<Structure> ExtensionMinimalModelsBySearch(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int max_universe) {
+  std::vector<Structure> models;
+  ForEachStructureInClass(vocabulary, max_universe, c,
+                          [&](const Structure& a) {
+                            if (!q(a)) return true;
+                            if (!IsExtensionMinimalModel(q, a, c)) {
+                              return true;
+                            }
+                            for (const Structure& seen : models) {
+                              if (AreIsomorphic(seen, a)) return true;
+                            }
+                            models.push_back(a);
+                            return true;
+                          });
+  return models;
+}
+
+FormulaPtr ExistentialSentenceFromModels(
+    const std::vector<Structure>& models) {
+  HOMPRES_CHECK(!models.empty());
+  std::vector<FormulaPtr> disjuncts;
+  for (const Structure& m : models) {
+    const int n = m.UniverseSize();
+    auto var = [](int i) { return "y" + std::to_string(i); };
+    std::vector<FormulaPtr> conjuncts;
+    // Pairwise distinctness makes the witness an embedding.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        conjuncts.push_back(
+            Formula::Not(Formula::Equal(var(i), var(j))));
+      }
+    }
+    // The full (positive and negative) diagram: the witness is an
+    // INDUCED copy.
+    for (int rel = 0; rel < m.GetVocabulary().NumRelations(); ++rel) {
+      ForEachTuple(n, m.GetVocabulary().Arity(rel),
+                   [&](const std::vector<int>& t) {
+                     std::vector<std::string> arguments;
+                     arguments.reserve(t.size());
+                     for (int e : t) arguments.push_back(var(e));
+                     FormulaPtr atom = Formula::Atom(
+                         m.GetVocabulary().Name(rel), arguments);
+                     conjuncts.push_back(m.HasTuple(rel, t)
+                                             ? atom
+                                             : Formula::Not(atom));
+                     return true;
+                   });
+    }
+    FormulaPtr body;
+    if (conjuncts.empty()) {
+      // The empty model: "true" — which as an extension-minimal model
+      // means q holds everywhere; render as ∀z (z = z).
+      body = Formula::Forall("z", Formula::Equal("z", "z"));
+      disjuncts.push_back(body);
+      continue;
+    }
+    body = conjuncts.size() == 1 ? conjuncts[0]
+                                 : Formula::And(std::move(conjuncts));
+    for (int i = n - 1; i >= 0; --i) body = Formula::Exists(var(i), body);
+    disjuncts.push_back(body);
+  }
+  return disjuncts.size() == 1 ? disjuncts[0]
+                               : Formula::Or(std::move(disjuncts));
+}
+
+ExtensionPreservationResult ExtensionPreservationPipeline(
+    const FormulaPtr& sentence, const Vocabulary& vocabulary,
+    const StructureClass& c, int search_universe, int verify_universe) {
+  HOMPRES_CHECK(IsSentence(sentence));
+  const BooleanQuery q = [&sentence](const Structure& a) {
+    return EvaluateSentence(a, sentence);
+  };
+  ExtensionPreservationResult result;
+  result.search_universe = search_universe;
+  result.verify_universe = verify_universe;
+  result.minimal_models =
+      ExtensionMinimalModelsBySearch(q, vocabulary, c, search_universe);
+  if (result.minimal_models.empty()) {
+    // q is false on everything searched; "false" has no existential
+    // rendering here — verified only if q is false everywhere checked.
+    bool all_false = true;
+    ForEachStructureInClass(vocabulary, verify_universe, c,
+                            [&](const Structure& a) {
+                              all_false &= !q(a);
+                              return all_false;
+                            });
+    result.verified = all_false;
+    return result;
+  }
+  result.equivalent_existential =
+      ExistentialSentenceFromModels(result.minimal_models);
+  bool all_agree = true;
+  ForEachStructureInClass(
+      vocabulary, verify_universe, c, [&](const Structure& a) {
+        if (q(a) != EvaluateSentence(a, result.equivalent_existential)) {
+          all_agree = false;
+          return false;
+        }
+        return true;
+      });
+  result.verified = all_agree;
+  return result;
+}
+
+}  // namespace hompres

@@ -1,0 +1,63 @@
+// Preservation under extensions (the paper's Section 8 pointer to
+// Atserias-Dawar-Grohe, ICALP 2005).
+//
+// The Łoś-Tarski theorem — preserved under extensions iff existential —
+// FAILS on the class of all finite structures (Tait; Gurevich), but holds
+// on well-behaved classes. This module provides the machinery to explore
+// it: extension-minimal models (no proper INDUCED substructure satisfies
+// q), the existential sentence built from them (a disjunction of
+// "contains an induced copy of M" diagrams, using negated atoms and
+// inequalities), and the end-to-end pipeline mirroring
+// PreservationPipeline.
+
+#ifndef HOMPRES_CORE_EXTENSION_PRESERVATION_H_
+#define HOMPRES_CORE_EXTENSION_PRESERVATION_H_
+
+#include <vector>
+
+#include "core/classes.h"
+#include "core/minimal_models.h"
+#include "fo/formula.h"
+
+namespace hompres {
+
+// True iff q(A) holds and no proper induced substructure of A inside C
+// satisfies q. (For queries preserved under extensions on C and C closed
+// under induced substructures, checking one-element removals suffices;
+// this helper checks exactly those.)
+bool IsExtensionMinimalModel(const BooleanQuery& q, const Structure& a,
+                             const StructureClass& c);
+
+// All extension-minimal models of q in C with at most `max_universe`
+// elements, up to isomorphism (exhaustive scan, small n only).
+std::vector<Structure> ExtensionMinimalModelsBySearch(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int max_universe);
+
+// The existential sentence "some M_i embeds as an induced substructure":
+// for each model, ∃x̄ (pairwise-distinct ∧ positive diagram ∧ negated
+// non-atoms). CHECK-fails on an empty model list (false is not
+// existential-definable this way).
+FormulaPtr ExistentialSentenceFromModels(
+    const std::vector<Structure>& models);
+
+struct ExtensionPreservationResult {
+  std::vector<Structure> minimal_models;
+  FormulaPtr equivalent_existential;  // null when no models were found
+  bool verified = false;
+  int search_universe = 0;
+  int verify_universe = 0;
+};
+
+// The Łoś-Tarski analogue of PreservationPipeline: sentence + class ⇒
+// candidate existential sentence, verified exhaustively on C up to the
+// cap. For sentences preserved under extensions on C this verifies; for
+// others (or when the theorem genuinely fails on C) it reports
+// verified=false.
+ExtensionPreservationResult ExtensionPreservationPipeline(
+    const FormulaPtr& sentence, const Vocabulary& vocabulary,
+    const StructureClass& c, int search_universe, int verify_universe);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_EXTENSION_PRESERVATION_H_

@@ -1,0 +1,466 @@
+#include "core/lemmas.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/saturating.h"
+#include "base/subsets.h"
+#include "combinatorics/ramsey.h"
+#include "combinatorics/sunflower.h"
+#include "graph/algorithms.h"
+
+namespace hompres {
+
+// ---- Lemma 3.4 ------------------------------------------------------------
+
+uint64_t Lemma34Bound(int k, int d, int m) {
+  HOMPRES_CHECK_GE(k, 0);
+  HOMPRES_CHECK_GE(d, 0);
+  HOMPRES_CHECK_GE(m, 0);
+  return SatMul(static_cast<uint64_t>(m),
+                SatPow(static_cast<uint64_t>(k), static_cast<uint64_t>(d)));
+}
+
+uint64_t Lemma34BallPackingBound(int k, int d, int m) {
+  HOMPRES_CHECK_GE(k, 0);
+  HOMPRES_CHECK_GE(d, 0);
+  HOMPRES_CHECK_GE(m, 0);
+  return SatMul(static_cast<uint64_t>(m),
+                SatPow(static_cast<uint64_t>(k + 1),
+                       static_cast<uint64_t>(2 * d)));
+}
+
+std::optional<std::vector<int>> Lemma34ScatteredSet(const Graph& g, int d,
+                                                    int m) {
+  // The proof's argument is a greedy ball-packing: each chosen vertex
+  // rules out only its 2d-ball.
+  std::vector<bool> excluded(static_cast<size_t>(g.NumVertices()), false);
+  std::vector<int> chosen;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    if (excluded[static_cast<size_t>(v)]) continue;
+    chosen.push_back(v);
+    for (int w : NeighborhoodBall(g, v, 2 * d)) {
+      excluded[static_cast<size_t>(w)] = true;
+    }
+  }
+  if (static_cast<int>(chosen.size()) < m) return std::nullopt;
+  chosen.resize(static_cast<size_t>(m));
+  HOMPRES_CHECK(IsDScattered(g, chosen, d));
+  return chosen;
+}
+
+// ---- Lemma 4.2 ------------------------------------------------------------
+
+uint64_t Lemma42Bound(int k, int d, int m) {
+  HOMPRES_CHECK_GE(k, 1);
+  HOMPRES_CHECK_GE(d, 0);
+  HOMPRES_CHECK_GE(m, 1);
+  const uint64_t p = static_cast<uint64_t>(m - 1) *
+                         static_cast<uint64_t>(2 * d + 1) +
+                     1;
+  const uint64_t big_m = SatMul(SatFactorial(static_cast<uint64_t>(k)),
+                                SatPow(p - 1, static_cast<uint64_t>(k)));
+  if (big_m == kSaturated) return kSaturated;
+  return SatMul(static_cast<uint64_t>(k),
+                SatPow(static_cast<uint64_t>(m - 1), big_m));
+}
+
+namespace {
+
+// Longest path in a tree (the diameter path), as a list of node ids.
+std::vector<int> TreeDiameterPath(const Graph& tree) {
+  HOMPRES_CHECK_GE(tree.NumVertices(), 1);
+  auto farthest = [&tree](int from) {
+    const auto dist = BfsDistances(tree, from);
+    int best = from;
+    for (int v = 0; v < tree.NumVertices(); ++v) {
+      if (dist[static_cast<size_t>(v)] > dist[static_cast<size_t>(best)]) {
+        best = v;
+      }
+    }
+    return best;
+  };
+  const int a = farthest(0);
+  const int b = farthest(a);
+  // Reconstruct the a..b path by walking down the BFS distances from b.
+  const auto dist = BfsDistances(tree, b);
+  std::vector<int> path = {a};
+  int current = a;
+  while (current != b) {
+    for (int w : tree.Neighbors(current)) {
+      if (dist[static_cast<size_t>(w)] ==
+          dist[static_cast<size_t>(current)] - 1) {
+        current = w;
+        break;
+      }
+    }
+    path.push_back(current);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::optional<ScatteredWitness> Lemma42Witness(const Graph& g,
+                                               const TreeDecomposition& td,
+                                               int k, int d, int m) {
+  HOMPRES_CHECK(IsValidTreeDecomposition(g, td));
+  HOMPRES_CHECK_LE(td.Width(), k - 1);
+  HOMPRES_CHECK_GE(m, 1);
+  const TreeDecomposition clean = MakeBagsIncomparable(td);
+
+  // Case 1: a tree node of degree >= m. Its bag separates the neighbor
+  // subtrees; one private vertex per neighbor bag is infinitely
+  // scattered in G - bag.
+  for (int v = 0; v < clean.tree.NumVertices(); ++v) {
+    if (clean.tree.Degree(v) < m) continue;
+    const auto& separator = clean.bags[static_cast<size_t>(v)];
+    ScatteredWitness witness;
+    witness.removed = separator;
+    for (int u : clean.tree.Neighbors(v)) {
+      if (static_cast<int>(witness.scattered.size()) == m) break;
+      for (int x : clean.bags[static_cast<size_t>(u)]) {
+        if (std::find(separator.begin(), separator.end(), x) ==
+            separator.end()) {
+          witness.scattered.push_back(x);
+          break;
+        }
+      }
+    }
+    if (static_cast<int>(witness.scattered.size()) >= m &&
+        VerifyScatteredWitness(g, witness, k, d, m)) {
+      return witness;
+    }
+  }
+
+  // Case 2: a sunflower on the bags of the diameter path, petals picked
+  // 2d+1 apart.
+  const std::vector<int> path = TreeDiameterPath(clean.tree);
+  std::vector<std::vector<int>> family;
+  family.reserve(path.size());
+  for (int node : path) {
+    family.push_back(clean.bags[static_cast<size_t>(node)]);
+  }
+  const int p = (m - 1) * (2 * d + 1) + 1;
+  const auto sunflower = FindSunflower(family, p);
+  if (!sunflower.has_value()) return std::nullopt;
+  ScatteredWitness witness;
+  witness.removed = sunflower->core;
+  for (int i = 0; i < m; ++i) {
+    const int petal_index = sunflower->petals[static_cast<size_t>(
+        i * (2 * d + 1))];
+    for (int x : family[static_cast<size_t>(petal_index)]) {
+      if (std::find(sunflower->core.begin(), sunflower->core.end(), x) ==
+          sunflower->core.end()) {
+        witness.scattered.push_back(x);
+        break;
+      }
+    }
+  }
+  if (static_cast<int>(witness.scattered.size()) >= m &&
+      VerifyScatteredWitness(g, witness, k, d, m)) {
+    return witness;
+  }
+  return std::nullopt;
+}
+
+// ---- Lemma 5.2 ------------------------------------------------------------
+
+namespace {
+
+// The A-side conflict graph after removing B': vertices are positions in
+// `candidates` (A-side vertex ids); edge iff the two share a neighbor in
+// B outside `removed_b`.
+Graph CommonNeighborConflictGraph(const Graph& h, int side_a,
+                                  const std::vector<int>& candidates,
+                                  const std::vector<int>& removed_b) {
+  Graph conflict(static_cast<int>(candidates.size()));
+  std::vector<bool> removed(static_cast<size_t>(h.NumVertices()), false);
+  for (int b : removed_b) removed[static_cast<size_t>(b)] = true;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      bool common = false;
+      for (int b : h.Neighbors(candidates[i])) {
+        if (b < side_a || removed[static_cast<size_t>(b)]) continue;
+        if (h.HasEdge(candidates[j], b)) {
+          common = true;
+          break;
+        }
+      }
+      if (common) {
+        conflict.AddEdge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return conflict;
+}
+
+}  // namespace
+
+std::optional<BipartiteWitness> Lemma52Witness(const Graph& h, int side_a,
+                                               int m, int max_b) {
+  HOMPRES_CHECK_GE(side_a, 0);
+  HOMPRES_CHECK_LE(side_a, h.NumVertices());
+  HOMPRES_CHECK_GE(max_b, 0);
+  // Sanity: no edges within side A (the bipartite contract).
+  for (int a = 0; a < side_a; ++a) {
+    for (int w : h.Neighbors(a)) HOMPRES_CHECK_GE(w, side_a);
+  }
+  std::vector<int> b_side;
+  for (int b = side_a; b < h.NumVertices(); ++b) b_side.push_back(b);
+
+  std::optional<BipartiteWitness> best;
+  for (int b_size = 0; b_size <= std::min<int>(max_b, b_side.size());
+       ++b_size) {
+    ForEachCombination(
+        static_cast<int>(b_side.size()), b_size,
+        [&](const std::vector<int>& picks) {
+          std::vector<int> removed_b;
+          for (int pick : picks) {
+            removed_b.push_back(b_side[static_cast<size_t>(pick)]);
+          }
+          // A' must be complete to B'.
+          std::vector<int> candidates;
+          for (int a = 0; a < side_a; ++a) {
+            bool complete = true;
+            for (int b : removed_b) {
+              if (!h.HasEdge(a, b)) {
+                complete = false;
+                break;
+              }
+            }
+            if (complete) candidates.push_back(a);
+          }
+          const int needed = m + 1;  // |A'| > m
+          if (static_cast<int>(candidates.size()) < needed) return true;
+          const Graph conflict =
+              CommonNeighborConflictGraph(h, side_a, candidates, removed_b);
+          auto independent = FindIndependentSetOfSize(conflict, needed);
+          if (!independent.has_value()) return true;
+          BipartiteWitness witness;
+          for (int index : *independent) {
+            witness.a_prime.push_back(
+                candidates[static_cast<size_t>(index)]);
+          }
+          witness.b_prime = removed_b;
+          HOMPRES_CHECK(VerifyBipartiteWitness(h, side_a, witness, m, max_b));
+          best = std::move(witness);
+          return false;  // found one at the smallest |B'|
+        });
+    if (best.has_value()) return best;
+  }
+  return std::nullopt;
+}
+
+bool VerifyBipartiteWitness(const Graph& h, int side_a,
+                            const BipartiteWitness& witness, int m,
+                            int max_b) {
+  if (static_cast<int>(witness.a_prime.size()) <= m) return false;
+  if (static_cast<int>(witness.b_prime.size()) > max_b) return false;
+  for (int a : witness.a_prime) {
+    if (a < 0 || a >= side_a) return false;
+    for (int b : witness.b_prime) {
+      if (!h.HasEdge(a, b)) return false;  // A' x B' ⊆ E
+    }
+  }
+  // 1-scattered in H - B'.
+  std::vector<int> old_to_new;
+  const Graph reduced = h.RemoveVertices(witness.b_prime, &old_to_new);
+  std::vector<int> mapped;
+  for (int a : witness.a_prime) {
+    const int now = old_to_new[static_cast<size_t>(a)];
+    if (now < 0) return false;
+    mapped.push_back(now);
+  }
+  return IsDScattered(reduced, mapped, 1);
+}
+
+std::optional<BipartiteWitness> Lemma52BestWitness(const Graph& h,
+                                                   int side_a, int max_b) {
+  HOMPRES_CHECK_GE(side_a, 0);
+  HOMPRES_CHECK_GE(max_b, 0);
+  if (side_a == 0) return std::nullopt;
+  std::vector<int> b_side;
+  for (int b = side_a; b < h.NumVertices(); ++b) b_side.push_back(b);
+
+  std::optional<BipartiteWitness> best;
+  for (int b_size = 0; b_size <= std::min<int>(max_b, b_side.size());
+       ++b_size) {
+    ForEachCombination(
+        static_cast<int>(b_side.size()), b_size,
+        [&](const std::vector<int>& picks) {
+          std::vector<int> removed_b;
+          for (int pick : picks) {
+            removed_b.push_back(b_side[static_cast<size_t>(pick)]);
+          }
+          std::vector<int> candidates;
+          for (int a = 0; a < side_a; ++a) {
+            bool complete = true;
+            for (int b : removed_b) {
+              if (!h.HasEdge(a, b)) {
+                complete = false;
+                break;
+              }
+            }
+            if (complete) candidates.push_back(a);
+          }
+          if (candidates.empty()) return true;
+          if (best.has_value() &&
+              candidates.size() <= best->a_prime.size()) {
+            return true;  // cannot beat the best even if all survive
+          }
+          const Graph conflict =
+              CommonNeighborConflictGraph(h, side_a, candidates, removed_b);
+          const std::vector<int> independent =
+              LargeIndependentSet(conflict);
+          if (best.has_value() &&
+              independent.size() <= best->a_prime.size()) {
+            return true;
+          }
+          BipartiteWitness witness;
+          for (int index : independent) {
+            witness.a_prime.push_back(
+                candidates[static_cast<size_t>(index)]);
+          }
+          witness.b_prime = removed_b;
+          best = std::move(witness);
+          return true;
+        });
+  }
+  if (best.has_value()) {
+    HOMPRES_CHECK(VerifyBipartiteWitness(
+        h, side_a, *best, static_cast<int>(best->a_prime.size()) - 1,
+        max_b));
+  }
+  return best;
+}
+
+// ---- Theorem 5.3 ----------------------------------------------------------
+
+uint64_t Theorem53BoundValue(int k, int d, uint64_t m) {
+  return Theorem53Bound(k, d, m);
+}
+
+std::optional<ScatteredWitness> Theorem53Witness(const Graph& g, int k,
+                                                 int d, int m) {
+  HOMPRES_CHECK_GE(k, 2);
+  HOMPRES_CHECK_GE(d, 0);
+  HOMPRES_CHECK_GE(m, 1);
+  std::vector<int> s_current;
+  for (int v = 0; v < g.NumVertices(); ++v) s_current.push_back(v);
+  std::vector<int> z_current;
+
+  for (int stage = 0; stage < d; ++stage) {
+    // Work in G - Z.
+    std::vector<int> old_to_new;
+    const Graph reduced = g.RemoveVertices(z_current, &old_to_new);
+    std::vector<int> new_to_old(static_cast<size_t>(reduced.NumVertices()));
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (old_to_new[static_cast<size_t>(v)] >= 0) {
+        new_to_old[static_cast<size_t>(old_to_new[static_cast<size_t>(v)])] =
+            v;
+      }
+    }
+    // i-neighborhoods of the current scattered set (in reduced ids).
+    std::vector<int> s_reduced;
+    for (int v : s_current) {
+      const int now = old_to_new[static_cast<size_t>(v)];
+      HOMPRES_CHECK_GE(now, 0);
+      s_reduced.push_back(now);
+    }
+    std::vector<std::vector<int>> balls;
+    std::vector<int> ball_of(static_cast<size_t>(reduced.NumVertices()), -1);
+    for (size_t i = 0; i < s_reduced.size(); ++i) {
+      balls.push_back(NeighborhoodBall(reduced, s_reduced[i], stage));
+      for (int w : balls.back()) {
+        // Balls are disjoint because S is stage-scattered in G - Z.
+        HOMPRES_CHECK_EQ(ball_of[static_cast<size_t>(w)], -1);
+        ball_of[static_cast<size_t>(w)] = static_cast<int>(i);
+      }
+    }
+    // Contact graph between the neighborhoods.
+    Graph contact(static_cast<int>(s_reduced.size()));
+    for (const auto& [u, v] : reduced.Edges()) {
+      const int bu = ball_of[static_cast<size_t>(u)];
+      const int bv = ball_of[static_cast<size_t>(v)];
+      if (bu != -1 && bv != -1 && bu != bv && !contact.HasEdge(bu, bv)) {
+        contact.AddEdge(bu, bv);
+      }
+    }
+    // An independent family of neighborhoods. (The paper gets one of a
+    // guaranteed size via Ramsey; we take a large one greedily with
+    // budgeted exact improvement.)
+    const std::vector<int> independent = LargeIndependentSet(contact);
+    if (independent.empty()) return std::nullopt;
+    // Bipartite graph: side A = the chosen neighborhoods, side B = the
+    // vertices of G - Z adjacent to some chosen ball (outside all balls).
+    std::vector<bool> chosen_ball(balls.size(), false);
+    for (int i : independent) chosen_ball[static_cast<size_t>(i)] = true;
+    std::vector<int> boundary;  // reduced ids
+    std::vector<int> boundary_index(
+        static_cast<size_t>(reduced.NumVertices()), -1);
+    for (const auto& [u, v] : reduced.Edges()) {
+      for (const auto& [inside, outside] :
+           {std::make_pair(u, v), std::make_pair(v, u)}) {
+        const int bi = ball_of[static_cast<size_t>(inside)];
+        if (bi == -1 || !chosen_ball[static_cast<size_t>(bi)]) continue;
+        // B is everything adjacent to a chosen ball but not itself inside
+        // a chosen ball (vertices of non-chosen balls are allowed; the
+        // paper only needs A and B disjoint, which independence of the
+        // contact graph gives for chosen balls).
+        const int bo = ball_of[static_cast<size_t>(outside)];
+        if (bo != -1 && chosen_ball[static_cast<size_t>(bo)]) continue;
+        if (boundary_index[static_cast<size_t>(outside)] == -1) {
+          boundary_index[static_cast<size_t>(outside)] =
+              static_cast<int>(boundary.size());
+          boundary.push_back(outside);
+        }
+      }
+    }
+    const int side_a = static_cast<int>(independent.size());
+    Graph bipartite(side_a + static_cast<int>(boundary.size()));
+    for (int ai = 0; ai < side_a; ++ai) {
+      const int ball_index = independent[static_cast<size_t>(ai)];
+      for (int w : balls[static_cast<size_t>(ball_index)]) {
+        for (int nb : reduced.Neighbors(w)) {
+          const int bindex = boundary_index[static_cast<size_t>(nb)];
+          if (bindex != -1 && !bipartite.HasEdge(ai, side_a + bindex)) {
+            bipartite.AddEdge(ai, side_a + bindex);
+          }
+        }
+      }
+    }
+    // Lemma 5.2 on the bipartite contact structure, with the remaining
+    // removal budget; pick the largest surviving A'.
+    const int budget = (k - 2) - static_cast<int>(z_current.size());
+    if (budget < 0) return std::nullopt;
+    const std::optional<BipartiteWitness> witness =
+        Lemma52BestWitness(bipartite, side_a, budget);
+    if (!witness.has_value()) return std::nullopt;
+    // Translate back: new S = centers of the surviving neighborhoods, new
+    // Z adds B' (boundary vertices, mapped to original ids).
+    std::vector<int> next_s;
+    for (int ai : witness->a_prime) {
+      const int ball_index = independent[static_cast<size_t>(ai)];
+      next_s.push_back(new_to_old[static_cast<size_t>(
+          s_reduced[static_cast<size_t>(ball_index)])]);
+    }
+    for (int b : witness->b_prime) {
+      z_current.push_back(
+          new_to_old[static_cast<size_t>(boundary[static_cast<size_t>(
+              b - side_a)])]);
+    }
+    s_current = std::move(next_s);
+    if (static_cast<int>(s_current.size()) < m) return std::nullopt;
+  }
+
+  if (static_cast<int>(s_current.size()) < m) return std::nullopt;
+  s_current.resize(static_cast<size_t>(m));
+  ScatteredWitness witness;
+  witness.removed = z_current;
+  witness.scattered = s_current;
+  if (!VerifyScatteredWitness(g, witness, k - 2, d, m)) return std::nullopt;
+  return witness;
+}
+
+}  // namespace hompres

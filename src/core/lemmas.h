@@ -1,0 +1,98 @@
+// Constructive versions of the paper's combinatorial lemmas.
+//
+// Each procedure implements the proof of the corresponding statement and
+// returns an explicitly verified witness; the companion Bound function
+// computes the paper's (often astronomic, saturating) sufficient size.
+// The benches (E3, E4, E6, E7) compare the paper bounds against measured
+// thresholds.
+
+#ifndef HOMPRES_CORE_LEMMAS_H_
+#define HOMPRES_CORE_LEMMAS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/scattered.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+
+// ---- Lemma 3.4: bounded degree, s = 0 -----------------------------------
+
+// The paper's stated sufficient size m * k^d. NOTE: as stated this is
+// loose for small k and d — the Petersen graph (10 vertices, 3-regular,
+// diameter 2) has no 1-scattered pair at all even though it exceeds
+// 3 * 3^1 = 9; the proof's "d-neighborhoods have size <= k^d" estimate
+// undercounts small balls (|N_1| = k + 1 > k). The benches report both
+// this literal value and the safe ball-packing bound below.
+uint64_t Lemma34Bound(int k, int d, int m);
+
+// A sufficient size that the greedy ball-packing provably meets:
+// m * (k+1)^{2d} (each chosen vertex excludes at most its 2d-ball, which
+// has at most (k+1)^{2d} vertices in a degree <= k graph).
+uint64_t Lemma34BallPackingBound(int k, int d, int m);
+
+// Greedy d-scattered set on a degree <= k graph: repeatedly pick a vertex
+// and discard its 2d-ball. Returns a set of size >= m if it finds one
+// (guaranteed once |V| > m * (k+1)^{2d} >= m * |ball|), else nullopt.
+std::optional<std::vector<int>> Lemma34ScatteredSet(const Graph& g, int d,
+                                                    int m);
+
+// ---- Lemma 4.2: treewidth < k -------------------------------------------
+
+// p = (m-1)(2d+1) + 1, M = k!(p-1)^k, N = k * (m-1)^M (saturating).
+uint64_t Lemma42Bound(int k, int d, int m);
+
+// The constructive proof: take a width-(k-1) tree decomposition, make its
+// bags an antichain, then either (Case 1) remove a high-degree node's bag
+// to disconnect >= m subtrees, or (Case 2) find a sunflower on the bags of
+// a long path and pick petals (2d+1) apart. Verified before returning;
+// nullopt when neither case fires at this size (the graph is too small).
+// Requires a valid width-(k-1) decomposition of g.
+std::optional<ScatteredWitness> Lemma42Witness(const Graph& g,
+                                               const TreeDecomposition& td,
+                                               int k, int d, int m);
+
+// ---- Lemma 5.2: bipartite, no K_k minor ---------------------------------
+
+struct BipartiteWitness {
+  std::vector<int> a_prime;  // > m vertices of side A
+  std::vector<int> b_prime;  // < k-1 vertices of side B, complete to A'
+};
+
+// Direct decision procedure for the lemma's conclusion on a bipartite
+// graph whose side A is {0..side_a-1} and side B the rest: find A' and B'
+// with |A'| > m, |B'| <= max_b (use k-2 for the lemma), A' x B' ⊆ E, and
+// A' 1-scattered in H - B'. Exhaustive over B' subsets + exact
+// independent set; exponential worst case, bench-sized inputs only.
+std::optional<BipartiteWitness> Lemma52Witness(const Graph& h, int side_a,
+                                               int m, int max_b);
+
+// Verifies a BipartiteWitness against h.
+bool VerifyBipartiteWitness(const Graph& h, int side_a,
+                            const BipartiteWitness& witness, int m,
+                            int max_b);
+
+// Variant maximizing |A'| under the |B'| <= max_b budget (greedy + budgeted
+// exact independent sets instead of a fixed target). Used by the Theorem
+// 5.3 construction; returns nullopt only when side A is empty.
+std::optional<BipartiteWitness> Lemma52BestWitness(const Graph& h,
+                                                   int side_a, int max_b);
+
+// ---- Theorem 5.3: no K_k minor ------------------------------------------
+
+// N = c^d(m) where c(n) = r(2,2,b^{k-2}(n)) (saturating).
+uint64_t Theorem53BoundValue(int k, int d, uint64_t m);
+
+// The constructive proof: d stages of (independent set over the
+// i-neighborhood contact graph, then Lemma 5.2 on the derived bipartite
+// graph). Returns a verified witness (|Z| <= k-2, S d-scattered in G-Z,
+// |S| >= m), or nullopt if the stages shrink below m at this size.
+std::optional<ScatteredWitness> Theorem53Witness(const Graph& g, int k,
+                                                 int d, int m);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_LEMMAS_H_

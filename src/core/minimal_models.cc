@@ -1,0 +1,144 @@
+#include "core/minimal_models.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "cq/cq.h"
+#include "hom/homomorphism.h"
+#include "structure/isomorphism.h"
+
+namespace hompres {
+
+bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
+                    const StructureClass& c) {
+  if (!c.contains(a) || !q(a)) return false;
+  // Maximal proper substructures: drop one tuple...
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (int i = 0; i < static_cast<int>(a.Tuples(rel).size()); ++i) {
+      const Structure reduced = a.RemoveTuple(rel, i);
+      if (c.contains(reduced) && q(reduced)) return false;
+    }
+  }
+  // ... or one isolated element (removing a non-isolated element is
+  // subsumed by removing one of its tuples first).
+  for (int e : a.IsolatedElements()) {
+    const Structure reduced = a.RemoveElement(e);
+    if (c.contains(reduced) && q(reduced)) return false;
+  }
+  return true;
+}
+
+std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
+                                          const StructureClass& c) {
+  HOMPRES_CHECK_EQ(q.Arity(), 0);
+  const BooleanQuery query = [&q](const Structure& s) {
+    return q.SatisfiedBy(s);
+  };
+  std::vector<Structure> models;
+  for (const ConjunctiveQuery& disjunct : q.Disjuncts()) {
+    const Structure& canonical = disjunct.Canonical();
+    ForEachSetPartition(canonical.UniverseSize(), [&](const std::vector<
+                                                      int>& block) {
+      int blocks = 0;
+      for (int b : block) blocks = std::max(blocks, b + 1);
+      const Structure image = canonical.Image(block, blocks);
+      if (!c.contains(image)) return true;
+      if (!IsMinimalModel(query, image, c)) return true;
+      for (const Structure& seen : models) {
+        if (AreIsomorphic(seen, image)) return true;
+      }
+      models.push_back(image);
+      return true;
+    });
+  }
+  return models;
+}
+
+UnionOfCq UcqFromMinimalModels(const std::vector<Structure>& models) {
+  std::vector<ConjunctiveQuery> disjuncts;
+  disjuncts.reserve(models.size());
+  for (const Structure& model : models) {
+    disjuncts.push_back(ConjunctiveQuery::BooleanQueryOf(model));
+  }
+  return UnionOfCq(std::move(disjuncts), 0);
+}
+
+namespace {
+
+// Enumerates all structures with exactly n elements over `vocabulary` by
+// iterating over all subsets of the possible tuples.
+bool ForEachStructureOfSize(const Vocabulary& vocabulary, int n,
+                            const std::function<bool(const Structure&)>& fn) {
+  // Collect the full tuple space.
+  std::vector<std::pair<int, Tuple>> space;
+  for (int rel = 0; rel < vocabulary.NumRelations(); ++rel) {
+    ForEachTuple(n, vocabulary.Arity(rel), [&](const std::vector<int>& t) {
+      space.emplace_back(rel, t);
+      return true;
+    });
+  }
+  HOMPRES_CHECK_LE(space.size(), 24u);  // 2^24 structures is the ceiling
+  const uint64_t limit = 1ULL << space.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Structure a(vocabulary, n);
+    for (size_t bit = 0; bit < space.size(); ++bit) {
+      if (mask & (1ULL << bit)) {
+        a.AddTuple(space[bit].first, space[bit].second);
+      }
+    }
+    if (!fn(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachStructureInClass(const Vocabulary& vocabulary, int max_universe,
+                             const StructureClass& c,
+                             const std::function<bool(const Structure&)>& fn) {
+  for (int n = 0; n <= max_universe; ++n) {
+    const bool completed =
+        ForEachStructureOfSize(vocabulary, n, [&](const Structure& a) {
+          if (!c.contains(a)) return true;
+          return fn(a);
+        });
+    if (!completed) return false;
+  }
+  return true;
+}
+
+std::vector<Structure> MinimalModelsBySearch(const BooleanQuery& q,
+                                             const Vocabulary& vocabulary,
+                                             const StructureClass& c,
+                                             int max_universe) {
+  std::vector<Structure> models;
+  ForEachStructureInClass(vocabulary, max_universe, c,
+                          [&](const Structure& a) {
+                            if (!q(a)) return true;
+                            if (!IsMinimalModel(q, a, c)) return true;
+                            for (const Structure& seen : models) {
+                              if (AreIsomorphic(seen, a)) return true;
+                            }
+                            models.push_back(a);
+                            return true;
+                          });
+  return models;
+}
+
+bool CheckPreservedUnderHomomorphisms(const BooleanQuery& q,
+                                      const std::vector<Structure>& samples) {
+  std::vector<bool> value;
+  value.reserve(samples.size());
+  for (const Structure& s : samples) value.push_back(q(s));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (!value[i]) continue;
+    for (size_t j = 0; j < samples.size(); ++j) {
+      if (i == j || value[j]) continue;
+      if (HasHomomorphism(samples[i], samples[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hompres

@@ -1,0 +1,72 @@
+// Minimal models and Theorem 3.1.
+//
+// A structure A in class C is a minimal model of a Boolean query q if
+// q(A) = 1 and no proper substructure of A inside C satisfies q. For
+// classes closed under substructures and queries preserved under
+// homomorphisms on C, minimality reduces to the maximal proper
+// substructures: "A minus one tuple" and "A minus one isolated element".
+// Theorem 3.1: q has finitely many minimal models in C iff q is definable
+// on C by an existential-positive sentence — and both directions are
+// constructive here.
+
+#ifndef HOMPRES_CORE_MINIMAL_MODELS_H_
+#define HOMPRES_CORE_MINIMAL_MODELS_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/classes.h"
+#include "cq/ucq.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+// An abstract Boolean query (isomorphism invariance is the caller's
+// responsibility).
+using BooleanQuery = std::function<bool(const Structure&)>;
+
+// Minimality via one-step removals (sound and complete for classes closed
+// under substructures and queries monotone on C, e.g. preserved under
+// homomorphisms there).
+bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
+                    const StructureClass& c);
+
+// All minimal models of a Boolean UCQ within C, up to isomorphism. Uses
+// the Theorem 3.1 proof: every minimal model in C is a homomorphic image
+// of some disjunct's canonical structure, so it enumerates all quotients
+// of each canonical structure (Bell(n) partitions — keep disjuncts
+// small), filters to C-members that are minimal, and deduplicates.
+std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
+                                          const StructureClass& c);
+
+// Theorem 3.1 (1) => (2): the existential-positive sentence equivalent to
+// q on C, as the union of the canonical conjunctive queries of the
+// minimal models.
+UnionOfCq UcqFromMinimalModels(const std::vector<Structure>& models);
+
+// Enumerates every structure over `vocabulary` with universe size up to
+// `max_universe` that belongs to C, invoking fn (which returns false to
+// stop). The number of structures is 2^(sum n^arity) per universe size —
+// strictly a small-n tool. Returns true iff the enumeration completed.
+bool ForEachStructureInClass(const Vocabulary& vocabulary, int max_universe,
+                             const StructureClass& c,
+                             const std::function<bool(const Structure&)>& fn);
+
+// Brute-force minimal models of an arbitrary Boolean query q (e.g. an FO
+// sentence under evaluation) within C, scanning all structures up to
+// `max_universe` elements and deduplicating up to isomorphism. This is
+// the paper's effective procedure with the astronomic size bound replaced
+// by an explicit search cap.
+std::vector<Structure> MinimalModelsBySearch(const BooleanQuery& q,
+                                             const Vocabulary& vocabulary,
+                                             const StructureClass& c,
+                                             int max_universe);
+
+// Empirical preservation check: for every ordered pair of samples with a
+// homomorphism between them, q must transfer along it.
+bool CheckPreservedUnderHomomorphisms(const BooleanQuery& q,
+                                      const std::vector<Structure>& samples);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_MINIMAL_MODELS_H_

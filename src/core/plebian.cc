@@ -1,0 +1,151 @@
+#include "core/plebian.h"
+
+#include <string>
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "hom/homomorphism.h"
+
+namespace hompres {
+
+namespace {
+
+// Enumerates all partial maps from {0..arity-1} to {0..constants-1} as
+// vectors with -1 for "undefined"; `fn` receives each (including the
+// all-undefined one; callers skip it when the paper wants nonempty maps).
+template <typename Fn>
+void ForEachPartialMap(int arity, int constants, Fn&& fn) {
+  // Odometer over (constants + 1) options per position; value `constants`
+  // encodes "undefined".
+  std::vector<int> state(static_cast<size_t>(arity), 0);
+  for (;;) {
+    std::vector<int> map(static_cast<size_t>(arity));
+    for (int i = 0; i < arity; ++i) {
+      map[static_cast<size_t>(i)] =
+          state[static_cast<size_t>(i)] == constants
+              ? -1
+              : state[static_cast<size_t>(i)];
+    }
+    fn(map);
+    int pos = arity - 1;
+    while (pos >= 0 && state[static_cast<size_t>(pos)] == constants) {
+      state[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) return;
+    ++state[static_cast<size_t>(pos)];
+  }
+}
+
+std::string MapSuffix(const std::vector<int>& map) {
+  std::string suffix;
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i] == -1) continue;
+    suffix += "@p" + std::to_string(i) + "=c" + std::to_string(map[i]);
+  }
+  return suffix;
+}
+
+bool IsEmptyMap(const std::vector<int>& map) {
+  for (int v : map) {
+    if (v != -1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Vocabulary PlebianVocabulary(const Vocabulary& sigma, int num_constants) {
+  HOMPRES_CHECK_GE(num_constants, 0);
+  Vocabulary rho;
+  for (int rel = 0; rel < sigma.NumRelations(); ++rel) {
+    rho.AddRelation(sigma.Name(rel), sigma.Arity(rel));
+    ForEachPartialMap(
+        sigma.Arity(rel), num_constants, [&](const std::vector<int>& map) {
+          if (IsEmptyMap(map)) return;
+          int defined = 0;
+          for (int v : map) {
+            if (v != -1) ++defined;
+          }
+          rho.AddRelation(sigma.Name(rel) + MapSuffix(map),
+                          sigma.Arity(rel) - defined);
+        });
+  }
+  return rho;
+}
+
+Structure PlebianCompanion(const PointedStructure& a) {
+  const Vocabulary& sigma = a.structure.GetVocabulary();
+  const int num_constants = static_cast<int>(a.constants.size());
+  for (int c : a.constants) {
+    HOMPRES_CHECK_GE(c, 0);
+    HOMPRES_CHECK_LT(c, a.structure.UniverseSize());
+  }
+  const Vocabulary rho = PlebianVocabulary(sigma, num_constants);
+
+  // Universe: elements not interpreting any constant.
+  std::vector<int> old_to_new(
+      static_cast<size_t>(a.structure.UniverseSize()), -1);
+  std::vector<bool> is_constant(
+      static_cast<size_t>(a.structure.UniverseSize()), false);
+  for (int c : a.constants) is_constant[static_cast<size_t>(c)] = true;
+  int next = 0;
+  for (int e = 0; e < a.structure.UniverseSize(); ++e) {
+    if (!is_constant[static_cast<size_t>(e)]) {
+      old_to_new[static_cast<size_t>(e)] = next++;
+    }
+  }
+  Structure companion(rho, next);
+
+  for (int rel = 0; rel < sigma.NumRelations(); ++rel) {
+    const int arity = sigma.Arity(rel);
+    ForEachPartialMap(arity, num_constants, [&](const std::vector<int>&
+                                                    map) {
+      const std::string name =
+          IsEmptyMap(map) ? sigma.Name(rel) : sigma.Name(rel) + MapSuffix(map);
+      const int rho_rel = *rho.IndexOf(name);
+      // Free positions of the map.
+      std::vector<int> free_positions;
+      for (int i = 0; i < arity; ++i) {
+        if (map[static_cast<size_t>(i)] == -1) free_positions.push_back(i);
+      }
+      // Every tuple over the companion universe whose reinsertion lies in
+      // R^A. We enumerate R^A's tuples and decompose instead of
+      // enumerating the full tuple space.
+      for (const Tuple& t : a.structure.Tuples(rel)) {
+        bool matches = true;
+        Tuple reduced;
+        for (int i = 0; i < arity && matches; ++i) {
+          const int constant = map[static_cast<size_t>(i)];
+          if (constant == -1) {
+            // Position must hold a non-constant element.
+            if (is_constant[static_cast<size_t>(t[static_cast<size_t>(i)])]) {
+              matches = false;
+            } else {
+              reduced.push_back(
+                  old_to_new[static_cast<size_t>(t[static_cast<size_t>(i)])]);
+            }
+          } else if (t[static_cast<size_t>(i)] !=
+                     a.constants[static_cast<size_t>(constant)]) {
+            matches = false;
+          }
+        }
+        if (matches) companion.AddTuple(rho_rel, reduced);
+      }
+      return;
+    });
+  }
+  return companion;
+}
+
+bool HasPointedHomomorphism(const PointedStructure& a,
+                            const PointedStructure& b) {
+  HOMPRES_CHECK_EQ(a.constants.size(), b.constants.size());
+  HomOptions options;
+  for (size_t i = 0; i < a.constants.size(); ++i) {
+    options.forced.emplace_back(a.constants[i], b.constants[i]);
+  }
+  return FindHomomorphism(a.structure, b.structure, options).has_value();
+}
+
+}  // namespace hompres

@@ -1,0 +1,45 @@
+// Plebian companions (Section 6.1, after Ajtai-Gurevich).
+//
+// To move between n-ary and Boolean queries, the paper expands the
+// vocabulary with n constants and then eliminates the constants again:
+// the plebian companion pA of a structure A with distinguished constants
+// lives over a vocabulary ρ that has, for every relation R of arity r and
+// every nonempty partial map from positions to constants, a relation R_m
+// of arity r - |dom m|. Observations 6.1-6.3: G(pA) ⊆ G(A), homs A -> B
+// (preserving constants) correspond exactly to homs pA -> pB, and the
+// closure properties transfer.
+
+#ifndef HOMPRES_CORE_PLEBIAN_H_
+#define HOMPRES_CORE_PLEBIAN_H_
+
+#include <vector>
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// A structure with distinguished elements interpreting constants
+// c_0, ..., c_{n-1} (repetitions allowed).
+struct PointedStructure {
+  Structure structure;
+  std::vector<int> constants;
+};
+
+// The plebian vocabulary ρ for `sigma` with n constants: every R of sigma
+// plus R@m for every nonempty partial map m (encoded in the relation name
+// as R@p0=c,...). Relations whose arity would be 0 are included (0-ary).
+Vocabulary PlebianVocabulary(const Vocabulary& sigma, int num_constants);
+
+// The plebian companion pA: universe = elements of A not interpreting any
+// constant; R_m holds a tuple iff reinserting the constants lands in R^A.
+Structure PlebianCompanion(const PointedStructure& a);
+
+// Homomorphisms of pointed structures must preserve the constants
+// (h(c^A) = c^B). Observation 6.2 says this is equivalent to a plain
+// homomorphism between the companions.
+bool HasPointedHomomorphism(const PointedStructure& a,
+                            const PointedStructure& b);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_PLEBIAN_H_

@@ -1,0 +1,52 @@
+#include "core/preservation.h"
+
+#include "base/check.h"
+#include "cq/cq.h"
+#include "fo/eval.h"
+
+namespace hompres {
+
+PreservationResult PreservationPipeline(const BooleanQuery& q,
+                                        const Vocabulary& vocabulary,
+                                        const StructureClass& c,
+                                        int search_universe,
+                                        int verify_universe) {
+  PreservationResult result{
+      .minimal_models = MinimalModelsBySearch(q, vocabulary, c,
+                                              search_universe),
+      .equivalent_ucq = UnionOfCq({}, 0),
+      .verified = false,
+      .search_universe = search_universe,
+      .verify_universe = verify_universe,
+  };
+  result.equivalent_ucq =
+      MinimizeUcq(UcqFromMinimalModels(result.minimal_models));
+  // Exhaustive verification within the cap: q(A) == UCQ(A) for every
+  // A in C with at most verify_universe elements.
+  bool all_agree = true;
+  ForEachStructureInClass(vocabulary, verify_universe, c,
+                          [&](const Structure& a) {
+                            if (q(a) != result.equivalent_ucq.SatisfiedBy(a)) {
+                              all_agree = false;
+                              return false;
+                            }
+                            return true;
+                          });
+  result.verified = all_agree;
+  return result;
+}
+
+PreservationResult PreservationPipeline(const FormulaPtr& sentence,
+                                        const Vocabulary& vocabulary,
+                                        const StructureClass& c,
+                                        int search_universe,
+                                        int verify_universe) {
+  HOMPRES_CHECK(IsSentence(sentence));
+  const BooleanQuery q = [&sentence](const Structure& a) {
+    return EvaluateSentence(a, sentence);
+  };
+  return PreservationPipeline(q, vocabulary, c, search_universe,
+                              verify_universe);
+}
+
+}  // namespace hompres

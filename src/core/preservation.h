@@ -1,0 +1,59 @@
+// The end-to-end homomorphism-preservation pipeline (the paper's
+// concluding remark that its proofs are effective): given a first-order
+// sentence preserved under homomorphisms on a class C, produce the
+// equivalent existential-positive sentence by enumerating minimal models
+// and taking the union of their canonical conjunctive queries.
+//
+// The paper's proofs yield a computable bound on the size of minimal
+// models; the bound is astronomically large, so the pipeline takes an
+// explicit search cap instead and reports what it verified.
+
+#ifndef HOMPRES_CORE_PRESERVATION_H_
+#define HOMPRES_CORE_PRESERVATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classes.h"
+#include "core/minimal_models.h"
+#include "cq/ucq.h"
+#include "fo/formula.h"
+
+namespace hompres {
+
+struct PreservationResult {
+  // The minimal models found within the search cap, up to isomorphism.
+  std::vector<Structure> minimal_models = {};
+  // Their union of canonical conjunctive queries (Theorem 3.1 direction
+  // (1) => (2)), minimized.
+  UnionOfCq equivalent_ucq;
+  // True iff q and the UCQ agreed on every structure in C up to the
+  // verification cap.
+  bool verified = false;
+  // How far the search and verification went.
+  int search_universe = 0;
+  int verify_universe = 0;
+};
+
+// Runs the pipeline for an abstract Boolean query. `search_universe`
+// bounds the minimal-model search; `verify_universe` bounds the
+// exhaustive equivalence check (both exponential: keep <= 3-4 for binary
+// vocabularies).
+PreservationResult PreservationPipeline(const BooleanQuery& q,
+                                        const Vocabulary& vocabulary,
+                                        const StructureClass& c,
+                                        int search_universe,
+                                        int verify_universe);
+
+// Convenience overload: q given as a first-order sentence (evaluated
+// naively). CHECK-fails if f is not a sentence.
+PreservationResult PreservationPipeline(const FormulaPtr& sentence,
+                                        const Vocabulary& vocabulary,
+                                        const StructureClass& c,
+                                        int search_universe,
+                                        int verify_universe);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CORE_PRESERVATION_H_

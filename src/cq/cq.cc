@@ -1,0 +1,136 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+#include "hom/homomorphism.h"
+
+namespace hompres {
+
+ConjunctiveQuery::ConjunctiveQuery(Structure canonical,
+                                   std::vector<int> free_elements)
+    : canonical_(std::move(canonical)),
+      free_elements_(std::move(free_elements)) {
+  for (int e : free_elements_) {
+    HOMPRES_CHECK_GE(e, 0);
+    HOMPRES_CHECK_LT(e, canonical_.UniverseSize());
+  }
+}
+
+ConjunctiveQuery ConjunctiveQuery::BooleanQueryOf(Structure canonical) {
+  return ConjunctiveQuery(std::move(canonical), {});
+}
+
+bool ConjunctiveQuery::SatisfiedBy(const Structure& b) const {
+  return HasHomomorphism(canonical_, b);
+}
+
+std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& b) const {
+  std::vector<Tuple> answers;
+  EnumerateHomomorphisms(canonical_, b, [&](const std::vector<int>& h) {
+    Tuple answer;
+    answer.reserve(free_elements_.size());
+    for (int e : free_elements_) {
+      answer.push_back(h[static_cast<size_t>(e)]);
+    }
+    answers.push_back(std::move(answer));
+    return true;
+  });
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream out;
+  std::vector<bool> is_free(static_cast<size_t>(canonical_.UniverseSize()),
+                            false);
+  for (int e : free_elements_) is_free[static_cast<size_t>(e)] = true;
+  for (int e = 0; e < canonical_.UniverseSize(); ++e) {
+    if (!is_free[static_cast<size_t>(e)]) out << "Ex" << e << ' ';
+  }
+  out << '(';
+  bool first = true;
+  for (int rel = 0; rel < canonical_.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : canonical_.Tuples(rel)) {
+      if (!first) out << " & ";
+      first = false;
+      out << canonical_.GetVocabulary().Name(rel) << '(';
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out << ',';
+        out << 'x' << t[i];
+      }
+      out << ')';
+    }
+  }
+  if (first) out << "true";
+  out << ')';
+  return out.str();
+}
+
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  HOMPRES_CHECK_EQ(q1.Arity(), q2.Arity());
+  HomOptions options;
+  for (int i = 0; i < q2.Arity(); ++i) {
+    options.forced.emplace_back(q2.FreeElements()[static_cast<size_t>(i)],
+                                q1.FreeElements()[static_cast<size_t>(i)]);
+  }
+  return FindHomomorphism(q2.Canonical(), q1.Canonical(), options)
+      .has_value();
+}
+
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return CqContained(q1, q2) && CqContained(q2, q1);
+}
+
+namespace {
+
+// Tries to find a one-step reduction of q's canonical structure (remove
+// one non-free element, or one tuple) that stays equivalent to q.
+bool FindOneStepReduction(const ConjunctiveQuery& q, ConjunctiveQuery* out) {
+  const Structure& canonical = q.Canonical();
+  std::vector<bool> is_free(static_cast<size_t>(canonical.UniverseSize()),
+                            false);
+  for (int e : q.FreeElements()) is_free[static_cast<size_t>(e)] = true;
+  for (int e = 0; e < canonical.UniverseSize(); ++e) {
+    if (is_free[static_cast<size_t>(e)]) continue;
+    std::vector<int> old_to_new;
+    Structure candidate = canonical.RemoveElement(e, &old_to_new);
+    std::vector<int> free_elements;
+    for (int f : q.FreeElements()) {
+      free_elements.push_back(old_to_new[static_cast<size_t>(f)]);
+    }
+    ConjunctiveQuery reduced(std::move(candidate), std::move(free_elements));
+    if (CqEquivalent(q, reduced)) {
+      *out = std::move(reduced);
+      return true;
+    }
+  }
+  for (int rel = 0; rel < canonical.GetVocabulary().NumRelations(); ++rel) {
+    const int count = static_cast<int>(canonical.Tuples(rel).size());
+    for (int i = 0; i < count; ++i) {
+      ConjunctiveQuery reduced(canonical.RemoveTuple(rel, i),
+                               q.FreeElements());
+      if (CqEquivalent(q, reduced)) {
+        *out = std::move(reduced);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+  ConjunctiveQuery current = q;
+  ConjunctiveQuery next = q;
+  while (FindOneStepReduction(current, &next)) {
+    current = next;
+  }
+  HOMPRES_CHECK(CqEquivalent(q, current));
+  return current;
+}
+
+}  // namespace hompres

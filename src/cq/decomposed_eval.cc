@@ -1,0 +1,159 @@
+#include "cq/decomposed_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "structure/gaifman.h"
+#include "tw/nice.h"
+
+namespace hompres {
+
+namespace {
+
+// Partial assignments over a (sorted) bag are vectors aligned with the
+// bag's order.
+using AssignmentSet = std::set<std::vector<int>>;
+
+class DecompositionDp {
+ public:
+  DecompositionDp(const Structure& canonical, const Structure& b,
+                  const NiceTreeDecomposition& nice)
+      : canonical_(canonical), b_(b), nice_(nice) {}
+
+  bool Run() { return !Solve(nice_.root).empty(); }
+
+ private:
+  // All tuples of the canonical structure fully contained in `bag` that
+  // mention `fresh`.
+  std::vector<std::pair<int, Tuple>> RelevantTuples(
+      const std::vector<int>& bag, int fresh) const {
+    std::vector<std::pair<int, Tuple>> result;
+    for (int rel = 0; rel < canonical_.GetVocabulary().NumRelations();
+         ++rel) {
+      for (const Tuple& t : canonical_.Tuples(rel)) {
+        bool mentions_fresh = false;
+        bool inside = true;
+        for (int e : t) {
+          mentions_fresh |= (e == fresh);
+          inside &= std::binary_search(bag.begin(), bag.end(), e);
+        }
+        if (mentions_fresh && inside) result.emplace_back(rel, t);
+      }
+    }
+    return result;
+  }
+
+  AssignmentSet Solve(int node) const {
+    const auto& bag = nice_.bags[static_cast<size_t>(node)];
+    const auto& children = nice_.children[static_cast<size_t>(node)];
+    switch (nice_.kinds[static_cast<size_t>(node)]) {
+      case NiceNodeKind::kLeaf:
+        return {std::vector<int>{}};
+      case NiceNodeKind::kIntroduce: {
+        const auto& child_bag =
+            nice_.bags[static_cast<size_t>(children[0])];
+        // The introduced canonical element.
+        int fresh = -1;
+        for (int e : bag) {
+          if (!std::binary_search(child_bag.begin(), child_bag.end(), e)) {
+            fresh = e;
+            break;
+          }
+        }
+        HOMPRES_CHECK_GE(fresh, 0);
+        const size_t fresh_pos = static_cast<size_t>(
+            std::lower_bound(bag.begin(), bag.end(), fresh) - bag.begin());
+        const auto tuples = RelevantTuples(bag, fresh);
+        const AssignmentSet below = Solve(children[0]);
+        AssignmentSet result;
+        for (const auto& assignment : below) {
+          for (int value = 0; value < b_.UniverseSize(); ++value) {
+            std::vector<int> extended = assignment;
+            extended.insert(extended.begin() +
+                                static_cast<long>(fresh_pos),
+                            value);
+            // Check every canonical tuple inside the bag that mentions
+            // the fresh element (others were checked at their own
+            // introduce nodes).
+            bool consistent = true;
+            for (const auto& [rel, t] : tuples) {
+              Tuple image;
+              image.reserve(t.size());
+              for (int e : t) {
+                const size_t pos = static_cast<size_t>(
+                    std::lower_bound(bag.begin(), bag.end(), e) -
+                    bag.begin());
+                image.push_back(extended[pos]);
+              }
+              if (!b_.HasTuple(rel, image)) {
+                consistent = false;
+                break;
+              }
+            }
+            if (consistent) result.insert(std::move(extended));
+          }
+        }
+        return result;
+      }
+      case NiceNodeKind::kForget: {
+        const auto& child_bag =
+            nice_.bags[static_cast<size_t>(children[0])];
+        // Position of the forgotten element in the child bag.
+        size_t drop_pos = 0;
+        for (size_t i = 0; i < child_bag.size(); ++i) {
+          if (!std::binary_search(bag.begin(), bag.end(), child_bag[i])) {
+            drop_pos = i;
+            break;
+          }
+        }
+        AssignmentSet result;
+        for (const auto& assignment : Solve(children[0])) {
+          std::vector<int> projected = assignment;
+          projected.erase(projected.begin() + static_cast<long>(drop_pos));
+          result.insert(std::move(projected));
+        }
+        return result;
+      }
+      case NiceNodeKind::kJoin: {
+        const AssignmentSet left = Solve(children[0]);
+        if (left.empty()) return {};
+        const AssignmentSet right = Solve(children[1]);
+        AssignmentSet result;
+        for (const auto& assignment : left) {
+          if (right.count(assignment) > 0) result.insert(assignment);
+        }
+        return result;
+      }
+    }
+    HOMPRES_CHECK(false);
+    return {};
+  }
+
+  const Structure& canonical_;
+  const Structure& b_;
+  const NiceTreeDecomposition& nice_;
+};
+
+}  // namespace
+
+bool SatisfiedByTreewidthDp(const ConjunctiveQuery& q, const Structure& b,
+                            const TreeDecomposition& td) {
+  HOMPRES_CHECK(q.IsBoolean());
+  HOMPRES_CHECK(q.Canonical().GetVocabulary() == b.GetVocabulary());
+  const Graph gaifman = GaifmanGraph(q.Canonical());
+  HOMPRES_CHECK(IsValidTreeDecomposition(gaifman, td));
+  if (q.Canonical().UniverseSize() > 0 && b.UniverseSize() == 0) {
+    return false;
+  }
+  const NiceTreeDecomposition nice = MakeNiceDecomposition(gaifman, td);
+  return DecompositionDp(q.Canonical(), b, nice).Run();
+}
+
+bool SatisfiedByTreewidthDp(const ConjunctiveQuery& q, const Structure& b) {
+  return SatisfiedByTreewidthDp(
+      q, b, ExactTreeDecomposition(GaifmanGraph(q.Canonical())));
+}
+
+}  // namespace hompres

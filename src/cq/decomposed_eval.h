@@ -1,0 +1,33 @@
+// Bounded-treewidth conjunctive query evaluation.
+//
+// The paper's introduction cites the key tractability fact (Dechter-Pearl
+// 1989; Grohe-Flum-Frick; Kolaitis-Vardi): evaluating a Boolean
+// conjunctive query whose canonical structure has treewidth < k takes
+// time |B|^{O(k)} — polynomial for fixed k — via dynamic programming over
+// a tree decomposition. This module implements that algorithm on nice
+// decompositions; bench_engines compares it against the generic
+// backtracking solver and EXPERIMENTS.md records the crossover.
+
+#ifndef HOMPRES_CQ_DECOMPOSED_EVAL_H_
+#define HOMPRES_CQ_DECOMPOSED_EVAL_H_
+
+#include "cq/cq.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+
+// Decides whether the Boolean query q holds in b, using the given valid
+// tree decomposition of q's canonical structure (width w => cost about
+// |nodes| * |B|^{w+1}). CHECK-fails if q is not Boolean or td is not a
+// valid decomposition of the canonical structure's Gaifman graph.
+bool SatisfiedByTreewidthDp(const ConjunctiveQuery& q, const Structure& b,
+                            const TreeDecomposition& td);
+
+// Convenience: computes an exact decomposition of the canonical
+// structure first (requires the canonical structure to have <= 22
+// elements).
+bool SatisfiedByTreewidthDp(const ConjunctiveQuery& q, const Structure& b);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_CQ_DECOMPOSED_EVAL_H_

@@ -1,0 +1,217 @@
+#include "datalog/eval.h"
+
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+
+namespace hompres {
+
+namespace {
+
+// Enumerates all assignments satisfying the rule body and emits head
+// tuples into `out`. For each body atom, `sources` gives the tuple set to
+// match it against. Returns the number of assignments enumerated.
+long long ApplyRule(const DatalogRule& rule,
+                    const std::vector<const std::set<Tuple>*>& sources,
+                    std::set<Tuple>* out) {
+  long long work = 0;
+  std::map<std::string, int> binding;
+  // Recursive join over the body atoms.
+  std::function<void(size_t)> join = [&](size_t index) {
+    if (index == rule.body.size()) {
+      for (const auto& [left, right] : rule.inequalities) {
+        if (binding.at(left) == binding.at(right)) return;
+      }
+      Tuple head;
+      head.reserve(rule.head.arguments.size());
+      for (const auto& v : rule.head.arguments) {
+        head.push_back(binding.at(v));
+      }
+      out->insert(std::move(head));
+      return;
+    }
+    const DatalogAtom& atom = rule.body[index];
+    for (const Tuple& t : *sources[index]) {
+      ++work;
+      // Try to unify the atom's arguments with t.
+      std::vector<std::pair<std::string, int>> added;
+      bool consistent = true;
+      for (size_t i = 0; i < atom.arguments.size() && consistent; ++i) {
+        const std::string& v = atom.arguments[i];
+        auto it = binding.find(v);
+        if (it == binding.end()) {
+          binding[v] = t[i];
+          added.emplace_back(v, t[i]);
+        } else if (it->second != t[i]) {
+          consistent = false;
+        }
+      }
+      if (consistent) join(index + 1);
+      for (const auto& [v, unused] : added) {
+        (void)unused;
+        binding.erase(v);
+      }
+    }
+  };
+  join(0);
+  return work;
+}
+
+// Tuple sets of the EDB relations of `edb` (copied once per evaluation).
+std::vector<std::set<Tuple>> EdbSets(const DatalogProgram& program,
+                                     const Structure& edb) {
+  std::vector<std::set<Tuple>> sets(
+      static_cast<size_t>(program.Edb().NumRelations()));
+  for (int rel = 0; rel < program.Edb().NumRelations(); ++rel) {
+    for (const Tuple& t : edb.Tuples(rel)) {
+      sets[static_cast<size_t>(rel)].insert(t);
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
+                        int m) {
+  HOMPRES_CHECK_GE(m, 0);
+  HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
+  const auto edb_sets = EdbSets(program, edb);
+  IdbInterpretation current(
+      static_cast<size_t>(program.Idb().NumRelations()));
+  for (int step = 0; step < m; ++step) {
+    IdbInterpretation next(
+        static_cast<size_t>(program.Idb().NumRelations()));
+    for (const DatalogRule& rule : program.Rules()) {
+      const int head = *program.IdbIndexOf(rule.head.relation);
+      std::vector<const std::set<Tuple>*> sources;
+      for (const DatalogAtom& atom : rule.body) {
+        if (const auto e = program.Edb().IndexOf(atom.relation);
+            e.has_value()) {
+          sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
+        } else {
+          sources.push_back(
+              &current[static_cast<size_t>(*program.IdbIndexOf(
+                  atom.relation))]);
+        }
+      }
+      ApplyRule(rule, sources, &next[static_cast<size_t>(head)]);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+DatalogResult EvaluateNaive(const DatalogProgram& program,
+                            const Structure& edb) {
+  HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
+  const auto edb_sets = EdbSets(program, edb);
+  DatalogResult result;
+  result.idb.assign(static_cast<size_t>(program.Idb().NumRelations()), {});
+  for (;;) {
+    IdbInterpretation next(
+        static_cast<size_t>(program.Idb().NumRelations()));
+    for (const DatalogRule& rule : program.Rules()) {
+      const int head = *program.IdbIndexOf(rule.head.relation);
+      std::vector<const std::set<Tuple>*> sources;
+      for (const DatalogAtom& atom : rule.body) {
+        if (const auto e = program.Edb().IndexOf(atom.relation);
+            e.has_value()) {
+          sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
+        } else {
+          sources.push_back(&result.idb[static_cast<size_t>(
+              *program.IdbIndexOf(atom.relation))]);
+        }
+      }
+      result.derivations +=
+          ApplyRule(rule, sources, &next[static_cast<size_t>(head)]);
+    }
+    if (next == result.idb) break;
+    result.idb = std::move(next);
+    ++result.stages;
+  }
+  return result;
+}
+
+DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
+                                const Structure& edb) {
+  HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
+  const auto edb_sets = EdbSets(program, edb);
+  const size_t idb_count =
+      static_cast<size_t>(program.Idb().NumRelations());
+  DatalogResult result;
+  result.idb.assign(idb_count, {});
+
+  // Round 1: plain application against the empty IDB (fires the EDB-only
+  // rules).
+  IdbInterpretation delta(idb_count);
+  for (const DatalogRule& rule : program.Rules()) {
+    bool has_idb_atom = false;
+    for (const DatalogAtom& atom : rule.body) {
+      has_idb_atom |= program.IdbIndexOf(atom.relation).has_value();
+    }
+    if (has_idb_atom) continue;  // needs IDB facts; none yet
+    const int head = *program.IdbIndexOf(rule.head.relation);
+    std::vector<const std::set<Tuple>*> sources;
+    for (const DatalogAtom& atom : rule.body) {
+      sources.push_back(
+          &edb_sets[static_cast<size_t>(*program.Edb().IndexOf(
+              atom.relation))]);
+    }
+    result.derivations +=
+        ApplyRule(rule, sources, &delta[static_cast<size_t>(head)]);
+  }
+
+  bool any_delta = false;
+  for (const auto& d : delta) any_delta |= !d.empty();
+  while (any_delta) {
+    ++result.stages;
+    // Merge delta into full.
+    for (size_t i = 0; i < idb_count; ++i) {
+      result.idb[i].insert(delta[i].begin(), delta[i].end());
+    }
+    // Derive the next delta: for each rule and each IDB body position,
+    // evaluate with that position restricted to the current delta.
+    IdbInterpretation derived(idb_count);
+    for (const DatalogRule& rule : program.Rules()) {
+      const int head = *program.IdbIndexOf(rule.head.relation);
+      for (size_t delta_position = 0; delta_position < rule.body.size();
+           ++delta_position) {
+        const auto idb_index =
+            program.IdbIndexOf(rule.body[delta_position].relation);
+        if (!idb_index.has_value()) continue;
+        std::vector<const std::set<Tuple>*> sources;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          const DatalogAtom& atom = rule.body[i];
+          if (i == delta_position) {
+            sources.push_back(&delta[static_cast<size_t>(*idb_index)]);
+          } else if (const auto e = program.Edb().IndexOf(atom.relation);
+                     e.has_value()) {
+            sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
+          } else {
+            sources.push_back(&result.idb[static_cast<size_t>(
+                *program.IdbIndexOf(atom.relation))]);
+          }
+        }
+        result.derivations +=
+            ApplyRule(rule, sources, &derived[static_cast<size_t>(head)]);
+      }
+    }
+    // New facts only.
+    IdbInterpretation next_delta(idb_count);
+    any_delta = false;
+    for (size_t i = 0; i < idb_count; ++i) {
+      for (const Tuple& t : derived[i]) {
+        if (result.idb[i].count(t) == 0) {
+          next_delta[i].insert(t);
+          any_delta = true;
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return result;
+}
+
+}  // namespace hompres

@@ -1,0 +1,257 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hompres {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<std::vector<DatalogRule>> Run(std::string* error) {
+    std::vector<DatalogRule> rules;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) break;
+      auto rule = ParseRule();
+      if (!rule.has_value()) {
+        if (error != nullptr) *error = error_;
+        return std::nullopt;
+      }
+      rules.push_back(std::move(*rule));
+    }
+    return rules;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeArrow() {
+    SkipWhitespace();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+        text_[pos_ + 1] == '-') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ConsumeIdentifier() {
+    SkipWhitespace();
+    const size_t start = pos_;
+    if (start >= text_.size()) return std::nullopt;
+    const unsigned char first = static_cast<unsigned char>(text_[start]);
+    if (!std::isalpha(first) && text_[start] != '_') return std::nullopt;
+    size_t end = start + 1;
+    while (end < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[end]);
+      if (std::isalnum(c) || text_[end] == '_' || text_[end] == '\'') {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    pos_ = end;
+    return text_.substr(start, end - start);
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at position " << pos_;
+      error_ = out.str();
+    }
+  }
+
+  std::optional<DatalogAtom> ParseAtom() {
+    auto name = ConsumeIdentifier();
+    if (!name.has_value()) {
+      Fail("expected predicate name");
+      return std::nullopt;
+    }
+    if (!ConsumeChar('(')) {
+      Fail("expected '(' after predicate name");
+      return std::nullopt;
+    }
+    DatalogAtom atom{*name, {}};
+    auto arg = ConsumeIdentifier();
+    if (!arg.has_value()) {
+      Fail("expected variable");
+      return std::nullopt;
+    }
+    atom.arguments.push_back(*arg);
+    while (ConsumeChar(',')) {
+      arg = ConsumeIdentifier();
+      if (!arg.has_value()) {
+        Fail("expected variable");
+        return std::nullopt;
+      }
+      atom.arguments.push_back(*arg);
+    }
+    if (!ConsumeChar(')')) {
+      Fail("expected ')'");
+      return std::nullopt;
+    }
+    return atom;
+  }
+
+  bool ConsumeNotEquals() {
+    SkipWhitespace();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '!' &&
+        text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  // Parses one body element: either a relational atom or an inequality
+  // `x != y` (appended to rule.inequalities).
+  bool ParseBodyElement(DatalogRule& rule) {
+    const size_t saved = pos_;
+    auto name = ConsumeIdentifier();
+    if (name.has_value() && ConsumeNotEquals()) {
+      auto right = ConsumeIdentifier();
+      if (!right.has_value()) {
+        Fail("expected variable after '!='");
+        return false;
+      }
+      rule.inequalities.emplace_back(*name, *right);
+      return true;
+    }
+    pos_ = saved;
+    auto atom = ParseAtom();
+    if (!atom.has_value()) return false;
+    rule.body.push_back(std::move(*atom));
+    return true;
+  }
+
+  std::optional<DatalogRule> ParseRule() {
+    auto head = ParseAtom();
+    if (!head.has_value()) return std::nullopt;
+    if (!ConsumeArrow()) {
+      Fail("expected '<-'");
+      return std::nullopt;
+    }
+    DatalogRule rule{*head, {}, {}};
+    if (!ParseBodyElement(rule)) return std::nullopt;
+    while (ConsumeChar(',')) {
+      if (!ParseBodyElement(rule)) return std::nullopt;
+    }
+    if (rule.body.empty()) {
+      Fail("rule body needs at least one relational atom");
+      return std::nullopt;
+    }
+    ConsumeChar('.');  // optional terminator
+    return rule;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// Pre-validates the semantic conditions DatalogProgram's constructor
+// CHECKs, so that untrusted text fails gracefully.
+bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
+              std::string* error) {
+  std::map<std::string, int> idb_arity;
+  for (const DatalogRule& rule : rules) {
+    if (edb.IndexOf(rule.head.relation).has_value()) {
+      if (error != nullptr) {
+        *error = "EDB predicate '" + rule.head.relation + "' in rule head";
+      }
+      return false;
+    }
+    auto [it, inserted] = idb_arity.emplace(
+        rule.head.relation, static_cast<int>(rule.head.arguments.size()));
+    if (!inserted &&
+        it->second != static_cast<int>(rule.head.arguments.size())) {
+      if (error != nullptr) {
+        *error = "inconsistent arity for '" + rule.head.relation + "'";
+      }
+      return false;
+    }
+  }
+  for (const DatalogRule& rule : rules) {
+    std::set<std::string> body_variables;
+    for (const DatalogAtom& atom : rule.body) {
+      const auto e = edb.IndexOf(atom.relation);
+      const auto i = idb_arity.find(atom.relation);
+      int arity = -1;
+      if (e.has_value()) {
+        arity = edb.Arity(*e);
+      } else if (i != idb_arity.end()) {
+        arity = i->second;
+      } else {
+        if (error != nullptr) {
+          *error = "unknown predicate '" + atom.relation + "'";
+        }
+        return false;
+      }
+      if (arity != static_cast<int>(atom.arguments.size())) {
+        if (error != nullptr) {
+          *error = "wrong arity for '" + atom.relation + "'";
+        }
+        return false;
+      }
+      for (const auto& v : atom.arguments) body_variables.insert(v);
+    }
+    for (const auto& v : rule.head.arguments) {
+      if (body_variables.count(v) == 0) {
+        if (error != nullptr) {
+          *error = "unsafe rule: head variable '" + v +
+                   "' missing from the body";
+        }
+        return false;
+      }
+    }
+    for (const auto& [left, right] : rule.inequalities) {
+      if (body_variables.count(left) == 0 ||
+          body_variables.count(right) == 0) {
+        if (error != nullptr) {
+          *error = "inequality over variables missing from the body";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
+                                                  const Vocabulary& edb,
+                                                  std::string* error) {
+  Parser parser(text);
+  auto rules = parser.Run(error);
+  if (!rules.has_value()) return std::nullopt;
+  if (rules->empty()) {
+    if (error != nullptr) *error = "empty program";
+    return std::nullopt;
+  }
+  if (!Validate(*rules, edb, error)) return std::nullopt;
+  return DatalogProgram(edb, std::move(*rules));
+}
+
+}  // namespace hompres

@@ -1,0 +1,38 @@
+// Text parser for Datalog programs.
+//
+// Grammar (whitespace-insensitive, one rule per '.' or newline):
+//
+//   program := rule*
+//   rule    := atom '<-' atom (',' atom)* '.'?
+//   atom    := IDENT '(' IDENT (',' IDENT)* ')'
+//
+// Example:
+//   T(x,y) <- E(x,y).
+//   T(x,y) <- E(x,z), T(z,y).
+//
+// The EDB vocabulary is supplied by the caller; predicates appearing in
+// heads become IDBs.
+
+#ifndef HOMPRES_DATALOG_PARSER_H_
+#define HOMPRES_DATALOG_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "datalog/program.h"
+
+namespace hompres {
+
+// Parses `text` into a program over `edb`. On failure returns nullopt
+// and, if `error` is non-null, a message with the offending position.
+// Note that DatalogProgram's constructor CHECKs semantic validity
+// (safety, arities); this function reports *syntax* errors gracefully
+// and pre-validates the semantic conditions so invalid input yields an
+// error instead of a crash.
+std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
+                                                  const Vocabulary& edb,
+                                                  std::string* error = nullptr);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_DATALOG_PARSER_H_

@@ -1,0 +1,303 @@
+#include "fo/ep.h"
+
+#include <map>
+#include <set>
+
+#include "base/check.h"
+
+namespace hompres {
+
+bool IsExistentialPositive(const FormulaPtr& f) {
+  switch (f->Kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      return true;
+    case FormulaKind::kNot:
+    case FormulaKind::kForall:
+      return false;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      for (const auto& child : f->Children()) {
+        if (!IsExistentialPositive(child)) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kExists:
+      return IsExistentialPositive(f->Children()[0]);
+  }
+  return false;
+}
+
+namespace {
+
+// One disjunct of the DNF skeleton: atoms + equalities over variable
+// names, plus the set of (renamed-apart) existential variables scoping
+// over it. Keeping the scoped variables preserves semantics on the empty
+// structure (∃x ⊤ is false there).
+struct FlatCq {
+  std::vector<std::pair<int, std::vector<std::string>>> atoms;
+  std::vector<std::pair<std::string, std::string>> equalities;
+  std::set<std::string> scoped_variables;
+};
+
+class Normalizer {
+ public:
+  explicit Normalizer(const Vocabulary& vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  // Returns the DNF of f with bound variables renamed apart via `subst`,
+  // or nullopt on vocabulary errors.
+  std::optional<std::vector<FlatCq>> Normalize(
+      const FormulaPtr& f, std::map<std::string, std::string> subst) {
+    switch (f->Kind()) {
+      case FormulaKind::kAtom: {
+        const auto rel = vocabulary_.IndexOf(f->Relation());
+        if (!rel.has_value()) return std::nullopt;
+        if (vocabulary_.Arity(*rel) !=
+            static_cast<int>(f->Variables().size())) {
+          return std::nullopt;
+        }
+        FlatCq cq;
+        std::vector<std::string> arguments;
+        for (const auto& v : f->Variables()) {
+          arguments.push_back(Resolve(subst, v));
+        }
+        cq.atoms.emplace_back(*rel, std::move(arguments));
+        return std::vector<FlatCq>{std::move(cq)};
+      }
+      case FormulaKind::kEqual: {
+        FlatCq cq;
+        cq.equalities.emplace_back(Resolve(subst, f->Variables()[0]),
+                                   Resolve(subst, f->Variables()[1]));
+        return std::vector<FlatCq>{std::move(cq)};
+      }
+      case FormulaKind::kAnd: {
+        std::vector<FlatCq> result = {FlatCq{}};
+        for (const auto& child : f->Children()) {
+          auto part = Normalize(child, subst);
+          if (!part.has_value()) return std::nullopt;
+          std::vector<FlatCq> merged;
+          for (const FlatCq& left : result) {
+            for (const FlatCq& right : *part) {
+              FlatCq combined = left;
+              combined.atoms.insert(combined.atoms.end(),
+                                    right.atoms.begin(), right.atoms.end());
+              combined.equalities.insert(combined.equalities.end(),
+                                         right.equalities.begin(),
+                                         right.equalities.end());
+              combined.scoped_variables.insert(
+                  right.scoped_variables.begin(),
+                  right.scoped_variables.end());
+              merged.push_back(std::move(combined));
+              // Runaway guard: distributing ∧ over ∨ is worst-case
+              // exponential in the conjunction width.
+              HOMPRES_CHECK_LT(merged.size(), 1u << 20);
+            }
+          }
+          result = std::move(merged);
+        }
+        return result;
+      }
+      case FormulaKind::kOr: {
+        std::vector<FlatCq> result;
+        for (const auto& child : f->Children()) {
+          auto part = Normalize(child, subst);
+          if (!part.has_value()) return std::nullopt;
+          result.insert(result.end(), part->begin(), part->end());
+        }
+        return result;
+      }
+      case FormulaKind::kExists: {
+        const std::string fresh = "@b" + std::to_string(counter_++);
+        subst[f->Variables()[0]] = fresh;
+        auto part = Normalize(f->Children()[0], subst);
+        if (!part.has_value()) return std::nullopt;
+        for (FlatCq& cq : *part) cq.scoped_variables.insert(fresh);
+        return part;
+      }
+      case FormulaKind::kNot:
+      case FormulaKind::kForall:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static std::string Resolve(const std::map<std::string, std::string>& subst,
+                             const std::string& v) {
+    auto it = subst.find(v);
+    return it == subst.end() ? v : it->second;
+  }
+
+  const Vocabulary& vocabulary_;
+  int counter_ = 0;
+};
+
+// Union-find over variable names.
+class NameUnion {
+ public:
+  void Add(const std::string& name) {
+    parent_.emplace(name, name);
+  }
+
+  std::string Find(const std::string& name) {
+    std::string current = name;
+    while (parent_.at(current) != current) current = parent_.at(current);
+    return current;
+  }
+
+  void Merge(const std::string& a, const std::string& b) {
+    parent_[Find(a)] = Find(b);
+  }
+
+  const std::map<std::string, std::string>& Parents() const {
+    return parent_;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+ConjunctiveQuery FlatToCq(const FlatCq& flat, const Vocabulary& vocabulary,
+                          const std::vector<std::string>& free_order) {
+  NameUnion classes;
+  for (const auto& [rel, arguments] : flat.atoms) {
+    (void)rel;
+    for (const auto& v : arguments) classes.Add(v);
+  }
+  for (const auto& [left, right] : flat.equalities) {
+    classes.Add(left);
+    classes.Add(right);
+  }
+  for (const auto& v : flat.scoped_variables) classes.Add(v);
+  for (const auto& v : free_order) classes.Add(v);
+  for (const auto& [left, right] : flat.equalities) {
+    classes.Merge(left, right);
+  }
+  // Assign element ids to classes.
+  std::map<std::string, int> element_of;
+  int next = 0;
+  for (const auto& [name, unused] : classes.Parents()) {
+    (void)unused;
+    const std::string root = classes.Find(name);
+    if (element_of.find(root) == element_of.end()) {
+      element_of[root] = next++;
+    }
+  }
+  Structure canonical(vocabulary, next);
+  for (const auto& [rel, arguments] : flat.atoms) {
+    Tuple t;
+    t.reserve(arguments.size());
+    for (const auto& v : arguments) {
+      t.push_back(element_of.at(classes.Find(v)));
+    }
+    canonical.AddTuple(rel, t);
+  }
+  std::vector<int> free_elements;
+  free_elements.reserve(free_order.size());
+  for (const auto& v : free_order) {
+    free_elements.push_back(element_of.at(classes.Find(v)));
+  }
+  return ConjunctiveQuery(std::move(canonical), std::move(free_elements));
+}
+
+}  // namespace
+
+std::optional<UnionOfCq> ExistentialPositiveToUcq(
+    const FormulaPtr& f, const Vocabulary& vocabulary,
+    const std::vector<std::string>& free_order) {
+  if (!IsExistentialPositive(f)) return std::nullopt;
+  {
+    // Every free variable must be covered by free_order.
+    const std::set<std::string> free = FreeVariables(f);
+    for (const auto& v : free) {
+      bool covered = false;
+      for (const auto& o : free_order) covered |= (o == v);
+      if (!covered) return std::nullopt;
+    }
+  }
+  Normalizer normalizer(vocabulary);
+  auto flats = normalizer.Normalize(f, {});
+  if (!flats.has_value()) return std::nullopt;
+  std::vector<ConjunctiveQuery> disjuncts;
+  disjuncts.reserve(flats->size());
+  for (const FlatCq& flat : *flats) {
+    disjuncts.push_back(FlatToCq(flat, vocabulary, free_order));
+  }
+  return UnionOfCq(std::move(disjuncts),
+                   static_cast<int>(free_order.size()));
+}
+
+std::optional<UnionOfCq> ExistentialPositiveSentenceToUcq(
+    const FormulaPtr& f, const Vocabulary& vocabulary) {
+  return ExistentialPositiveToUcq(f, vocabulary, {});
+}
+
+FormulaPtr UcqToFormula(const UnionOfCq& q) {
+  HOMPRES_CHECK(!q.Disjuncts().empty());  // `false` is not EP-expressible
+  std::vector<FormulaPtr> disjuncts;
+  for (const ConjunctiveQuery& cq : q.Disjuncts()) {
+    const Structure& canonical = cq.Canonical();
+    // Name elements: free positions get f<i> (first position wins when an
+    // element repeats); the rest get x<e>.
+    std::vector<std::string> name(
+        static_cast<size_t>(canonical.UniverseSize()));
+    std::vector<FormulaPtr> conjuncts;
+    for (int i = 0; i < cq.Arity(); ++i) {
+      const int e = cq.FreeElements()[static_cast<size_t>(i)];
+      const std::string fi = "f" + std::to_string(i);
+      if (name[static_cast<size_t>(e)].empty()) {
+        name[static_cast<size_t>(e)] = fi;
+      } else {
+        conjuncts.push_back(
+            Formula::Equal(fi, name[static_cast<size_t>(e)]));
+      }
+    }
+    std::vector<std::string> quantified;
+    for (int e = 0; e < canonical.UniverseSize(); ++e) {
+      if (name[static_cast<size_t>(e)].empty()) {
+        name[static_cast<size_t>(e)] = "x" + std::to_string(e);
+        quantified.push_back(name[static_cast<size_t>(e)]);
+      }
+    }
+    for (int rel = 0; rel < canonical.GetVocabulary().NumRelations();
+         ++rel) {
+      for (const Tuple& t : canonical.Tuples(rel)) {
+        std::vector<std::string> arguments;
+        arguments.reserve(t.size());
+        for (int e : t) arguments.push_back(name[static_cast<size_t>(e)]);
+        conjuncts.push_back(Formula::Atom(
+            canonical.GetVocabulary().Name(rel), std::move(arguments)));
+      }
+    }
+    FormulaPtr body;
+    if (conjuncts.empty()) {
+      // Empty canonical structure with no free repetitions: the query is
+      // the constant true; ∀z (z = z) is true on every structure
+      // including the empty one. (Positive but not existential; only this
+      // degenerate disjunct needs it.)
+      if (canonical.UniverseSize() == 0 && quantified.empty()) {
+        body = Formula::Forall("z", Formula::Equal("z", "z"));
+        disjuncts.push_back(body);
+        continue;
+      }
+      // Isolated elements only: assert a self-equality so the body is
+      // well-formed (pick a quantified element if any, else a free one).
+      const std::string& witness =
+          quantified.empty() ? name[0] : quantified.front();
+      body = Formula::Equal(witness, witness);
+    } else if (conjuncts.size() == 1) {
+      body = conjuncts[0];
+    } else {
+      body = Formula::And(std::move(conjuncts));
+    }
+    for (auto it = quantified.rbegin(); it != quantified.rend(); ++it) {
+      body = Formula::Exists(*it, body);
+    }
+    disjuncts.push_back(body);
+  }
+  if (disjuncts.size() == 1) return disjuncts[0];
+  return Formula::Or(std::move(disjuncts));
+}
+
+}  // namespace hompres

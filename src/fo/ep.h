@@ -1,0 +1,45 @@
+// The existential-positive fragment and its normalization into unions of
+// conjunctive queries (Section 2.2: by distributing conjunctions and
+// existential quantifiers over disjunctions, every existential-positive
+// formula is a union of conjunctive queries).
+
+#ifndef HOMPRES_FO_EP_H_
+#define HOMPRES_FO_EP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/ucq.h"
+#include "fo/formula.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+
+// True iff f is built from atoms and equalities using only ∧, ∨, ∃.
+bool IsExistentialPositive(const FormulaPtr& f);
+
+// Converts an existential-positive formula to an equivalent union of
+// conjunctive queries over `vocabulary`. `free_order` fixes the output
+// order of the free variables (must contain every free variable of f;
+// extra entries become unconstrained output variables). Returns nullopt
+// if f is not existential positive or mentions unknown relations / wrong
+// arities. The result is logically equivalent to f on all structures,
+// including empty ones (unused quantified variables are kept as isolated
+// canonical elements).
+std::optional<UnionOfCq> ExistentialPositiveToUcq(
+    const FormulaPtr& f, const Vocabulary& vocabulary,
+    const std::vector<std::string>& free_order);
+
+// Convenience for sentences (free_order empty).
+std::optional<UnionOfCq> ExistentialPositiveSentenceToUcq(
+    const FormulaPtr& f, const Vocabulary& vocabulary);
+
+// The inverse direction: renders a union of conjunctive queries as an
+// existential-positive formula (free variables named f0, f1, ...;
+// canonical elements named x<i>).
+FormulaPtr UcqToFormula(const UnionOfCq& q);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_FO_EP_H_

@@ -1,0 +1,69 @@
+#include "fo/eval.h"
+
+#include "base/check.h"
+
+namespace hompres {
+
+bool Evaluate(const Structure& s, const FormulaPtr& f,
+              const Environment& env) {
+  switch (f->Kind()) {
+    case FormulaKind::kAtom: {
+      const auto rel = s.GetVocabulary().IndexOf(f->Relation());
+      HOMPRES_CHECK(rel.has_value());
+      HOMPRES_CHECK_EQ(s.GetVocabulary().Arity(*rel),
+                       static_cast<int>(f->Variables().size()));
+      Tuple t;
+      t.reserve(f->Variables().size());
+      for (const auto& v : f->Variables()) {
+        auto it = env.find(v);
+        HOMPRES_CHECK(it != env.end());
+        t.push_back(it->second);
+      }
+      return s.HasTuple(*rel, t);
+    }
+    case FormulaKind::kEqual: {
+      auto left = env.find(f->Variables()[0]);
+      auto right = env.find(f->Variables()[1]);
+      HOMPRES_CHECK(left != env.end());
+      HOMPRES_CHECK(right != env.end());
+      return left->second == right->second;
+    }
+    case FormulaKind::kNot:
+      return !Evaluate(s, f->Children()[0], env);
+    case FormulaKind::kAnd:
+      for (const auto& child : f->Children()) {
+        if (!Evaluate(s, child, env)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const auto& child : f->Children()) {
+        if (Evaluate(s, child, env)) return true;
+      }
+      return false;
+    case FormulaKind::kExists: {
+      Environment extended = env;
+      for (int e = 0; e < s.UniverseSize(); ++e) {
+        extended[f->Variables()[0]] = e;
+        if (Evaluate(s, f->Children()[0], extended)) return true;
+      }
+      return false;
+    }
+    case FormulaKind::kForall: {
+      Environment extended = env;
+      for (int e = 0; e < s.UniverseSize(); ++e) {
+        extended[f->Variables()[0]] = e;
+        if (!Evaluate(s, f->Children()[0], extended)) return false;
+      }
+      return true;
+    }
+  }
+  HOMPRES_CHECK(false);
+  return false;
+}
+
+bool EvaluateSentence(const Structure& s, const FormulaPtr& f) {
+  HOMPRES_CHECK(IsSentence(f));
+  return Evaluate(s, f, {});
+}
+
+}  // namespace hompres

@@ -1,0 +1,28 @@
+// Naive first-order evaluation on finite structures.
+
+#ifndef HOMPRES_FO_EVAL_H_
+#define HOMPRES_FO_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "fo/formula.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+// Environment: assignment of elements to (at least the free) variables.
+using Environment = std::map<std::string, int>;
+
+// Standard Tarskian semantics; quantifiers range over the universe.
+// CHECK-fails if a free variable is missing from env or a relation is not
+// in the vocabulary / used with the wrong arity.
+bool Evaluate(const Structure& s, const FormulaPtr& f,
+              const Environment& env);
+
+// Evaluation of a sentence (CHECK: no free variables).
+bool EvaluateSentence(const Structure& s, const FormulaPtr& f);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_FO_EVAL_H_

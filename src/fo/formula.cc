@@ -1,0 +1,154 @@
+#include "fo/formula.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace hompres {
+
+Formula::Formula(FormulaKind kind, std::string relation,
+                 std::vector<std::string> variables,
+                 std::vector<FormulaPtr> children)
+    : kind_(kind),
+      relation_(std::move(relation)),
+      variables_(std::move(variables)),
+      children_(std::move(children)) {}
+
+FormulaPtr Formula::Atom(std::string relation,
+                         std::vector<std::string> variables) {
+  HOMPRES_CHECK(!relation.empty());
+  return FormulaPtr(new Formula(FormulaKind::kAtom, std::move(relation),
+                                std::move(variables), {}));
+}
+
+FormulaPtr Formula::Equal(std::string left, std::string right) {
+  return FormulaPtr(new Formula(FormulaKind::kEqual, "",
+                                {std::move(left), std::move(right)}, {}));
+}
+
+FormulaPtr Formula::Not(FormulaPtr sub) {
+  HOMPRES_CHECK(sub != nullptr);
+  return FormulaPtr(
+      new Formula(FormulaKind::kNot, "", {}, {std::move(sub)}));
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> subs) {
+  HOMPRES_CHECK(!subs.empty());
+  for (const auto& s : subs) HOMPRES_CHECK(s != nullptr);
+  return FormulaPtr(new Formula(FormulaKind::kAnd, "", {}, std::move(subs)));
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> subs) {
+  HOMPRES_CHECK(!subs.empty());
+  for (const auto& s : subs) HOMPRES_CHECK(s != nullptr);
+  return FormulaPtr(new Formula(FormulaKind::kOr, "", {}, std::move(subs)));
+}
+
+FormulaPtr Formula::Exists(std::string variable, FormulaPtr sub) {
+  HOMPRES_CHECK(!variable.empty());
+  HOMPRES_CHECK(sub != nullptr);
+  return FormulaPtr(new Formula(FormulaKind::kExists, "",
+                                {std::move(variable)}, {std::move(sub)}));
+}
+
+FormulaPtr Formula::Forall(std::string variable, FormulaPtr sub) {
+  HOMPRES_CHECK(!variable.empty());
+  HOMPRES_CHECK(sub != nullptr);
+  return FormulaPtr(new Formula(FormulaKind::kForall, "",
+                                {std::move(variable)}, {std::move(sub)}));
+}
+
+const std::string& Formula::Relation() const {
+  HOMPRES_CHECK(kind_ == FormulaKind::kAtom);
+  return relation_;
+}
+
+std::string Formula::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case FormulaKind::kAtom:
+      out << relation_ << '(';
+      for (size_t i = 0; i < variables_.size(); ++i) {
+        if (i > 0) out << ',';
+        out << variables_[i];
+      }
+      out << ')';
+      break;
+    case FormulaKind::kEqual:
+      out << variables_[0] << '=' << variables_[1];
+      break;
+    case FormulaKind::kNot:
+      out << '!' << children_[0]->ToString();
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      out << '(';
+      const char* op = kind_ == FormulaKind::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out << op;
+        out << children_[i]->ToString();
+      }
+      out << ')';
+      break;
+    }
+    case FormulaKind::kExists:
+      out << "exists " << variables_[0] << ' ' << children_[0]->ToString();
+      break;
+    case FormulaKind::kForall:
+      out << "forall " << variables_[0] << ' ' << children_[0]->ToString();
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+void CollectVariables(const FormulaPtr& f, bool only_free,
+                      std::set<std::string>& bound,
+                      std::set<std::string>& out) {
+  switch (f->Kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      for (const auto& v : f->Variables()) {
+        if (!only_free || bound.find(v) == bound.end()) out.insert(v);
+      }
+      break;
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const auto& child : f->Children()) {
+        CollectVariables(child, only_free, bound, out);
+      }
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const std::string& v = f->Variables()[0];
+      if (!only_free) out.insert(v);
+      const bool was_bound = bound.count(v) > 0;
+      bound.insert(v);
+      CollectVariables(f->Children()[0], only_free, bound, out);
+      if (!was_bound) bound.erase(v);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> FreeVariables(const FormulaPtr& f) {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  CollectVariables(f, /*only_free=*/true, bound, out);
+  return out;
+}
+
+std::set<std::string> AllVariables(const FormulaPtr& f) {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  CollectVariables(f, /*only_free=*/false, bound, out);
+  return out;
+}
+
+bool IsSentence(const FormulaPtr& f) { return FreeVariables(f).empty(); }
+
+}  // namespace hompres

@@ -1,0 +1,80 @@
+// First-order formulas over a relational vocabulary (Section 2.2).
+//
+// Immutable AST shared via shared_ptr. Variables are named; quantifiers
+// bind one variable each. Atomic formulas are relation atoms and
+// equalities. The existential-positive fragment (no negation, no
+// universal quantifier, no... only atoms, ∧, ∨, ∃) is recognized by
+// IsExistentialPositive in ep.h.
+
+#ifndef HOMPRES_FO_FORMULA_H_
+#define HOMPRES_FO_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hompres {
+
+enum class FormulaKind {
+  kAtom,    // R(x1, ..., xr)
+  kEqual,   // x = y
+  kNot,     // ¬φ
+  kAnd,     // φ1 ∧ ... ∧ φn
+  kOr,      // φ1 ∨ ... ∨ φn
+  kExists,  // ∃x φ
+  kForall,  // ∀x φ
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+class Formula {
+ public:
+  // Factory functions (the only way to build formulas).
+  static FormulaPtr Atom(std::string relation,
+                         std::vector<std::string> variables);
+  static FormulaPtr Equal(std::string left, std::string right);
+  static FormulaPtr Not(FormulaPtr sub);
+  static FormulaPtr And(std::vector<FormulaPtr> subs);   // requires >= 1
+  static FormulaPtr Or(std::vector<FormulaPtr> subs);    // requires >= 1
+  static FormulaPtr Exists(std::string variable, FormulaPtr sub);
+  static FormulaPtr Forall(std::string variable, FormulaPtr sub);
+
+  FormulaKind Kind() const { return kind_; }
+
+  // kAtom accessors.
+  const std::string& Relation() const;
+  // kAtom: the argument list; kEqual: the two sides; kExists/kForall: the
+  // single bound variable.
+  const std::vector<std::string>& Variables() const { return variables_; }
+
+  // kNot/kExists/kForall: one child; kAnd/kOr: all conjuncts/disjuncts.
+  const std::vector<FormulaPtr>& Children() const { return children_; }
+
+  std::string ToString() const;
+
+ private:
+  Formula(FormulaKind kind, std::string relation,
+          std::vector<std::string> variables,
+          std::vector<FormulaPtr> children);
+
+  FormulaKind kind_;
+  std::string relation_;
+  std::vector<std::string> variables_;
+  std::vector<FormulaPtr> children_;
+};
+
+// Free variables of the formula, sorted.
+std::set<std::string> FreeVariables(const FormulaPtr& f);
+
+// All distinct variable names occurring (free or bound) — the "number of
+// variables" measure of CQ^k and k-Datalog (Section 7).
+std::set<std::string> AllVariables(const FormulaPtr& f);
+
+// True iff f has no free variables.
+bool IsSentence(const FormulaPtr& f);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_FO_FORMULA_H_

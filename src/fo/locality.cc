@@ -1,0 +1,87 @@
+#include "fo/locality.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "graph/algorithms.h"
+#include "structure/gaifman.h"
+#include "structure/isomorphism.h"
+
+namespace hompres {
+
+Structure NeighborhoodSubstructure(const Structure& s, int a, int d) {
+  HOMPRES_CHECK_GE(a, 0);
+  HOMPRES_CHECK_LT(a, s.UniverseSize());
+  const Graph gaifman = GaifmanGraph(s);
+  std::vector<int> ball = NeighborhoodBall(gaifman, a, d);
+  // Put the center first so it is element 0.
+  auto it = std::find(ball.begin(), ball.end(), a);
+  HOMPRES_CHECK(it != ball.end());
+  std::iter_swap(ball.begin(), it);
+
+  const Structure induced = s.InducedSubstructure(ball);
+  // Expand with the "@center" marker.
+  Vocabulary expanded = s.GetVocabulary();
+  const int center_rel = expanded.AddRelation("@center", 1);
+  Structure result(expanded, induced.UniverseSize());
+  for (int rel = 0; rel < s.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : induced.Tuples(rel)) result.AddTuple(rel, t);
+  }
+  result.AddTuple(center_rel, {0});
+  return result;
+}
+
+HanfCensus ComputeHanfCensus(const Structure& s, int d) {
+  HanfCensus census;
+  for (int a = 0; a < s.UniverseSize(); ++a) {
+    Structure ball = NeighborhoodSubstructure(s, a, d);
+    bool found = false;
+    for (size_t i = 0; i < census.types.size(); ++i) {
+      if (AreIsomorphic(census.types[i], ball)) {
+        ++census.counts[i];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      census.types.push_back(std::move(ball));
+      census.counts.push_back(1);
+    }
+  }
+  return census;
+}
+
+bool HanfEquivalent(const Structure& a, const Structure& b, int d,
+                    int threshold) {
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  HOMPRES_CHECK_GE(threshold, 1);
+  const HanfCensus census_a = ComputeHanfCensus(a, d);
+  const HanfCensus census_b = ComputeHanfCensus(b, d);
+  auto capped = [threshold](int count) {
+    return std::min(count, threshold);
+  };
+  // Every type of a must appear in b with a matching capped count, and
+  // vice versa.
+  std::vector<bool> matched_b(census_b.types.size(), false);
+  for (size_t i = 0; i < census_a.types.size(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < census_b.types.size(); ++j) {
+      if (matched_b[j]) continue;
+      if (AreIsomorphic(census_a.types[i], census_b.types[j])) {
+        if (capped(census_a.counts[i]) != capped(census_b.counts[j])) {
+          return false;
+        }
+        matched_b[j] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  for (bool matched : matched_b) {
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace hompres

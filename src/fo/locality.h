@@ -1,0 +1,43 @@
+// Gaifman/Hanf locality machinery.
+//
+// The Ajtai-Gurevich density argument behind Theorem 3.2 rests on
+// Gaifman's Locality Theorem: first-order sentences only see bounded-
+// radius neighborhoods. This header provides the pieces that make the
+// phenomenon observable: extraction of the d-ball around an element as a
+// pointed structure, and Hanf equivalence (same census of pointed d-ball
+// isomorphism types up to a counting threshold), which for bounded-degree
+// structures implies agreement on sentences of bounded quantifier rank.
+
+#ifndef HOMPRES_FO_LOCALITY_H_
+#define HOMPRES_FO_LOCALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// The induced substructure on N_d(a) (the d-ball in the Gaifman graph),
+// expanded with a fresh unary relation "@center" marking a, so that plain
+// isomorphism on the result is center-preserving isomorphism. Element 0
+// of the result is always the center.
+Structure NeighborhoodSubstructure(const Structure& s, int a, int d);
+
+// The Hanf census: for every element, its pointed d-ball; returns
+// representatives and multiplicities (isomorphism classes, first-seen
+// order).
+struct HanfCensus {
+  std::vector<Structure> types;
+  std::vector<int> counts;
+};
+HanfCensus ComputeHanfCensus(const Structure& s, int d);
+
+// Hanf equivalence with counting threshold t: the two structures have
+// the same d-ball types, with multiplicities that agree or both reach t.
+bool HanfEquivalent(const Structure& a, const Structure& b, int d,
+                    int threshold);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_FO_LOCALITY_H_

@@ -1,0 +1,177 @@
+#include "fo/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace hompres {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<FormulaPtr> Run(std::string* error) {
+    auto result = ParseOr();
+    if (result.has_value()) {
+      SkipWhitespace();
+      if (pos_ != text_.size()) {
+        Fail("unexpected trailing input");
+        result = std::nullopt;
+      }
+    }
+    if (!result.has_value() && error != nullptr) *error = error_;
+    return result;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ConsumeIdentifier() {
+    SkipWhitespace();
+    size_t start = pos_;
+    if (start >= text_.size()) return std::nullopt;
+    const unsigned char first = static_cast<unsigned char>(text_[start]);
+    if (!std::isalpha(first) && text_[start] != '_') return std::nullopt;
+    size_t end = start + 1;
+    while (end < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[end]);
+      if (std::isalnum(c) || text_[end] == '_' || text_[end] == '\'') {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    pos_ = end;
+    return text_.substr(start, end - start);
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at position " << pos_;
+      error_ = out.str();
+    }
+  }
+
+  std::optional<FormulaPtr> ParseOr() {
+    auto first = ParseAnd();
+    if (!first.has_value()) return std::nullopt;
+    std::vector<FormulaPtr> parts = {*first};
+    while (ConsumeChar('|')) {
+      auto next = ParseAnd();
+      if (!next.has_value()) return std::nullopt;
+      parts.push_back(*next);
+    }
+    if (parts.size() == 1) return parts[0];
+    return Formula::Or(std::move(parts));
+  }
+
+  std::optional<FormulaPtr> ParseAnd() {
+    auto first = ParseUnary();
+    if (!first.has_value()) return std::nullopt;
+    std::vector<FormulaPtr> parts = {*first};
+    while (ConsumeChar('&')) {
+      auto next = ParseUnary();
+      if (!next.has_value()) return std::nullopt;
+      parts.push_back(*next);
+    }
+    if (parts.size() == 1) return parts[0];
+    return Formula::And(std::move(parts));
+  }
+
+  std::optional<FormulaPtr> ParseUnary() {
+    SkipWhitespace();
+    if (ConsumeChar('!')) {
+      auto sub = ParseUnary();
+      if (!sub.has_value()) return std::nullopt;
+      return Formula::Not(*sub);
+    }
+    if (ConsumeChar('(')) {
+      auto sub = ParseOr();
+      if (!sub.has_value()) return std::nullopt;
+      if (!ConsumeChar(')')) {
+        Fail("expected ')'");
+        return std::nullopt;
+      }
+      return sub;
+    }
+    auto ident = ConsumeIdentifier();
+    if (!ident.has_value()) {
+      Fail("expected formula");
+      return std::nullopt;
+    }
+    if (*ident == "exists" || *ident == "forall") {
+      auto variable = ConsumeIdentifier();
+      if (!variable.has_value()) {
+        Fail("expected variable after quantifier");
+        return std::nullopt;
+      }
+      auto body = ParseUnary();
+      if (!body.has_value()) return std::nullopt;
+      return *ident == "exists" ? Formula::Exists(*variable, *body)
+                                : Formula::Forall(*variable, *body);
+    }
+    if (ConsumeChar('(')) {
+      // Relation atom.
+      std::vector<std::string> arguments;
+      auto arg = ConsumeIdentifier();
+      if (!arg.has_value()) {
+        Fail("expected argument");
+        return std::nullopt;
+      }
+      arguments.push_back(*arg);
+      while (ConsumeChar(',')) {
+        arg = ConsumeIdentifier();
+        if (!arg.has_value()) {
+          Fail("expected argument");
+          return std::nullopt;
+        }
+        arguments.push_back(*arg);
+      }
+      if (!ConsumeChar(')')) {
+        Fail("expected ')' after atom arguments");
+        return std::nullopt;
+      }
+      return Formula::Atom(*ident, std::move(arguments));
+    }
+    if (ConsumeChar('=')) {
+      auto right = ConsumeIdentifier();
+      if (!right.has_value()) {
+        Fail("expected right-hand side of equality");
+        return std::nullopt;
+      }
+      return Formula::Equal(*ident, *right);
+    }
+    Fail("expected '(' or '=' after identifier");
+    return std::nullopt;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<FormulaPtr> ParseFormula(const std::string& text,
+                                       std::string* error) {
+  Parser parser(text);
+  return parser.Run(error);
+}
+
+}  // namespace hompres

@@ -1,0 +1,36 @@
+// Text parser for first-order formulas.
+//
+// Grammar (precedence: ! binds tightest, then &, then |; quantifiers take
+// the following unary formula):
+//
+//   formula  := or
+//   or       := and ('|' and)*
+//   and      := unary ('&' unary)*
+//   unary    := '!' unary
+//             | ('exists' | 'forall') IDENT unary
+//             | '(' formula ')'
+//             | IDENT '(' IDENT (',' IDENT)* ')'      -- relation atom
+//             | IDENT '=' IDENT                       -- equality
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_']*. Whitespace is free.
+//
+// Example: "exists x exists y (E(x,y) & !(x = y))".
+
+#ifndef HOMPRES_FO_PARSER_H_
+#define HOMPRES_FO_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "fo/formula.h"
+
+namespace hompres {
+
+// Parses `text`; on failure returns nullopt and, if `error` is non-null,
+// writes a human-readable message with the offending position.
+std::optional<FormulaPtr> ParseFormula(const std::string& text,
+                                       std::string* error = nullptr);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_FO_PARSER_H_

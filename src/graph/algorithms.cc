@@ -1,0 +1,122 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+
+namespace hompres {
+
+std::vector<int> BfsDistances(const Graph& g, int source) {
+  HOMPRES_CHECK_GE(source, 0);
+  HOMPRES_CHECK_LT(source, g.NumVertices());
+  std::vector<int> dist(static_cast<size_t>(g.NumVertices()), kUnreachable);
+  std::deque<int> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int v : g.Neighbors(u)) {
+      if (dist[static_cast<size_t>(v)] == kUnreachable) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int Distance(const Graph& g, int u, int v) {
+  return BfsDistances(g, u)[static_cast<size_t>(v)];
+}
+
+std::vector<int> NeighborhoodBall(const Graph& g, int u, int d) {
+  HOMPRES_CHECK_GE(d, 0);
+  const std::vector<int> dist = BfsDistances(g, u);
+  std::vector<int> ball;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    const int dv = dist[static_cast<size_t>(v)];
+    if (dv != kUnreachable && dv <= d) ball.push_back(v);
+  }
+  return ball;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components) {
+  std::vector<int> component(static_cast<size_t>(g.NumVertices()), -1);
+  int next_id = 0;
+  for (int start = 0; start < g.NumVertices(); ++start) {
+    if (component[static_cast<size_t>(start)] != -1) continue;
+    component[static_cast<size_t>(start)] = next_id;
+    std::deque<int> queue = {start};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : g.Neighbors(u)) {
+        if (component[static_cast<size_t>(v)] == -1) {
+          component[static_cast<size_t>(v)] = next_id;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return component;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumVertices() <= 1) return true;
+  int n = 0;
+  ConnectedComponents(g, &n);
+  return n == 1;
+}
+
+bool IsAcyclic(const Graph& g) {
+  int components = 0;
+  ConnectedComponents(g, &components);
+  // A forest has exactly n - c edges.
+  return g.NumEdges() == g.NumVertices() - components;
+}
+
+bool IsTree(const Graph& g) {
+  return g.NumVertices() >= 1 && IsConnected(g) && IsAcyclic(g);
+}
+
+bool IsConnectedSubset(const Graph& g, const std::vector<int>& s) {
+  if (s.empty()) return false;
+  return IsConnected(g.InducedSubgraph(s));
+}
+
+int Diameter(const Graph& g) {
+  int diameter = 0;
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    for (int d : BfsDistances(g, u)) diameter = std::max(diameter, d);
+  }
+  return diameter;
+}
+
+bool IsBipartite(const Graph& g) {
+  std::vector<int> color(static_cast<size_t>(g.NumVertices()), -1);
+  for (int start = 0; start < g.NumVertices(); ++start) {
+    if (color[static_cast<size_t>(start)] != -1) continue;
+    color[static_cast<size_t>(start)] = 0;
+    std::deque<int> queue = {start};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : g.Neighbors(u)) {
+        if (color[static_cast<size_t>(v)] == -1) {
+          color[static_cast<size_t>(v)] = 1 - color[static_cast<size_t>(u)];
+          queue.push_back(v);
+        } else if (color[static_cast<size_t>(v)] ==
+                   color[static_cast<size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hompres

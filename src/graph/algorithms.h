@@ -1,0 +1,52 @@
+// Basic graph algorithms: BFS distances, d-neighborhoods, connectivity,
+// components, and acyclicity. These are the primitives behind Gaifman
+// locality (d-neighborhoods, Section 2.1) and the scattered-set machinery.
+
+#ifndef HOMPRES_GRAPH_ALGORITHMS_H_
+#define HOMPRES_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hompres {
+
+// Value used in distance vectors for unreachable vertices.
+inline constexpr int kUnreachable = -1;
+
+// BFS distances from `source`; result[v] == kUnreachable if v is not
+// reachable.
+std::vector<int> BfsDistances(const Graph& g, int source);
+
+// Distance between u and v, or kUnreachable.
+int Distance(const Graph& g, int u, int v);
+
+// The d-neighborhood N_d(u) of Section 2.1: all vertices at distance <= d
+// from u, in increasing order. N_0(u) = {u}.
+std::vector<int> NeighborhoodBall(const Graph& g, int u, int d);
+
+// Component id (0-based, by first-seen order) for every vertex.
+std::vector<int> ConnectedComponents(const Graph& g, int* num_components);
+
+bool IsConnected(const Graph& g);
+
+// True iff g has no cycle (forest).
+bool IsAcyclic(const Graph& g);
+
+// True iff g is a tree: connected and acyclic.
+bool IsTree(const Graph& g);
+
+// True iff the vertex set `s` induces a connected subgraph (a "connected
+// patch" in the paper's minor terminology). Empty sets are not connected.
+bool IsConnectedSubset(const Graph& g, const std::vector<int>& s);
+
+// Largest finite distance between any two vertices in the same component;
+// 0 for graphs with < 2 vertices.
+int Diameter(const Graph& g);
+
+// True iff g is bipartite (2-colorable).
+bool IsBipartite(const Graph& g);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_ALGORITHMS_H_

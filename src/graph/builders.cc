@@ -1,0 +1,267 @@
+#include "graph/builders.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace hompres {
+
+Graph PathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  HOMPRES_CHECK_GE(n, 3);
+  Graph g = PathGraph(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph CompleteBipartiteGraph(int a, int b) {
+  HOMPRES_CHECK_GE(a, 0);
+  HOMPRES_CHECK_GE(b, 0);
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) g.AddEdge(i, a + j);
+  }
+  return g;
+}
+
+Graph GridGraph(int rows, int cols) {
+  HOMPRES_CHECK_GE(rows, 1);
+  HOMPRES_CHECK_GE(cols, 1);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph StarGraph(int n) {
+  HOMPRES_CHECK_GE(n, 0);
+  Graph g(n + 1);
+  for (int i = 1; i <= n; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+Graph WheelGraph(int n) {
+  HOMPRES_CHECK_GE(n, 3);
+  Graph g(n + 1);
+  for (int i = 1; i <= n; ++i) {
+    g.AddEdge(0, i);
+    g.AddEdge(i, i == n ? 1 : i + 1);
+  }
+  return g;
+}
+
+Graph BicycleGraph(int n) {
+  return WheelGraph(n).DisjointUnion(CompleteGraph(4));
+}
+
+Graph BalancedTree(int arity, int depth) {
+  HOMPRES_CHECK_GE(arity, 1);
+  HOMPRES_CHECK_GE(depth, 0);
+  Graph g(1);
+  std::vector<int> frontier = {0};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<int> next;
+    for (int parent : frontier) {
+      for (int c = 0; c < arity; ++c) {
+        const int child = g.AddVertex();
+        g.AddEdge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+Graph CaterpillarGraph(int spine, int legs) {
+  HOMPRES_CHECK_GE(spine, 1);
+  HOMPRES_CHECK_GE(legs, 0);
+  Graph g(spine);
+  for (int i = 0; i + 1 < spine; ++i) g.AddEdge(i, i + 1);
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) {
+      const int leaf = g.AddVertex();
+      g.AddEdge(i, leaf);
+    }
+  }
+  return g;
+}
+
+Graph RandomGraph(int n, double p, Rng& rng) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph RandomBoundedDegreeGraph(int n, int max_degree, int extra_edges,
+                               Rng& rng) {
+  HOMPRES_CHECK_GE(n, 1);
+  if (n >= 2) HOMPRES_CHECK_GE(max_degree, 2);
+  Graph g(n);
+  // Random spanning tree grown under the degree budget. A vertex stays in
+  // `open` while its degree is below max_degree - 1, reserving one slot for
+  // the extra-edge phase (not required for correctness, just variety).
+  std::vector<int> open = {0};
+  for (int v = 1; v < n; ++v) {
+    const size_t pick = static_cast<size_t>(rng.Uniform(open.size()));
+    const int parent = open[pick];
+    g.AddEdge(parent, v);
+    if (g.Degree(parent) >= max_degree) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+    if (g.Degree(v) < max_degree) open.push_back(v);
+    HOMPRES_CHECK(!open.empty() || v == n - 1);
+  }
+  // Random extra edges respecting the cap. Bounded attempts so sparse
+  // budgets terminate.
+  int added = 0;
+  for (int attempt = 0; attempt < 20 * extra_edges && added < extra_edges;
+       ++attempt) {
+    const int u = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    const int v = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (g.Degree(u) >= max_degree || g.Degree(v) >= max_degree) continue;
+    g.AddEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph RandomKTree(int n, int k, Rng& rng) {
+  HOMPRES_CHECK_GE(k, 1);
+  HOMPRES_CHECK_GE(n, k + 1);
+  Graph g = CompleteGraph(k + 1);
+  // Track all k-cliques explicitly; their number grows linearly (k new
+  // cliques per added vertex), so this stays cheap.
+  std::vector<std::vector<int>> cliques;
+  // All k-subsets of the initial K_{k+1}.
+  for (int skip = 0; skip <= k; ++skip) {
+    std::vector<int> clique;
+    for (int v = 0; v <= k; ++v) {
+      if (v != skip) clique.push_back(v);
+    }
+    cliques.push_back(std::move(clique));
+  }
+  while (g.NumVertices() < n) {
+    const auto& base =
+        cliques[static_cast<size_t>(rng.Uniform(cliques.size()))];
+    const std::vector<int> chosen = base;  // copy: cliques reallocates below
+    const int v = g.AddVertex();
+    for (int u : chosen) g.AddEdge(u, v);
+    for (size_t drop = 0; drop < chosen.size(); ++drop) {
+      std::vector<int> next;
+      for (size_t i = 0; i < chosen.size(); ++i) {
+        if (i != drop) next.push_back(chosen[i]);
+      }
+      next.push_back(v);
+      cliques.push_back(std::move(next));
+    }
+  }
+  return g;
+}
+
+Graph RandomTree(int n, Rng& rng) {
+  HOMPRES_CHECK_GE(n, 1);
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    const int parent = static_cast<int>(rng.Uniform(static_cast<uint64_t>(v)));
+    g.AddEdge(parent, v);
+  }
+  return g;
+}
+
+namespace {
+
+void TriangulatePolygon(Graph& g, int lo, int hi, Rng& rng) {
+  if (hi - lo < 2) return;
+  const int mid = lo + 1 + static_cast<int>(rng.Uniform(
+                               static_cast<uint64_t>(hi - lo - 1)));
+  if (!g.HasEdge(lo, mid)) g.AddEdge(lo, mid);
+  if (!g.HasEdge(mid, hi)) g.AddEdge(mid, hi);
+  TriangulatePolygon(g, lo, mid, rng);
+  TriangulatePolygon(g, mid, hi, rng);
+}
+
+}  // namespace
+
+Graph RandomOuterplanarGraph(int n, Rng& rng) {
+  HOMPRES_CHECK_GE(n, 3);
+  Graph g = CycleGraph(n);
+  TriangulatePolygon(g, 0, n - 1, rng);
+  return g;
+}
+
+Graph MycielskiGraph(const Graph& g) {
+  const int n = g.NumVertices();
+  Graph result(2 * n + 1);
+  const int apex = 2 * n;
+  for (const auto& [u, v] : g.Edges()) {
+    result.AddEdge(u, v);
+    result.AddEdge(u, n + v);  // shadow of v sees u's neighbors
+    result.AddEdge(v, n + u);
+  }
+  for (int i = 0; i < n; ++i) result.AddEdge(n + i, apex);
+  return result;
+}
+
+Graph BoundedDegreeCliqueMinorGadget(int k) {
+  HOMPRES_CHECK_GE(k, 2);
+  if (k == 2) return CompleteGraph(2);
+  // Each of the k "super-nodes" is a caterpillar with k-1 spine vertices
+  // and one pendant leaf per spine vertex (max degree 3, exactly k-1
+  // pendant leaves). Leaf p of tree i handles the connection to the p-th
+  // other tree.
+  const int leaves = k - 1;
+  Graph g(0);
+  std::vector<std::vector<int>> leaf_ids(static_cast<size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    std::vector<int> spine;
+    for (int s = 0; s < leaves; ++s) {
+      spine.push_back(g.AddVertex());
+      if (s > 0) g.AddEdge(spine[static_cast<size_t>(s - 1)], spine.back());
+    }
+    for (int s = 0; s < leaves; ++s) {
+      const int leaf = g.AddVertex();
+      g.AddEdge(spine[static_cast<size_t>(s)], leaf);
+      leaf_ids[static_cast<size_t>(t)].push_back(leaf);
+    }
+  }
+  // Leaf index of tree i dedicated to tree j: position of j within
+  // {0..k-1} \ {i}.
+  auto slot = [](int i, int j) { return j < i ? j : j - 1; };
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      g.AddEdge(leaf_ids[static_cast<size_t>(i)][static_cast<size_t>(
+                    slot(i, j))],
+                leaf_ids[static_cast<size_t>(j)][static_cast<size_t>(
+                    slot(j, i))]);
+    }
+  }
+  HOMPRES_CHECK_LE(g.MaxDegree(), 3);
+  return g;
+}
+
+}  // namespace hompres

@@ -1,0 +1,92 @@
+// Constructors for the graph families used throughout the paper and its
+// benchmarks: paths, cycles, cliques, complete bipartite graphs, grids,
+// trees, stars, wheels, random graphs, random bounded-degree graphs, random
+// k-trees (the canonical treewidth-k family), and the degree-3 gadget from
+// Section 5 that has a K_k minor despite bounded degree.
+
+#ifndef HOMPRES_GRAPH_BUILDERS_H_
+#define HOMPRES_GRAPH_BUILDERS_H_
+
+#include "base/rng.h"
+#include "graph/graph.h"
+
+namespace hompres {
+
+// Path with n vertices (n-1 edges). Requires n >= 0.
+Graph PathGraph(int n);
+
+// Cycle with n vertices. Requires n >= 3.
+Graph CycleGraph(int n);
+
+// Complete graph K_n. Requires n >= 0.
+Graph CompleteGraph(int n);
+
+// Complete bipartite graph K_{a,b}; side A is vertices 0..a-1.
+// Requires a, b >= 0.
+Graph CompleteBipartiteGraph(int a, int b);
+
+// rows x cols grid. Requires rows, cols >= 1. Grids are planar and
+// bipartite with unbounded treewidth (min(rows, cols)), which makes them
+// the paper's stock example separating T(k) from H(T(k)) (Section 6.2).
+Graph GridGraph(int rows, int cols);
+
+// Star S_n: one hub (vertex 0) with n leaves — the Section 4 example of an
+// arbitrarily large graph with no 2-scattered set until the hub is removed.
+// Requires n >= 0.
+Graph StarGraph(int n);
+
+// Wheel W_n of Section 6.2: hub (vertex 0) joined to an n-cycle
+// (vertices 1..n). Requires n >= 3. W_n is a core iff n is odd.
+Graph WheelGraph(int n);
+
+// Bicycle B_n = W_n + K_4 of Section 6.2 (disjoint union). The core of
+// B_n is K_4, so the class of bicycles has cores of bounded degree even
+// though the B_n themselves have unbounded degree. Requires n >= 3.
+Graph BicycleGraph(int n);
+
+// Complete `arity`-ary tree of the given depth (depth 0 = single vertex).
+// Requires arity >= 1, depth >= 0.
+Graph BalancedTree(int arity, int depth);
+
+// Caterpillar: a path with `spine` vertices, each with `legs` pendant
+// leaves. Treewidth 1. Requires spine >= 1, legs >= 0.
+Graph CaterpillarGraph(int spine, int legs);
+
+// Erdos-Renyi G(n, p).
+Graph RandomGraph(int n, double p, Rng& rng);
+
+// Random connected graph with maximum degree <= max_degree: a random
+// spanning tree grown under the degree budget plus random extra edges that
+// respect it. Requires n >= 1, max_degree >= 2 for n >= 2.
+Graph RandomBoundedDegreeGraph(int n, int max_degree, int extra_edges,
+                               Rng& rng);
+
+// Random k-tree on n vertices: start from K_{k+1}, then repeatedly attach
+// a new vertex to a random existing k-clique. Treewidth exactly k (for
+// n >= k+1). Requires n >= k + 1, k >= 1.
+Graph RandomKTree(int n, int k, Rng& rng);
+
+// Random tree on n vertices (uniform attachment). Requires n >= 1.
+Graph RandomTree(int n, Rng& rng);
+
+// Random maximal outerplanar graph (fan-style triangulation of a cycle):
+// treewidth 2, planar. Requires n >= 3.
+Graph RandomOuterplanarGraph(int n, Rng& rng);
+
+// The Mycielski construction: given G on n vertices, returns the graph on
+// 2n+1 vertices (original, shadow copies, apex) with chromatic number
+// chi(G)+1 and the same clique number. Iterating from K_2 yields
+// triangle-free graphs of arbitrarily high chromatic number — the stock
+// source of hard graph-coloring (homomorphism) instances.
+Graph MycielskiGraph(const Graph& g);
+
+// The Section 5 gadget: replace every vertex of K_k by a binary tree with
+// k-1 leaves and connect different pairs of trees through disjoint pairs of
+// leaves. The result has maximum degree 3 but contains K_k as a minor —
+// the paper's witness that bounded degree does not imply an excluded
+// minor. Requires k >= 2.
+Graph BoundedDegreeCliqueMinorGadget(int k);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_BUILDERS_H_

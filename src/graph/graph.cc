@@ -1,0 +1,158 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace hompres {
+
+Graph::Graph(int n) {
+  HOMPRES_CHECK_GE(n, 0);
+  adjacency_.resize(static_cast<size_t>(n));
+}
+
+void Graph::CheckVertex(int v) const {
+  HOMPRES_CHECK_GE(v, 0);
+  HOMPRES_CHECK_LT(v, NumVertices());
+}
+
+bool Graph::AddEdge(int u, int v) {
+  CheckVertex(u);
+  CheckVertex(v);
+  HOMPRES_CHECK_NE(u, v);
+  if (HasEdge(u, v)) return false;
+  auto& nu = adjacency_[static_cast<size_t>(u)];
+  auto& nv = adjacency_[static_cast<size_t>(v)];
+  nu.insert(std::lower_bound(nu.begin(), nu.end(), v), v);
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(int u, int v) {
+  CheckVertex(u);
+  CheckVertex(v);
+  if (!HasEdge(u, v)) return false;
+  auto& nu = adjacency_[static_cast<size_t>(u)];
+  auto& nv = adjacency_[static_cast<size_t>(v)];
+  nu.erase(std::lower_bound(nu.begin(), nu.end(), v));
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  CheckVertex(u);
+  CheckVertex(v);
+  const auto& nu = adjacency_[static_cast<size_t>(u)];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+const std::vector<int>& Graph::Neighbors(int u) const {
+  CheckVertex(u);
+  return adjacency_[static_cast<size_t>(u)];
+}
+
+int Graph::Degree(int u) const {
+  CheckVertex(u);
+  return static_cast<int>(adjacency_[static_cast<size_t>(u)].size());
+}
+
+int Graph::MaxDegree() const {
+  int max_degree = 0;
+  for (const auto& neighbors : adjacency_) {
+    max_degree = std::max(max_degree, static_cast<int>(neighbors.size()));
+  }
+  return max_degree;
+}
+
+int Graph::AddVertex() {
+  adjacency_.emplace_back();
+  return NumVertices() - 1;
+}
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (int u = 0; u < NumVertices(); ++u) {
+    for (int v : adjacency_[static_cast<size_t>(u)]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices,
+                             std::vector<int>* old_to_new) const {
+  std::vector<int> map(static_cast<size_t>(NumVertices()), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    CheckVertex(vertices[i]);
+    HOMPRES_CHECK_EQ(map[static_cast<size_t>(vertices[i])], -1);
+    map[static_cast<size_t>(vertices[i])] = static_cast<int>(i);
+  }
+  Graph result(static_cast<int>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (int w : Neighbors(vertices[i])) {
+      const int mapped = map[static_cast<size_t>(w)];
+      if (mapped > static_cast<int>(i)) {
+        result.AddEdge(static_cast<int>(i), mapped);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return result;
+}
+
+Graph Graph::RemoveVertices(const std::vector<int>& removed,
+                            std::vector<int>* old_to_new) const {
+  std::vector<bool> gone(static_cast<size_t>(NumVertices()), false);
+  for (int v : removed) {
+    CheckVertex(v);
+    gone[static_cast<size_t>(v)] = true;
+  }
+  std::vector<int> keep;
+  keep.reserve(static_cast<size_t>(NumVertices()));
+  for (int v = 0; v < NumVertices(); ++v) {
+    if (!gone[static_cast<size_t>(v)]) keep.push_back(v);
+  }
+  return InducedSubgraph(keep, old_to_new);
+}
+
+Graph Graph::DisjointUnion(const Graph& other) const {
+  Graph result(NumVertices() + other.NumVertices());
+  for (const auto& [u, v] : Edges()) result.AddEdge(u, v);
+  const int offset = NumVertices();
+  for (const auto& [u, v] : other.Edges()) {
+    result.AddEdge(u + offset, v + offset);
+  }
+  return result;
+}
+
+Graph Graph::ContractEdge(int u, int v) const {
+  HOMPRES_CHECK(HasEdge(u, v));
+  // Map old ids to new ids: v is deleted, ids above v shift down, v's
+  // incidences are redirected to u.
+  const int n = NumVertices();
+  auto remap = [u, v](int w) {
+    if (w == v) return (u < v) ? u : u - 1;
+    return (w < v) ? w : w - 1;
+  };
+  Graph result(n - 1);
+  for (const auto& [a, b] : Edges()) {
+    const int ra = remap(a);
+    const int rb = remap(b);
+    if (ra != rb && !result.HasEdge(ra, rb)) result.AddEdge(ra, rb);
+  }
+  return result;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph(n=" << NumVertices() << ", m=" << NumEdges() << ";";
+  for (const auto& [u, v] : Edges()) out << ' ' << u << '-' << v;
+  out << ')';
+  return out.str();
+}
+
+}  // namespace hompres

@@ -1,0 +1,97 @@
+// Undirected simple graphs.
+//
+// Graphs in the paper (Section 2.1) are undirected, loopless, and without
+// parallel edges. Vertices are dense integers 0..n-1 so that graphs map
+// directly onto the universes of relational structures (src/structure) and
+// onto Gaifman graphs.
+
+#ifndef HOMPRES_GRAPH_GRAPH_H_
+#define HOMPRES_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hompres {
+
+// An undirected simple graph on vertices {0, ..., NumVertices()-1}.
+// Copyable; copies are independent.
+class Graph {
+ public:
+  // Empty graph on n vertices. Requires n >= 0.
+  explicit Graph(int n = 0);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  int NumVertices() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const { return num_edges_; }
+
+  // Adds the undirected edge {u, v}. Requires u != v (no loops) and both
+  // endpoints in range. Returns false (and changes nothing) if the edge
+  // already exists.
+  bool AddEdge(int u, int v);
+
+  // Removes the undirected edge {u, v} if present. Returns whether an edge
+  // was removed.
+  bool RemoveEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  // Neighbors of u in increasing order.
+  const std::vector<int>& Neighbors(int u) const;
+
+  int Degree(int u) const;
+
+  // Maximum degree over all vertices; 0 for the empty graph.
+  int MaxDegree() const;
+
+  // Appends an isolated vertex and returns its id.
+  int AddVertex();
+
+  // All edges as (u, v) pairs with u < v, lexicographically ordered.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  // The subgraph induced by `vertices` (need not be sorted; duplicates are
+  // a caller bug). Vertex i of the result corresponds to vertices[i]. If
+  // `old_to_new` is non-null it receives a NumVertices()-sized map from old
+  // ids to new ids, with -1 for dropped vertices.
+  Graph InducedSubgraph(const std::vector<int>& vertices,
+                        std::vector<int>* old_to_new = nullptr) const;
+
+  // The graph G - B of the paper: removes all vertices in `removed` and
+  // their incident edges, compacting ids. See InducedSubgraph for
+  // `old_to_new`.
+  Graph RemoveVertices(const std::vector<int>& removed,
+                       std::vector<int>* old_to_new = nullptr) const;
+
+  // Disjoint union; vertices of `other` are shifted by NumVertices().
+  Graph DisjointUnion(const Graph& other) const;
+
+  // Contracts edge {u, v}: v's neighbors move to u, v becomes the last
+  // vertex and is removed (ids above v shift down by one). Loops and
+  // parallel edges created by the contraction are suppressed. Requires the
+  // edge to exist. Returns the resulting graph.
+  Graph ContractEdge(int u, int v) const;
+
+  // Structural equality (same vertex count and edge set).
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adjacency_ == b.adjacency_;
+  }
+
+  // Human-readable description, e.g. "Graph(n=4, m=3; 0-1 1-2 2-3)".
+  std::string DebugString() const;
+
+ private:
+  void CheckVertex(int v) const;
+
+  std::vector<std::vector<int>> adjacency_;  // sorted neighbor lists
+  int num_edges_ = 0;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_GRAPH_H_

@@ -1,0 +1,45 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hompres {
+
+std::string GraphToDot(const Graph& g, const std::vector<int>& highlight) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    out << "  " << v;
+    if (std::find(highlight.begin(), highlight.end(), v) !=
+        highlight.end()) {
+      out << " [style=filled, fillcolor=lightblue]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string TreeDecompositionToDot(const TreeDecomposition& td) {
+  std::ostringstream out;
+  out << "graph TD {\n  node [shape=box];\n";
+  for (int node = 0; node < td.tree.NumVertices(); ++node) {
+    out << "  " << node << " [label=\"{";
+    const auto& bag = td.bags[static_cast<size_t>(node)];
+    for (size_t i = 0; i < bag.size(); ++i) {
+      if (i > 0) out << ',';
+      out << bag[i];
+    }
+    out << "}\"];\n";
+  }
+  for (const auto& [u, v] : td.tree.Edges()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hompres

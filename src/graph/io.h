@@ -1,0 +1,24 @@
+// Graphviz (DOT) export for graphs, structures, and tree decompositions —
+// debugging and documentation aids for the examples.
+
+#ifndef HOMPRES_GRAPH_IO_H_
+#define HOMPRES_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+
+// `highlight` vertices are drawn filled (e.g. a scattered set); pass {}
+// for none.
+std::string GraphToDot(const Graph& g,
+                       const std::vector<int>& highlight = {});
+
+// Bags become node labels.
+std::string TreeDecompositionToDot(const TreeDecomposition& td);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_IO_H_

@@ -1,0 +1,55 @@
+// Graph minors (Section 2.1).
+//
+// G is a minor of H iff H contains pairwise-disjoint connected "patches",
+// one per vertex of G, such that every edge of G is witnessed by an edge
+// between the corresponding patches. This header provides an exact
+// branch-set search (exponential in the worst case, fine at bench sizes),
+// a verifier for minor models, the Wagner planarity test (no K5 / K3,3
+// minor), and the Hadwiger number.
+
+#ifndef HOMPRES_GRAPH_MINOR_H_
+#define HOMPRES_GRAPH_MINOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hompres {
+
+// A minor model: branch_sets[i] is the connected patch of host vertices
+// realizing vertex i of the pattern.
+struct MinorModel {
+  std::vector<std::vector<int>> branch_sets;
+};
+
+// True iff `model` witnesses `pattern` as a minor of `host`: patches are
+// nonempty, pairwise disjoint, connected in host, and every pattern edge
+// has a host edge between its patches.
+bool VerifyMinorModel(const Graph& host, const Graph& pattern,
+                      const MinorModel& model);
+
+// Exact search for `pattern` as a minor of `host`. Returns a verified
+// model, or nullopt if none exists (or the node budget ran out; pass
+// node_budget = 0 for an unbudgeted, certain answer). If
+// `pattern_is_complete` the search breaks patch symmetry (sound only when
+// the pattern is vertex-transitive under all permutations, i.e. K_h).
+std::optional<MinorModel> FindMinor(const Graph& host, const Graph& pattern,
+                                    long long node_budget = 0,
+                                    bool pattern_is_complete = false);
+
+// Convenience: does host contain K_h as a minor? Exact for
+// node_budget = 0.
+bool HasCompleteMinor(const Graph& host, int h, long long node_budget = 0);
+
+// Largest h such that K_h is a minor of host (the Hadwiger number).
+// Exact; exponential worst case.
+int HadwigerNumber(const Graph& host);
+
+// Wagner's theorem: planar iff no K5 minor and no K3,3 minor. Exact but
+// exponential; intended for the modest graphs the benches use.
+bool IsPlanarByMinors(const Graph& g);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_MINOR_H_

@@ -1,0 +1,261 @@
+#include "graph/scattered.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/subsets.h"
+#include "graph/algorithms.h"
+
+namespace hompres {
+
+bool IsDScattered(const Graph& g, const std::vector<int>& s, int d) {
+  HOMPRES_CHECK_GE(d, 0);
+  for (size_t i = 0; i < s.size(); ++i) {
+    const std::vector<int> dist = BfsDistances(g, s[i]);
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      const int dij = dist[static_cast<size_t>(s[j])];
+      HOMPRES_CHECK_NE(s[i], s[j]);
+      if (dij != kUnreachable && dij <= 2 * d) return false;
+    }
+  }
+  return true;
+}
+
+Graph ScatterConflictGraph(const Graph& g, int d) {
+  HOMPRES_CHECK_GE(d, 0);
+  Graph conflict(g.NumVertices());
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    const std::vector<int> dist = BfsDistances(g, u);
+    for (int v = u + 1; v < g.NumVertices(); ++v) {
+      const int duv = dist[static_cast<size_t>(v)];
+      if (duv != kUnreachable && duv <= 2 * d) conflict.AddEdge(u, v);
+    }
+  }
+  return conflict;
+}
+
+std::vector<int> GreedyScatteredSet(const Graph& g, int d) {
+  const Graph conflict = ScatterConflictGraph(g, d);
+  std::vector<bool> excluded(static_cast<size_t>(g.NumVertices()), false);
+  std::vector<int> result;
+  for (;;) {
+    // Pick the available vertex with fewest available conflict-neighbors.
+    int best = -1;
+    int best_conflicts = -1;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (excluded[static_cast<size_t>(v)]) continue;
+      int conflicts = 0;
+      for (int w : conflict.Neighbors(v)) {
+        if (!excluded[static_cast<size_t>(w)]) ++conflicts;
+      }
+      if (best == -1 || conflicts < best_conflicts) {
+        best = v;
+        best_conflicts = conflicts;
+      }
+    }
+    if (best == -1) break;
+    result.push_back(best);
+    excluded[static_cast<size_t>(best)] = true;
+    for (int w : conflict.Neighbors(best)) {
+      excluded[static_cast<size_t>(w)] = true;
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+namespace {
+
+// Branch-and-bound search for an independent set of size m in `conflict`,
+// restricted to `candidates`. `chosen` accumulates the result.
+bool IndependentSetSearch(const Graph& conflict, std::vector<int>& candidates,
+                          int m, std::vector<int>& chosen,
+                          long long& budget) {
+  if (static_cast<int>(chosen.size()) >= m) return true;
+  if (static_cast<int>(chosen.size() + candidates.size()) < m) return false;
+  if (budget > 0 && --budget == 0) return false;
+  // Branch on the candidate with the most conflicts among candidates
+  // (fail-first).
+  std::vector<bool> is_candidate(
+      static_cast<size_t>(conflict.NumVertices()), false);
+  for (int v : candidates) is_candidate[static_cast<size_t>(v)] = true;
+  int pick = candidates.front();
+  int pick_conflicts = -1;
+  for (int v : candidates) {
+    int conflicts = 0;
+    for (int w : conflict.Neighbors(v)) {
+      if (is_candidate[static_cast<size_t>(w)]) ++conflicts;
+    }
+    if (conflicts > pick_conflicts) {
+      pick = v;
+      pick_conflicts = conflicts;
+    }
+  }
+  // Include `pick`.
+  {
+    std::vector<int> next;
+    for (int v : candidates) {
+      if (v != pick && !conflict.HasEdge(pick, v)) next.push_back(v);
+    }
+    chosen.push_back(pick);
+    if (IndependentSetSearch(conflict, next, m, chosen, budget)) return true;
+    chosen.pop_back();
+  }
+  // Exclude `pick`.
+  {
+    std::vector<int> next;
+    for (int v : candidates) {
+      if (v != pick) next.push_back(v);
+    }
+    if (IndependentSetSearch(conflict, next, m, chosen, budget)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindScatteredSetOfSize(
+    const Graph& g, int d, int m, long long node_budget) {
+  HOMPRES_CHECK_GE(m, 0);
+  if (m == 0) return std::vector<int>{};
+  if (m > g.NumVertices()) return std::nullopt;
+  const Graph conflict = ScatterConflictGraph(g, d);
+  std::vector<int> candidates(static_cast<size_t>(g.NumVertices()));
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    candidates[static_cast<size_t>(v)] = v;
+  }
+  std::vector<int> chosen;
+  long long budget = node_budget;
+  if (!IndependentSetSearch(conflict, candidates, m, chosen, budget)) {
+    return std::nullopt;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  HOMPRES_CHECK(IsDScattered(g, chosen, d));
+  return chosen;
+}
+
+std::optional<std::vector<int>> FindIndependentSetOfSize(
+    const Graph& g, int m, long long node_budget) {
+  HOMPRES_CHECK_GE(m, 0);
+  if (m == 0) return std::vector<int>{};
+  if (m > g.NumVertices()) return std::nullopt;
+  std::vector<int> candidates(static_cast<size_t>(g.NumVertices()));
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    candidates[static_cast<size_t>(v)] = v;
+  }
+  std::vector<int> chosen;
+  long long budget = node_budget;
+  if (!IndependentSetSearch(g, candidates, m, chosen, budget)) {
+    return std::nullopt;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+int MaxIndependentSetSize(const Graph& g) {
+  int size = 0;
+  while (size < g.NumVertices() &&
+         FindIndependentSetOfSize(g, size + 1).has_value()) {
+    ++size;
+  }
+  return size;
+}
+
+std::vector<int> LargeIndependentSet(const Graph& g,
+                                     long long improve_budget) {
+  // Greedy: repeatedly take the minimum-degree available vertex.
+  std::vector<bool> excluded(static_cast<size_t>(g.NumVertices()), false);
+  std::vector<int> chosen;
+  for (;;) {
+    int best = -1;
+    int best_degree = -1;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (excluded[static_cast<size_t>(v)]) continue;
+      int degree = 0;
+      for (int w : g.Neighbors(v)) {
+        if (!excluded[static_cast<size_t>(w)]) ++degree;
+      }
+      if (best == -1 || degree < best_degree) {
+        best = v;
+        best_degree = degree;
+      }
+    }
+    if (best == -1) break;
+    chosen.push_back(best);
+    excluded[static_cast<size_t>(best)] = true;
+    for (int w : g.Neighbors(best)) excluded[static_cast<size_t>(w)] = true;
+  }
+  // Budgeted exact improvement.
+  while (static_cast<int>(chosen.size()) < g.NumVertices()) {
+    auto better = FindIndependentSetOfSize(
+        g, static_cast<int>(chosen.size()) + 1, improve_budget);
+    if (!better.has_value()) break;
+    chosen = std::move(*better);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+int MaxScatteredSetSize(const Graph& g, int d) {
+  // Start from the greedy size and grow until no larger set exists.
+  int size = static_cast<int>(GreedyScatteredSet(g, d).size());
+  while (size < g.NumVertices() &&
+         FindScatteredSetOfSize(g, d, size + 1).has_value()) {
+    ++size;
+  }
+  return size;
+}
+
+std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
+                                                          int s, int d,
+                                                          int m) {
+  HOMPRES_CHECK_GE(s, 0);
+  const int n = g.NumVertices();
+  for (int size = 0; size <= std::min(s, n); ++size) {
+    std::optional<ScatteredWitness> found;
+    ForEachCombination(n, size, [&](const std::vector<int>& b) {
+      std::vector<int> old_to_new;
+      const Graph reduced = g.RemoveVertices(b, &old_to_new);
+      auto scattered = FindScatteredSetOfSize(reduced, d, m);
+      if (!scattered.has_value()) return true;  // keep searching
+      // Translate back to original ids.
+      std::vector<int> new_to_old(static_cast<size_t>(reduced.NumVertices()));
+      for (int old = 0; old < n; ++old) {
+        const int now = old_to_new[static_cast<size_t>(old)];
+        if (now >= 0) new_to_old[static_cast<size_t>(now)] = old;
+      }
+      ScatteredWitness witness;
+      witness.removed = b;
+      for (int v : *scattered) {
+        witness.scattered.push_back(new_to_old[static_cast<size_t>(v)]);
+      }
+      found = std::move(witness);
+      return false;  // stop
+    });
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+bool VerifyScatteredWitness(const Graph& g, const ScatteredWitness& witness,
+                            int s, int d, int m) {
+  if (static_cast<int>(witness.removed.size()) > s) return false;
+  if (static_cast<int>(witness.scattered.size()) < m) return false;
+  for (int v : witness.scattered) {
+    if (std::find(witness.removed.begin(), witness.removed.end(), v) !=
+        witness.removed.end()) {
+      return false;
+    }
+  }
+  std::vector<int> old_to_new;
+  const Graph reduced = g.RemoveVertices(witness.removed, &old_to_new);
+  std::vector<int> mapped;
+  for (int v : witness.scattered) {
+    const int now = old_to_new[static_cast<size_t>(v)];
+    if (now < 0) return false;
+    mapped.push_back(now);
+  }
+  return IsDScattered(reduced, mapped, d);
+}
+
+}  // namespace hompres

@@ -1,0 +1,83 @@
+// d-scattered sets (Section 3).
+//
+// A set S of vertices is d-scattered if the d-neighborhoods of its members
+// are pairwise disjoint; equivalently, any two distinct members are at
+// distance > 2d. The paper's density condition (Theorem 3.2 / Corollary
+// 3.3) asks for a small removal set B such that G - B has a d-scattered set
+// of size m; this header provides verifiers, greedy and exact extractors,
+// and the removal-set search.
+
+#ifndef HOMPRES_GRAPH_SCATTERED_H_
+#define HOMPRES_GRAPH_SCATTERED_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hompres {
+
+// True iff `s` is d-scattered in g (pairwise disjoint d-neighborhoods).
+// Requires d >= 0; vertices of `s` must be distinct and in range.
+bool IsDScattered(const Graph& g, const std::vector<int>& s, int d);
+
+// The conflict graph for parameter d: same vertices as g, with an edge
+// between u != v iff dist(u, v) <= 2d (i.e. their d-neighborhoods
+// intersect). d-scattered sets of g are exactly the independent sets of
+// the conflict graph.
+Graph ScatterConflictGraph(const Graph& g, int d);
+
+// Greedy maximal d-scattered set (not necessarily maximum): repeatedly
+// pick the vertex whose ball excludes the fewest remaining candidates.
+std::vector<int> GreedyScatteredSet(const Graph& g, int d);
+
+// Exact: a d-scattered set of size exactly m, if one exists. Branch and
+// bound over the conflict graph; exponential in the worst case, intended
+// for the modest sizes the benches use. `node_budget` caps the search tree
+// (0 = unlimited); on budget exhaustion returns nullopt as if none exists
+// (callers that need certainty pass 0).
+std::optional<std::vector<int>> FindScatteredSetOfSize(
+    const Graph& g, int d, int m, long long node_budget = 0);
+
+// Size of a maximum d-scattered set (exact; exponential worst case).
+int MaxScatteredSetSize(const Graph& g, int d);
+
+// Independent set of size exactly m in g, if one exists (the d-scattered
+// machinery in terms of an explicit conflict graph; also used by the
+// Lemma 5.2 / Theorem 5.3 constructions). Branch and bound; same budget
+// semantics as FindScatteredSetOfSize.
+std::optional<std::vector<int>> FindIndependentSetOfSize(
+    const Graph& g, int m, long long node_budget = 0);
+
+// Size of a maximum independent set (exact; exponential worst case).
+int MaxIndependentSetSize(const Graph& g);
+
+// Greedy maximal independent set (minimum-degree-first), then budgeted
+// exact improvement: keeps searching for one-larger sets until the node
+// budget per attempt fails. Deterministic, never empty for nonempty g.
+std::vector<int> LargeIndependentSet(const Graph& g,
+                                     long long improve_budget = 20000);
+
+// Witness for the Theorem 3.2 density condition: a removal set B with
+// |B| <= s and a d-scattered set of size m in G - B. `scattered` holds
+// original vertex ids of g.
+struct ScatteredWitness {
+  std::vector<int> removed;
+  std::vector<int> scattered;
+};
+
+// Searches all removal sets B with |B| <= s (smallest first) for one whose
+// removal leaves a d-scattered set of size m. Exhaustive; intended for
+// small s and modest graphs. Returns nullopt if no witness exists.
+std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
+                                                          int s, int d,
+                                                          int m);
+
+// Verifies a witness: removed has size <= s, scattered has size >= m and
+// avoids `removed`, and scattered is d-scattered in G - removed.
+bool VerifyScatteredWitness(const Graph& g, const ScatteredWitness& witness,
+                            int s, int d, int m);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_GRAPH_SCATTERED_H_

@@ -1,0 +1,57 @@
+#include "hom/core.h"
+
+#include "base/check.h"
+#include "hom/homomorphism.h"
+
+namespace hompres {
+
+namespace {
+
+// If some one-step removal of `a` (one element with its incident tuples,
+// or one tuple) admits a homomorphism from `a`, writes it to `out` and
+// returns true.
+bool FindOneStepRetract(const Structure& a, Structure* out) {
+  for (int e = 0; e < a.UniverseSize(); ++e) {
+    Structure candidate = a.RemoveElement(e);
+    if (HasHomomorphism(a, candidate)) {
+      *out = std::move(candidate);
+      return true;
+    }
+  }
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    const int count = static_cast<int>(a.Tuples(rel).size());
+    for (int i = 0; i < count; ++i) {
+      Structure candidate = a.RemoveTuple(rel, i);
+      if (HasHomomorphism(a, candidate)) {
+        *out = std::move(candidate);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Structure ComputeCore(const Structure& a) {
+  Structure current = a;
+  Structure next(current.GetVocabulary(), 0);
+  while (FindOneStepRetract(current, &next)) {
+    // `next` is hom-equivalent to `current`: current -> next was just
+    // witnessed, and next embeds into current... note the embedding is not
+    // the identity after element renumbering, but next was built from
+    // current by a removal, so the inclusion (modulo renumbering) is a
+    // homomorphism by construction.
+    current = std::move(next);
+    next = Structure(current.GetVocabulary(), 0);
+  }
+  HOMPRES_CHECK(IsCore(current));
+  return current;
+}
+
+bool IsCore(const Structure& a) {
+  Structure scratch(a.GetVocabulary(), 0);
+  return !FindOneStepRetract(a, &scratch);
+}
+
+}  // namespace hompres

@@ -1,0 +1,32 @@
+// Cores of finite structures (Section 6.2).
+//
+// A substructure B of A is a core of A if there is a homomorphism A -> B
+// but none to any proper substructure of B. Every finite structure has a
+// unique core up to isomorphism, and A is homomorphically equivalent to
+// core(A). Substructures here follow the paper: they may drop tuples as
+// well as elements, so the computation reduces through both kinds of
+// one-step removals (the maximal proper substructures).
+
+#ifndef HOMPRES_HOM_CORE_H_
+#define HOMPRES_HOM_CORE_H_
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// The core of `a`, computed by greedy one-step reduction: while some
+// "remove one element" or "remove one tuple" substructure admits a
+// homomorphism from the current structure, descend into it. The result is
+// hom-equivalent to `a` and is a core. Exponential worst case (each step
+// is a homomorphism search); intended for the modest structures the paper
+// discusses.
+Structure ComputeCore(const Structure& a);
+
+// True iff `a` is its own core: no homomorphism from `a` into any proper
+// substructure. Equivalently (by the maximal-substructure argument), no
+// homomorphism into any one-step removal.
+bool IsCore(const Structure& a);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_HOM_CORE_H_

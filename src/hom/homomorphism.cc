@@ -1,0 +1,308 @@
+#include "hom/homomorphism.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace hompres {
+
+namespace {
+
+// One table constraint: the A-tuple `pattern` (over variables) must map
+// into the tuple list of relation `rel` of B.
+struct TupleConstraint {
+  int rel;
+  Tuple pattern;
+};
+
+// Domains as boolean membership plus a size counter.
+struct Domain {
+  std::vector<bool> allowed;
+  int size = 0;
+
+  void Remove(int v) {
+    if (allowed[static_cast<size_t>(v)]) {
+      allowed[static_cast<size_t>(v)] = false;
+      --size;
+    }
+  }
+};
+
+class HomSearch {
+ public:
+  HomSearch(const Structure& a, const Structure& b, const HomOptions& options)
+      : a_(a), b_(b), options_(options),
+        budget_(options.node_budget == 0 ? -1 : options.node_budget) {
+    for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+      for (const Tuple& t : a.Tuples(rel)) {
+        constraints_.push_back(TupleConstraint{rel, t});
+      }
+    }
+  }
+
+  // Runs the search; invokes `emit` for every homomorphism found. `emit`
+  // returns false to stop the enumeration. Returns false iff the search
+  // was stopped early (by emit or budget exhaustion mid-enumeration has
+  // the same effect as "no more solutions").
+  void Run(const std::function<bool(const std::vector<int>&)>& emit) {
+    const int n = a_.UniverseSize();
+    const int m = b_.UniverseSize();
+    if (n == 0) {
+      // The empty map is the unique homomorphism; surjectivity requires an
+      // empty target.
+      if (!options_.surjective || m == 0) emit(std::vector<int>{});
+      return;
+    }
+    if (m == 0) return;  // nonempty universe cannot map anywhere
+    std::vector<Domain> domains(static_cast<size_t>(n));
+    for (auto& d : domains) {
+      d.allowed.assign(static_cast<size_t>(m), true);
+      d.size = m;
+    }
+    for (const auto& [var, val] : options_.forced) {
+      HOMPRES_CHECK_GE(var, 0);
+      HOMPRES_CHECK_LT(var, n);
+      HOMPRES_CHECK_GE(val, 0);
+      HOMPRES_CHECK_LT(val, m);
+      for (int v = 0; v < m; ++v) {
+        if (v != val) domains[static_cast<size_t>(var)].Remove(v);
+      }
+      if (domains[static_cast<size_t>(var)].size == 0) return;
+    }
+    if (options_.use_arc_consistency && !Propagate(domains)) return;
+    assignment_.assign(static_cast<size_t>(n), -1);
+    stopped_ = false;
+    Solve(domains, emit);
+  }
+
+ private:
+  // Generalized arc consistency: repeatedly drop unsupported values until
+  // fixpoint. Returns false if some domain empties.
+  bool Propagate(std::vector<Domain>& domains) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const TupleConstraint& c : constraints_) {
+        // For each position, collect the values that appear in some
+        // compatible B-tuple.
+        const size_t arity = c.pattern.size();
+        std::vector<std::vector<bool>> supported(
+            arity,
+            std::vector<bool>(static_cast<size_t>(b_.UniverseSize()), false));
+        for (const Tuple& s : b_.Tuples(c.rel)) {
+          if (!Compatible(c.pattern, s, domains)) continue;
+          for (size_t i = 0; i < arity; ++i) {
+            supported[i][static_cast<size_t>(s[i])] = true;
+          }
+        }
+        for (size_t i = 0; i < arity; ++i) {
+          Domain& d = domains[static_cast<size_t>(c.pattern[i])];
+          for (int v = 0; v < b_.UniverseSize(); ++v) {
+            if (d.allowed[static_cast<size_t>(v)] &&
+                !supported[i][static_cast<size_t>(v)]) {
+              d.Remove(v);
+              changed = true;
+            }
+          }
+          if (d.size == 0) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Is B-tuple s compatible with the pattern under current domains
+  // (including repeated-variable consistency)?
+  bool Compatible(const Tuple& pattern, const Tuple& s,
+                  const std::vector<Domain>& domains) const {
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (!domains[static_cast<size_t>(pattern[i])]
+               .allowed[static_cast<size_t>(s[i])]) {
+        return false;
+      }
+      for (size_t j = i + 1; j < pattern.size(); ++j) {
+        if (pattern[i] == pattern[j] && s[i] != s[j]) return false;
+      }
+    }
+    return true;
+  }
+
+  // Check constraints whose variables are all assigned.
+  bool AssignedConsistent() const {
+    for (const TupleConstraint& c : constraints_) {
+      Tuple image;
+      image.reserve(c.pattern.size());
+      bool full = true;
+      for (int var : c.pattern) {
+        const int val = assignment_[static_cast<size_t>(var)];
+        if (val == -1) {
+          full = false;
+          break;
+        }
+        image.push_back(val);
+      }
+      if (full && !b_.HasTuple(c.rel, image)) return false;
+    }
+    return true;
+  }
+
+  // Surjectivity pruning: every target value must be assigned or still
+  // available in some unassigned domain.
+  bool SurjectivityPossible(const std::vector<Domain>& domains) const {
+    const int m = b_.UniverseSize();
+    std::vector<bool> covered(static_cast<size_t>(m), false);
+    int unassigned = 0;
+    for (int var = 0; var < a_.UniverseSize(); ++var) {
+      const int val = assignment_[static_cast<size_t>(var)];
+      if (val != -1) {
+        covered[static_cast<size_t>(val)] = true;
+      } else {
+        ++unassigned;
+      }
+    }
+    int missing = 0;
+    for (int v = 0; v < m; ++v) {
+      if (covered[static_cast<size_t>(v)]) continue;
+      ++missing;
+      bool reachable = false;
+      for (int var = 0; var < a_.UniverseSize(); ++var) {
+        if (assignment_[static_cast<size_t>(var)] == -1 &&
+            domains[static_cast<size_t>(var)].allowed[static_cast<size_t>(v)]) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) return false;
+    }
+    return missing <= unassigned;
+  }
+
+  void Solve(const std::vector<Domain>& domains,
+             const std::function<bool(const std::vector<int>&)>& emit) {
+    if (stopped_) return;
+    if (budget_ == 0) {
+      stopped_ = true;
+      return;
+    }
+    if (budget_ > 0) --budget_;
+
+    // Pick the unassigned variable with the smallest domain.
+    int var = -1;
+    int best_size = -1;
+    for (int v = 0; v < a_.UniverseSize(); ++v) {
+      if (assignment_[static_cast<size_t>(v)] != -1) continue;
+      const int size = domains[static_cast<size_t>(v)].size;
+      if (var == -1 || size < best_size) {
+        var = v;
+        best_size = size;
+      }
+    }
+    if (var == -1) {
+      // Complete assignment.
+      if (options_.surjective) {
+        std::vector<bool> covered(static_cast<size_t>(b_.UniverseSize()),
+                                  false);
+        for (int val : assignment_) covered[static_cast<size_t>(val)] = true;
+        for (bool c : covered) {
+          if (!c) return;
+        }
+      }
+      if (!emit(assignment_)) stopped_ = true;
+      return;
+    }
+
+    for (int val = 0; val < b_.UniverseSize(); ++val) {
+      if (!domains[static_cast<size_t>(var)].allowed[static_cast<size_t>(val)]) {
+        continue;
+      }
+      assignment_[static_cast<size_t>(var)] = val;
+      std::vector<Domain> next = domains;
+      for (int other = 0; other < b_.UniverseSize(); ++other) {
+        if (other != val) next[static_cast<size_t>(var)].Remove(other);
+      }
+      bool feasible = true;
+      if (options_.use_arc_consistency) {
+        feasible = Propagate(next);
+      } else {
+        feasible = AssignedConsistent();
+      }
+      if (feasible && options_.surjective) {
+        feasible = SurjectivityPossible(next);
+      }
+      if (feasible) Solve(next, emit);
+      assignment_[static_cast<size_t>(var)] = -1;
+      if (stopped_) return;
+    }
+  }
+
+  const Structure& a_;
+  const Structure& b_;
+  HomOptions options_;
+  long long budget_;
+  std::vector<TupleConstraint> constraints_;
+  std::vector<int> assignment_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b,
+                                                 const HomOptions& options) {
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  std::optional<std::vector<int>> result;
+  HomSearch search(a, b, options);
+  search.Run([&](const std::vector<int>& h) {
+    result = h;
+    return false;  // stop at the first witness
+  });
+  if (result.has_value()) {
+    HOMPRES_CHECK(VerifyHomomorphism(a, b, *result));
+  }
+  return result;
+}
+
+bool HasHomomorphism(const Structure& a, const Structure& b) {
+  return FindHomomorphism(a, b).has_value();
+}
+
+bool VerifyHomomorphism(const Structure& a, const Structure& b,
+                        const std::vector<int>& h) {
+  if (static_cast<int>(h.size()) != a.UniverseSize()) return false;
+  for (int val : h) {
+    if (val < 0 || val >= b.UniverseSize()) return false;
+  }
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      Tuple image;
+      image.reserve(t.size());
+      for (int e : t) image.push_back(h[static_cast<size_t>(e)]);
+      if (!b.HasTuple(rel, image)) return false;
+    }
+  }
+  return true;
+}
+
+bool AreHomEquivalent(const Structure& a, const Structure& b) {
+  return HasHomomorphism(a, b) && HasHomomorphism(b, a);
+}
+
+uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
+                            uint64_t limit) {
+  uint64_t count = 0;
+  EnumerateHomomorphisms(a, b, [&](const std::vector<int>&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return count;
+}
+
+void EnumerateHomomorphisms(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const std::vector<int>&)>& callback) {
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  HomSearch search(a, b, HomOptions{});
+  search.Run(callback);
+}
+
+}  // namespace hompres

@@ -1,0 +1,67 @@
+// Homomorphisms between finite relational structures (Section 2.1).
+//
+// Deciding whether a homomorphism A -> B exists is the constraint
+// satisfaction problem in the Feder-Vardi sense: elements of A are
+// variables, elements of B are values, and every tuple of A is a table
+// constraint requiring its image to be a tuple of B. The solver runs
+// generalized arc consistency (AC-3 over tuple constraints) inside a
+// smallest-domain-first backtracking search; a plain backtracking baseline
+// is provided for the engine benchmarks (E14).
+
+#ifndef HOMPRES_HOM_HOMOMORPHISM_H_
+#define HOMPRES_HOM_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// Options for the homomorphism search.
+struct HomOptions {
+  // Require the witness to be surjective onto the target's universe
+  // (used by Lemma 7.3: minimal models are surjective images).
+  bool surjective = false;
+
+  // Pre-assigned pairs (a, b): h(a) must equal b. Used for pointed
+  // structures / retraction searches.
+  std::vector<std::pair<int, int>> forced;
+
+  // Disable arc consistency (naive backtracking baseline).
+  bool use_arc_consistency = true;
+
+  // Cap on search nodes; 0 = unlimited. A budgeted search that runs out
+  // returns nullopt, so pass 0 whenever the answer must be certain.
+  long long node_budget = 0;
+};
+
+// Returns a homomorphism from a to b as an element map, or nullopt.
+// Vocabularies must agree.
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b,
+                                                 const HomOptions& options = {});
+
+bool HasHomomorphism(const Structure& a, const Structure& b);
+
+// True iff h maps every tuple of a to a tuple of b (and is total/in-range).
+bool VerifyHomomorphism(const Structure& a, const Structure& b,
+                        const std::vector<int>& h);
+
+// Homomorphic equivalence: homs in both directions (Section 2.1).
+bool AreHomEquivalent(const Structure& a, const Structure& b);
+
+// Counts homomorphisms a -> b, stopping at `limit` (0 = count all).
+uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
+                            uint64_t limit = 0);
+
+// Enumerates homomorphisms a -> b; the callback returns false to stop.
+void EnumerateHomomorphisms(
+    const Structure& a, const Structure& b,
+    const std::function<bool(const std::vector<int>&)>& callback);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_HOM_HOMOMORPHISM_H_

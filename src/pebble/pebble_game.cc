@@ -1,0 +1,121 @@
+#include "pebble/pebble_game.h"
+
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+#include "base/subsets.h"
+
+namespace hompres {
+
+namespace {
+
+// A partial map is encoded as a vector<int> of size |A| with -1 for
+// "unset".
+using PartialMap = std::vector<int>;
+
+// Is p (restricted to its domain) a partial homomorphism? A tuple of A is
+// checked only when all its entries are in the domain.
+bool IsPartialHomomorphism(const Structure& a, const Structure& b,
+                           const PartialMap& p) {
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      Tuple image;
+      image.reserve(t.size());
+      bool full = true;
+      for (int e : t) {
+        const int v = p[static_cast<size_t>(e)];
+        if (v == -1) {
+          full = false;
+          break;
+        }
+        image.push_back(v);
+      }
+      if (full && !b.HasTuple(rel, image)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
+                                          const Structure& b, int k) {
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  HOMPRES_CHECK_GE(k, 1);
+  const int n = a.UniverseSize();
+  const int m = b.UniverseSize();
+  if (n == 0) return true;   // nothing to pebble
+  if (m == 0) return false;  // Spoiler pebbles anything, no reply
+
+  // Enumerate all partial homomorphisms with domain size <= k.
+  std::map<PartialMap, bool> alive;  // value: still in the family
+  const int max_domain = std::min(k, n);
+  for (int size = 0; size <= max_domain; ++size) {
+    ForEachCombination(n, size, [&](const std::vector<int>& domain) {
+      ForEachTuple(m, size, [&](const std::vector<int>& values) {
+        PartialMap p(static_cast<size_t>(n), -1);
+        for (int i = 0; i < size; ++i) {
+          p[static_cast<size_t>(domain[static_cast<size_t>(i)])] =
+              values[static_cast<size_t>(i)];
+        }
+        if (IsPartialHomomorphism(a, b, p)) alive.emplace(std::move(p), true);
+        return true;
+      });
+      return true;
+    });
+  }
+
+  // Iterated removal to the greatest fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [p, live] : alive) {
+      if (!live) continue;
+      int domain_size = 0;
+      for (int v : p) {
+        if (v != -1) ++domain_size;
+      }
+      bool remove = false;
+      // Forth property: if the domain is not full, every element of A
+      // must be coverable.
+      if (domain_size < max_domain) {
+        for (int e = 0; e < n && !remove; ++e) {
+          if (p[static_cast<size_t>(e)] != -1) continue;
+          bool extendable = false;
+          PartialMap q = p;
+          for (int v = 0; v < m; ++v) {
+            q[static_cast<size_t>(e)] = v;
+            auto it = alive.find(q);
+            if (it != alive.end() && it->second) {
+              extendable = true;
+              break;
+            }
+          }
+          if (!extendable) remove = true;
+        }
+      }
+      // Subfunction closure: all one-point restrictions must be alive.
+      if (!remove) {
+        PartialMap q = p;
+        for (int e = 0; e < n && !remove; ++e) {
+          if (p[static_cast<size_t>(e)] == -1) continue;
+          q[static_cast<size_t>(e)] = -1;
+          auto it = alive.find(q);
+          if (it == alive.end() || !it->second) remove = true;
+          q[static_cast<size_t>(e)] = p[static_cast<size_t>(e)];
+        }
+      }
+      if (remove) {
+        live = false;
+        changed = true;
+      }
+    }
+  }
+
+  const PartialMap empty(static_cast<size_t>(n), -1);
+  auto it = alive.find(empty);
+  return it != alive.end() && it->second;
+}
+
+}  // namespace hompres

@@ -1,0 +1,30 @@
+// The existential k-pebble game (Section 7.2).
+//
+// The Duplicator wins the existential k-pebble game on (A, B) iff there is
+// a nonempty family H of partial homomorphisms from A to B, each with
+// domain of size <= k, that is closed under subfunctions and has the
+// forth/extension property: every member with domain < k extends to any
+// further element of A. By Theorem 7.6, this holds iff every
+// ∃L^k,+-sentence (equivalently every CQ^k sentence) true in A is true in
+// B. The solver computes the greatest such family by iterated removal.
+
+#ifndef HOMPRES_PEBBLE_PEBBLE_GAME_H_
+#define HOMPRES_PEBBLE_PEBBLE_GAME_H_
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// True iff the Duplicator wins the existential k-pebble game on (a, b).
+// Cost is roughly (|A| choose <=k) * |B|^k; intended for small |A| and k.
+bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
+                                          const Structure& b, int k);
+
+// The query q(A, k) of Section 7.2 applied to b.
+inline bool PebbleGameQuery(const Structure& a, int k, const Structure& b) {
+  return DuplicatorWinsExistentialKPebbleGame(a, b, k);
+}
+
+}  // namespace hompres
+
+#endif  // HOMPRES_PEBBLE_PEBBLE_GAME_H_

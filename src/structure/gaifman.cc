@@ -1,0 +1,23 @@
+#include "structure/gaifman.h"
+
+namespace hompres {
+
+Graph GaifmanGraph(const Structure& a) {
+  Graph g(a.UniverseSize());
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        for (size_t j = i + 1; j < t.size(); ++j) {
+          if (t[i] != t[j] && !g.HasEdge(t[i], t[j])) g.AddEdge(t[i], t[j]);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+int StructureDegree(const Structure& a) {
+  return GaifmanGraph(a).MaxDegree();
+}
+
+}  // namespace hompres

@@ -1,0 +1,22 @@
+// Gaifman graphs (Section 2.1): the undirected graph on the universe of a
+// structure with an edge between two distinct elements whenever they occur
+// together in some tuple. Degree and treewidth of a structure are defined
+// through its Gaifman graph.
+
+#ifndef HOMPRES_STRUCTURE_GAIFMAN_H_
+#define HOMPRES_STRUCTURE_GAIFMAN_H_
+
+#include "graph/graph.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+// The Gaifman graph G(A).
+Graph GaifmanGraph(const Structure& a);
+
+// Degree of a structure = max degree of its Gaifman graph.
+int StructureDegree(const Structure& a);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_GAIFMAN_H_

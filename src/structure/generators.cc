@@ -1,0 +1,51 @@
+#include "structure/generators.h"
+
+#include "base/check.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+
+Structure UndirectedGraphStructure(const Graph& g) {
+  Structure a(GraphVocabulary(), g.NumVertices());
+  for (const auto& [u, v] : g.Edges()) {
+    a.AddTuple(0, {u, v});
+    a.AddTuple(0, {v, u});
+  }
+  return a;
+}
+
+Structure DirectedPathStructure(int n) {
+  HOMPRES_CHECK_GE(n, 1);
+  Structure a(GraphVocabulary(), n);
+  for (int i = 0; i + 1 < n; ++i) a.AddTuple(0, {i, i + 1});
+  return a;
+}
+
+Structure DirectedCycleStructure(int n) {
+  HOMPRES_CHECK_GE(n, 1);
+  Structure a(GraphVocabulary(), n);
+  for (int i = 0; i < n; ++i) a.AddTuple(0, {i, (i + 1) % n});
+  return a;
+}
+
+Structure RandomStructure(const Vocabulary& vocabulary, int n,
+                          int tuples_per_relation, Rng& rng) {
+  HOMPRES_CHECK_GE(n, 1);
+  Structure a(vocabulary, n);
+  for (int rel = 0; rel < vocabulary.NumRelations(); ++rel) {
+    const int arity = vocabulary.Arity(rel);
+    int added = 0;
+    for (int attempt = 0;
+         attempt < 10 * tuples_per_relation && added < tuples_per_relation;
+         ++attempt) {
+      Tuple t(static_cast<size_t>(arity));
+      for (int& e : t) {
+        e = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      }
+      if (a.AddTuple(rel, t)) ++added;
+    }
+  }
+  return a;
+}
+
+}  // namespace hompres

@@ -1,0 +1,32 @@
+// Generators turning graphs into structures and producing random
+// structures for tests and benches.
+
+#ifndef HOMPRES_STRUCTURE_GENERATORS_H_
+#define HOMPRES_STRUCTURE_GENERATORS_H_
+
+#include "base/rng.h"
+#include "graph/graph.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+// The {E/2}-structure of an undirected graph: E holds both (u,v) and
+// (v,u) for every edge. Homomorphisms between such structures are exactly
+// graph homomorphisms.
+Structure UndirectedGraphStructure(const Graph& g);
+
+// Directed path 0 -> 1 -> ... -> n-1 over {E/2}. Requires n >= 1.
+Structure DirectedPathStructure(int n);
+
+// Directed cycle 0 -> 1 -> ... -> n-1 -> 0 over {E/2} (the paper's C_3 for
+// n = 3). Requires n >= 1.
+Structure DirectedCycleStructure(int n);
+
+// Random structure: universe of size n, `tuples_per_relation` random
+// tuples in each relation (duplicates retried a bounded number of times).
+Structure RandomStructure(const Vocabulary& vocabulary, int n,
+                          int tuples_per_relation, Rng& rng);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_GENERATORS_H_

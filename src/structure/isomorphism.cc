@@ -1,0 +1,119 @@
+#include "structure/isomorphism.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "structure/gaifman.h"
+
+namespace hompres {
+
+namespace {
+
+// Per-element invariant used to prune the search: (Gaifman degree,
+// occurrence count per relation-and-position).
+std::vector<std::vector<int>> ElementSignatures(const Structure& a) {
+  const Graph gaifman = GaifmanGraph(a);
+  const int num_relations = a.GetVocabulary().NumRelations();
+  std::vector<std::vector<int>> signatures(
+      static_cast<size_t>(a.UniverseSize()));
+  for (int e = 0; e < a.UniverseSize(); ++e) {
+    signatures[static_cast<size_t>(e)].assign(
+        static_cast<size_t>(1 + num_relations), 0);
+    signatures[static_cast<size_t>(e)][0] = gaifman.Degree(e);
+  }
+  for (int rel = 0; rel < num_relations; ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      for (int e : t) {
+        ++signatures[static_cast<size_t>(e)][static_cast<size_t>(1 + rel)];
+      }
+    }
+  }
+  return signatures;
+}
+
+struct IsoSearch {
+  const Structure& a;
+  const Structure& b;
+  const std::vector<std::vector<int>>& sig_a;
+  const std::vector<std::vector<int>>& sig_b;
+  std::vector<int> map;       // a element -> b element or -1
+  std::vector<bool> used_b;
+
+  // Checks all tuples of `a` whose elements are fully mapped.
+  bool PartialConsistent() const {
+    for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+      for (const Tuple& t : a.Tuples(rel)) {
+        Tuple mapped;
+        mapped.reserve(t.size());
+        bool full = true;
+        for (int e : t) {
+          const int m = map[static_cast<size_t>(e)];
+          if (m == -1) {
+            full = false;
+            break;
+          }
+          mapped.push_back(m);
+        }
+        if (full && !b.HasTuple(rel, mapped)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Solve(int next) {
+    if (next == a.UniverseSize()) return PartialConsistent();
+    for (int candidate = 0; candidate < b.UniverseSize(); ++candidate) {
+      if (used_b[static_cast<size_t>(candidate)]) continue;
+      if (sig_a[static_cast<size_t>(next)] !=
+          sig_b[static_cast<size_t>(candidate)]) {
+        continue;
+      }
+      map[static_cast<size_t>(next)] = candidate;
+      used_b[static_cast<size_t>(candidate)] = true;
+      if (PartialConsistent() && Solve(next + 1)) return true;
+      map[static_cast<size_t>(next)] = -1;
+      used_b[static_cast<size_t>(candidate)] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> FindIsomorphism(const Structure& a,
+                                                const Structure& b) {
+  if (!(a.GetVocabulary() == b.GetVocabulary())) return std::nullopt;
+  if (a.UniverseSize() != b.UniverseSize()) return std::nullopt;
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    if (a.Tuples(rel).size() != b.Tuples(rel).size()) return std::nullopt;
+  }
+  const auto sig_a = ElementSignatures(a);
+  const auto sig_b = ElementSignatures(b);
+  // Quick reject: multisets of signatures must agree.
+  {
+    auto sorted_a = sig_a;
+    auto sorted_b = sig_b;
+    std::sort(sorted_a.begin(), sorted_a.end());
+    std::sort(sorted_b.begin(), sorted_b.end());
+    if (sorted_a != sorted_b) return std::nullopt;
+  }
+  IsoSearch search{
+      .a = a,
+      .b = b,
+      .sig_a = sig_a,
+      .sig_b = sig_b,
+      .map = std::vector<int>(static_cast<size_t>(a.UniverseSize()), -1),
+      .used_b = std::vector<bool>(static_cast<size_t>(b.UniverseSize()),
+                                  false),
+  };
+  if (!search.Solve(0)) return std::nullopt;
+  // A bijection mapping tuples into b, with equal tuple counts, is an
+  // isomorphism.
+  return search.map;
+}
+
+bool AreIsomorphic(const Structure& a, const Structure& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+}  // namespace hompres

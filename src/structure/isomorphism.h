@@ -1,0 +1,27 @@
+// Isomorphism testing for small structures.
+//
+// Minimal-model enumeration (src/core) deduplicates models up to
+// isomorphism; the models involved are tiny, so a pruned backtracking
+// search is entirely adequate.
+
+#ifndef HOMPRES_STRUCTURE_ISOMORPHISM_H_
+#define HOMPRES_STRUCTURE_ISOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+// Returns an isomorphism a -> b (as an element map), or nullopt if the
+// structures are not isomorphic. Exponential worst case; intended for
+// small structures.
+std::optional<std::vector<int>> FindIsomorphism(const Structure& a,
+                                                const Structure& b);
+
+bool AreIsomorphic(const Structure& a, const Structure& b);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_ISOMORPHISM_H_

@@ -1,0 +1,154 @@
+#include "structure/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace hompres {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Vocabulary& vocabulary)
+      : text_(text), vocabulary_(vocabulary) {}
+
+  std::optional<Structure> Run(std::string* error) {
+    auto result = Parse();
+    if (!result.has_value() && error != nullptr) *error = error_;
+    return result;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(const std::string& literal) {
+    SkipWhitespace();
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<int> ConsumeNumber() {
+    SkipWhitespace();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      ++end;
+    }
+    if (end == pos_) return std::nullopt;
+    const int value = std::stoi(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return value;
+  }
+
+  std::optional<std::string> ConsumeName() {
+    SkipWhitespace();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_' || text_[end] == '@')) {
+      ++end;
+    }
+    if (end == pos_) return std::nullopt;
+    std::string name = text_.substr(pos_, end - pos_);
+    pos_ = end;
+    return name;
+  }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at position " << pos_;
+      error_ = out.str();
+    }
+  }
+
+  std::optional<Structure> Parse() {
+    if (!ConsumeLiteral("|A|=")) {
+      Fail("expected '|A|='");
+      return std::nullopt;
+    }
+    auto n = ConsumeNumber();
+    if (!n.has_value()) {
+      Fail("expected universe size");
+      return std::nullopt;
+    }
+    Structure result(vocabulary_, *n);
+    while (ConsumeLiteral(";")) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) break;  // trailing separator
+      auto name = ConsumeName();
+      if (!name.has_value()) {
+        Fail("expected relation name");
+        return std::nullopt;
+      }
+      const auto rel = vocabulary_.IndexOf(*name);
+      if (!rel.has_value()) {
+        Fail("unknown relation '" + *name + "'");
+        return std::nullopt;
+      }
+      if (!ConsumeLiteral("=") || !ConsumeLiteral("{")) {
+        Fail("expected '={' after relation name");
+        return std::nullopt;
+      }
+      bool first = true;
+      while (!ConsumeLiteral("}")) {
+        if (!first && !ConsumeLiteral(",")) {
+          Fail("expected ',' or '}'");
+          return std::nullopt;
+        }
+        first = false;
+        if (!ConsumeLiteral("(")) {
+          Fail("expected '('");
+          return std::nullopt;
+        }
+        Tuple t;
+        for (int i = 0; i < vocabulary_.Arity(*rel); ++i) {
+          auto e = ConsumeNumber();
+          if (!e.has_value()) {
+            Fail("expected element");
+            return std::nullopt;
+          }
+          if (*e < 0 || *e >= *n) {
+            Fail("element out of range");
+            return std::nullopt;
+          }
+          t.push_back(*e);
+        }
+        if (!ConsumeLiteral(")")) {
+          Fail("expected ')'");
+          return std::nullopt;
+        }
+        result.AddTuple(*rel, t);
+      }
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("unexpected trailing input");
+      return std::nullopt;
+    }
+    return result;
+  }
+
+  const std::string& text_;
+  const Vocabulary& vocabulary_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Structure> ParseStructure(const std::string& text,
+                                        const Vocabulary& vocabulary,
+                                        std::string* error) {
+  return Parser(text, vocabulary).Run(error);
+}
+
+}  // namespace hompres

@@ -1,0 +1,24 @@
+// Text parser for structures, matching the DebugString-style format:
+//
+//   |A|=3; E={(0 1),(1 2)}; T={(0 1 2)}
+//
+// Universe size first, then each relation's tuple list (relations may be
+// omitted; unknown relations and out-of-range elements are errors).
+
+#ifndef HOMPRES_STRUCTURE_PARSER_H_
+#define HOMPRES_STRUCTURE_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "structure/structure.h"
+
+namespace hompres {
+
+std::optional<Structure> ParseStructure(const std::string& text,
+                                        const Vocabulary& vocabulary,
+                                        std::string* error = nullptr);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_PARSER_H_

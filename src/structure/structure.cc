@@ -1,0 +1,191 @@
+#include "structure/structure.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hompres {
+
+Structure::Structure(Vocabulary vocabulary, int universe_size)
+    : vocabulary_(std::move(vocabulary)), universe_size_(universe_size) {
+  HOMPRES_CHECK_GE(universe_size, 0);
+  relations_.resize(static_cast<size_t>(vocabulary_.NumRelations()));
+}
+
+void Structure::CheckRelation(int rel) const {
+  HOMPRES_CHECK_GE(rel, 0);
+  HOMPRES_CHECK_LT(rel, vocabulary_.NumRelations());
+}
+
+void Structure::CheckElement(int a) const {
+  HOMPRES_CHECK_GE(a, 0);
+  HOMPRES_CHECK_LT(a, universe_size_);
+}
+
+int Structure::AddElement() { return universe_size_++; }
+
+bool Structure::AddTuple(int rel, const Tuple& tuple) {
+  CheckRelation(rel);
+  HOMPRES_CHECK_EQ(static_cast<int>(tuple.size()), vocabulary_.Arity(rel));
+  for (int a : tuple) CheckElement(a);
+  auto& tuples = relations_[static_cast<size_t>(rel)];
+  auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple);
+  if (it != tuples.end() && *it == tuple) return false;
+  tuples.insert(it, tuple);
+  return true;
+}
+
+bool Structure::HasTuple(int rel, const Tuple& tuple) const {
+  CheckRelation(rel);
+  const auto& tuples = relations_[static_cast<size_t>(rel)];
+  return std::binary_search(tuples.begin(), tuples.end(), tuple);
+}
+
+const std::vector<Tuple>& Structure::Tuples(int rel) const {
+  CheckRelation(rel);
+  return relations_[static_cast<size_t>(rel)];
+}
+
+int Structure::NumTuples() const {
+  int total = 0;
+  for (const auto& tuples : relations_) {
+    total += static_cast<int>(tuples.size());
+  }
+  return total;
+}
+
+bool Structure::IsSubstructureOf(const Structure& other) const {
+  if (!(vocabulary_ == other.vocabulary_)) return false;
+  if (universe_size_ > other.universe_size_) return false;
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    for (const Tuple& t : Tuples(rel)) {
+      if (!other.HasTuple(rel, t)) return false;
+    }
+  }
+  return true;
+}
+
+Structure Structure::RemoveTuple(int rel, int index) const {
+  CheckRelation(rel);
+  HOMPRES_CHECK_GE(index, 0);
+  HOMPRES_CHECK_LT(index,
+                   static_cast<int>(relations_[static_cast<size_t>(rel)].size()));
+  Structure result = *this;
+  auto& tuples = result.relations_[static_cast<size_t>(rel)];
+  tuples.erase(tuples.begin() + index);
+  return result;
+}
+
+Structure Structure::RemoveElement(int a,
+                                   std::vector<int>* old_to_new) const {
+  CheckElement(a);
+  std::vector<int> keep;
+  keep.reserve(static_cast<size_t>(universe_size_ - 1));
+  for (int e = 0; e < universe_size_; ++e) {
+    if (e != a) keep.push_back(e);
+  }
+  return InducedSubstructure(keep, old_to_new);
+}
+
+Structure Structure::InducedSubstructure(const std::vector<int>& elements,
+                                         std::vector<int>* old_to_new) const {
+  std::vector<int> map(static_cast<size_t>(universe_size_), -1);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    CheckElement(elements[i]);
+    HOMPRES_CHECK_EQ(map[static_cast<size_t>(elements[i])], -1);
+    map[static_cast<size_t>(elements[i])] = static_cast<int>(i);
+  }
+  Structure result(vocabulary_, static_cast<int>(elements.size()));
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    for (const Tuple& t : Tuples(rel)) {
+      Tuple mapped;
+      mapped.reserve(t.size());
+      bool keep = true;
+      for (int e : t) {
+        const int m = map[static_cast<size_t>(e)];
+        if (m == -1) {
+          keep = false;
+          break;
+        }
+        mapped.push_back(m);
+      }
+      if (keep) result.AddTuple(rel, mapped);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return result;
+}
+
+std::vector<int> Structure::IsolatedElements() const {
+  std::vector<bool> used(static_cast<size_t>(universe_size_), false);
+  for (const auto& tuples : relations_) {
+    for (const Tuple& t : tuples) {
+      for (int e : t) used[static_cast<size_t>(e)] = true;
+    }
+  }
+  std::vector<int> isolated;
+  for (int e = 0; e < universe_size_; ++e) {
+    if (!used[static_cast<size_t>(e)]) isolated.push_back(e);
+  }
+  return isolated;
+}
+
+Structure Structure::DisjointUnion(const Structure& other) const {
+  HOMPRES_CHECK(vocabulary_ == other.vocabulary_);
+  Structure result(vocabulary_, universe_size_ + other.universe_size_);
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    for (const Tuple& t : Tuples(rel)) result.AddTuple(rel, t);
+    for (const Tuple& t : other.Tuples(rel)) {
+      Tuple shifted = t;
+      for (int& e : shifted) e += universe_size_;
+      result.AddTuple(rel, shifted);
+    }
+  }
+  return result;
+}
+
+Structure Structure::Image(const std::vector<int>& h, int image_size) const {
+  HOMPRES_CHECK_EQ(static_cast<int>(h.size()), universe_size_);
+  Structure result(vocabulary_, image_size);
+  for (int e = 0; e < universe_size_; ++e) {
+    HOMPRES_CHECK_GE(h[static_cast<size_t>(e)], 0);
+    HOMPRES_CHECK_LT(h[static_cast<size_t>(e)], image_size);
+  }
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    for (const Tuple& t : Tuples(rel)) {
+      Tuple mapped;
+      mapped.reserve(t.size());
+      for (int e : t) mapped.push_back(h[static_cast<size_t>(e)]);
+      result.AddTuple(rel, mapped);
+    }
+  }
+  return result;
+}
+
+bool operator==(const Structure& a, const Structure& b) {
+  return a.vocabulary_ == b.vocabulary_ &&
+         a.universe_size_ == b.universe_size_ && a.relations_ == b.relations_;
+}
+
+std::string Structure::DebugString() const {
+  std::ostringstream out;
+  out << "Structure(|A|=" << universe_size_;
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    out << "; " << vocabulary_.Name(rel) << "={";
+    bool first = true;
+    for (const Tuple& t : Tuples(rel)) {
+      if (!first) out << ',';
+      first = false;
+      out << '(';
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << t[i];
+      }
+      out << ')';
+    }
+    out << '}';
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace hompres

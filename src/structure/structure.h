@@ -1,0 +1,103 @@
+// Finite relational structures over a vocabulary (Section 2.1).
+//
+// The universe is {0, ..., UniverseSize()-1}; each relation is a sorted,
+// duplicate-free list of tuples. Substructure semantics follow the paper:
+// a substructure may drop both elements and tuples (it is NOT necessarily
+// induced), and the maximal proper substructures of A are exactly
+// "A minus one tuple" and "A minus one isolated element" — the fact the
+// minimal-model machinery in src/core relies on.
+
+#ifndef HOMPRES_STRUCTURE_STRUCTURE_H_
+#define HOMPRES_STRUCTURE_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "structure/vocabulary.h"
+
+namespace hompres {
+
+// A tuple of universe elements.
+using Tuple = std::vector<int>;
+
+class Structure {
+ public:
+  // Empty structure with the given universe size. Requires n >= 0.
+  Structure(Vocabulary vocabulary, int universe_size);
+
+  Structure(const Structure&) = default;
+  Structure& operator=(const Structure&) = default;
+  Structure(Structure&&) = default;
+  Structure& operator=(Structure&&) = default;
+
+  const Vocabulary& GetVocabulary() const { return vocabulary_; }
+  int UniverseSize() const { return universe_size_; }
+
+  // Appends an element to the universe and returns its id.
+  int AddElement();
+
+  // Adds `tuple` to relation `rel`. Requires matching arity and in-range
+  // elements. Returns false (no change) if the tuple is already present.
+  bool AddTuple(int rel, const Tuple& tuple);
+
+  bool HasTuple(int rel, const Tuple& tuple) const;
+
+  // Tuples of relation `rel` in lexicographic order.
+  const std::vector<Tuple>& Tuples(int rel) const;
+
+  // Total number of tuples across all relations.
+  int NumTuples() const;
+
+  // --- Substructure operations -------------------------------------------
+
+  // True iff every tuple of *this (viewed with identical element ids) is a
+  // tuple of `other` and the universes/vocabularies are compatible
+  // (UniverseSize() <= other.UniverseSize()). This is "substructure with
+  // the identity embedding".
+  bool IsSubstructureOf(const Structure& other) const;
+
+  // The structure with the same universe and all tuples except tuple
+  // `index` of relation `rel`.
+  Structure RemoveTuple(int rel, int index) const;
+
+  // Removes element `a`, dropping all tuples that mention it; ids above a
+  // shift down by one. If old_to_new is non-null it receives the id map
+  // (old id -> new id, -1 for a).
+  Structure RemoveElement(int a, std::vector<int>* old_to_new = nullptr) const;
+
+  // The substructure induced by `elements` (keeps exactly the tuples whose
+  // entries all lie in `elements`). Element i of the result corresponds to
+  // elements[i].
+  Structure InducedSubstructure(const std::vector<int>& elements,
+                                std::vector<int>* old_to_new = nullptr) const;
+
+  // Elements that occur in no tuple.
+  std::vector<int> IsolatedElements() const;
+
+  // --- Constructions ------------------------------------------------------
+
+  // Disjoint union A + B (Section 3's closure operation); elements of
+  // `other` are shifted by UniverseSize(). Vocabularies must agree.
+  Structure DisjointUnion(const Structure& other) const;
+
+  // The homomorphic image h(A): universe {0..image_size-1}, tuples
+  // h(t) for every tuple t. `h` must map every element into range.
+  Structure Image(const std::vector<int>& h, int image_size) const;
+
+  // Structural equality: same vocabulary, universe size, and tuple sets.
+  friend bool operator==(const Structure& a, const Structure& b);
+
+  std::string DebugString() const;
+
+ private:
+  void CheckRelation(int rel) const;
+  void CheckElement(int a) const;
+
+  Vocabulary vocabulary_;
+  int universe_size_ = 0;
+  std::vector<std::vector<Tuple>> relations_;  // sorted tuple lists
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_STRUCTURE_H_

@@ -1,0 +1,82 @@
+// Relational vocabularies (database schemas): finite lists of relation
+// symbols with fixed arities (Section 2.1).
+
+#ifndef HOMPRES_STRUCTURE_VOCABULARY_H_
+#define HOMPRES_STRUCTURE_VOCABULARY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hompres {
+
+// A vocabulary is a small value type; structures store their vocabulary by
+// copy and operations CHECK that the vocabularies involved agree.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = default;
+  Vocabulary& operator=(const Vocabulary&) = default;
+
+  // Adds a relation symbol and returns its index. Names must be distinct
+  // and non-empty; arity must be >= 1 (0-ary relations, used by plebian
+  // companions in Section 6, are modeled with arity 0 allowed there, so we
+  // accept arity >= 0).
+  int AddRelation(const std::string& name, int arity) {
+    HOMPRES_CHECK(!name.empty());
+    HOMPRES_CHECK_GE(arity, 0);
+    HOMPRES_CHECK(!IndexOf(name).has_value());
+    names_.push_back(name);
+    arities_.push_back(arity);
+    return static_cast<int>(names_.size()) - 1;
+  }
+
+  int NumRelations() const { return static_cast<int>(names_.size()); }
+
+  const std::string& Name(int rel) const {
+    CheckRelation(rel);
+    return names_[static_cast<size_t>(rel)];
+  }
+
+  int Arity(int rel) const {
+    CheckRelation(rel);
+    return arities_[static_cast<size_t>(rel)];
+  }
+
+  std::optional<int> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return std::nullopt;
+  }
+
+  friend bool operator==(const Vocabulary& a, const Vocabulary& b) {
+    return a.names_ == b.names_ && a.arities_ == b.arities_;
+  }
+
+ private:
+  void CheckRelation(int rel) const {
+    HOMPRES_CHECK_GE(rel, 0);
+    HOMPRES_CHECK_LT(rel, NumRelations());
+  }
+
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+};
+
+// Stock vocabularies used throughout the tests and benches.
+
+// {E/2}: one binary relation (directed edges; symmetric closure encodes
+// undirected graphs).
+inline Vocabulary GraphVocabulary() {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  return voc;
+}
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_VOCABULARY_H_

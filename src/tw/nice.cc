@@ -1,0 +1,196 @@
+#include "tw/nice.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace hompres {
+
+int NiceTreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+namespace {
+
+class NiceBuilder {
+ public:
+  NiceBuilder(const Graph& g, const TreeDecomposition& td)
+      : g_(g), td_(td) {}
+
+  NiceTreeDecomposition Build() {
+    HOMPRES_CHECK_GE(td_.tree.NumVertices(), 1);
+    const int top = BuildSubtree(0, -1);
+    // Forget everything down to an empty root bag.
+    int current = top;
+    std::vector<int> bag = nice_.bags[static_cast<size_t>(top)];
+    while (!bag.empty()) {
+      const int v = bag.back();
+      bag.pop_back();
+      current = NewNode(bag, NiceNodeKind::kForget, {current});
+      (void)v;
+    }
+    nice_.root = current;
+    HOMPRES_CHECK(IsValidNiceDecomposition(g_, nice_));
+    return std::move(nice_);
+  }
+
+ private:
+  int NewNode(std::vector<int> bag, NiceNodeKind kind,
+              std::vector<int> children) {
+    std::sort(bag.begin(), bag.end());
+    nice_.bags.push_back(std::move(bag));
+    nice_.kinds.push_back(kind);
+    nice_.children.push_back(std::move(children));
+    return nice_.NumNodes() - 1;
+  }
+
+  // A leaf-to-bag introduce chain; returns the top node (bag == `bag`).
+  int IntroduceChain(const std::vector<int>& bag) {
+    int current = NewNode({}, NiceNodeKind::kLeaf, {});
+    std::vector<int> partial;
+    for (int v : bag) {
+      partial.push_back(v);
+      current = NewNode(partial, NiceNodeKind::kIntroduce, {current});
+    }
+    return current;
+  }
+
+  // Morphs a node whose bag is `from` into a node whose bag is `to` via
+  // forgets then introduces.
+  int Morph(int node, std::vector<int> from, const std::vector<int>& to) {
+    int current = node;
+    for (int v : nice_.bags[static_cast<size_t>(node)]) {
+      if (!std::binary_search(to.begin(), to.end(), v)) {
+        from.erase(std::find(from.begin(), from.end(), v));
+        current = NewNode(from, NiceNodeKind::kForget, {current});
+      }
+    }
+    for (int v : to) {
+      if (!std::binary_search(
+              nice_.bags[static_cast<size_t>(node)].begin(),
+              nice_.bags[static_cast<size_t>(node)].end(), v)) {
+        from.push_back(v);
+        current = NewNode(from, NiceNodeKind::kIntroduce, {current});
+      }
+    }
+    return current;
+  }
+
+  // Builds the nice subtree for td node `node`, returning a nice node
+  // whose bag equals td_.bags[node].
+  int BuildSubtree(int node, int parent) {
+    const std::vector<int>& bag = td_.bags[static_cast<size_t>(node)];
+    std::vector<int> tops;
+    for (int child : td_.tree.Neighbors(node)) {
+      if (child == parent) continue;
+      const int child_top = BuildSubtree(child, node);
+      tops.push_back(Morph(child_top,
+                           nice_.bags[static_cast<size_t>(child_top)], bag));
+    }
+    if (tops.empty()) return IntroduceChain(bag);
+    // Combine with binary joins (all bags already equal `bag`).
+    int current = tops[0];
+    for (size_t i = 1; i < tops.size(); ++i) {
+      current = NewNode(bag, NiceNodeKind::kJoin, {current, tops[i]});
+    }
+    return current;
+  }
+
+  const Graph& g_;
+  const TreeDecomposition& td_;
+  NiceTreeDecomposition nice_;
+};
+
+}  // namespace
+
+NiceTreeDecomposition MakeNiceDecomposition(const Graph& g,
+                                            const TreeDecomposition& td) {
+  HOMPRES_CHECK(IsValidTreeDecomposition(g, td));
+  return NiceBuilder(g, td).Build();
+}
+
+bool IsValidNiceDecomposition(const Graph& g,
+                              const NiceTreeDecomposition& nice) {
+  const int n = nice.NumNodes();
+  if (n == 0 || nice.root < 0 || nice.root >= n) return false;
+  if (!nice.bags[static_cast<size_t>(nice.root)].empty()) return false;
+  // Structural kinds.
+  for (int node = 0; node < n; ++node) {
+    const auto& bag = nice.bags[static_cast<size_t>(node)];
+    const auto& children = nice.children[static_cast<size_t>(node)];
+    switch (nice.kinds[static_cast<size_t>(node)]) {
+      case NiceNodeKind::kLeaf:
+        if (!children.empty() || !bag.empty()) return false;
+        break;
+      case NiceNodeKind::kIntroduce: {
+        if (children.size() != 1) return false;
+        const auto& child_bag =
+            nice.bags[static_cast<size_t>(children[0])];
+        if (bag.size() != child_bag.size() + 1) return false;
+        if (!std::includes(bag.begin(), bag.end(), child_bag.begin(),
+                           child_bag.end())) {
+          return false;
+        }
+        break;
+      }
+      case NiceNodeKind::kForget: {
+        if (children.size() != 1) return false;
+        const auto& child_bag =
+            nice.bags[static_cast<size_t>(children[0])];
+        if (bag.size() + 1 != child_bag.size()) return false;
+        if (!std::includes(child_bag.begin(), child_bag.end(), bag.begin(),
+                           bag.end())) {
+          return false;
+        }
+        break;
+      }
+      case NiceNodeKind::kJoin: {
+        if (children.size() != 2) return false;
+        if (nice.bags[static_cast<size_t>(children[0])] != bag ||
+            nice.bags[static_cast<size_t>(children[1])] != bag) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  // Semantic validity via the unrooted view.
+  TreeDecomposition flat;
+  flat.tree = Graph(n);
+  for (int node = 0; node < n; ++node) {
+    for (int child : nice.children[static_cast<size_t>(node)]) {
+      flat.tree.AddEdge(node, child);
+    }
+  }
+  flat.bags = nice.bags;
+  return IsValidTreeDecomposition(g, flat);
+}
+
+int TreewidthLowerBoundDegeneracy(const Graph& g) {
+  std::vector<bool> removed(static_cast<size_t>(g.NumVertices()), false);
+  int degeneracy = 0;
+  for (int step = 0; step < g.NumVertices(); ++step) {
+    int best = -1;
+    int best_degree = -1;
+    for (int v = 0; v < g.NumVertices(); ++v) {
+      if (removed[static_cast<size_t>(v)]) continue;
+      int degree = 0;
+      for (int w : g.Neighbors(v)) {
+        if (!removed[static_cast<size_t>(w)]) ++degree;
+      }
+      if (best == -1 || degree < best_degree) {
+        best = v;
+        best_degree = degree;
+      }
+    }
+    degeneracy = std::max(degeneracy, best_degree);
+    removed[static_cast<size_t>(best)] = true;
+  }
+  return degeneracy;
+}
+
+}  // namespace hompres

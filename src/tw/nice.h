@@ -1,0 +1,50 @@
+// Nice tree decompositions: the normalized rooted form used by dynamic
+// programming over decompositions (leaf / introduce / forget / join
+// nodes). Not needed by the paper's proofs directly, but the natural
+// companion API for the treewidth substrate and a good stress test of the
+// decomposition invariants.
+
+#ifndef HOMPRES_TW_NICE_H_
+#define HOMPRES_TW_NICE_H_
+
+#include <vector>
+
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+
+enum class NiceNodeKind {
+  kLeaf,       // no children, empty bag
+  kIntroduce,  // one child, bag = child's bag + one vertex
+  kForget,     // one child, bag = child's bag - one vertex
+  kJoin,       // two children, both bags equal to this bag
+};
+
+struct NiceTreeDecomposition {
+  std::vector<std::vector<int>> bags;       // sorted
+  std::vector<NiceNodeKind> kinds;
+  std::vector<std::vector<int>> children;   // child node ids
+  int root = -1;                            // bag of the root is empty
+
+  int NumNodes() const { return static_cast<int>(bags.size()); }
+  int Width() const;
+};
+
+// Converts a valid decomposition of g into a nice one of the same width
+// (bags only shrink). The result is validated.
+NiceTreeDecomposition MakeNiceDecomposition(const Graph& g,
+                                            const TreeDecomposition& td);
+
+// Structural + semantic validity: node kinds are consistent, the root
+// bag is empty, and the underlying (unrooted) decomposition is valid
+// for g.
+bool IsValidNiceDecomposition(const Graph& g,
+                              const NiceTreeDecomposition& nice);
+
+// Degeneracy of g (repeatedly remove a minimum-degree vertex; the
+// maximum degree seen). A lower bound for treewidth.
+int TreewidthLowerBoundDegeneracy(const Graph& g);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_TW_NICE_H_

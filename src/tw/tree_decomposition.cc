@@ -1,0 +1,434 @@
+#include "tw/tree_decomposition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "graph/algorithms.h"
+#include "structure/gaifman.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+bool IsValidTreeDecomposition(const Graph& g, const TreeDecomposition& td) {
+  const int nodes = td.tree.NumVertices();
+  if (static_cast<int>(td.bags.size()) != nodes) return false;
+  if (nodes == 0) return g.NumVertices() == 0;
+  if (!IsTree(td.tree)) return false;
+  // (1) Every vertex occurs in a bag; (3) occurrences form a subtree.
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    std::vector<int> occurrences;
+    for (int node = 0; node < nodes; ++node) {
+      const auto& bag = td.bags[static_cast<size_t>(node)];
+      if (std::find(bag.begin(), bag.end(), v) != bag.end()) {
+        occurrences.push_back(node);
+      }
+    }
+    if (occurrences.empty()) return false;
+    if (!IsConnectedSubset(td.tree, occurrences) && occurrences.size() > 1) {
+      return false;
+    }
+  }
+  // (2) Every edge is inside some bag.
+  for (const auto& [u, v] : g.Edges()) {
+    bool covered = false;
+    for (const auto& bag : td.bags) {
+      if (std::find(bag.begin(), bag.end(), u) != bag.end() &&
+          std::find(bag.begin(), bag.end(), v) != bag.end()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Adjacency as sets, for fill-in simulation.
+std::vector<std::vector<bool>> AdjacencyMatrix(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<std::vector<bool>> adj(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), false));
+  for (const auto& [u, v] : g.Edges()) {
+    adj[static_cast<size_t>(u)][static_cast<size_t>(v)] = true;
+    adj[static_cast<size_t>(v)][static_cast<size_t>(u)] = true;
+  }
+  return adj;
+}
+
+void CheckIsPermutation(const Graph& g, const std::vector<int>& order) {
+  HOMPRES_CHECK_EQ(static_cast<int>(order.size()), g.NumVertices());
+  std::vector<bool> seen(order.size(), false);
+  for (int v : order) {
+    HOMPRES_CHECK_GE(v, 0);
+    HOMPRES_CHECK_LT(v, g.NumVertices());
+    HOMPRES_CHECK(!seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+  }
+}
+
+}  // namespace
+
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& g, const std::vector<int>& order) {
+  CheckIsPermutation(g, order);
+  const int n = g.NumVertices();
+  TreeDecomposition td;
+  if (n == 0) {
+    td.tree = Graph(1);
+    td.bags = {{}};
+    return td;
+  }
+  std::vector<std::vector<bool>> adj = AdjacencyMatrix(g);
+  std::vector<int> position(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    position[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+  }
+  // Simulate elimination, recording each vertex's bag (itself + later
+  // fill-neighbors).
+  std::vector<std::vector<int>> bags(static_cast<size_t>(n));
+  std::vector<bool> eliminated(static_cast<size_t>(n), false);
+  for (int step = 0; step < n; ++step) {
+    const int v = order[static_cast<size_t>(step)];
+    std::vector<int> later;
+    for (int w = 0; w < n; ++w) {
+      if (!eliminated[static_cast<size_t>(w)] && w != v &&
+          adj[static_cast<size_t>(v)][static_cast<size_t>(w)]) {
+        later.push_back(w);
+      }
+    }
+    bags[static_cast<size_t>(step)] = later;
+    bags[static_cast<size_t>(step)].push_back(v);
+    std::sort(bags[static_cast<size_t>(step)].begin(),
+              bags[static_cast<size_t>(step)].end());
+    // Fill in: later neighbors become a clique.
+    for (size_t i = 0; i < later.size(); ++i) {
+      for (size_t j = i + 1; j < later.size(); ++j) {
+        adj[static_cast<size_t>(later[i])][static_cast<size_t>(later[j])] =
+            true;
+        adj[static_cast<size_t>(later[j])][static_cast<size_t>(later[i])] =
+            true;
+      }
+    }
+    eliminated[static_cast<size_t>(v)] = true;
+  }
+  // Tree: node `step` (bag of order[step]) attaches to the step of its
+  // earliest-eliminated later fill-neighbor; if none (last vertex of a
+  // component), attach to the next step to keep the tree connected.
+  td.tree = Graph(n);
+  td.bags = std::move(bags);
+  for (int step = 0; step < n; ++step) {
+    const int v = order[static_cast<size_t>(step)];
+    int parent_step = -1;
+    for (int w : td.bags[static_cast<size_t>(step)]) {
+      if (w == v) continue;
+      const int pw = position[static_cast<size_t>(w)];
+      if (parent_step == -1 || pw < parent_step) parent_step = pw;
+    }
+    if (parent_step == -1 && step + 1 < n) parent_step = step + 1;
+    if (parent_step != -1) td.tree.AddEdge(step, parent_step);
+  }
+  HOMPRES_CHECK(IsValidTreeDecomposition(g, td));
+  return td;
+}
+
+int EliminationOrderWidth(const Graph& g, const std::vector<int>& order) {
+  CheckIsPermutation(g, order);
+  const int n = g.NumVertices();
+  std::vector<std::vector<bool>> adj = AdjacencyMatrix(g);
+  std::vector<bool> eliminated(static_cast<size_t>(n), false);
+  int width = n == 0 ? -1 : 0;
+  for (int step = 0; step < n; ++step) {
+    const int v = order[static_cast<size_t>(step)];
+    std::vector<int> later;
+    for (int w = 0; w < n; ++w) {
+      if (!eliminated[static_cast<size_t>(w)] && w != v &&
+          adj[static_cast<size_t>(v)][static_cast<size_t>(w)]) {
+        later.push_back(w);
+      }
+    }
+    width = std::max(width, static_cast<int>(later.size()));
+    for (size_t i = 0; i < later.size(); ++i) {
+      for (size_t j = i + 1; j < later.size(); ++j) {
+        adj[static_cast<size_t>(later[i])][static_cast<size_t>(later[j])] =
+            true;
+        adj[static_cast<size_t>(later[j])][static_cast<size_t>(later[i])] =
+            true;
+      }
+    }
+    eliminated[static_cast<size_t>(v)] = true;
+  }
+  return width;
+}
+
+namespace {
+
+// Shared skeleton for the greedy orders: `score` rates a candidate vertex
+// in the current fill graph (lower is better).
+template <typename ScoreFn>
+std::vector<int> GreedyOrder(const Graph& g, ScoreFn&& score) {
+  const int n = g.NumVertices();
+  std::vector<std::vector<bool>> adj = AdjacencyMatrix(g);
+  std::vector<bool> eliminated(static_cast<size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long long best_score = 0;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[static_cast<size_t>(v)]) continue;
+      const long long s = score(adj, eliminated, v);
+      if (best == -1 || s < best_score) {
+        best = v;
+        best_score = s;
+      }
+    }
+    // Eliminate `best`.
+    std::vector<int> later;
+    for (int w = 0; w < n; ++w) {
+      if (!eliminated[static_cast<size_t>(w)] && w != best &&
+          adj[static_cast<size_t>(best)][static_cast<size_t>(w)]) {
+        later.push_back(w);
+      }
+    }
+    for (size_t i = 0; i < later.size(); ++i) {
+      for (size_t j = i + 1; j < later.size(); ++j) {
+        adj[static_cast<size_t>(later[i])][static_cast<size_t>(later[j])] =
+            true;
+        adj[static_cast<size_t>(later[j])][static_cast<size_t>(later[i])] =
+            true;
+      }
+    }
+    eliminated[static_cast<size_t>(best)] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+long long LiveDegree(const std::vector<std::vector<bool>>& adj,
+                     const std::vector<bool>& eliminated, int v) {
+  long long degree = 0;
+  for (size_t w = 0; w < adj.size(); ++w) {
+    if (!eliminated[w] && static_cast<int>(w) != v &&
+        adj[static_cast<size_t>(v)][w]) {
+      ++degree;
+    }
+  }
+  return degree;
+}
+
+long long FillCount(const std::vector<std::vector<bool>>& adj,
+                    const std::vector<bool>& eliminated, int v) {
+  std::vector<int> neighbors;
+  for (size_t w = 0; w < adj.size(); ++w) {
+    if (!eliminated[w] && static_cast<int>(w) != v &&
+        adj[static_cast<size_t>(v)][w]) {
+      neighbors.push_back(static_cast<int>(w));
+    }
+  }
+  long long fill = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (!adj[static_cast<size_t>(neighbors[i])]
+              [static_cast<size_t>(neighbors[j])]) {
+        ++fill;
+      }
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+std::vector<int> MinDegreeOrder(const Graph& g) {
+  return GreedyOrder(g, LiveDegree);
+}
+
+std::vector<int> MinFillOrder(const Graph& g) {
+  return GreedyOrder(g, FillCount);
+}
+
+int TreewidthUpperBound(const Graph& g) {
+  return std::min(EliminationOrderWidth(g, MinDegreeOrder(g)),
+                  EliminationOrderWidth(g, MinFillOrder(g)));
+}
+
+namespace {
+
+// Memoized DP over eliminated sets. Adjacency is carried as bitmasks and
+// updated by one elimination per recursion level.
+class ExactTreewidthSolver {
+ public:
+  explicit ExactTreewidthSolver(const Graph& g) : n_(g.NumVertices()) {
+    HOMPRES_CHECK_LE(n_, 22);
+    adj_.assign(static_cast<size_t>(n_), 0);
+    for (const auto& [u, v] : g.Edges()) {
+      adj_[static_cast<size_t>(u)] |= (1u << v);
+      adj_[static_cast<size_t>(v)] |= (1u << u);
+    }
+  }
+
+  // Minimal achievable max-elimination-degree over the remaining vertices.
+  int Solve(uint32_t eliminated, const std::vector<uint32_t>& adj) {
+    if (eliminated == (n_ == 32 ? ~0u : (1u << n_) - 1u)) return 0;
+    auto it = memo_.find(eliminated);
+    if (it != memo_.end()) return it->second;
+    int best = n_;  // upper bound: degree can't exceed n-1
+    for (int v = 0; v < n_; ++v) {
+      if (eliminated & (1u << v)) continue;
+      const uint32_t live_neighbors =
+          adj[static_cast<size_t>(v)] & ~eliminated & ~(1u << v);
+      const int degree = __builtin_popcount(live_neighbors);
+      if (degree >= best) continue;  // cannot improve
+      // Eliminate v: clique its live neighborhood.
+      std::vector<uint32_t> next = adj;
+      uint32_t rest = live_neighbors;
+      while (rest != 0) {
+        const int w = __builtin_ctz(rest);
+        rest &= rest - 1;
+        next[static_cast<size_t>(w)] |= live_neighbors & ~(1u << w);
+      }
+      const int sub = Solve(eliminated | (1u << v), next);
+      best = std::min(best, std::max(degree, sub));
+    }
+    memo_[eliminated] = best;
+    return best;
+  }
+
+  // Reconstructs an optimal elimination order after Solve() has populated
+  // the memo table.
+  std::vector<int> OptimalOrder() {
+    std::vector<int> order;
+    uint32_t eliminated = 0;
+    std::vector<uint32_t> adj = adj_;
+    const int target = Solve(0, adj_);
+    int remaining_target = target;
+    while (static_cast<int>(order.size()) < n_) {
+      bool advanced = false;
+      for (int v = 0; v < n_ && !advanced; ++v) {
+        if (eliminated & (1u << v)) continue;
+        const uint32_t live =
+            adj[static_cast<size_t>(v)] & ~eliminated & ~(1u << v);
+        const int degree = __builtin_popcount(live);
+        if (degree > remaining_target) continue;
+        std::vector<uint32_t> next = adj;
+        uint32_t rest = live;
+        while (rest != 0) {
+          const int w = __builtin_ctz(rest);
+          rest &= rest - 1;
+          next[static_cast<size_t>(w)] |= live & ~(1u << w);
+        }
+        if (std::max(degree, Solve(eliminated | (1u << v), next)) <=
+            remaining_target) {
+          order.push_back(v);
+          eliminated |= (1u << v);
+          adj = std::move(next);
+          advanced = true;
+        }
+      }
+      HOMPRES_CHECK(advanced);
+    }
+    return order;
+  }
+
+  const std::vector<uint32_t>& InitialAdjacency() const { return adj_; }
+
+ private:
+  int n_;
+  std::vector<uint32_t> adj_;
+  std::unordered_map<uint32_t, int> memo_;
+};
+
+}  // namespace
+
+int ExactTreewidth(const Graph& g) {
+  if (g.NumVertices() == 0) return -1;
+  ExactTreewidthSolver solver(g);
+  return solver.Solve(0, solver.InitialAdjacency());
+}
+
+TreeDecomposition ExactTreeDecomposition(const Graph& g) {
+  if (g.NumVertices() == 0) {
+    TreeDecomposition td;
+    td.tree = Graph(1);
+    td.bags = {{}};
+    return td;
+  }
+  ExactTreewidthSolver solver(g);
+  const std::vector<int> order = solver.OptimalOrder();
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  HOMPRES_CHECK_EQ(td.Width(), ExactTreewidth(g));
+  return td;
+}
+
+TreeDecomposition HeuristicTreeDecomposition(const Graph& g) {
+  const std::vector<int> degree_order = MinDegreeOrder(g);
+  const std::vector<int> fill_order = MinFillOrder(g);
+  const std::vector<int>& better =
+      EliminationOrderWidth(g, degree_order) <=
+              EliminationOrderWidth(g, fill_order)
+          ? degree_order
+          : fill_order;
+  return DecompositionFromEliminationOrder(g, better);
+}
+
+TreeDecomposition MakeBagsIncomparable(const TreeDecomposition& td) {
+  TreeDecomposition current = td;
+  for (;;) {
+    bool contracted = false;
+    for (const auto& [u, v] : current.tree.Edges()) {
+      const auto& bag_u = current.bags[static_cast<size_t>(u)];
+      const auto& bag_v = current.bags[static_cast<size_t>(v)];
+      const bool u_in_v =
+          std::includes(bag_v.begin(), bag_v.end(), bag_u.begin(), bag_u.end());
+      const bool v_in_u =
+          std::includes(bag_u.begin(), bag_u.end(), bag_v.begin(), bag_v.end());
+      if (!u_in_v && !v_in_u) continue;
+      // Contract the smaller-bag node into the other (ties: v into u).
+      const int keep = u_in_v ? v : u;
+      const int drop = u_in_v ? u : v;
+      Graph tree = current.tree.ContractEdge(keep, drop);
+      std::vector<std::vector<int>> bags;
+      bags.reserve(current.bags.size() - 1);
+      for (int node = 0; node < current.tree.NumVertices(); ++node) {
+        if (node != drop) bags.push_back(current.bags[static_cast<size_t>(node)]);
+      }
+      current.tree = std::move(tree);
+      current.bags = std::move(bags);
+      contracted = true;
+      break;
+    }
+    if (!contracted) break;
+  }
+  // Verify the antichain property over all pairs (see Lemma 4.2's
+  // "standard manipulation"): adjacent containments are gone, and by the
+  // connectivity property that removes all containments.
+  if (current.bags.size() > 1) {
+    for (size_t i = 0; i < current.bags.size(); ++i) {
+      for (size_t j = i + 1; j < current.bags.size(); ++j) {
+        const auto& a = current.bags[i];
+        const auto& b = current.bags[j];
+        HOMPRES_CHECK(!std::includes(a.begin(), a.end(), b.begin(), b.end()));
+        HOMPRES_CHECK(!std::includes(b.begin(), b.end(), a.begin(), a.end()));
+      }
+    }
+  }
+  return current;
+}
+
+int StructureTreewidth(const Structure& a) {
+  return ExactTreewidth(GaifmanGraph(a));
+}
+
+}  // namespace hompres

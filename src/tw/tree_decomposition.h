@@ -1,0 +1,79 @@
+// Tree decompositions and treewidth (Section 2.1).
+//
+// A tree decomposition of G is a tree whose nodes are labeled with bags of
+// vertices such that (1) every vertex appears in a bag, (2) every edge is
+// inside some bag, and (3) the occurrences of each vertex form a subtree.
+// Width = max bag size - 1. The treewidth machinery here provides
+// validation, construction from elimination orders, min-degree/min-fill
+// heuristics, exact treewidth for small graphs (memoized dynamic
+// programming over eliminated sets), and the bag-antichain normalization
+// the Lemma 4.2 proof assumes.
+
+#ifndef HOMPRES_TW_TREE_DECOMPOSITION_H_
+#define HOMPRES_TW_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hompres {
+
+struct TreeDecomposition {
+  // The decomposition tree; node i has bag bags[i]. Bags are sorted.
+  Graph tree;
+  std::vector<std::vector<int>> bags;
+
+  // Max bag size - 1; -1 for an empty decomposition.
+  int Width() const;
+};
+
+// Full validity check against g (tree-ness, vertex cover, edge cover,
+// connected occurrences). The decomposition of an empty graph may have a
+// single empty bag.
+bool IsValidTreeDecomposition(const Graph& g, const TreeDecomposition& td);
+
+// Builds a tree decomposition from an elimination order (a permutation of
+// the vertices): bag(v) = {v} + the later neighbors of v in the fill-in
+// graph; v's bag hangs off the bag of its earliest later fill-neighbor.
+// The result is always valid; its width is the order's induced width.
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& g, const std::vector<int>& order);
+
+// Width induced by an elimination order (max elimination degree), without
+// building the decomposition.
+int EliminationOrderWidth(const Graph& g, const std::vector<int>& order);
+
+// Greedy heuristic orders.
+std::vector<int> MinDegreeOrder(const Graph& g);
+std::vector<int> MinFillOrder(const Graph& g);
+
+// Heuristic upper bound: min of the min-degree and min-fill widths.
+int TreewidthUpperBound(const Graph& g);
+
+// Exact treewidth via memoized DP over eliminated subsets
+// (f(S) = min_v max(deg after eliminating S, f(S + v))). Requires
+// g.NumVertices() <= 22 (the DP is 2^n).
+int ExactTreewidth(const Graph& g);
+
+// Exact treewidth together with a witnessing (validated) decomposition.
+TreeDecomposition ExactTreeDecomposition(const Graph& g);
+
+// Valid decomposition from the better of the min-degree / min-fill
+// orders; width may exceed the treewidth. Works at any size.
+TreeDecomposition HeuristicTreeDecomposition(const Graph& g);
+
+// The "standard manipulation" used in Lemma 4.2: contracts tree edges
+// whose bags are comparable until, for every pair of distinct nodes u, v,
+// both S_u - S_v and S_v - S_u are nonempty. Preserves validity and never
+// increases width. The result has at least one node.
+TreeDecomposition MakeBagsIncomparable(const TreeDecomposition& td);
+
+// Treewidth of the structure's Gaifman graph, exact (small structures).
+// Declared here to keep treewidth concerns in one header; defined in
+// tree_decomposition.cc to avoid a dependency cycle with src/structure.
+class Structure;
+int StructureTreewidth(const Structure& a);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_TW_TREE_DECOMPOSITION_H_

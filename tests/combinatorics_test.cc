@@ -1,0 +1,149 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/saturating.h"
+#include "base/subsets.h"
+#include "combinatorics/ramsey.h"
+#include "combinatorics/sunflower.h"
+#include "graph/builders.h"
+
+namespace hompres {
+namespace {
+
+TEST(Sunflower, DisjointSetsAreASunflower) {
+  std::vector<std::vector<int>> family = {{0, 1}, {2, 3}, {4, 5}};
+  const auto s = FindSunflower(family, 3);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->core.empty());
+  EXPECT_EQ(s->petals.size(), 3u);
+  EXPECT_TRUE(VerifySunflower(family, *s, 3));
+}
+
+TEST(Sunflower, CommonCoreDetected) {
+  // All sets share {9}; pairwise intersections are exactly {9}.
+  std::vector<std::vector<int>> family = {{0, 9}, {1, 9}, {2, 9}, {3, 9}};
+  const auto s = FindSunflower(family, 4);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->core, std::vector<int>{9});
+  EXPECT_TRUE(VerifySunflower(family, *s, 4));
+}
+
+TEST(Sunflower, NoSunflowerInChain) {
+  // Chain of overlapping pairs: {0,1},{1,2},{2,3}: any 3 of them are not a
+  // sunflower (intersections differ).
+  std::vector<std::vector<int>> family = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_FALSE(FindSunflower(family, 3).has_value());
+  // But 2 petals always exist here ({0,1} and {2,3} are disjoint).
+  EXPECT_TRUE(FindSunflower(family, 2).has_value());
+}
+
+TEST(Sunflower, BoundValues) {
+  EXPECT_EQ(SunflowerBound(2, 3), 8u);          // 2! * 2^2
+  EXPECT_EQ(SunflowerBound(3, 2), 6u);          // 3! * 1
+  EXPECT_EQ(SunflowerBound(0, 5), 1u);          // empty sets
+  EXPECT_EQ(SunflowerBound(30, 30), kSaturated);
+}
+
+TEST(Sunflower, GuaranteedAboveBound) {
+  // Random families of k-sets larger than k!(p-1)^k must contain a
+  // p-sunflower, and the finder must find it.
+  Rng rng(99);
+  const int k = 2;
+  const int p = 3;
+  const int universe = 40;
+  const int family_size = static_cast<int>(SunflowerBound(k, p)) + 1;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::vector<int>> family;
+    while (static_cast<int>(family.size()) < family_size) {
+      int a = static_cast<int>(rng.Uniform(universe));
+      int b = static_cast<int>(rng.Uniform(universe));
+      if (a == b) continue;
+      std::vector<int> set = {std::min(a, b), std::max(a, b)};
+      if (std::find(family.begin(), family.end(), set) == family.end()) {
+        family.push_back(std::move(set));
+      }
+    }
+    const auto s = FindSunflower(family, p);
+    ASSERT_TRUE(s.has_value()) << "trial " << trial;
+    EXPECT_TRUE(VerifySunflower(family, *s, p));
+  }
+}
+
+TEST(Sunflower, MixedSizeSetsSupported) {
+  std::vector<std::vector<int>> family = {{0}, {1, 2}, {3, 4, 5}, {6}};
+  const auto s = FindSunflower(family, 4);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(VerifySunflower(family, *s, 4));
+}
+
+TEST(Sunflower, VerifierRejectsWrongCore) {
+  std::vector<std::vector<int>> family = {{0, 9}, {1, 9}, {2, 9}};
+  Sunflower bad{.petals = {0, 1, 2}, .core = {}};
+  EXPECT_FALSE(VerifySunflower(family, bad, 3));
+  Sunflower good{.petals = {0, 1, 2}, .core = {9}};
+  EXPECT_TRUE(VerifySunflower(family, good, 3));
+}
+
+TEST(Ramsey, MonochromaticSubsetOnConstantColoring) {
+  const auto found = FindMonochromaticSubset(
+      6, 2, [](const std::vector<int>&) { return 0; }, 4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size(), 4u);
+}
+
+TEST(Ramsey, R33IsSix) {
+  // Every 2-coloring of the edges of K_6 contains a monochromatic
+  // triangle; K_5 has a coloring without one (the pentagon/pentagram).
+  // Pentagon coloring on 5 vertices: color 1 if adjacent on C_5.
+  Graph c5 = CycleGraph(5);
+  const SubsetColoring pentagon = [&c5](const std::vector<int>& pair) {
+    return c5.HasEdge(pair[0], pair[1]) ? 1 : 0;
+  };
+  EXPECT_FALSE(FindMonochromaticSubset(5, 2, pentagon, 3).has_value());
+  // For n = 6: exhaustively check a sample of colorings... instead use
+  // the graph wrapper: any graph on 6 vertices has a clique or
+  // independent set of size 3.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Graph g = RandomGraph(6, 0.5, rng);
+    bool clique = false;
+    EXPECT_TRUE(FindCliqueOrIndependentSet(g, 3, &clique).has_value());
+  }
+}
+
+TEST(Ramsey, CliqueOrIndependentSetIdentifiesKind) {
+  bool clique = false;
+  auto found = FindCliqueOrIndependentSet(CompleteGraph(5), 3, &clique);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(clique);
+  found = FindCliqueOrIndependentSet(Graph(5), 3, &clique);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_FALSE(clique);
+}
+
+TEST(Ramsey, PigeonholeBoundIsExactForK1) {
+  // r(l, 1, m) = l*m: any l-coloring of more than l*m points has a color
+  // class with more than m points.
+  EXPECT_EQ(RamseyBound(3, 1, 4), 12u);
+  // And the finder agrees: 13 points, 3 colors, class of 5 exists.
+  const auto found = FindMonochromaticSubset(
+      13, 1, [](const std::vector<int>& s) { return s[0] % 3; }, 5);
+  EXPECT_TRUE(found.has_value());
+}
+
+TEST(Ramsey, HigherBoundsSaturate) {
+  // Graph case stays finite: r(2,2,10) <= 2^20 + 2 by the stepping-up
+  // recursion from the pigeonhole base.
+  EXPECT_EQ(RamseyBound(2, 2, 10), (1u << 20) + 2u);
+  // One more level of the hierarchy overflows uint64.
+  EXPECT_EQ(RamseyBound(2, 3, 10), kSaturated);
+  EXPECT_EQ(Lemma52Bound(4, 10), kSaturated);
+  EXPECT_EQ(Theorem53Bound(5, 2, 3), kSaturated);
+  // d = 0 iterations: bound is m itself.
+  EXPECT_EQ(Theorem53Bound(5, 0, 7), 7u);
+}
+
+}  // namespace
+}  // namespace hompres

@@ -1,0 +1,175 @@
+// Tests for the Section 8 extensions: the Łoś-Tarski analogue pipeline
+// (preservation under extensions), Datalog(≠), and the structure parser.
+
+#include <gtest/gtest.h>
+
+#include "core/extension_preservation.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "fo/eval.h"
+#include "fo/parser.h"
+#include "graph/builders.h"
+#include "structure/generators.h"
+#include "structure/parser.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  std::string error;
+  auto f = ParseFormula(text, &error);
+  EXPECT_TRUE(f.has_value()) << error;
+  return *f;
+}
+
+TEST(ExtensionPreservation, MinimalModelChecks) {
+  const BooleanQuery has_loop = [](const Structure& a) {
+    for (const Tuple& t : a.Tuples(0)) {
+      if (t[0] == t[1]) return true;
+    }
+    return false;
+  };
+  Structure loop(GraphVocabulary(), 1);
+  loop.AddTuple(0, {0, 0});
+  EXPECT_TRUE(
+      IsExtensionMinimalModel(has_loop, loop, AllStructuresClass()));
+  Structure loop_plus(GraphVocabulary(), 2);
+  loop_plus.AddTuple(0, {0, 0});
+  EXPECT_FALSE(
+      IsExtensionMinimalModel(has_loop, loop_plus, AllStructuresClass()));
+}
+
+TEST(ExtensionPreservation, ExistentialSentenceEmbedsInduced) {
+  // The single-edge loop-free model: its existential sentence demands an
+  // induced copy — two DISTINCT elements with an edge; the negative
+  // diagram also demands no reverse edge and no loops on the witnesses.
+  Structure edge(GraphVocabulary(), 2);
+  edge.AddTuple(0, {0, 1});
+  FormulaPtr sentence = ExistentialSentenceFromModels({edge});
+  EXPECT_TRUE(EvaluateSentence(DirectedPathStructure(3), sentence));
+  // The 2-cycle has no INDUCED one-directional edge pair.
+  EXPECT_FALSE(EvaluateSentence(DirectedCycleStructure(2), sentence));
+  // A loop alone does not contain it either (needs 2 distinct elements).
+  Structure loop(GraphVocabulary(), 1);
+  loop.AddTuple(0, {0, 0});
+  EXPECT_FALSE(EvaluateSentence(loop, sentence));
+}
+
+TEST(ExtensionPreservation, PipelineOnExistentialSentence) {
+  // ∃x E(x,x) is trivially preserved under extensions; the pipeline must
+  // rediscover an equivalent existential sentence.
+  ExtensionPreservationResult result = ExtensionPreservationPipeline(
+      MustParse("exists x E(x,x)"), GraphVocabulary(),
+      AllStructuresClass(), /*search_universe=*/2, /*verify_universe=*/3);
+  EXPECT_TRUE(result.verified);
+  ASSERT_EQ(result.minimal_models.size(), 1u);
+  EXPECT_EQ(result.minimal_models[0].UniverseSize(), 1);
+}
+
+TEST(ExtensionPreservation, PipelineWithNegativeDiagram) {
+  // "Some element with no loop": ∃x ¬E(x,x) is preserved under
+  // extensions (the witness survives any extension) and is existential
+  // with a negated atom — exactly what the induced-diagram rendering
+  // produces.
+  ExtensionPreservationResult result = ExtensionPreservationPipeline(
+      MustParse("exists x !E(x,x)"), GraphVocabulary(),
+      AllStructuresClass(), 2, 3);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(ExtensionPreservation, NonPreservedSentenceFails) {
+  // "All elements have loops" is preserved under substructures, NOT
+  // extensions; verification must fail.
+  ExtensionPreservationResult result = ExtensionPreservationPipeline(
+      MustParse("forall x E(x,x)"), GraphVocabulary(),
+      AllStructuresClass(), 2, 3);
+  EXPECT_FALSE(result.verified);
+}
+
+TEST(ExtensionPreservation, UnsatisfiableSentence) {
+  ExtensionPreservationResult result = ExtensionPreservationPipeline(
+      MustParse("exists x (E(x,x) & !E(x,x))"), GraphVocabulary(),
+      AllStructuresClass(), 2, 2);
+  EXPECT_TRUE(result.minimal_models.empty());
+  EXPECT_TRUE(result.verified);  // false everywhere, trivially verified
+}
+
+TEST(DatalogInequality, EvaluationRespectsConstraints) {
+  // Strict reachability: S(x,y) <- E(x,y), x != y (drops loops).
+  DatalogRule rule{{"S", {"x", "y"}}, {{"E", {"x", "y"}}}, {{"x", "y"}}};
+  DatalogProgram program(GraphVocabulary(), {rule});
+  Structure edb(GraphVocabulary(), 2);
+  edb.AddTuple(0, {0, 0});
+  edb.AddTuple(0, {0, 1});
+  DatalogResult result = EvaluateNaive(program, edb);
+  EXPECT_EQ(result.idb[0].size(), 1u);
+  EXPECT_TRUE(result.idb[0].count({0, 1}) > 0);
+  EXPECT_FALSE(result.idb[0].count({0, 0}) > 0);
+  // Semi-naive agrees.
+  EXPECT_EQ(EvaluateSemiNaive(program, edb).idb, result.idb);
+}
+
+TEST(DatalogInequality, ParserAcceptsNotEquals) {
+  std::string error;
+  auto program = ParseDatalogProgram(
+      "S(x,y) <- E(x,z), E(z,y), x != y.", GraphVocabulary(), &error);
+  ASSERT_TRUE(program.has_value()) << error;
+  EXPECT_EQ(program->Rules()[0].inequalities.size(), 1u);
+  EXPECT_TRUE(program->HasInequalities());
+  // Distinct-2-step reachability on C3: every ordered pair of distinct
+  // elements.
+  DatalogResult result =
+      EvaluateNaive(*program, DirectedCycleStructure(3));
+  EXPECT_EQ(result.idb[0].size(), 3u);  // (0,2),(1,0),(2,1)
+}
+
+TEST(DatalogInequality, ParserRejectsUnboundInequality) {
+  std::string error;
+  EXPECT_FALSE(ParseDatalogProgram("S(x,y) <- E(x,y), x != z.",
+                                   GraphVocabulary(), &error)
+                   .has_value());
+}
+
+TEST(DatalogInequality, DebugStringShowsConstraint) {
+  DatalogRule rule{{"S", {"x", "y"}}, {{"E", {"x", "y"}}}, {{"x", "y"}}};
+  DatalogProgram program(GraphVocabulary(), {rule});
+  EXPECT_NE(program.DebugString().find("x != y"), std::string::npos);
+}
+
+TEST(StructureParser, RoundTripsDebugStringPayload) {
+  std::string error;
+  auto s = ParseStructure("|A|=3; E={(0 1),(1 2)}", GraphVocabulary(),
+                          &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  EXPECT_EQ(s->UniverseSize(), 3);
+  EXPECT_TRUE(s->HasTuple(0, {0, 1}));
+  EXPECT_TRUE(s->HasTuple(0, {1, 2}));
+  EXPECT_EQ(s->NumTuples(), 2);
+}
+
+TEST(StructureParser, EmptyRelationsAndNoRelations) {
+  auto s = ParseStructure("|A|=2; E={}", GraphVocabulary());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->NumTuples(), 0);
+  auto bare = ParseStructure("|A|=4", GraphVocabulary());
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->UniverseSize(), 4);
+}
+
+TEST(StructureParser, Errors) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseStructure("E={(0 1)}", GraphVocabulary(), &error).has_value());
+  EXPECT_FALSE(ParseStructure("|A|=2; F={(0 1)}", GraphVocabulary(), &error)
+                   .has_value());
+  EXPECT_FALSE(ParseStructure("|A|=2; E={(0 5)}", GraphVocabulary(), &error)
+                   .has_value());
+  EXPECT_FALSE(ParseStructure("|A|=2; E={(0 1)} junk", GraphVocabulary(),
+                              &error)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace hompres

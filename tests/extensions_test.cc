@@ -1,0 +1,332 @@
+// Tests for the extension modules: Lemma 7.3 witnesses, the density
+// probe, Gaifman/Hanf locality, the Datalog parser, nice tree
+// decompositions, treewidth lower bounds, and DOT export.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/density.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "fo/cqk.h"
+#include "fo/eval.h"
+#include "fo/locality.h"
+#include "fo/parser.h"
+#include "graph/builders.h"
+#include "graph/io.h"
+#include "structure/generators.h"
+#include "structure/isomorphism.h"
+#include "tw/nice.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  std::string error;
+  auto f = ParseFormula(text, &error);
+  EXPECT_TRUE(f.has_value()) << error;
+  return *f;
+}
+
+// ---- Lemma 7.3 -------------------------------------------------------------
+
+TEST(Lemma73, WitnessOnPathSentence) {
+  // Phi = {"path of length 2" as a CQ^2 sentence}; A = directed P5.
+  std::vector<FormulaPtr> phi = {MustParse(
+      "exists x exists y (E(x,y) & exists x E(y,x))")};
+  Structure a = DirectedPathStructure(5);
+  const auto result = Lemma73Witness(phi, GraphVocabulary(), 2, a);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->decomposition.Width(), 1);
+  EXPECT_TRUE(EvaluateSentence(result->minimal_model, phi[0]));
+}
+
+TEST(Lemma73, SurjectiveOntoMinimalModel) {
+  // When A is itself a minimal model, the homomorphism is surjective
+  // (Lemma 7.3's "furthermore"). The directed loop is the minimal model
+  // of "some edge".
+  std::vector<FormulaPtr> phi = {MustParse("exists x exists y E(x,y)")};
+  Structure loop(GraphVocabulary(), 1);
+  loop.AddTuple(0, {0, 0});
+  const auto result = Lemma73Witness(phi, GraphVocabulary(), 2, loop);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->surjective);
+}
+
+TEST(Lemma73, PaperRemarkMinimalModelsCanExceedTreewidth) {
+  // The JACM erratum to the PODS version: C3 is a minimal model of the
+  // CQ^2 path-of-length-3 sentence but has treewidth 2 >= k = 2; the
+  // corrected Lemma 7.3 only promises SOME minimal model of treewidth
+  // < k mapping onto it.
+  FormulaPtr path3 = MustParse(
+      "exists x1 exists x2 (E(x1,x2) & exists x1 (E(x2,x1) & exists x2 "
+      "E(x1,x2)))");
+  Structure c3 = DirectedCycleStructure(3);
+  ASSERT_TRUE(EvaluateSentence(c3, path3));
+  ASSERT_EQ(StructureTreewidth(c3), 2);  // >= k
+  const auto result = Lemma73Witness({path3}, GraphVocabulary(), 2, c3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->decomposition.Width(), 1);  // treewidth < 2
+  // C3 is a minimal model of the sentence, so the hom is surjective.
+  EXPECT_TRUE(result->surjective);
+}
+
+TEST(Lemma73, NoWitnessWhenNotAModel) {
+  std::vector<FormulaPtr> phi = {MustParse("exists x E(x,x)")};
+  EXPECT_FALSE(Lemma73Witness(phi, GraphVocabulary(), 1,
+                              DirectedPathStructure(3))
+                   .has_value());
+}
+
+// ---- Theorem 7.4 -----------------------------------------------------------
+
+TEST(Theorem74, SubsumedDisjunctsAreDropped) {
+  // Φ = {path1, path2, path3} as CQ^2 sentences: the union is equivalent
+  // to path1 alone, so the extraction keeps exactly one disjunct.
+  std::vector<FormulaPtr> phi = {
+      MustParse("exists x exists y E(x,y)"),
+      MustParse("exists x exists y (E(x,y) & exists x E(y,x))"),
+      MustParse(
+          "exists x exists y (E(x,y) & exists x (E(y,x) & exists y "
+          "E(x,y)))"),
+  };
+  const auto kept = Theorem74Subdisjunction(phi, GraphVocabulary(), 2);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(*kept, std::vector<int>{0});
+}
+
+TEST(Theorem74, IncomparableDisjunctsSurvive) {
+  // "some edge" and "some loop" — hmm, loop implies edge; use "path of
+  // length 2" vs "loop": loop satisfies the path disjunct (wind), so the
+  // loop's minimal models fold in. Use two genuinely incomparable CQ^1 /
+  // CQ^2 sentences over a 2-relation vocabulary instead.
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  voc.AddRelation("P", 1);
+  std::vector<FormulaPtr> phi = {
+      MustParse("exists x E(x,x)"),
+      MustParse("exists x P(x)"),
+  };
+  const auto kept = Theorem74Subdisjunction(phi, voc, 1);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(*kept, (std::vector<int>{0, 1}));
+}
+
+TEST(Theorem74, RejectsNonCqkInput) {
+  std::vector<FormulaPtr> phi = {MustParse("exists x !E(x,x)")};
+  EXPECT_FALSE(
+      Theorem74Subdisjunction(phi, GraphVocabulary(), 2).has_value());
+}
+
+// ---- Density (Theorem 3.2 probe) ------------------------------------------
+
+TEST(Density, StarProfile) {
+  Graph star = StarGraph(8);
+  // Without removals: no 2-scattered pair.
+  EXPECT_EQ(MaxScatteredAfterRemoval(star, 0, 2), 1);
+  // Removing the hub scatters all leaves.
+  EXPECT_EQ(MaxScatteredAfterRemoval(star, 1, 2), 8);
+}
+
+TEST(Density, CompleteGraphStaysDense) {
+  EXPECT_EQ(MaxScatteredAfterRemoval(CompleteGraph(6), 2, 1), 1);
+}
+
+TEST(Density, PathProfileGrows) {
+  EXPECT_GE(MaxScatteredAfterRemoval(PathGraph(13), 0, 1), 4);
+}
+
+TEST(Density, StructureWrapper) {
+  Structure s = UndirectedGraphStructure(StarGraph(6));
+  EXPECT_EQ(StructureScatterProfile(s, 1, 2), 6);
+}
+
+// ---- Locality ---------------------------------------------------------------
+
+TEST(Locality, NeighborhoodSubstructureShape) {
+  Structure p5 = DirectedPathStructure(5);
+  Structure ball = NeighborhoodSubstructure(p5, 2, 1);
+  // Ball around the middle of P5 at radius 1: 3 elements, 2 edges.
+  EXPECT_EQ(ball.UniverseSize(), 3);
+  const auto center = ball.GetVocabulary().IndexOf("@center");
+  ASSERT_TRUE(center.has_value());
+  EXPECT_TRUE(ball.HasTuple(*center, {0}));  // center is element 0
+}
+
+TEST(Locality, CensusOfCycleIsHomogeneous) {
+  // Every element of a directed cycle has the same pointed ball type.
+  Structure c6 = DirectedCycleStructure(6);
+  const HanfCensus census = ComputeHanfCensus(c6, 1);
+  ASSERT_EQ(census.types.size(), 1u);
+  EXPECT_EQ(census.counts[0], 6);
+}
+
+TEST(Locality, CensusOfPathHasEndpointTypes) {
+  // P4 radius-1 types: left end, right end, and interior (x2).
+  Structure p4 = DirectedPathStructure(4);
+  const HanfCensus census = ComputeHanfCensus(p4, 1);
+  EXPECT_EQ(census.types.size(), 3u);
+}
+
+TEST(Locality, HanfEquivalenceOfLargeCycles) {
+  // Two long directed cycles are Hanf-equivalent at any fixed radius and
+  // threshold (all elements have the same type; counts exceed the
+  // threshold on both sides).
+  Structure c8 = DirectedCycleStructure(8);
+  Structure c9 = DirectedCycleStructure(9);
+  EXPECT_TRUE(HanfEquivalent(c8, c9, 1, 4));
+  EXPECT_TRUE(HanfEquivalent(c8, c9, 2, 3));
+  // And they indeed agree on small quantifier-rank sentences.
+  for (const char* text :
+       {"exists x exists y E(x,y)", "forall x exists y E(x,y)",
+        "exists x E(x,x)"}) {
+    FormulaPtr f = MustParse(text);
+    EXPECT_EQ(EvaluateSentence(c8, f), EvaluateSentence(c9, f)) << text;
+  }
+}
+
+TEST(Locality, HanfDistinguishesPathFromCycle) {
+  Structure p8 = DirectedPathStructure(8);
+  Structure c8 = DirectedCycleStructure(8);
+  // Paths have endpoint types that cycles lack.
+  EXPECT_FALSE(HanfEquivalent(p8, c8, 1, 2));
+}
+
+TEST(Locality, ThresholdCapsCounts) {
+  // C6 vs C8: same single type with counts 6 vs 8; threshold 5 caps both.
+  Structure c6 = DirectedCycleStructure(6);
+  Structure c8 = DirectedCycleStructure(8);
+  EXPECT_TRUE(HanfEquivalent(c6, c8, 1, 5));
+  EXPECT_FALSE(HanfEquivalent(c6, c8, 1, 7));
+}
+
+// ---- Datalog parser ---------------------------------------------------------
+
+TEST(DatalogParser, ParsesTransitiveClosure) {
+  std::string error;
+  auto program = ParseDatalogProgram(
+      "T(x,y) <- E(x,y). T(x,y) <- E(x,z), T(z,y).", GraphVocabulary(),
+      &error);
+  ASSERT_TRUE(program.has_value()) << error;
+  EXPECT_EQ(program->Rules().size(), 2u);
+  EXPECT_EQ(program->TotalVariableCount(), 3);
+  // Behaves like the built-in program.
+  Structure p4 = DirectedPathStructure(4);
+  EXPECT_EQ(EvaluateNaive(*program, p4).idb[0].size(),
+            EvaluateNaive(DatalogProgram::TransitiveClosure(), p4)
+                .idb[0]
+                .size());
+}
+
+TEST(DatalogParser, SyntaxErrors) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseDatalogProgram("T(x,y <- E(x,y).", GraphVocabulary(), &error)
+          .has_value());
+  EXPECT_FALSE(ParseDatalogProgram("", GraphVocabulary(), &error)
+                   .has_value());
+  EXPECT_FALSE(
+      ParseDatalogProgram("T(x,y) E(x,y).", GraphVocabulary(), &error)
+          .has_value());
+}
+
+TEST(DatalogParser, SemanticErrorsAreGraceful) {
+  std::string error;
+  // Unsafe rule.
+  EXPECT_FALSE(ParseDatalogProgram("T(x,y) <- E(x,x).", GraphVocabulary(),
+                                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("unsafe"), std::string::npos);
+  // Unknown predicate.
+  error.clear();
+  EXPECT_FALSE(ParseDatalogProgram("T(x,y) <- F(x,y).", GraphVocabulary(),
+                                   &error)
+                   .has_value());
+  // EDB in head.
+  error.clear();
+  EXPECT_FALSE(ParseDatalogProgram("E(x,y) <- E(y,x).", GraphVocabulary(),
+                                   &error)
+                   .has_value());
+  // Inconsistent arity.
+  error.clear();
+  EXPECT_FALSE(ParseDatalogProgram(
+                   "T(x,y) <- E(x,y). T(x) <- E(x,x).", GraphVocabulary(),
+                   &error)
+                   .has_value());
+}
+
+// ---- Nice decompositions ----------------------------------------------------
+
+TEST(NiceDecomposition, PathDecomposition) {
+  Graph g = PathGraph(5);
+  TreeDecomposition td = ExactTreeDecomposition(g);
+  NiceTreeDecomposition nice = MakeNiceDecomposition(g, td);
+  EXPECT_TRUE(IsValidNiceDecomposition(g, nice));
+  EXPECT_EQ(nice.Width(), td.Width());
+}
+
+TEST(NiceDecomposition, StarHasJoinFreeForm) {
+  Graph g = StarGraph(5);
+  NiceTreeDecomposition nice =
+      MakeNiceDecomposition(g, ExactTreeDecomposition(g));
+  EXPECT_TRUE(IsValidNiceDecomposition(g, nice));
+}
+
+TEST(NiceDecomposition, RandomGraphsRoundTrip) {
+  Rng rng(91);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGraph(10, 0.3, rng);
+    TreeDecomposition td = ExactTreeDecomposition(g);
+    NiceTreeDecomposition nice = MakeNiceDecomposition(g, td);
+    EXPECT_TRUE(IsValidNiceDecomposition(g, nice));
+    EXPECT_EQ(nice.Width(), td.Width());
+  }
+}
+
+TEST(NiceDecomposition, ValidityRejectsBrokenKinds) {
+  Graph g = PathGraph(2);
+  NiceTreeDecomposition nice =
+      MakeNiceDecomposition(g, ExactTreeDecomposition(g));
+  nice.kinds[0] = NiceNodeKind::kJoin;  // corrupt
+  EXPECT_FALSE(IsValidNiceDecomposition(g, nice));
+}
+
+TEST(TreewidthBounds, DegeneracySandwich) {
+  Rng rng(93);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGraph(10, 0.3, rng);
+    const int lower = TreewidthLowerBoundDegeneracy(g);
+    const int exact = ExactTreewidth(g);
+    const int upper = TreewidthUpperBound(g);
+    EXPECT_LE(lower, exact);
+    EXPECT_LE(exact, upper);
+  }
+}
+
+TEST(TreewidthBounds, KnownDegeneracies) {
+  EXPECT_EQ(TreewidthLowerBoundDegeneracy(CompleteGraph(5)), 4);
+  EXPECT_EQ(TreewidthLowerBoundDegeneracy(PathGraph(6)), 1);
+  EXPECT_EQ(TreewidthLowerBoundDegeneracy(CycleGraph(6)), 2);
+  EXPECT_EQ(TreewidthLowerBoundDegeneracy(GridGraph(4, 4)), 2);  // < tw=4
+}
+
+// ---- DOT export ---------------------------------------------------------------
+
+TEST(Dot, GraphExportMentionsEdges) {
+  const std::string dot = GraphToDot(PathGraph(3), {1});
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, TreeDecompositionExport) {
+  Graph g = PathGraph(3);
+  const std::string dot =
+      TreeDecompositionToDot(ExactTreeDecomposition(g));
+  EXPECT_NE(dot.find("label"), std::string::npos);
+  EXPECT_NE(dot.find("graph TD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hompres

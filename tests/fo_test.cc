@@ -1,0 +1,252 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "cq/cq.h"
+#include "fo/cqk.h"
+#include "fo/ep.h"
+#include "fo/eval.h"
+#include "fo/formula.h"
+#include "fo/parser.h"
+#include "graph/builders.h"
+#include "hom/homomorphism.h"
+#include "structure/generators.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  std::string error;
+  auto f = ParseFormula(text, &error);
+  EXPECT_TRUE(f.has_value()) << error << " in: " << text;
+  return *f;
+}
+
+TEST(Formula, ToStringRoundTrip) {
+  FormulaPtr f = MustParse("exists x exists y (E(x,y) & !(x = y))");
+  EXPECT_EQ(MustParse(f->ToString())->ToString(), f->ToString());
+}
+
+TEST(Formula, FreeAndAllVariables) {
+  FormulaPtr f = MustParse("exists x (E(x,y) | E(x,z))");
+  EXPECT_EQ(FreeVariables(f), (std::set<std::string>{"y", "z"}));
+  EXPECT_EQ(AllVariables(f), (std::set<std::string>{"x", "y", "z"}));
+  EXPECT_FALSE(IsSentence(f));
+  EXPECT_TRUE(IsSentence(MustParse("exists x E(x,x)")));
+}
+
+TEST(Parser, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(ParseFormula("exists", &error).has_value());
+  EXPECT_FALSE(ParseFormula("E(x", &error).has_value());
+  EXPECT_FALSE(ParseFormula("E(x,y) extra", &error).has_value());
+  EXPECT_FALSE(ParseFormula("", &error).has_value());
+  EXPECT_FALSE(ParseFormula("(E(x,y)", &error).has_value());
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  FormulaPtr f = MustParse("E(x,y) | E(y,x) & E(x,x)");
+  EXPECT_EQ(f->Kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->Children()[1]->Kind(), FormulaKind::kAnd);
+}
+
+TEST(Eval, AtomsAndConnectives) {
+  Structure p3 = DirectedPathStructure(3);  // edges 0->1->2
+  EXPECT_TRUE(Evaluate(p3, MustParse("E(x,y)"), {{"x", 0}, {"y", 1}}));
+  EXPECT_FALSE(Evaluate(p3, MustParse("E(y,x)"), {{"x", 0}, {"y", 1}}));
+  EXPECT_TRUE(Evaluate(p3, MustParse("!E(y,x)"), {{"x", 0}, {"y", 1}}));
+  EXPECT_TRUE(Evaluate(p3, MustParse("x = x"), {{"x", 2}}));
+}
+
+TEST(Eval, Quantifiers) {
+  Structure p3 = DirectedPathStructure(3);
+  EXPECT_TRUE(EvaluateSentence(p3, MustParse("exists x exists y E(x,y)")));
+  EXPECT_FALSE(EvaluateSentence(p3, MustParse("forall x exists y E(x,y)")));
+  Structure c3 = DirectedCycleStructure(3);
+  EXPECT_TRUE(EvaluateSentence(c3, MustParse("forall x exists y E(x,y)")));
+}
+
+TEST(Eval, EmptyStructureQuantifiers) {
+  Structure empty(GraphVocabulary(), 0);
+  EXPECT_FALSE(EvaluateSentence(empty, MustParse("exists x (x = x)")));
+  EXPECT_TRUE(EvaluateSentence(empty, MustParse("forall x E(x,x)")));
+}
+
+TEST(Ep, RecognizesFragment) {
+  EXPECT_TRUE(IsExistentialPositive(
+      MustParse("exists x (E(x,x) | exists y (E(x,y) & x = y))")));
+  EXPECT_FALSE(IsExistentialPositive(MustParse("!E(x,y)")));
+  EXPECT_FALSE(IsExistentialPositive(MustParse("forall x E(x,x)")));
+  EXPECT_FALSE(IsExistentialPositive(MustParse("exists x !E(x,x)")));
+}
+
+TEST(Ep, SimpleSentenceToUcq) {
+  // "some edge or some loop".
+  FormulaPtr f = MustParse("exists x exists y E(x,y) | exists z E(z,z)");
+  auto ucq = ExistentialPositiveSentenceToUcq(f, GraphVocabulary());
+  ASSERT_TRUE(ucq.has_value());
+  EXPECT_EQ(ucq->Disjuncts().size(), 2u);
+  EXPECT_TRUE(ucq->SatisfiedBy(DirectedPathStructure(2)));
+  EXPECT_FALSE(ucq->SatisfiedBy(Structure(GraphVocabulary(), 3)));
+}
+
+TEST(Ep, ConversionAgreesWithEvaluation) {
+  // Exhaustive agreement between FO evaluation and UCQ semantics on many
+  // random structures.
+  const std::vector<std::string> sentences = {
+      "exists x exists y (E(x,y) & E(y,x))",
+      "exists x exists y exists z (E(x,y) & E(y,z)) | exists w E(w,w)",
+      "exists x (E(x,x) & exists y (E(x,y) | E(y,x)))",
+      "exists x exists y (E(x,y) & x = y)",
+      "exists x (x = x)",
+  };
+  Rng rng(5);
+  for (const auto& text : sentences) {
+    FormulaPtr f = MustParse(text);
+    auto ucq = ExistentialPositiveSentenceToUcq(f, GraphVocabulary());
+    ASSERT_TRUE(ucq.has_value()) << text;
+    for (int trial = 0; trial < 15; ++trial) {
+      Structure b = RandomStructure(GraphVocabulary(), 1 + trial % 4,
+                                    trial % 5, rng);
+      EXPECT_EQ(EvaluateSentence(b, f), ucq->SatisfiedBy(b))
+          << text << " on " << b.DebugString();
+    }
+  }
+}
+
+TEST(Ep, EmptyStructureSemantics) {
+  // ∃x (x = x) is false on the empty structure; the conversion must keep
+  // the quantified variable as a canonical element.
+  FormulaPtr f = MustParse("exists x (x = x)");
+  auto ucq = ExistentialPositiveSentenceToUcq(f, GraphVocabulary());
+  ASSERT_TRUE(ucq.has_value());
+  Structure empty(GraphVocabulary(), 0);
+  EXPECT_FALSE(ucq->SatisfiedBy(empty));
+  EXPECT_TRUE(ucq->SatisfiedBy(Structure(GraphVocabulary(), 1)));
+}
+
+TEST(Ep, FreeVariableConversion) {
+  // q(u) = "u has an out-edge or a loop".
+  FormulaPtr f = MustParse("exists y E(u,y) | E(u,u)");
+  auto ucq = ExistentialPositiveToUcq(f, GraphVocabulary(), {"u"});
+  ASSERT_TRUE(ucq.has_value());
+  Structure p3 = DirectedPathStructure(3);
+  EXPECT_EQ(ucq->Evaluate(p3), (std::vector<Tuple>{{0}, {1}}));
+}
+
+TEST(Ep, RejectsNonEpAndUnknownRelations) {
+  EXPECT_FALSE(ExistentialPositiveSentenceToUcq(
+                   MustParse("forall x E(x,x)"), GraphVocabulary())
+                   .has_value());
+  EXPECT_FALSE(ExistentialPositiveSentenceToUcq(
+                   MustParse("exists x R(x,x)"), GraphVocabulary())
+                   .has_value());
+  EXPECT_FALSE(ExistentialPositiveSentenceToUcq(
+                   MustParse("exists x E(x,x,x)"), GraphVocabulary())
+                   .has_value());
+  // Uncovered free variable.
+  EXPECT_FALSE(
+      ExistentialPositiveToUcq(MustParse("E(u,v)"), GraphVocabulary(), {"u"})
+          .has_value());
+}
+
+TEST(Ep, UcqToFormulaRoundTrip) {
+  FormulaPtr f = MustParse(
+      "exists x exists y (E(x,y) & E(y,x)) | exists z E(z,z)");
+  auto ucq = ExistentialPositiveSentenceToUcq(f, GraphVocabulary());
+  ASSERT_TRUE(ucq.has_value());
+  FormulaPtr back = UcqToFormula(*ucq);
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    Structure b =
+        RandomStructure(GraphVocabulary(), 1 + trial % 3, trial % 5, rng);
+    EXPECT_EQ(EvaluateSentence(b, f), EvaluateSentence(b, back));
+  }
+}
+
+TEST(Cqk, DistinctVariableCount) {
+  EXPECT_EQ(DistinctVariableCount(MustParse(
+                "exists x exists y (E(x,y) & exists x E(y,x))")),
+            2);
+}
+
+TEST(Cqk, RecognizesFragment) {
+  EXPECT_TRUE(IsCqkFormula(
+      MustParse("exists x exists y (E(x,y) & exists x E(y,x))"), 2));
+  EXPECT_FALSE(IsCqkFormula(MustParse("E(x,y) | E(y,x)"), 2));  // has ∨
+  EXPECT_FALSE(IsCqkFormula(
+      MustParse("exists x exists y exists z E(x,z)"), 2));  // 3 vars
+}
+
+TEST(Cqk, PaperExamplePathOfLengthThree) {
+  // Section 7.1's example: the CQ^2 sentence
+  // ∃x1 ∃x2 (E(x1,x2) ∧ ∃x1 (E(x2,x1) ∧ ∃x2 E(x1,x2)))
+  // asserts a directed path of length 3.
+  FormulaPtr f = MustParse(
+      "exists x1 exists x2 (E(x1,x2) & exists x1 (E(x2,x1) & exists x2 "
+      "E(x1,x2)))");
+  ASSERT_TRUE(IsCqkFormula(f, 2));
+  auto result = CqkCanonicalStructure(f, GraphVocabulary(), 2);
+  ASSERT_TRUE(result.has_value());
+  // Canonical structure: a directed path with 4 elements, 3 edges.
+  EXPECT_EQ(result->structure.UniverseSize(), 4);
+  EXPECT_EQ(result->structure.NumTuples(), 3);
+  EXPECT_LE(result->decomposition.Width(), 1);
+  // Equivalence: the canonical query and the formula agree everywhere.
+  Rng rng(3);
+  ConjunctiveQuery canonical_query =
+      ConjunctiveQuery::BooleanQueryOf(result->structure);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure b =
+        RandomStructure(GraphVocabulary(), 1 + trial % 4, trial % 6, rng);
+    EXPECT_EQ(EvaluateSentence(b, f), canonical_query.SatisfiedBy(b));
+  }
+}
+
+TEST(Cqk, UnusedQuantifiedVariableKeptAsElement) {
+  FormulaPtr f = MustParse("exists x exists y E(x,x)");
+  auto result = CqkCanonicalStructure(f, GraphVocabulary(), 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->structure.UniverseSize(), 2);  // y kept, isolated
+  // On the empty structure both are false; on a loop both are true.
+  Structure empty(GraphVocabulary(), 0);
+  ConjunctiveQuery q = ConjunctiveQuery::BooleanQueryOf(result->structure);
+  EXPECT_FALSE(q.SatisfiedBy(empty));
+  EXPECT_FALSE(EvaluateSentence(empty, f));
+}
+
+TEST(Cqk, RejectsNonSentencesAndWrongShape) {
+  EXPECT_FALSE(
+      CqkCanonicalStructure(MustParse("E(x,y)"), GraphVocabulary(), 2)
+          .has_value());
+  EXPECT_FALSE(CqkCanonicalStructure(
+                   MustParse("exists x (E(x,x) | E(x,x))"),
+                   GraphVocabulary(), 2)
+                   .has_value());
+}
+
+// Property: random CQ^k sentences produce valid canonical structures of
+// treewidth < k that agree with direct evaluation.
+class CqkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CqkProperty, Lemma72OnRandomSentences) {
+  Rng rng(static_cast<uint64_t>(1000 + GetParam()));
+  const int k = 2 + GetParam() % 3;  // k in {2, 3, 4}
+  FormulaPtr f = RandomCqkSentence(GraphVocabulary(), k, 5, rng);
+  auto result = CqkCanonicalStructure(f, GraphVocabulary(), k);
+  ASSERT_TRUE(result.has_value()) << f->ToString();
+  EXPECT_LE(result->decomposition.Width(), k - 1);
+  ConjunctiveQuery q = ConjunctiveQuery::BooleanQueryOf(result->structure);
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure b =
+        RandomStructure(GraphVocabulary(), 1 + trial % 3, 2 + trial, rng);
+    EXPECT_EQ(EvaluateSentence(b, f), q.SatisfiedBy(b)) << f->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqkProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace hompres

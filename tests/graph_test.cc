@@ -1,0 +1,295 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/algorithms.h"
+#include "graph/builders.h"
+#include "graph/graph.h"
+
+namespace hompres {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(1, 0));  // duplicate (undirected)
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Neighbors(1), (std::vector<int>{0, 2}));
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(Graph, EdgesAreSortedPairs) {
+  Graph g(4);
+  g.AddEdge(3, 2);
+  g.AddEdge(1, 0);
+  const auto edges = g.Edges();
+  EXPECT_EQ(edges, (std::vector<std::pair<int, int>>{{0, 1}, {2, 3}}));
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g = CycleGraph(5);
+  std::vector<int> old_to_new;
+  Graph sub = g.InducedSubgraph({0, 1, 3}, &old_to_new);
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 1);  // only 0-1 survives
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_EQ(old_to_new[3], 2);
+  EXPECT_EQ(old_to_new[2], -1);
+}
+
+TEST(Graph, RemoveVertices) {
+  Graph g = StarGraph(4);  // hub 0 with leaves 1..4
+  Graph reduced = g.RemoveVertices({0});
+  EXPECT_EQ(reduced.NumVertices(), 4);
+  EXPECT_EQ(reduced.NumEdges(), 0);
+}
+
+TEST(Graph, DisjointUnion) {
+  Graph g = PathGraph(2).DisjointUnion(PathGraph(3));
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(Graph, ContractEdge) {
+  // Contracting one edge of C_4 yields C_3 (triangle).
+  Graph c4 = CycleGraph(4);
+  Graph contracted = c4.ContractEdge(0, 1);
+  EXPECT_EQ(contracted.NumVertices(), 3);
+  EXPECT_EQ(contracted.NumEdges(), 3);
+}
+
+TEST(Graph, ContractEdgeSuppressesParallelEdges) {
+  // Contracting an edge of a triangle yields a single edge, not a
+  // multi-edge.
+  Graph triangle = CompleteGraph(3);
+  Graph contracted = triangle.ContractEdge(0, 1);
+  EXPECT_EQ(contracted.NumVertices(), 2);
+  EXPECT_EQ(contracted.NumEdges(), 1);
+}
+
+TEST(Builders, PathCycleComplete) {
+  EXPECT_EQ(PathGraph(5).NumEdges(), 4);
+  EXPECT_EQ(CycleGraph(5).NumEdges(), 5);
+  EXPECT_EQ(CompleteGraph(5).NumEdges(), 10);
+  EXPECT_EQ(CompleteGraph(5).MaxDegree(), 4);
+}
+
+TEST(Builders, CompleteBipartite) {
+  Graph g = CompleteBipartiteGraph(2, 3);
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 6);
+  EXPECT_TRUE(IsBipartite(g));
+  EXPECT_FALSE(g.HasEdge(0, 1));  // same side
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(Builders, Grid) {
+  Graph g = GridGraph(3, 4);
+  EXPECT_EQ(g.NumVertices(), 12);
+  EXPECT_EQ(g.NumEdges(), 3 * 3 + 2 * 4);  // 17
+  EXPECT_TRUE(IsBipartite(g));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(Builders, StarAndWheel) {
+  EXPECT_EQ(StarGraph(6).MaxDegree(), 6);
+  EXPECT_TRUE(IsTree(StarGraph(6)));
+  Graph w5 = WheelGraph(5);
+  EXPECT_EQ(w5.NumVertices(), 6);
+  EXPECT_EQ(w5.NumEdges(), 10);
+  EXPECT_EQ(w5.Degree(0), 5);  // hub
+}
+
+TEST(Builders, Bicycle) {
+  Graph b5 = BicycleGraph(5);
+  EXPECT_EQ(b5.NumVertices(), 6 + 4);
+  int components = 0;
+  ConnectedComponents(b5, &components);
+  EXPECT_EQ(components, 2);
+}
+
+TEST(Builders, BalancedTree) {
+  Graph t = BalancedTree(2, 3);
+  EXPECT_EQ(t.NumVertices(), 1 + 2 + 4 + 8);
+  EXPECT_TRUE(IsTree(t));
+  EXPECT_LE(t.MaxDegree(), 3);
+}
+
+TEST(Builders, Caterpillar) {
+  Graph c = CaterpillarGraph(4, 2);
+  EXPECT_EQ(c.NumVertices(), 4 + 8);
+  EXPECT_TRUE(IsTree(c));
+}
+
+TEST(Builders, RandomBoundedDegreeRespectsCap) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomBoundedDegreeGraph(30, 4, 10, rng);
+    EXPECT_LE(g.MaxDegree(), 4);
+    EXPECT_TRUE(IsConnected(g));
+  }
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  Rng rng(9);
+  for (int n : {1, 2, 10, 40}) {
+    EXPECT_TRUE(IsTree(RandomTree(n, rng)));
+  }
+}
+
+TEST(Builders, RandomKTreeBasics) {
+  Rng rng(13);
+  Graph g = RandomKTree(12, 3, rng);
+  EXPECT_EQ(g.NumVertices(), 12);
+  EXPECT_TRUE(IsConnected(g));
+  // Every k-tree on n >= k+1 vertices has kn - k(k+1)/2 edges.
+  EXPECT_EQ(g.NumEdges(), 3 * 12 - 3 * 4 / 2);
+}
+
+TEST(Builders, RandomOuterplanarIsMaximal) {
+  Rng rng(17);
+  Graph g = RandomOuterplanarGraph(8, rng);
+  // A maximal outerplanar graph on n vertices has 2n - 3 edges.
+  EXPECT_EQ(g.NumEdges(), 2 * 8 - 3);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(Builders, MycielskiShape) {
+  // Mycielskian of K2 is C5.
+  Graph m1 = MycielskiGraph(CompleteGraph(2));
+  EXPECT_EQ(m1.NumVertices(), 5);
+  EXPECT_EQ(m1.NumEdges(), 5);
+  EXPECT_TRUE(IsConnected(m1));
+  EXPECT_EQ(m1.MaxDegree(), 2);  // a cycle
+  // Grötzsch graph: 11 vertices, 20 edges.
+  Graph m2 = MycielskiGraph(m1);
+  EXPECT_EQ(m2.NumVertices(), 11);
+  EXPECT_EQ(m2.NumEdges(), 20);
+}
+
+TEST(Builders, MycielskiPreservesTriangleFreeness) {
+  // C5 is triangle-free and so is its Mycielskian (check: no K3 minor is
+  // too strong — use no triangle subgraph).
+  Graph m2 = MycielskiGraph(MycielskiGraph(CompleteGraph(2)));
+  for (int u = 0; u < m2.NumVertices(); ++u) {
+    for (int v : m2.Neighbors(u)) {
+      for (int w : m2.Neighbors(v)) {
+        if (w != u) {
+          EXPECT_FALSE(m2.HasEdge(w, u) && u < v && v < w);
+        }
+      }
+    }
+  }
+}
+
+TEST(Builders, MinorGadgetHasDegreeThree) {
+  for (int k : {2, 3, 4, 5}) {
+    Graph g = BoundedDegreeCliqueMinorGadget(k);
+    EXPECT_LE(g.MaxDegree(), 3) << "k=" << k;
+    EXPECT_TRUE(IsConnected(g)) << "k=" << k;
+  }
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  Graph g = PathGraph(5);
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Algorithms, UnreachableDistance) {
+  Graph g = PathGraph(2).DisjointUnion(PathGraph(2));
+  EXPECT_EQ(Distance(g, 0, 3), kUnreachable);
+  EXPECT_EQ(Distance(g, 0, 1), 1);
+}
+
+TEST(Algorithms, NeighborhoodBall) {
+  Graph g = PathGraph(7);
+  EXPECT_EQ(NeighborhoodBall(g, 3, 0), (std::vector<int>{3}));
+  EXPECT_EQ(NeighborhoodBall(g, 3, 2), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Algorithms, Components) {
+  Graph g = PathGraph(3).DisjointUnion(CycleGraph(3));
+  int n = 0;
+  const auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Algorithms, TreeChecks) {
+  EXPECT_TRUE(IsTree(PathGraph(4)));
+  EXPECT_FALSE(IsTree(CycleGraph(4)));
+  EXPECT_FALSE(IsTree(PathGraph(2).DisjointUnion(PathGraph(2))));
+  EXPECT_TRUE(IsAcyclic(PathGraph(2).DisjointUnion(PathGraph(2))));
+}
+
+TEST(Algorithms, ConnectedSubset) {
+  Graph g = PathGraph(5);
+  EXPECT_TRUE(IsConnectedSubset(g, {1, 2, 3}));
+  EXPECT_FALSE(IsConnectedSubset(g, {0, 2}));
+  EXPECT_FALSE(IsConnectedSubset(g, {}));
+}
+
+TEST(Algorithms, Diameter) {
+  EXPECT_EQ(Diameter(PathGraph(6)), 5);
+  EXPECT_EQ(Diameter(CompleteGraph(4)), 1);
+  EXPECT_EQ(Diameter(CycleGraph(6)), 3);
+}
+
+TEST(Algorithms, Bipartiteness) {
+  EXPECT_TRUE(IsBipartite(CycleGraph(4)));
+  EXPECT_FALSE(IsBipartite(CycleGraph(5)));
+  EXPECT_TRUE(IsBipartite(GridGraph(5, 5)));
+  EXPECT_FALSE(IsBipartite(WheelGraph(4)));
+}
+
+// Property sweep: random graphs respect basic invariants.
+class RandomGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphProperty, HandshakeAndComponentBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Graph g = RandomGraph(20, 0.2, rng);
+  int degree_sum = 0;
+  for (int v = 0; v < g.NumVertices(); ++v) degree_sum += g.Degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.NumEdges());
+  int components = 0;
+  ConnectedComponents(g, &components);
+  EXPECT_GE(components, 1);
+  EXPECT_LE(components, g.NumVertices());
+  // Forest check is consistent with edge count.
+  EXPECT_EQ(IsAcyclic(g), g.NumEdges() == g.NumVertices() - components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hompres

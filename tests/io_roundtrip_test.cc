@@ -1,0 +1,70 @@
+// Round-trip tests between the text formats, DebugString, and the
+// parsers, plus randomized structure-parser fuzz-ish checks.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "structure/generators.h"
+#include "structure/isomorphism.h"
+#include "structure/parser.h"
+#include "structure/structure.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+// DebugString emits "Structure(|A|=...; ...)" — strip the wrapper so the
+// payload parses.
+std::string Payload(const Structure& s) {
+  std::string text = s.DebugString();
+  text = text.substr(std::string("Structure(").size());
+  text.pop_back();  // trailing ')'
+  return text;
+}
+
+TEST(IoRoundTrip, DebugStringPayloadParsesBack) {
+  Rng rng(321);
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  voc.AddRelation("T", 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure original = RandomStructure(voc, 1 + trial % 5, trial % 7,
+                                         rng);
+    std::string error;
+    auto parsed = ParseStructure(Payload(original), voc, &error);
+    ASSERT_TRUE(parsed.has_value())
+        << error << " in " << Payload(original);
+    EXPECT_TRUE(original == *parsed) << Payload(original);
+  }
+}
+
+TEST(IoRoundTrip, EmptyStructure) {
+  Structure empty(GraphVocabulary(), 0);
+  auto parsed = ParseStructure(Payload(empty), GraphVocabulary());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(empty == *parsed);
+}
+
+TEST(IoRoundTrip, UnaryAndNullaryRelations) {
+  Vocabulary voc;
+  voc.AddRelation("P", 1);
+  voc.AddRelation("Q", 0);
+  Structure s(voc, 2);
+  s.AddTuple(0, {1});
+  s.AddTuple(1, {});
+  auto parsed = ParseStructure(Payload(s), voc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(s == *parsed);
+}
+
+TEST(IoRoundTrip, ParserIgnoresWhitespaceVariation) {
+  auto a = ParseStructure("|A|=3;E={(0 1),(1 2)}", GraphVocabulary());
+  auto b = ParseStructure("  |A|=3 ;  E = { ( 0 1 ) , ( 1 2 ) }  ",
+                          GraphVocabulary());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(*a == *b);
+}
+
+}  // namespace
+}  // namespace hompres

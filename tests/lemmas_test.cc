@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/saturating.h"
+#include "core/lemmas.h"
+#include "graph/builders.h"
+#include "graph/minor.h"
+#include "graph/scattered.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+namespace {
+
+TEST(Lemma34, BoundValues) {
+  EXPECT_EQ(Lemma34Bound(3, 2, 4), 36u);  // 4 * 3^2
+  EXPECT_EQ(Lemma34Bound(2, 0, 7), 7u);
+  EXPECT_EQ(Lemma34Bound(10, 30, 5), kSaturated);
+}
+
+TEST(Lemma34, GreedyFindsScatteredSetsOnBoundedDegree) {
+  Rng rng(41);
+  const int k = 3;
+  const int d = 1;
+  const int m = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    // Comfortably above the ball-packing threshold.
+    Graph g = RandomBoundedDegreeGraph(m * 30, k, 10, rng);
+    const auto s = Lemma34ScatteredSet(g, d, m);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->size(), static_cast<size_t>(m));
+    EXPECT_TRUE(IsDScattered(g, *s, d));
+  }
+}
+
+TEST(Lemma34, FailsGracefullyOnSmallDenseGraphs) {
+  EXPECT_FALSE(Lemma34ScatteredSet(CompleteGraph(6), 1, 2).has_value());
+}
+
+TEST(Lemma42, BoundGrowsAstronomically) {
+  EXPECT_EQ(Lemma42Bound(1, 0, 2), 1u);  // k=1: paths of singleton bags
+  EXPECT_EQ(Lemma42Bound(3, 1, 3), kSaturated);
+  EXPECT_NE(Lemma42Bound(1, 1, 2), kSaturated);
+}
+
+TEST(Lemma42, Case1StarDecomposition) {
+  // A star has a width-1 decomposition whose tree has a high-degree node;
+  // Case 1 removes the hub bag.
+  Graph star = StarGraph(8);
+  TreeDecomposition td = ExactTreeDecomposition(star);
+  const auto witness = Lemma42Witness(star, td, 2, 2, 5);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_LE(witness->removed.size(), 2u);
+  EXPECT_TRUE(VerifyScatteredWitness(star, *witness, 2, 2, 5));
+}
+
+TEST(Lemma42, Case2LongPath) {
+  // A long path's decomposition is a path of bags; Case 2 (sunflower on
+  // the path, empty core here) fires.
+  Graph path = PathGraph(40);
+  TreeDecomposition td = HeuristicTreeDecomposition(path);
+  const auto witness = Lemma42Witness(path, td, 2, 1, 4);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(VerifyScatteredWitness(path, *witness, 2, 1, 4));
+}
+
+TEST(Lemma42, CaterpillarsAndKTrees) {
+  Rng rng(47);
+  Graph caterpillar = CaterpillarGraph(20, 2);
+  TreeDecomposition td1 = HeuristicTreeDecomposition(caterpillar);
+  EXPECT_TRUE(Lemma42Witness(caterpillar, td1, 2, 1, 3).has_value());
+  Graph ktree = RandomKTree(20, 2, rng);
+  TreeDecomposition td2 = HeuristicTreeDecomposition(ktree);
+  const auto witness = Lemma42Witness(ktree, td2, 3, 1, 2);
+  if (witness.has_value()) {
+    EXPECT_TRUE(VerifyScatteredWitness(ktree, *witness, 3, 1, 2));
+  }
+}
+
+TEST(Lemma42, SmallGraphsReturnNullopt) {
+  Graph tiny = PathGraph(3);
+  TreeDecomposition td = ExactTreeDecomposition(tiny);
+  EXPECT_FALSE(Lemma42Witness(tiny, td, 2, 2, 3).has_value());
+}
+
+TEST(Lemma52, StarNeedsItsCenter) {
+  // Bipartite star: A = 6 leaves (side A), B = 1 center adjacent to all.
+  // Without removing the center no two leaves are 1-scattered; removing
+  // it scatters everything. K3-minor-free, so the lemma applies with
+  // k = 3: |B'| <= 1.
+  Graph h = CompleteBipartiteGraph(6, 1);
+  EXPECT_FALSE(HasCompleteMinor(h, 3));
+  const auto witness = Lemma52Witness(h, /*side_a=*/6, /*m=*/4,
+                                      /*max_b=*/1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->b_prime.size(), 1u);
+  EXPECT_GT(witness->a_prime.size(), 4u);
+  EXPECT_TRUE(VerifyBipartiteWitness(h, 6, *witness, 4, 1));
+}
+
+TEST(Lemma52, MatchingNeedsNoRemovals) {
+  // A perfect matching between sides: already 1-scattered.
+  Graph h(10);
+  for (int i = 0; i < 5; ++i) h.AddEdge(i, 5 + i);
+  const auto witness = Lemma52Witness(h, 5, 3, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->b_prime.empty());
+}
+
+TEST(Lemma52, FailsWhenMinorPresentAndBudgetTooSmall) {
+  // K_{3,3} has a K4 minor; with budget 0 and m = 1 we need 2 A-vertices
+  // without common neighbors — impossible in K_{3,3}.
+  Graph h = CompleteBipartiteGraph(3, 3);
+  EXPECT_FALSE(Lemma52Witness(h, 3, 1, 0).has_value());
+}
+
+TEST(Lemma52, BestWitnessMaximizes) {
+  Graph h = CompleteBipartiteGraph(6, 1);
+  const auto witness = Lemma52BestWitness(h, 6, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->a_prime.size(), 6u);
+}
+
+TEST(Theorem53, GridScatteredSets) {
+  // Grids are K5-minor-free; the staged construction must produce
+  // d-scattered sets after removing < 4 vertices.
+  Graph grid = GridGraph(5, 5);
+  const auto witness = Theorem53Witness(grid, /*k=*/5, /*d=*/1, /*m=*/3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_LE(witness->removed.size(), 3u);
+  EXPECT_GE(witness->scattered.size(), 3u);
+  EXPECT_TRUE(VerifyScatteredWitness(grid, *witness, 3, 1, 3));
+}
+
+TEST(Theorem53, TreesNeedNoRemovalForSmallTargets) {
+  Rng rng(53);
+  Graph tree = RandomTree(40, rng);
+  const auto witness = Theorem53Witness(tree, 3, 1, 3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(VerifyScatteredWitness(tree, *witness, 1, 1, 3));
+}
+
+TEST(Theorem53, DeeperScattering) {
+  Graph path = PathGraph(60);
+  const auto witness = Theorem53Witness(path, 3, 2, 3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(VerifyScatteredWitness(path, *witness, 1, 2, 3));
+}
+
+TEST(Theorem53, TooAmbitiousTargetsFail) {
+  EXPECT_FALSE(Theorem53Witness(CompleteGraph(5), 6, 1, 4).has_value());
+}
+
+TEST(Theorem53, BoundSaturates) {
+  EXPECT_EQ(Theorem53BoundValue(5, 1, 3), kSaturated);
+  EXPECT_EQ(Theorem53BoundValue(5, 0, 3), 3u);
+}
+
+// Property: on random planar-ish graphs (outerplanar), the construction's
+// witnesses always verify.
+class Theorem53Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem53Property, WitnessesVerifyOnOuterplanar) {
+  Rng rng(static_cast<uint64_t>(700 + GetParam()));
+  Graph g = RandomOuterplanarGraph(24, rng);
+  const auto witness = Theorem53Witness(g, 4, 1, 2);
+  if (witness.has_value()) {
+    EXPECT_TRUE(VerifyScatteredWitness(g, *witness, 2, 1, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem53Property, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hompres

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/builders.h"
+#include "graph/minor.h"
+
+namespace hompres {
+namespace {
+
+TEST(Minor, TrivialCases) {
+  EXPECT_TRUE(HasCompleteMinor(CompleteGraph(4), 0));
+  EXPECT_TRUE(HasCompleteMinor(CompleteGraph(4), 1));
+  EXPECT_TRUE(HasCompleteMinor(CompleteGraph(4), 4));
+  EXPECT_FALSE(HasCompleteMinor(CompleteGraph(4), 5));
+}
+
+TEST(Minor, EdgelessGraphHasNoK2) {
+  EXPECT_FALSE(HasCompleteMinor(Graph(5), 2));
+  EXPECT_TRUE(HasCompleteMinor(Graph(5), 1));
+}
+
+TEST(Minor, TreesExcludeK3) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph t = RandomTree(12, rng);
+    EXPECT_TRUE(HasCompleteMinor(t, 2));
+    EXPECT_FALSE(HasCompleteMinor(t, 3));
+  }
+}
+
+TEST(Minor, CycleHasK3ButNotK4) {
+  Graph c = CycleGraph(7);
+  EXPECT_TRUE(HasCompleteMinor(c, 3));
+  EXPECT_FALSE(HasCompleteMinor(c, 4));
+}
+
+TEST(Minor, PaperFactK4MinorOfK33) {
+  // Section 2.1: K_k is a minor of K_{k-1,k-1}; with k = 4, K_4 is a minor
+  // of K_{3,3}.
+  EXPECT_TRUE(HasCompleteMinor(CompleteBipartiteGraph(3, 3), 4));
+  EXPECT_FALSE(HasCompleteMinor(CompleteBipartiteGraph(3, 3), 5));
+}
+
+TEST(Minor, PaperFactKkMinorOfBipartite) {
+  // General statement for k = 5: K_5 is a minor of K_{4,4}.
+  EXPECT_TRUE(HasCompleteMinor(CompleteBipartiteGraph(4, 4), 5));
+}
+
+TEST(Minor, GridsArePlanar) {
+  Graph grid = GridGraph(3, 3);
+  EXPECT_FALSE(HasCompleteMinor(grid, 5));
+  EXPECT_TRUE(IsPlanarByMinors(grid));
+}
+
+TEST(Minor, GridHasK4Minor) {
+  EXPECT_TRUE(HasCompleteMinor(GridGraph(3, 3), 4));
+}
+
+TEST(Minor, K5AndK33NotPlanar) {
+  EXPECT_FALSE(IsPlanarByMinors(CompleteGraph(5)));
+  EXPECT_FALSE(IsPlanarByMinors(CompleteBipartiteGraph(3, 3)));
+}
+
+TEST(Minor, WheelIsPlanar) { EXPECT_TRUE(IsPlanarByMinors(WheelGraph(6))); }
+
+TEST(Minor, HadwigerNumbers) {
+  EXPECT_EQ(HadwigerNumber(CompleteGraph(5)), 5);
+  EXPECT_EQ(HadwigerNumber(CycleGraph(6)), 3);
+  EXPECT_EQ(HadwigerNumber(PathGraph(5)), 2);
+  EXPECT_EQ(HadwigerNumber(Graph(3)), 1);
+  EXPECT_EQ(HadwigerNumber(CompleteBipartiteGraph(3, 3)), 4);
+}
+
+TEST(Minor, GeneralPatternSearch) {
+  // C_4 is a minor of the 3x3 grid (contract a face boundary).
+  const auto model = FindMinor(GridGraph(3, 3), CycleGraph(4));
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(VerifyMinorModel(GridGraph(3, 3), CycleGraph(4), *model));
+}
+
+TEST(Minor, PatternLargerThanHostFails) {
+  EXPECT_FALSE(FindMinor(PathGraph(3), CompleteGraph(4)).has_value());
+}
+
+TEST(Minor, VerifierRejectsOverlapsAndDisconnections) {
+  Graph host = PathGraph(4);
+  Graph pattern = CompleteGraph(2);
+  MinorModel overlapping{.branch_sets = {{0, 1}, {1}}};
+  EXPECT_FALSE(VerifyMinorModel(host, pattern, overlapping));
+  MinorModel disconnected{.branch_sets = {{0, 2}, {1}}};
+  EXPECT_FALSE(VerifyMinorModel(host, pattern, disconnected));
+  MinorModel missing_edge{.branch_sets = {{0}, {2}}};
+  EXPECT_FALSE(VerifyMinorModel(host, pattern, missing_edge));
+  MinorModel good{.branch_sets = {{0}, {1}}};
+  EXPECT_TRUE(VerifyMinorModel(host, pattern, good));
+}
+
+TEST(Minor, Section5GadgetHasCliqueMinor) {
+  // The degree-3 gadget of Section 5 contains K_k as a minor.
+  for (int k : {3, 4, 5}) {
+    Graph gadget = BoundedDegreeCliqueMinorGadget(k);
+    EXPECT_TRUE(HasCompleteMinor(gadget, k)) << "k=" << k;
+  }
+}
+
+TEST(Minor, ContractionPreservesMinors) {
+  // Minor relation is transitive: any minor of a contraction is a minor of
+  // the original (spot-check on a grid).
+  Graph grid = GridGraph(3, 3);
+  Graph contracted = grid.ContractEdge(0, 1);
+  EXPECT_TRUE(HasCompleteMinor(grid, HadwigerNumber(contracted)));
+}
+
+// Property: Hadwiger number of a random graph is monotone under adding
+// edges.
+class MinorMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinorMonotonicity, AddingEdgesNeverLosesMinors) {
+  Rng rng(static_cast<uint64_t>(50 + GetParam()));
+  Graph g = RandomGraph(9, 0.25, rng);
+  const int before = HadwigerNumber(g);
+  // Add one random missing edge (if any).
+  for (int u = 0; u < g.NumVertices(); ++u) {
+    bool added = false;
+    for (int v = u + 1; v < g.NumVertices(); ++v) {
+      if (!g.HasEdge(u, v)) {
+        g.AddEdge(u, v);
+        added = true;
+        break;
+      }
+    }
+    if (added) break;
+  }
+  EXPECT_GE(HadwigerNumber(g), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinorMonotonicity, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hompres

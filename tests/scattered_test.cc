@@ -1,0 +1,130 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/builders.h"
+#include "graph/scattered.h"
+
+namespace hompres {
+namespace {
+
+TEST(Scattered, ZeroScatteredIsAnySet) {
+  Graph g = CompleteGraph(4);
+  EXPECT_TRUE(IsDScattered(g, {0, 1, 2, 3}, 0));
+}
+
+TEST(Scattered, AdjacentVerticesNotOneScattered) {
+  Graph g = PathGraph(3);
+  EXPECT_FALSE(IsDScattered(g, {0, 1}, 1));
+  EXPECT_FALSE(IsDScattered(g, {0, 2}, 1));  // distance 2 = 2d
+}
+
+TEST(Scattered, PathEndpointsScattered) {
+  Graph g = PathGraph(6);
+  EXPECT_TRUE(IsDScattered(g, {0, 5}, 2));  // distance 5 > 4
+  EXPECT_FALSE(IsDScattered(g, {0, 4}, 2));
+}
+
+TEST(Scattered, DifferentComponentsAlwaysScattered) {
+  Graph g = CompleteGraph(3).DisjointUnion(CompleteGraph(3));
+  EXPECT_TRUE(IsDScattered(g, {0, 3}, 10));
+}
+
+TEST(Scattered, ConflictGraphOfPath) {
+  Graph g = PathGraph(4);
+  Graph conflict = ScatterConflictGraph(g, 1);
+  // Conflict edges: pairs at distance <= 2.
+  EXPECT_TRUE(conflict.HasEdge(0, 1));
+  EXPECT_TRUE(conflict.HasEdge(0, 2));
+  EXPECT_FALSE(conflict.HasEdge(0, 3));
+}
+
+TEST(Scattered, GreedyIsScattered) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGraph(25, 0.1, rng);
+    for (int d = 0; d <= 2; ++d) {
+      const auto s = GreedyScatteredSet(g, d);
+      EXPECT_TRUE(IsDScattered(g, s, d));
+      EXPECT_FALSE(s.empty());
+    }
+  }
+}
+
+TEST(Scattered, ExactFindsKnownSize) {
+  // On P_9 with d=1, vertices {0,3,6} (pairwise distance 3 > 2) work, and
+  // the max 1-scattered set has size 3 (needs distance >= 3 between picks).
+  Graph g = PathGraph(9);
+  EXPECT_TRUE(FindScatteredSetOfSize(g, 1, 3).has_value());
+  EXPECT_FALSE(FindScatteredSetOfSize(g, 1, 4).has_value());
+  EXPECT_EQ(MaxScatteredSetSize(g, 1), 3);
+}
+
+TEST(Scattered, ExactMatchesGreedyLowerBound) {
+  Rng rng(33);
+  Graph g = RandomGraph(18, 0.15, rng);
+  const int greedy = static_cast<int>(GreedyScatteredSet(g, 1).size());
+  const int exact = MaxScatteredSetSize(g, 1);
+  EXPECT_GE(exact, greedy);
+}
+
+TEST(Scattered, StarNeedsHubRemoval) {
+  // The Section 4 motivating example: S_n has no 2-scattered pair, but
+  // removing the hub scatters everything.
+  Graph star = StarGraph(10);
+  EXPECT_FALSE(FindScatteredSetOfSize(star, 2, 2).has_value());
+  const auto witness = FindScatteredAfterRemoval(star, /*s=*/1, /*d=*/2,
+                                                 /*m=*/10);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->removed, std::vector<int>{0});
+  EXPECT_TRUE(VerifyScatteredWitness(star, *witness, 1, 2, 10));
+}
+
+TEST(Scattered, RemovalSearchPrefersSmallerRemovals) {
+  // A path needs no removals at all.
+  Graph g = PathGraph(20);
+  const auto witness = FindScatteredAfterRemoval(g, /*s=*/2, /*d=*/1,
+                                                 /*m=*/5);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->removed.empty());
+}
+
+TEST(Scattered, RemovalSearchCanFail) {
+  // K_6 minus any 1 vertex is K_5: diameter 1, no 1-scattered pair.
+  Graph g = CompleteGraph(6);
+  EXPECT_FALSE(FindScatteredAfterRemoval(g, 1, 1, 2).has_value());
+}
+
+TEST(Scattered, VerifyRejectsBadWitnesses) {
+  Graph g = PathGraph(5);
+  ScatteredWitness witness;
+  witness.removed = {};
+  witness.scattered = {0, 1};
+  EXPECT_FALSE(VerifyScatteredWitness(g, witness, 0, 1, 2));
+  witness.scattered = {0, 4};
+  EXPECT_TRUE(VerifyScatteredWitness(g, witness, 0, 1, 2));
+  // Scattered vertex inside the removal set is invalid.
+  witness.removed = {0};
+  EXPECT_FALSE(VerifyScatteredWitness(g, witness, 1, 1, 2));
+}
+
+// Lemma 3.4 property check at small scale: a graph of degree <= k with
+// more than m * k^d vertices has a d-scattered set of size m (no removal).
+class Lemma34Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma34Property, BoundedDegreeScatteredSets) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  const int k = 3;
+  const int d = 1;
+  const int m = 3;
+  const int bound = m * k * k;  // m * k^d with d=1 ... k^1, so m*k; use
+  // a safely larger size to keep the test robust:
+  Graph g = RandomBoundedDegreeGraph(bound + 10, k, 5, rng);
+  EXPECT_TRUE(FindScatteredSetOfSize(g, d, m).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma34Property, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hompres

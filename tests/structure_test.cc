@@ -1,0 +1,210 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/builders.h"
+#include "structure/gaifman.h"
+#include "structure/generators.h"
+#include "structure/isomorphism.h"
+#include "structure/structure.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+Vocabulary TwoRelationVocabulary() {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  voc.AddRelation("T", 3);
+  return voc;
+}
+
+TEST(Vocabulary, BasicAccessors) {
+  Vocabulary voc = TwoRelationVocabulary();
+  EXPECT_EQ(voc.NumRelations(), 2);
+  EXPECT_EQ(voc.Name(0), "E");
+  EXPECT_EQ(voc.Arity(1), 3);
+  EXPECT_EQ(voc.IndexOf("T"), 1);
+  EXPECT_FALSE(voc.IndexOf("missing").has_value());
+}
+
+TEST(Structure, AddAndQueryTuples) {
+  Structure a(TwoRelationVocabulary(), 3);
+  EXPECT_TRUE(a.AddTuple(0, {0, 1}));
+  EXPECT_FALSE(a.AddTuple(0, {0, 1}));
+  EXPECT_TRUE(a.AddTuple(1, {0, 1, 2}));
+  EXPECT_TRUE(a.HasTuple(0, {0, 1}));
+  EXPECT_FALSE(a.HasTuple(0, {1, 0}));
+  EXPECT_EQ(a.NumTuples(), 2);
+}
+
+TEST(Structure, TuplesAreSorted) {
+  Structure a(GraphVocabulary(), 3);
+  a.AddTuple(0, {2, 1});
+  a.AddTuple(0, {0, 1});
+  const auto& tuples = a.Tuples(0);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0], (Tuple{0, 1}));
+  EXPECT_EQ(tuples[1], (Tuple{2, 1}));
+}
+
+TEST(Structure, SubstructureRelation) {
+  Structure a = DirectedPathStructure(4);
+  Structure b = a.RemoveTuple(0, 0);
+  EXPECT_TRUE(b.IsSubstructureOf(a));
+  EXPECT_FALSE(a.IsSubstructureOf(b));
+  EXPECT_TRUE(a.IsSubstructureOf(a));
+}
+
+TEST(Structure, RemoveElementDropsIncidentTuples) {
+  Structure a = DirectedPathStructure(4);  // edges 01, 12, 23
+  std::vector<int> old_to_new;
+  Structure b = a.RemoveElement(1, &old_to_new);
+  EXPECT_EQ(b.UniverseSize(), 3);
+  EXPECT_EQ(b.NumTuples(), 1);  // only 2->3 survives, renamed 1->2
+  EXPECT_TRUE(b.HasTuple(0, {1, 2}));
+  EXPECT_EQ(old_to_new[1], -1);
+  EXPECT_EQ(old_to_new[3], 2);
+}
+
+TEST(Structure, InducedSubstructure) {
+  Structure a = DirectedCycleStructure(4);
+  Structure b = a.InducedSubstructure({0, 1, 2});
+  EXPECT_EQ(b.UniverseSize(), 3);
+  EXPECT_EQ(b.NumTuples(), 2);  // 0->1, 1->2
+}
+
+TEST(Structure, IsolatedElements) {
+  Structure a(GraphVocabulary(), 4);
+  a.AddTuple(0, {0, 1});
+  EXPECT_EQ(a.IsolatedElements(), (std::vector<int>{2, 3}));
+}
+
+TEST(Structure, DisjointUnion) {
+  Structure a = DirectedPathStructure(2);
+  Structure b = DirectedPathStructure(3);
+  Structure u = a.DisjointUnion(b);
+  EXPECT_EQ(u.UniverseSize(), 5);
+  EXPECT_EQ(u.NumTuples(), 1 + 2);
+  EXPECT_TRUE(u.HasTuple(0, {0, 1}));
+  EXPECT_TRUE(u.HasTuple(0, {2, 3}));
+  EXPECT_TRUE(u.HasTuple(0, {3, 4}));
+}
+
+TEST(Structure, Image) {
+  // Map the directed path 0->1->2 onto a single loop vertex.
+  Structure a = DirectedPathStructure(3);
+  Structure image = a.Image({0, 0, 0}, 1);
+  EXPECT_EQ(image.UniverseSize(), 1);
+  EXPECT_TRUE(image.HasTuple(0, {0, 0}));
+  EXPECT_EQ(image.NumTuples(), 1);
+}
+
+TEST(Structure, EqualityIsStructural) {
+  Structure a = DirectedPathStructure(3);
+  Structure b = DirectedPathStructure(3);
+  EXPECT_TRUE(a == b);
+  b.AddTuple(0, {2, 0});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Gaifman, UndirectedGraphRoundTrip) {
+  Graph g = CycleGraph(5);
+  Structure a = UndirectedGraphStructure(g);
+  EXPECT_EQ(GaifmanGraph(a), g);
+  EXPECT_EQ(StructureDegree(a), 2);
+}
+
+TEST(Gaifman, DirectedEdgesBecomeUndirected) {
+  Structure a = DirectedPathStructure(3);
+  Graph g = GaifmanGraph(a);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.NumEdges(), 2);
+}
+
+TEST(Gaifman, TernaryTupleMakesTriangle) {
+  Vocabulary voc = TwoRelationVocabulary();
+  Structure a(voc, 3);
+  a.AddTuple(1, {0, 1, 2});
+  Graph g = GaifmanGraph(a);
+  EXPECT_EQ(g.NumEdges(), 3);
+}
+
+TEST(Gaifman, RepeatedElementsNoLoop) {
+  Structure a(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 0});
+  EXPECT_EQ(GaifmanGraph(a).NumEdges(), 0);
+}
+
+TEST(Isomorphism, CyclesOfSameLength) {
+  Structure a = DirectedCycleStructure(5);
+  // Relabeled cycle: 0->2->4->1->3->0.
+  Structure b(GraphVocabulary(), 5);
+  b.AddTuple(0, {0, 2});
+  b.AddTuple(0, {2, 4});
+  b.AddTuple(0, {4, 1});
+  b.AddTuple(0, {1, 3});
+  b.AddTuple(0, {3, 0});
+  const auto iso = FindIsomorphism(a, b);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  // The map must send every edge to an edge.
+  for (const Tuple& t : a.Tuples(0)) {
+    EXPECT_TRUE(b.HasTuple(0, {(*iso)[static_cast<size_t>(t[0])],
+                               (*iso)[static_cast<size_t>(t[1])]}));
+  }
+}
+
+TEST(Isomorphism, DifferentSizesRejected) {
+  EXPECT_FALSE(
+      AreIsomorphic(DirectedCycleStructure(4), DirectedCycleStructure(5)));
+}
+
+TEST(Isomorphism, PathVsCycleRejected) {
+  EXPECT_FALSE(
+      AreIsomorphic(DirectedPathStructure(4), DirectedCycleStructure(4)));
+}
+
+TEST(Isomorphism, DirectionMatters) {
+  Structure a(GraphVocabulary(), 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(GraphVocabulary(), 2);
+  b.AddTuple(0, {1, 0});
+  // These are isomorphic (swap the elements).
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  // But a structure with a loop is not isomorphic to one without.
+  Structure c(GraphVocabulary(), 2);
+  c.AddTuple(0, {0, 0});
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+TEST(Isomorphism, RandomStructureIsomorphicToItsRelabeling) {
+  Rng rng(77);
+  Vocabulary voc = TwoRelationVocabulary();
+  Structure a = RandomStructure(voc, 6, 8, rng);
+  // Relabel with the permutation i -> (i + 2) mod 6.
+  std::vector<int> perm(6);
+  for (int i = 0; i < 6; ++i) perm[static_cast<size_t>(i)] = (i + 2) % 6;
+  Structure b = a.Image(perm, 6);
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(Generators, DirectedCycleAndPath) {
+  Structure c3 = DirectedCycleStructure(3);
+  EXPECT_EQ(c3.NumTuples(), 3);
+  Structure p1 = DirectedPathStructure(1);
+  EXPECT_EQ(p1.NumTuples(), 0);
+  EXPECT_EQ(p1.UniverseSize(), 1);
+}
+
+TEST(Generators, RandomStructureRespectsBudget) {
+  Rng rng(5);
+  Structure a = RandomStructure(TwoRelationVocabulary(), 5, 7, rng);
+  EXPECT_LE(static_cast<int>(a.Tuples(0).size()), 7);
+  EXPECT_LE(static_cast<int>(a.Tuples(1).size()), 7);
+}
+
+}  // namespace
+}  // namespace hompres

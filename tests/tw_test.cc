@@ -1,0 +1,196 @@
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/builders.h"
+#include "structure/generators.h"
+#include "tw/tree_decomposition.h"
+
+namespace hompres {
+namespace {
+
+TEST(TreeDecomposition, WidthOfBags) {
+  TreeDecomposition td;
+  td.tree = Graph(2);
+  td.tree.AddEdge(0, 1);
+  td.bags = {{0, 1}, {1, 2, 3}};
+  EXPECT_EQ(td.Width(), 2);
+}
+
+TEST(TreeDecomposition, ValidityAcceptsPathDecomposition) {
+  Graph g = PathGraph(4);
+  TreeDecomposition td;
+  td.tree = Graph(3);
+  td.tree.AddEdge(0, 1);
+  td.tree.AddEdge(1, 2);
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(IsValidTreeDecomposition(g, td));
+}
+
+TEST(TreeDecomposition, ValidityRejectsMissingEdge) {
+  Graph g = CycleGraph(4);
+  TreeDecomposition td;
+  td.tree = Graph(3);
+  td.tree.AddEdge(0, 1);
+  td.tree.AddEdge(1, 2);
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};  // edge {3,0} uncovered
+  EXPECT_FALSE(IsValidTreeDecomposition(g, td));
+}
+
+TEST(TreeDecomposition, ValidityRejectsDisconnectedOccurrences) {
+  Graph g = PathGraph(3);
+  TreeDecomposition td;
+  td.tree = Graph(3);
+  td.tree.AddEdge(0, 1);
+  td.tree.AddEdge(1, 2);
+  td.bags = {{0, 1}, {1, 2}, {0, 2}};  // vertex 0 occurs at nodes 0 and 2
+  EXPECT_FALSE(IsValidTreeDecomposition(g, td));
+}
+
+TEST(TreeDecomposition, ValidityRejectsNonTree) {
+  Graph g = PathGraph(2);
+  TreeDecomposition td;
+  td.tree = Graph(2);  // disconnected
+  td.bags = {{0, 1}, {1}};
+  EXPECT_FALSE(IsValidTreeDecomposition(g, td));
+}
+
+TEST(EliminationOrder, PathIsWidthOne) {
+  Graph g = PathGraph(6);
+  std::vector<int> order(6);
+  std::iota(order.begin(), order.end(), 0);
+  EXPECT_EQ(EliminationOrderWidth(g, order), 1);
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  EXPECT_TRUE(IsValidTreeDecomposition(g, td));
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(EliminationOrder, BadOrderGivesLargerWidth) {
+  // Eliminating the middle of a star first cliques all leaves.
+  Graph g = StarGraph(5);
+  std::vector<int> hub_first = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(EliminationOrderWidth(g, hub_first), 5);
+  std::vector<int> leaves_first = {1, 2, 3, 4, 5, 0};
+  EXPECT_EQ(EliminationOrderWidth(g, leaves_first), 1);
+}
+
+TEST(ExactTreewidth, KnownValues) {
+  EXPECT_EQ(ExactTreewidth(Graph(1)), 0);
+  EXPECT_EQ(ExactTreewidth(PathGraph(8)), 1);
+  EXPECT_EQ(ExactTreewidth(StarGraph(7)), 1);
+  EXPECT_EQ(ExactTreewidth(CycleGraph(8)), 2);
+  EXPECT_EQ(ExactTreewidth(CompleteGraph(5)), 4);
+  EXPECT_EQ(ExactTreewidth(CompleteBipartiteGraph(3, 3)), 3);
+  EXPECT_EQ(ExactTreewidth(WheelGraph(6)), 3);
+}
+
+TEST(ExactTreewidth, GridTreewidthIsMinDimension) {
+  EXPECT_EQ(ExactTreewidth(GridGraph(2, 5)), 2);
+  EXPECT_EQ(ExactTreewidth(GridGraph(3, 3)), 3);
+  EXPECT_EQ(ExactTreewidth(GridGraph(3, 4)), 3);
+  EXPECT_EQ(ExactTreewidth(GridGraph(4, 4)), 4);
+}
+
+TEST(ExactTreewidth, KTreesHaveTreewidthK) {
+  Rng rng(7);
+  for (int k : {1, 2, 3}) {
+    Graph g = RandomKTree(10, k, rng);
+    EXPECT_EQ(ExactTreewidth(g), k) << "k=" << k;
+  }
+}
+
+TEST(ExactTreewidth, OuterplanarAtMostTwo) {
+  Rng rng(19);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomOuterplanarGraph(10, rng);
+    EXPECT_LE(ExactTreewidth(g), 2);
+  }
+}
+
+TEST(ExactTreeDecomposition, ProducesValidOptimalDecomposition) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = RandomGraph(10, 0.3, rng);
+    TreeDecomposition td = ExactTreeDecomposition(g);
+    EXPECT_TRUE(IsValidTreeDecomposition(g, td));
+    EXPECT_EQ(td.Width(), ExactTreewidth(g));
+  }
+}
+
+TEST(Heuristics, UpperBoundIsSound) {
+  Rng rng(29);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGraph(11, 0.25, rng);
+    EXPECT_GE(TreewidthUpperBound(g), ExactTreewidth(g));
+  }
+}
+
+TEST(Heuristics, MinDegreeExactOnTrees) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph t = RandomTree(15, rng);
+    EXPECT_EQ(EliminationOrderWidth(t, MinDegreeOrder(t)), 1);
+  }
+}
+
+TEST(MakeBagsIncomparable, RemovesContainments) {
+  Graph g = PathGraph(4);
+  TreeDecomposition td;
+  td.tree = Graph(4);
+  td.tree.AddEdge(0, 1);
+  td.tree.AddEdge(1, 2);
+  td.tree.AddEdge(2, 3);
+  td.bags = {{0, 1}, {1}, {1, 2}, {2, 3}};  // bag 1 contained in bag 0
+  TreeDecomposition cleaned = MakeBagsIncomparable(td);
+  EXPECT_TRUE(IsValidTreeDecomposition(g, cleaned));
+  EXPECT_EQ(cleaned.bags.size(), 3u);
+  EXPECT_LE(cleaned.Width(), td.Width());
+}
+
+TEST(MakeBagsIncomparable, SingleBagSurvives) {
+  Graph g = CompleteGraph(3);
+  TreeDecomposition td;
+  td.tree = Graph(2);
+  td.tree.AddEdge(0, 1);
+  td.bags = {{0, 1, 2}, {0, 1, 2}};
+  TreeDecomposition cleaned = MakeBagsIncomparable(td);
+  EXPECT_EQ(cleaned.bags.size(), 1u);
+  EXPECT_TRUE(IsValidTreeDecomposition(g, cleaned));
+}
+
+TEST(MakeBagsIncomparable, PreservesAlreadyCleanDecompositions) {
+  Graph g = PathGraph(4);
+  std::vector<int> order(4);
+  std::iota(order.begin(), order.end(), 0);
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  TreeDecomposition cleaned = MakeBagsIncomparable(td);
+  EXPECT_TRUE(IsValidTreeDecomposition(g, cleaned));
+}
+
+TEST(StructureTreewidth, MatchesGaifmanGraph) {
+  EXPECT_EQ(StructureTreewidth(DirectedCycleStructure(3)), 2);
+  EXPECT_EQ(StructureTreewidth(DirectedPathStructure(5)), 1);
+  EXPECT_EQ(
+      StructureTreewidth(UndirectedGraphStructure(CompleteGraph(4))), 3);
+}
+
+// Property: treewidth of a random graph sits between clique-minor-based
+// lower bounds and the heuristic upper bound, and removing a vertex never
+// increases it.
+class TreewidthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreewidthProperty, MonotoneUnderVertexDeletion) {
+  Rng rng(static_cast<uint64_t>(400 + GetParam()));
+  Graph g = RandomGraph(9, 0.35, rng);
+  const int tw = ExactTreewidth(g);
+  Graph smaller = g.RemoveVertices({0});
+  EXPECT_LE(ExactTreewidth(smaller), tw);
+  EXPECT_LE(tw, TreewidthUpperBound(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreewidthProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hompres
