@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bipartite_minor.dir/bench_bipartite_minor.cc.o"
+  "CMakeFiles/bench_bipartite_minor.dir/bench_bipartite_minor.cc.o.d"
+  "bench_bipartite_minor"
+  "bench_bipartite_minor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bipartite_minor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chandra_merlin.dir/bench_chandra_merlin.cc.o"
+  "CMakeFiles/bench_chandra_merlin.dir/bench_chandra_merlin.cc.o.d"
+  "bench_chandra_merlin"
+  "bench_chandra_merlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chandra_merlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

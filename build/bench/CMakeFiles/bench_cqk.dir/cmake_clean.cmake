@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cqk.dir/bench_cqk.cc.o"
+  "CMakeFiles/bench_cqk.dir/bench_cqk.cc.o.d"
+  "bench_cqk"
+  "bench_cqk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimal_models.dir/bench_minimal_models.cc.o"
+  "CMakeFiles/bench_minimal_models.dir/bench_minimal_models.cc.o.d"
+  "bench_minimal_models"
+  "bench_minimal_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimal_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scattered_degree.dir/bench_scattered_degree.cc.o"
+  "CMakeFiles/bench_scattered_degree.dir/bench_scattered_degree.cc.o.d"
+  "bench_scattered_degree"
+  "bench_scattered_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scattered_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scattered_minor.dir/bench_scattered_minor.cc.o"
+  "CMakeFiles/bench_scattered_minor.dir/bench_scattered_minor.cc.o.d"
+  "bench_scattered_minor"
+  "bench_scattered_minor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scattered_minor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

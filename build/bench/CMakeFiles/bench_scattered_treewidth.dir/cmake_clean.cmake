@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scattered_treewidth.dir/bench_scattered_treewidth.cc.o"
+  "CMakeFiles/bench_scattered_treewidth.dir/bench_scattered_treewidth.cc.o.d"
+  "bench_scattered_treewidth"
+  "bench_scattered_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scattered_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

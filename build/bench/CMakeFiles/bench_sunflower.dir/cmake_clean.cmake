@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sunflower.dir/bench_sunflower.cc.o"
+  "CMakeFiles/bench_sunflower.dir/bench_sunflower.cc.o.d"
+  "bench_sunflower"
+  "bench_sunflower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sunflower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

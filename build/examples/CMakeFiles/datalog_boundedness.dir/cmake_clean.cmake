@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_boundedness.dir/datalog_boundedness.cpp.o"
+  "CMakeFiles/datalog_boundedness.dir/datalog_boundedness.cpp.o.d"
+  "datalog_boundedness"
+  "datalog_boundedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_boundedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

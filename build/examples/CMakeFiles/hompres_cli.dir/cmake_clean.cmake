@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hompres_cli.dir/hompres_cli.cpp.o"
+  "CMakeFiles/hompres_cli.dir/hompres_cli.cpp.o.d"
+  "hompres_cli"
+  "hompres_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hompres_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

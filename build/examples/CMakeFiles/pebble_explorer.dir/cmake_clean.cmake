@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_explorer.dir/pebble_explorer.cpp.o"
+  "CMakeFiles/pebble_explorer.dir/pebble_explorer.cpp.o.d"
+  "pebble_explorer"
+  "pebble_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preservation_pipeline.dir/preservation_pipeline.cpp.o"
+  "CMakeFiles/preservation_pipeline.dir/preservation_pipeline.cpp.o.d"
+  "preservation_pipeline"
+  "preservation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preservation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

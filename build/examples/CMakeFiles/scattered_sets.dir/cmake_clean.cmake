@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scattered_sets.dir/scattered_sets.cpp.o"
+  "CMakeFiles/scattered_sets.dir/scattered_sets.cpp.o.d"
+  "scattered_sets"
+  "scattered_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scattered_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scattered_sets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/subsets.cc" "src/CMakeFiles/hompres.dir/base/subsets.cc.o" "gcc" "src/CMakeFiles/hompres.dir/base/subsets.cc.o.d"
+  "/root/repo/src/combinatorics/ramsey.cc" "src/CMakeFiles/hompres.dir/combinatorics/ramsey.cc.o" "gcc" "src/CMakeFiles/hompres.dir/combinatorics/ramsey.cc.o.d"
+  "/root/repo/src/combinatorics/sunflower.cc" "src/CMakeFiles/hompres.dir/combinatorics/sunflower.cc.o" "gcc" "src/CMakeFiles/hompres.dir/combinatorics/sunflower.cc.o.d"
+  "/root/repo/src/core/classes.cc" "src/CMakeFiles/hompres.dir/core/classes.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/classes.cc.o.d"
+  "/root/repo/src/core/density.cc" "src/CMakeFiles/hompres.dir/core/density.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/density.cc.o.d"
+  "/root/repo/src/core/extension_preservation.cc" "src/CMakeFiles/hompres.dir/core/extension_preservation.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/extension_preservation.cc.o.d"
+  "/root/repo/src/core/lemmas.cc" "src/CMakeFiles/hompres.dir/core/lemmas.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/lemmas.cc.o.d"
+  "/root/repo/src/core/minimal_models.cc" "src/CMakeFiles/hompres.dir/core/minimal_models.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/minimal_models.cc.o.d"
+  "/root/repo/src/core/plebian.cc" "src/CMakeFiles/hompres.dir/core/plebian.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/plebian.cc.o.d"
+  "/root/repo/src/core/preservation.cc" "src/CMakeFiles/hompres.dir/core/preservation.cc.o" "gcc" "src/CMakeFiles/hompres.dir/core/preservation.cc.o.d"
+  "/root/repo/src/cq/cq.cc" "src/CMakeFiles/hompres.dir/cq/cq.cc.o" "gcc" "src/CMakeFiles/hompres.dir/cq/cq.cc.o.d"
+  "/root/repo/src/cq/decomposed_eval.cc" "src/CMakeFiles/hompres.dir/cq/decomposed_eval.cc.o" "gcc" "src/CMakeFiles/hompres.dir/cq/decomposed_eval.cc.o.d"
+  "/root/repo/src/cq/ucq.cc" "src/CMakeFiles/hompres.dir/cq/ucq.cc.o" "gcc" "src/CMakeFiles/hompres.dir/cq/ucq.cc.o.d"
+  "/root/repo/src/datalog/eval.cc" "src/CMakeFiles/hompres.dir/datalog/eval.cc.o" "gcc" "src/CMakeFiles/hompres.dir/datalog/eval.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/hompres.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/hompres.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/hompres.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/hompres.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/stages.cc" "src/CMakeFiles/hompres.dir/datalog/stages.cc.o" "gcc" "src/CMakeFiles/hompres.dir/datalog/stages.cc.o.d"
+  "/root/repo/src/fo/cqk.cc" "src/CMakeFiles/hompres.dir/fo/cqk.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/cqk.cc.o.d"
+  "/root/repo/src/fo/ep.cc" "src/CMakeFiles/hompres.dir/fo/ep.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/ep.cc.o.d"
+  "/root/repo/src/fo/eval.cc" "src/CMakeFiles/hompres.dir/fo/eval.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/eval.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/CMakeFiles/hompres.dir/fo/formula.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/formula.cc.o.d"
+  "/root/repo/src/fo/locality.cc" "src/CMakeFiles/hompres.dir/fo/locality.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/locality.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/CMakeFiles/hompres.dir/fo/parser.cc.o" "gcc" "src/CMakeFiles/hompres.dir/fo/parser.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/hompres.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/builders.cc" "src/CMakeFiles/hompres.dir/graph/builders.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/builders.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/hompres.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/hompres.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/minor.cc" "src/CMakeFiles/hompres.dir/graph/minor.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/minor.cc.o.d"
+  "/root/repo/src/graph/scattered.cc" "src/CMakeFiles/hompres.dir/graph/scattered.cc.o" "gcc" "src/CMakeFiles/hompres.dir/graph/scattered.cc.o.d"
+  "/root/repo/src/hom/core.cc" "src/CMakeFiles/hompres.dir/hom/core.cc.o" "gcc" "src/CMakeFiles/hompres.dir/hom/core.cc.o.d"
+  "/root/repo/src/hom/homomorphism.cc" "src/CMakeFiles/hompres.dir/hom/homomorphism.cc.o" "gcc" "src/CMakeFiles/hompres.dir/hom/homomorphism.cc.o.d"
+  "/root/repo/src/pebble/pebble_game.cc" "src/CMakeFiles/hompres.dir/pebble/pebble_game.cc.o" "gcc" "src/CMakeFiles/hompres.dir/pebble/pebble_game.cc.o.d"
+  "/root/repo/src/structure/gaifman.cc" "src/CMakeFiles/hompres.dir/structure/gaifman.cc.o" "gcc" "src/CMakeFiles/hompres.dir/structure/gaifman.cc.o.d"
+  "/root/repo/src/structure/generators.cc" "src/CMakeFiles/hompres.dir/structure/generators.cc.o" "gcc" "src/CMakeFiles/hompres.dir/structure/generators.cc.o.d"
+  "/root/repo/src/structure/isomorphism.cc" "src/CMakeFiles/hompres.dir/structure/isomorphism.cc.o" "gcc" "src/CMakeFiles/hompres.dir/structure/isomorphism.cc.o.d"
+  "/root/repo/src/structure/parser.cc" "src/CMakeFiles/hompres.dir/structure/parser.cc.o" "gcc" "src/CMakeFiles/hompres.dir/structure/parser.cc.o.d"
+  "/root/repo/src/structure/structure.cc" "src/CMakeFiles/hompres.dir/structure/structure.cc.o" "gcc" "src/CMakeFiles/hompres.dir/structure/structure.cc.o.d"
+  "/root/repo/src/tw/nice.cc" "src/CMakeFiles/hompres.dir/tw/nice.cc.o" "gcc" "src/CMakeFiles/hompres.dir/tw/nice.cc.o.d"
+  "/root/repo/src/tw/tree_decomposition.cc" "src/CMakeFiles/hompres.dir/tw/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/hompres.dir/tw/tree_decomposition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposed_eval_test.dir/decomposed_eval_test.cc.o"
+  "CMakeFiles/decomposed_eval_test.dir/decomposed_eval_test.cc.o.d"
+  "decomposed_eval_test"
+  "decomposed_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposed_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_test.dir/hom_test.cc.o"
+  "CMakeFiles/hom_test.dir/hom_test.cc.o.d"
+  "hom_test"
+  "hom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

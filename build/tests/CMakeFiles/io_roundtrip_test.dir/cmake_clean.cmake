@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_roundtrip_test.dir/io_roundtrip_test.cc.o"
+  "CMakeFiles/io_roundtrip_test.dir/io_roundtrip_test.cc.o.d"
+  "io_roundtrip_test"
+  "io_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

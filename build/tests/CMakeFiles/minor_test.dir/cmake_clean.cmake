@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minor_test.dir/minor_test.cc.o"
+  "CMakeFiles/minor_test.dir/minor_test.cc.o.d"
+  "minor_test"
+  "minor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scattered_test.dir/scattered_test.cc.o"
+  "CMakeFiles/scattered_test.dir/scattered_test.cc.o.d"
+  "scattered_test"
+  "scattered_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scattered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
