@@ -2,7 +2,7 @@
 // structures in the text format, then query them: homomorphisms, cores,
 // treewidth, FO evaluation, Datalog, scattered sets.
 //
-//   ./build/examples/hompres_cli
+//   ./build/examples/hompres_cli [--timeout-ms <n>] [--max-steps <n>]
 //   > let a = |A|=3; E={(0 1),(1 2),(2 0)}
 //   > let b = |A|=2; E={(0 1),(1 0)}
 //   > hom a b
@@ -10,13 +10,25 @@
 //   > eval a exists x E(x,x)
 //   > tw a
 //   > help
+//
+// --timeout-ms / --max-steps bound every search command; a search that
+// hits the budget prints "budget exhausted" instead of hanging.
+//
+// Exit codes: 0 = all commands completed, 2 = some command exhausted its
+// budget, 3 = some input failed to parse (parse errors win over budget
+// exhaustion).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "base/budget.h"
+#include "base/outcome.h"
+#include "base/parse_error.h"
 #include "core/preservation.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -34,6 +46,36 @@ namespace {
 
 using namespace hompres;
 
+constexpr int kExitDone = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitExhausted = 2;
+constexpr int kExitParseError = 3;
+
+struct CliLimits {
+  uint64_t max_steps = 0;       // 0 = unlimited
+  uint64_t timeout_ms = 0;      // 0 = unlimited
+};
+
+Budget MakeBudget(const CliLimits& limits) {
+  Budget budget = Budget::Unlimited();
+  if (limits.max_steps != 0) budget.WithMaxSteps(limits.max_steps);
+  if (limits.timeout_ms != 0) {
+    budget.WithTimeout(std::chrono::milliseconds(limits.timeout_ms));
+  }
+  return budget;
+}
+
+void PrintExhausted(const BudgetReport& report) {
+  std::printf(
+      "budget exhausted (%s after %llu steps, %lld ms)\n",
+      StopReasonName(report.reason),
+      static_cast<unsigned long long>(report.steps_used),
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              report.elapsed)
+              .count()));
+}
+
 void PrintHelp() {
   std::printf(
       "commands (vocabulary is {E/2}):\n"
@@ -49,11 +91,49 @@ void PrintHelp() {
       "  help | quit\n");
 }
 
+// Overflow-checked flag-value parse (no exceptions).
+bool ParseUint64(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  uint64_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliLimits limits;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t* target = nullptr;
+    if (std::strcmp(arg, "--timeout-ms") == 0) {
+      target = &limits.timeout_ms;
+    } else if (std::strcmp(arg, "--max-steps") == 0) {
+      target = &limits.max_steps;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --timeout-ms <n>, "
+                   "--max-steps <n>)\n",
+                   arg);
+      return kExitUsage;
+    }
+    if (i + 1 >= argc || !ParseUint64(argv[i + 1], target)) {
+      std::fprintf(stderr, "flag '%s' needs a non-negative integer\n", arg);
+      return kExitUsage;
+    }
+    ++i;
+  }
+
   std::map<std::string, Structure> environment;
   const Vocabulary voc = GraphVocabulary();
+  bool saw_parse_error = false;
+  bool saw_exhausted = false;
   PrintHelp();
   std::string line;
   std::printf("> ");
@@ -71,11 +151,13 @@ int main() {
       in >> name >> equals;
       std::string rest;
       std::getline(in, rest);
-      std::string error;
+      ParseError error;
       auto s = ParseStructure(rest, voc, &error);
       if (equals != "=" || !s.has_value()) {
-        std::printf("error: %s\n", error.empty() ? "usage: let x = |A|=..."
-                                                 : error.c_str());
+        saw_parse_error = true;
+        std::printf("parse error: %s\n",
+                    error.message.empty() ? "usage: let x = |A|=..."
+                                          : error.ToString().c_str());
       } else {
         environment.insert_or_assign(name, std::move(*s));
         std::printf("ok\n");
@@ -89,7 +171,14 @@ int main() {
       } else if (command == "show") {
         std::printf("%s\n", it->second.DebugString().c_str());
       } else if (command == "core") {
-        std::printf("%s\n", ComputeCore(it->second).DebugString().c_str());
+        Budget budget = MakeBudget(limits);
+        auto core = ComputeCoreBudgeted(it->second, budget);
+        if (!core.IsDone()) {
+          saw_exhausted = true;
+          PrintExhausted(core.Report());
+        } else {
+          std::printf("%s\n", core.Value().DebugString().c_str());
+        }
       } else {
         std::printf("treewidth = %d\n", StructureTreewidth(it->second));
       }
@@ -102,14 +191,19 @@ int main() {
       if (ita == environment.end() || itb == environment.end()) {
         std::printf("error: unknown structure\n");
       } else {
-        auto h = FindHomomorphism(ita->second, itb->second);
-        if (!h.has_value()) {
+        Budget budget = MakeBudget(limits);
+        auto h = FindHomomorphismBudgeted(ita->second, itb->second, budget);
+        if (!h.IsDone()) {
+          saw_exhausted = true;
+          PrintExhausted(h.Report());
+        } else if (!h.Value().has_value()) {
           std::printf("no homomorphism\n");
         } else {
           std::printf("h = [");
-          for (size_t i = 0; i < h->size(); ++i) {
+          const auto& map = *h.Value();
+          for (size_t i = 0; i < map.size(); ++i) {
             std::printf("%s%d->%d", i ? ", " : "", static_cast<int>(i),
-                        (*h)[i]);
+                        map[i]);
           }
           std::printf("]\n");
         }
@@ -120,14 +214,21 @@ int main() {
       std::string rest;
       std::getline(in, rest);
       auto it = environment.find(name);
-      std::string error;
+      ParseError error;
       auto f = ParseFormula(rest, &error);
+      std::string vocabulary_error;
       if (it == environment.end()) {
         std::printf("error: unknown structure '%s'\n", name.c_str());
       } else if (!f.has_value()) {
-        std::printf("parse error: %s\n", error.c_str());
+        saw_parse_error = true;
+        std::printf("parse error: %s\n", error.ToString().c_str());
       } else if (!IsSentence(*f)) {
-        std::printf("error: formula has free variables\n");
+        saw_parse_error = true;
+        std::printf("parse error: formula has free variables\n");
+      } else if (!ValidateFormulaForVocabulary(*f, voc,
+                                               &vocabulary_error)) {
+        saw_parse_error = true;
+        std::printf("parse error: %s\n", vocabulary_error.c_str());
       } else {
         std::printf("%s\n",
                     EvaluateSentence(it->second, *f) ? "true" : "false");
@@ -138,26 +239,35 @@ int main() {
       std::string rest;
       std::getline(in, rest);
       auto it = environment.find(name);
-      std::string error;
+      ParseError error;
       auto program = ParseDatalogProgram(rest, voc, &error);
       if (it == environment.end()) {
         std::printf("error: unknown structure '%s'\n", name.c_str());
       } else if (!program.has_value()) {
-        std::printf("parse error: %s\n", error.c_str());
+        saw_parse_error = true;
+        std::printf("parse error: %s\n", error.ToString().c_str());
       } else {
-        DatalogResult result = EvaluateSemiNaive(*program, it->second);
-        for (int idb = 0; idb < program->Idb().NumRelations(); ++idb) {
-          std::printf("%s:", program->Idb().Name(idb).c_str());
-          for (const Tuple& t : result.idb[static_cast<size_t>(idb)]) {
-            std::printf(" (");
-            for (size_t i = 0; i < t.size(); ++i) {
-              std::printf("%s%d", i ? " " : "", t[i]);
+        Budget budget = MakeBudget(limits);
+        auto outcome =
+            EvaluateSemiNaiveBudgeted(*program, it->second, budget);
+        if (!outcome.IsDone()) {
+          saw_exhausted = true;
+          PrintExhausted(outcome.Report());
+        } else {
+          const DatalogResult& result = outcome.Value();
+          for (int idb = 0; idb < program->Idb().NumRelations(); ++idb) {
+            std::printf("%s:", program->Idb().Name(idb).c_str());
+            for (const Tuple& t : result.idb[static_cast<size_t>(idb)]) {
+              std::printf(" (");
+              for (size_t i = 0; i < t.size(); ++i) {
+                std::printf("%s%d", i ? " " : "", t[i]);
+              }
+              std::printf(")");
             }
-            std::printf(")");
+            std::printf("\n");
           }
-          std::printf("\n");
+          std::printf("fixpoint after %d stage(s)\n", result.stages);
         }
-        std::printf("fixpoint after %d stage(s)\n", result.stages);
       }
     } else if (command == "scattered") {
       std::string name;
@@ -169,19 +279,28 @@ int main() {
         std::printf("error: usage: scattered <name> <s> <d>\n");
       } else {
         const Graph g = GaifmanGraph(it->second);
-        const auto witness =
-            FindScatteredAfterRemoval(g, s, d, /*m=*/1);
+        Budget budget = MakeBudget(limits);
         int best = 0;
+        bool exhausted = false;
         for (int m = 1; m <= g.NumVertices(); ++m) {
-          if (FindScatteredAfterRemoval(g, s, d, m).has_value()) {
+          auto witness = FindScatteredAfterRemovalBudgeted(g, s, d, m,
+                                                           budget);
+          if (!witness.IsDone()) {
+            exhausted = true;
+            saw_exhausted = true;
+            PrintExhausted(witness.Report());
+            break;
+          }
+          if (witness.Value().has_value()) {
             best = m;
           } else {
             break;
           }
         }
-        (void)witness;
-        std::printf("max %d-scattered set after removing <= %d: %d\n", d, s,
-                    best);
+        if (!exhausted) {
+          std::printf("max %d-scattered set after removing <= %d: %d\n", d,
+                      s, best);
+        }
       }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
@@ -189,5 +308,7 @@ int main() {
     std::printf("> ");
     std::fflush(stdout);
   }
-  return 0;
+  if (saw_parse_error) return kExitParseError;
+  if (saw_exhausted) return kExitExhausted;
+  return kExitDone;
 }

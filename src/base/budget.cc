@@ -1,0 +1,21 @@
+#include "base/budget.h"
+
+namespace hompres {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kSteps:
+      return "steps";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemory:
+      return "memory";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace hompres

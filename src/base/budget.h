@@ -1,0 +1,166 @@
+// Execution budgets for the library's exponential procedures.
+//
+// Every core procedure the paper makes effective — homomorphism search,
+// core computation, the existential k-pebble game, minor containment,
+// minimal-model enumeration, Datalog fixpoints — is worst-case
+// exponential (and necessarily so: the bounds behind these constructions
+// are non-elementary in general). A `Budget` turns each of them from
+// "hope the input is small" into a governed computation: callers set a
+// wall-clock deadline, a step budget, an optional cooperative memory
+// budget, and/or an external cancellation flag, the search polls
+// `Checkpoint()` at every unit of work, and the caller receives an
+// `Outcome` (see base/outcome.h) saying whether the procedure finished or
+// where it stopped.
+//
+// A Budget is a mutable accumulator: it is consumed by one logical
+// operation (possibly spanning several library calls, which then share
+// the limits) and is not thread-safe; the only cross-thread channel is
+// the cancellation flag, which may be raised from any thread.
+
+#ifndef HOMPRES_BASE_BUDGET_H_
+#define HOMPRES_BASE_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hompres {
+
+// Why a budgeted computation stopped short of completing.
+enum class StopReason {
+  kNone = 0,   // still within budget
+  kSteps,      // step budget exhausted
+  kDeadline,   // wall-clock deadline passed
+  kMemory,     // cooperative memory budget exhausted
+  kCancelled,  // external cancellation flag raised
+};
+
+// Stable lowercase name ("steps", "deadline", "memory", "cancelled",
+// "none") for logs and CLI output.
+const char* StopReasonName(StopReason reason);
+
+// What a budgeted run consumed and why it stopped; embedded in Outcome.
+struct BudgetReport {
+  StopReason reason = StopReason::kNone;
+  uint64_t steps_used = 0;
+  uint64_t memory_used = 0;  // bytes charged via ChargeMemory
+  std::chrono::nanoseconds elapsed{0};
+};
+
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr uint64_t kNoLimit = UINT64_MAX;
+
+  // Default construction is an unlimited budget (Checkpoint never fails).
+  Budget() : start_(Clock::now()) {}
+
+  static Budget Unlimited() { return Budget(); }
+  static Budget MaxSteps(uint64_t steps) {
+    return Budget().WithMaxSteps(steps);
+  }
+  static Budget Timeout(std::chrono::nanoseconds timeout) {
+    return Budget().WithTimeout(timeout);
+  }
+
+  // Builder-style limit setters; combinable (the first limit hit stops
+  // the computation).
+  Budget& WithMaxSteps(uint64_t steps) {
+    max_steps_ = steps;
+    return *this;
+  }
+  Budget& WithTimeout(std::chrono::nanoseconds timeout) {
+    has_deadline_ = true;
+    deadline_ = Clock::now() + timeout;
+    return *this;
+  }
+  Budget& WithDeadline(Clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+    return *this;
+  }
+  Budget& WithMaxMemoryBytes(uint64_t bytes) {
+    max_memory_ = bytes;
+    return *this;
+  }
+  // `flag` must outlive the budget; raising it (from any thread) makes
+  // the next Checkpoint return false with StopReason::kCancelled.
+  Budget& WithCancelFlag(const std::atomic<bool>* flag) {
+    cancel_flag_ = flag;
+    return *this;
+  }
+
+  // Counts one unit of work and polls the limits. Returns true while the
+  // computation may continue; once false, it stays false (the budget is
+  // spent). Step accounting is deterministic: the same sequence of
+  // Checkpoint/ChargeMemory calls under the same step limit stops at the
+  // same point, regardless of wall-clock behavior.
+  bool Checkpoint() {
+    if (reason_ != StopReason::kNone) return false;
+    ++steps_used_;
+    if (steps_used_ > max_steps_) {
+      reason_ = StopReason::kSteps;
+      return false;
+    }
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      reason_ = StopReason::kCancelled;
+      return false;
+    }
+    // The clock is polled every 32 steps (and on the first step, so an
+    // already-expired deadline fails fast) to keep cheap inner loops
+    // cheap.
+    if (has_deadline_ && (steps_used_ & 31u) == 1u &&
+        Clock::now() >= deadline_) {
+      reason_ = StopReason::kDeadline;
+      return false;
+    }
+    return true;
+  }
+
+  // Cooperative memory accounting for procedures whose blowup is state,
+  // not time (e.g. the pebble game's strategy family). Returns false once
+  // the cumulative charge exceeds the memory limit.
+  bool ChargeMemory(uint64_t bytes) {
+    if (reason_ != StopReason::kNone) return false;
+    memory_used_ += bytes;
+    if (memory_used_ > max_memory_) {
+      reason_ = StopReason::kMemory;
+      return false;
+    }
+    return true;
+  }
+
+  // True once any limit has been hit (or the cancel flag observed).
+  bool Stopped() const { return reason_ != StopReason::kNone; }
+  StopReason Reason() const { return reason_; }
+
+  bool IsUnlimited() const {
+    return max_steps_ == kNoLimit && max_memory_ == kNoLimit &&
+           !has_deadline_ && cancel_flag_ == nullptr;
+  }
+
+  uint64_t StepsUsed() const { return steps_used_; }
+  uint64_t MemoryUsed() const { return memory_used_; }
+  std::chrono::nanoseconds Elapsed() const { return Clock::now() - start_; }
+
+  BudgetReport Report() const {
+    return BudgetReport{reason_, steps_used_, memory_used_, Elapsed()};
+  }
+
+ private:
+  uint64_t max_steps_ = kNoLimit;
+  uint64_t max_memory_ = kNoLimit;
+  uint64_t steps_used_ = 0;
+  uint64_t memory_used_ = 0;
+  Clock::time_point start_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_BUDGET_H_

@@ -1,0 +1,93 @@
+// Tri-state result type for budgeted computations.
+//
+// Per DESIGN.md the library does not use exceptions; procedures that can
+// legitimately fail return bool/std::optional, and budgeted procedures
+// return an Outcome<T>:
+//
+//   Done(value)  — the computation ran to completion; the value is exact
+//                  and means the same thing the unbudgeted API returns
+//                  (for searches, Done(nullopt) is a *certain* "no").
+//   Exhausted    — a step / deadline / memory limit stopped the search;
+//                  the report says which limit, how many steps were
+//                  spent, and how long it ran. No value is available:
+//                  "not found within budget" is not "does not exist".
+//   Cancelled    — the external cancellation flag was observed.
+//
+// The unbudgeted entry points are thin wrappers passing
+// Budget::Unlimited(), whose Outcome is always Done.
+
+#ifndef HOMPRES_BASE_OUTCOME_H_
+#define HOMPRES_BASE_OUTCOME_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/budget.h"
+#include "base/check.h"
+
+namespace hompres {
+
+template <typename T>
+class Outcome {
+ public:
+  static Outcome Done(T value, BudgetReport report = {}) {
+    Outcome o;
+    o.value_ = std::move(value);
+    o.report_ = report;
+    o.report_.reason = StopReason::kNone;
+    return o;
+  }
+
+  // An outcome that stopped short; `report.reason` must not be kNone.
+  // Classified as Cancelled for StopReason::kCancelled, Exhausted for
+  // every resource limit.
+  static Outcome StoppedShort(BudgetReport report) {
+    HOMPRES_CHECK(report.reason != StopReason::kNone);
+    Outcome o;
+    o.report_ = report;
+    return o;
+  }
+
+  // Done(value) if the budget never stopped, otherwise the corresponding
+  // StoppedShort. The common tail of every budgeted procedure.
+  static Outcome Finish(const Budget& budget, T value) {
+    if (budget.Stopped()) return StoppedShort(budget.Report());
+    return Done(std::move(value), budget.Report());
+  }
+
+  bool IsDone() const { return value_.has_value(); }
+  bool IsCancelled() const {
+    return !IsDone() && report_.reason == StopReason::kCancelled;
+  }
+  bool IsExhausted() const { return !IsDone() && !IsCancelled(); }
+
+  // Requires IsDone().
+  const T& Value() const& {
+    HOMPRES_CHECK(IsDone());
+    return *value_;
+  }
+  T& Value() & {
+    HOMPRES_CHECK(IsDone());
+    return *value_;
+  }
+  T&& TakeValue() && {
+    HOMPRES_CHECK(IsDone());
+    return std::move(*value_);
+  }
+
+  T ValueOr(T fallback) const {
+    return IsDone() ? *value_ : std::move(fallback);
+  }
+
+  const BudgetReport& Report() const { return report_; }
+
+ private:
+  Outcome() = default;
+
+  std::optional<T> value_;
+  BudgetReport report_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_OUTCOME_H_

@@ -1,0 +1,32 @@
+#include "base/parse_error.h"
+
+#include <sstream>
+
+namespace hompres {
+
+std::string ParseError::ToString() const {
+  if (line <= 0) return message;
+  std::ostringstream out;
+  out << "line " << line << ", column " << column << ": " << message;
+  return out.str();
+}
+
+ParseError ParseErrorAt(const std::string& text, size_t pos,
+                        std::string message) {
+  ParseError error;
+  error.line = 1;
+  error.column = 1;
+  const size_t limit = pos < text.size() ? pos : text.size();
+  for (size_t i = 0; i < limit; ++i) {
+    if (text[i] == '\n') {
+      ++error.line;
+      error.column = 1;
+    } else {
+      ++error.column;
+    }
+  }
+  error.message = std::move(message);
+  return error;
+}
+
+}  // namespace hompres

@@ -1,0 +1,31 @@
+// Structured parse errors for the text front ends (structure, FO formula,
+// Datalog program parsers).
+//
+// Parsers return std::optional; on failure they fill a ParseError with a
+// 1-based line/column locating the offending input. No malformed input
+// may reach a HOMPRES_CHECK abort: parsers validate everything the
+// semantic constructors CHECK.
+
+#ifndef HOMPRES_BASE_PARSE_ERROR_H_
+#define HOMPRES_BASE_PARSE_ERROR_H_
+
+#include <string>
+
+namespace hompres {
+
+struct ParseError {
+  int line = 0;    // 1-based; 0 when no location applies
+  int column = 0;  // 1-based
+  std::string message;
+
+  // "line L, column C: message" (or just the message when unlocated).
+  std::string ToString() const;
+};
+
+// Builds a ParseError locating byte offset `pos` within `text`.
+ParseError ParseErrorAt(const std::string& text, size_t pos,
+                        std::string message);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_PARSE_ERROR_H_

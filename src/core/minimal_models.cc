@@ -10,27 +10,46 @@
 
 namespace hompres {
 
-bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
-                    const StructureClass& c) {
-  if (!c.contains(a) || !q(a)) return false;
+Outcome<bool> IsMinimalModelBudgeted(const BooleanQuery& q, const Structure& a,
+                                     const StructureClass& c,
+                                     Budget& budget) {
+  if (!budget.Checkpoint()) return Outcome<bool>::StoppedShort(budget.Report());
+  if (!c.contains(a) || !q(a)) return Outcome<bool>::Done(false,
+                                                          budget.Report());
   // Maximal proper substructures: drop one tuple...
   for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
     for (int i = 0; i < static_cast<int>(a.Tuples(rel).size()); ++i) {
+      if (!budget.Checkpoint()) {
+        return Outcome<bool>::StoppedShort(budget.Report());
+      }
       const Structure reduced = a.RemoveTuple(rel, i);
-      if (c.contains(reduced) && q(reduced)) return false;
+      if (c.contains(reduced) && q(reduced)) {
+        return Outcome<bool>::Done(false, budget.Report());
+      }
     }
   }
   // ... or one isolated element (removing a non-isolated element is
   // subsumed by removing one of its tuples first).
   for (int e : a.IsolatedElements()) {
+    if (!budget.Checkpoint()) {
+      return Outcome<bool>::StoppedShort(budget.Report());
+    }
     const Structure reduced = a.RemoveElement(e);
-    if (c.contains(reduced) && q(reduced)) return false;
+    if (c.contains(reduced) && q(reduced)) {
+      return Outcome<bool>::Done(false, budget.Report());
+    }
   }
-  return true;
+  return Outcome<bool>::Done(true, budget.Report());
 }
 
-std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
-                                          const StructureClass& c) {
+bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
+                    const StructureClass& c) {
+  Budget unlimited = Budget::Unlimited();
+  return IsMinimalModelBudgeted(q, a, c, unlimited).Value();
+}
+
+Outcome<std::vector<Structure>> MinimalModelsOfUcqBudgeted(
+    const UnionOfCq& q, const StructureClass& c, Budget& budget) {
   HOMPRES_CHECK_EQ(q.Arity(), 0);
   const BooleanQuery query = [&q](const Structure& s) {
     return q.SatisfiedBy(s);
@@ -40,19 +59,32 @@ std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
     const Structure& canonical = disjunct.Canonical();
     ForEachSetPartition(canonical.UniverseSize(), [&](const std::vector<
                                                       int>& block) {
+      if (!budget.Checkpoint()) return false;
       int blocks = 0;
       for (int b : block) blocks = std::max(blocks, b + 1);
       const Structure image = canonical.Image(block, blocks);
       if (!c.contains(image)) return true;
-      if (!IsMinimalModel(query, image, c)) return true;
+      auto minimal = IsMinimalModelBudgeted(query, image, c, budget);
+      if (!minimal.IsDone()) return false;
+      if (!minimal.Value()) return true;
       for (const Structure& seen : models) {
         if (AreIsomorphic(seen, image)) return true;
       }
       models.push_back(image);
       return true;
     });
+    if (budget.Stopped()) {
+      return Outcome<std::vector<Structure>>::StoppedShort(budget.Report());
+    }
   }
-  return models;
+  return Outcome<std::vector<Structure>>::Done(std::move(models),
+                                               budget.Report());
+}
+
+std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
+                                          const StructureClass& c) {
+  Budget unlimited = Budget::Unlimited();
+  return std::move(MinimalModelsOfUcqBudgeted(q, c, unlimited)).TakeValue();
 }
 
 UnionOfCq UcqFromMinimalModels(const std::vector<Structure>& models) {
@@ -67,8 +99,11 @@ UnionOfCq UcqFromMinimalModels(const std::vector<Structure>& models) {
 namespace {
 
 // Enumerates all structures with exactly n elements over `vocabulary` by
-// iterating over all subsets of the possible tuples.
+// iterating over all subsets of the possible tuples. One budget step per
+// structure generated. Returns false iff fn or the budget stopped the
+// enumeration; budget.Stopped() disambiguates.
 bool ForEachStructureOfSize(const Vocabulary& vocabulary, int n,
+                            Budget& budget,
                             const std::function<bool(const Structure&)>& fn) {
   // Collect the full tuple space.
   std::vector<std::pair<int, Tuple>> space;
@@ -81,6 +116,7 @@ bool ForEachStructureOfSize(const Vocabulary& vocabulary, int n,
   HOMPRES_CHECK_LE(space.size(), 24u);  // 2^24 structures is the ceiling
   const uint64_t limit = 1ULL << space.size();
   for (uint64_t mask = 0; mask < limit; ++mask) {
+    if (!budget.Checkpoint()) return false;
     Structure a(vocabulary, n);
     for (size_t bit = 0; bit < space.size(); ++bit) {
       if (mask & (1ULL << bit)) {
@@ -94,36 +130,66 @@ bool ForEachStructureOfSize(const Vocabulary& vocabulary, int n,
 
 }  // namespace
 
-bool ForEachStructureInClass(const Vocabulary& vocabulary, int max_universe,
-                             const StructureClass& c,
-                             const std::function<bool(const Structure&)>& fn) {
+Outcome<bool> ForEachStructureInClassBudgeted(
+    const Vocabulary& vocabulary, int max_universe, const StructureClass& c,
+    Budget& budget, const std::function<bool(const Structure&)>& fn) {
   for (int n = 0; n <= max_universe; ++n) {
     const bool completed =
-        ForEachStructureOfSize(vocabulary, n, [&](const Structure& a) {
+        ForEachStructureOfSize(vocabulary, n, budget, [&](const Structure& a) {
           if (!c.contains(a)) return true;
           return fn(a);
         });
-    if (!completed) return false;
+    if (budget.Stopped()) {
+      return Outcome<bool>::StoppedShort(budget.Report());
+    }
+    if (!completed) return Outcome<bool>::Done(false, budget.Report());
   }
-  return true;
+  return Outcome<bool>::Done(true, budget.Report());
+}
+
+bool ForEachStructureInClass(const Vocabulary& vocabulary, int max_universe,
+                             const StructureClass& c,
+                             const std::function<bool(const Structure&)>& fn) {
+  Budget unlimited = Budget::Unlimited();
+  return ForEachStructureInClassBudgeted(vocabulary, max_universe, c,
+                                         unlimited, fn)
+      .Value();
+}
+
+Outcome<std::vector<Structure>> MinimalModelsBySearchBudgeted(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int max_universe, Budget& budget,
+    std::vector<Structure>* partial) {
+  std::vector<Structure> models;
+  if (partial != nullptr) partial->clear();
+  auto scan = ForEachStructureInClassBudgeted(
+      vocabulary, max_universe, c, budget, [&](const Structure& a) {
+        if (!q(a)) return true;
+        auto minimal = IsMinimalModelBudgeted(q, a, c, budget);
+        if (!minimal.IsDone()) return false;
+        if (!minimal.Value()) return true;
+        for (const Structure& seen : models) {
+          if (AreIsomorphic(seen, a)) return true;
+        }
+        models.push_back(a);
+        if (partial != nullptr) partial->push_back(a);
+        return true;
+      });
+  if (!scan.IsDone()) {
+    return Outcome<std::vector<Structure>>::StoppedShort(budget.Report());
+  }
+  return Outcome<std::vector<Structure>>::Done(std::move(models),
+                                               budget.Report());
 }
 
 std::vector<Structure> MinimalModelsBySearch(const BooleanQuery& q,
                                              const Vocabulary& vocabulary,
                                              const StructureClass& c,
                                              int max_universe) {
-  std::vector<Structure> models;
-  ForEachStructureInClass(vocabulary, max_universe, c,
-                          [&](const Structure& a) {
-                            if (!q(a)) return true;
-                            if (!IsMinimalModel(q, a, c)) return true;
-                            for (const Structure& seen : models) {
-                              if (AreIsomorphic(seen, a)) return true;
-                            }
-                            models.push_back(a);
-                            return true;
-                          });
-  return models;
+  Budget unlimited = Budget::Unlimited();
+  return std::move(MinimalModelsBySearchBudgeted(q, vocabulary, c,
+                                                 max_universe, unlimited))
+      .TakeValue();
 }
 
 bool CheckPreservedUnderHomomorphisms(const BooleanQuery& q,

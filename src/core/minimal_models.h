@@ -15,6 +15,8 @@
 #include <functional>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "core/classes.h"
 #include "cq/ucq.h"
 #include "structure/structure.h"
@@ -31,6 +33,11 @@ using BooleanQuery = std::function<bool(const Structure&)>;
 bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
                     const StructureClass& c);
 
+// Budgeted minimality check (one step per one-step removal examined; the
+// opaque query itself is not interruptible).
+Outcome<bool> IsMinimalModelBudgeted(const BooleanQuery& q, const Structure& a,
+                                     const StructureClass& c, Budget& budget);
+
 // All minimal models of a Boolean UCQ within C, up to isomorphism. Uses
 // the Theorem 3.1 proof: every minimal model in C is a homomorphic image
 // of some disjunct's canonical structure, so it enumerates all quotients
@@ -38,6 +45,12 @@ bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
 // small), filters to C-members that are minimal, and deduplicates.
 std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
                                           const StructureClass& c);
+
+// Budgeted enumeration (one step per candidate quotient). On exhaustion
+// no model list is claimed: a truncated enumeration could both miss
+// models and retain non-minimal ones.
+Outcome<std::vector<Structure>> MinimalModelsOfUcqBudgeted(
+    const UnionOfCq& q, const StructureClass& c, Budget& budget);
 
 // Theorem 3.1 (1) => (2): the existential-positive sentence equivalent to
 // q on C, as the union of the canonical conjunctive queries of the
@@ -52,6 +65,13 @@ bool ForEachStructureInClass(const Vocabulary& vocabulary, int max_universe,
                              const StructureClass& c,
                              const std::function<bool(const Structure&)>& fn);
 
+// Budgeted enumeration (one step per structure generated). Done(true) =
+// enumeration completed, Done(false) = fn stopped it, Exhausted /
+// Cancelled = the budget stopped it.
+Outcome<bool> ForEachStructureInClassBudgeted(
+    const Vocabulary& vocabulary, int max_universe, const StructureClass& c,
+    Budget& budget, const std::function<bool(const Structure&)>& fn);
+
 // Brute-force minimal models of an arbitrary Boolean query q (e.g. an FO
 // sentence under evaluation) within C, scanning all structures up to
 // `max_universe` elements and deduplicating up to isomorphism. This is
@@ -61,6 +81,14 @@ std::vector<Structure> MinimalModelsBySearch(const BooleanQuery& q,
                                              const Vocabulary& vocabulary,
                                              const StructureClass& c,
                                              int max_universe);
+
+// Budgeted brute-force search. If `partial` is non-null it receives, even
+// on exhaustion, the minimal models confirmed before the stop — the
+// best-effort answer the preservation pipeline reports.
+Outcome<std::vector<Structure>> MinimalModelsBySearchBudgeted(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int max_universe, Budget& budget,
+    std::vector<Structure>* partial = nullptr);
 
 // Empirical preservation check: for every ordered pair of samples with a
 // homomorphism between them, q must transfer along it.

@@ -1,39 +1,58 @@
 #include "core/preservation.h"
 
+#include <utility>
+
 #include "base/check.h"
 #include "cq/cq.h"
 #include "fo/eval.h"
 
 namespace hompres {
 
-PreservationResult PreservationPipeline(const BooleanQuery& q,
-                                        const Vocabulary& vocabulary,
-                                        const StructureClass& c,
-                                        int search_universe,
-                                        int verify_universe) {
+Outcome<PreservationResult> PreservationPipelineBudgeted(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int search_universe, int verify_universe,
+    Budget& budget, std::vector<Structure>* partial) {
+  using Result = Outcome<PreservationResult>;
   PreservationResult result{
-      .minimal_models = MinimalModelsBySearch(q, vocabulary, c,
-                                              search_universe),
+      .minimal_models = {},
       .equivalent_ucq = UnionOfCq({}, 0),
       .verified = false,
       .search_universe = search_universe,
       .verify_universe = verify_universe,
   };
+  auto search = MinimalModelsBySearchBudgeted(q, vocabulary, c,
+                                              search_universe, budget,
+                                              partial);
+  if (!search.IsDone()) return Result::StoppedShort(budget.Report());
+  result.minimal_models = std::move(search).TakeValue();
   result.equivalent_ucq =
       MinimizeUcq(UcqFromMinimalModels(result.minimal_models));
   // Exhaustive verification within the cap: q(A) == UCQ(A) for every
   // A in C with at most verify_universe elements.
   bool all_agree = true;
-  ForEachStructureInClass(vocabulary, verify_universe, c,
-                          [&](const Structure& a) {
-                            if (q(a) != result.equivalent_ucq.SatisfiedBy(a)) {
-                              all_agree = false;
-                              return false;
-                            }
-                            return true;
-                          });
+  auto scan = ForEachStructureInClassBudgeted(
+      vocabulary, verify_universe, c, budget, [&](const Structure& a) {
+        if (q(a) != result.equivalent_ucq.SatisfiedBy(a)) {
+          all_agree = false;
+          return false;
+        }
+        return true;
+      });
+  if (!scan.IsDone()) return Result::StoppedShort(budget.Report());
   result.verified = all_agree;
-  return result;
+  return Result::Done(std::move(result), budget.Report());
+}
+
+PreservationResult PreservationPipeline(const BooleanQuery& q,
+                                        const Vocabulary& vocabulary,
+                                        const StructureClass& c,
+                                        int search_universe,
+                                        int verify_universe) {
+  Budget unlimited = Budget::Unlimited();
+  return std::move(PreservationPipelineBudgeted(q, vocabulary, c,
+                                                search_universe,
+                                                verify_universe, unlimited))
+      .TakeValue();
 }
 
 PreservationResult PreservationPipeline(const FormulaPtr& sentence,
@@ -47,6 +66,70 @@ PreservationResult PreservationPipeline(const FormulaPtr& sentence,
   };
   return PreservationPipeline(q, vocabulary, c, search_universe,
                               verify_universe);
+}
+
+namespace {
+
+// Multiplies a limit by the escalation factor, saturating instead of
+// overflowing (a saturated limit is effectively unlimited anyway).
+uint64_t Escalate(uint64_t value, uint64_t factor) {
+  if (value == 0 || factor == 0) return value;
+  if (value > UINT64_MAX / factor) return UINT64_MAX;
+  return value * factor;
+}
+
+}  // namespace
+
+PreservationReport PreservationPipelineWithRetry(
+    const BooleanQuery& q, const Vocabulary& vocabulary,
+    const StructureClass& c, int search_universe, int verify_universe,
+    const PreservationBudgetOptions& options) {
+  PreservationReport report;
+  report.result.search_universe = search_universe;
+  report.result.verify_universe = verify_universe;
+  report.result.equivalent_ucq = UnionOfCq({}, 0);
+
+  uint64_t steps = options.initial_steps;
+  std::chrono::nanoseconds timeout = options.initial_timeout;
+  const int attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Budget budget = Budget::Unlimited();
+    if (steps != 0) budget.WithMaxSteps(steps);
+    if (timeout.count() != 0) budget.WithTimeout(timeout);
+    if (options.cancel != nullptr) budget.WithCancelFlag(options.cancel);
+
+    std::vector<Structure> partial;
+    auto outcome = PreservationPipelineBudgeted(
+        q, vocabulary, c, search_universe, verify_universe, budget,
+        &partial);
+
+    PreservationAttempt record;
+    record.max_steps = steps;
+    record.timeout = timeout;
+    record.report = outcome.Report();
+    record.completed = outcome.IsDone();
+    report.attempts.push_back(record);
+
+    if (outcome.IsDone()) {
+      report.completed = true;
+      report.result = std::move(outcome).TakeValue();
+      return report;
+    }
+    // Best-effort: keep the richest partial seen so far.
+    if (partial.size() >= report.result.minimal_models.size()) {
+      report.result.minimal_models = std::move(partial);
+      report.result.equivalent_ucq =
+          UcqFromMinimalModels(report.result.minimal_models);
+      report.result.verified = false;
+    }
+    if (outcome.IsCancelled()) break;  // escalation will not help
+    steps = Escalate(steps, options.escalation_factor);
+    timeout = std::chrono::nanoseconds(
+        static_cast<int64_t>(Escalate(
+            static_cast<uint64_t>(timeout.count()),
+            options.escalation_factor)));
+  }
+  return report;
 }
 
 }  // namespace hompres

@@ -11,14 +11,18 @@ namespace {
 
 // Enumerates all assignments satisfying the rule body and emits head
 // tuples into `out`. For each body atom, `sources` gives the tuple set to
-// match it against. Returns the number of assignments enumerated.
-long long ApplyRule(const DatalogRule& rule,
-                    const std::vector<const std::set<Tuple>*>& sources,
-                    std::set<Tuple>* out) {
-  long long work = 0;
+// match it against. Adds the number of assignments enumerated to
+// `*derivations`; each assignment is one budget step. Returns false iff
+// the budget stopped the enumeration (out may hold a partial result).
+bool ApplyRule(const DatalogRule& rule,
+               const std::vector<const std::set<Tuple>*>& sources,
+               Budget& budget, long long* derivations,
+               std::set<Tuple>* out) {
   std::map<std::string, int> binding;
+  bool stopped = false;
   // Recursive join over the body atoms.
   std::function<void(size_t)> join = [&](size_t index) {
+    if (stopped) return;
     if (index == rule.body.size()) {
       for (const auto& [left, right] : rule.inequalities) {
         if (binding.at(left) == binding.at(right)) return;
@@ -33,7 +37,11 @@ long long ApplyRule(const DatalogRule& rule,
     }
     const DatalogAtom& atom = rule.body[index];
     for (const Tuple& t : *sources[index]) {
-      ++work;
+      if (!budget.Checkpoint()) {
+        stopped = true;
+        return;
+      }
+      ++*derivations;
       // Try to unify the atom's arguments with t.
       std::vector<std::pair<std::string, int>> added;
       bool consistent = true;
@@ -52,10 +60,11 @@ long long ApplyRule(const DatalogRule& rule,
         (void)unused;
         binding.erase(v);
       }
+      if (stopped) return;
     }
   };
   join(0);
-  return work;
+  return !stopped;
 }
 
 // Tuple sets of the EDB relations of `edb` (copied once per evaluation).
@@ -73,13 +82,15 @@ std::vector<std::set<Tuple>> EdbSets(const DatalogProgram& program,
 
 }  // namespace
 
-IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
-                        int m) {
+Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
+                                         const Structure& edb, int m,
+                                         Budget& budget) {
   HOMPRES_CHECK_GE(m, 0);
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
   const auto edb_sets = EdbSets(program, edb);
   IdbInterpretation current(
       static_cast<size_t>(program.Idb().NumRelations()));
+  long long derivations = 0;
   for (int step = 0; step < m; ++step) {
     IdbInterpretation next(
         static_cast<size_t>(program.Idb().NumRelations()));
@@ -96,15 +107,26 @@ IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
                   atom.relation))]);
         }
       }
-      ApplyRule(rule, sources, &next[static_cast<size_t>(head)]);
+      if (!ApplyRule(rule, sources, budget, &derivations,
+                     &next[static_cast<size_t>(head)])) {
+        return Outcome<IdbInterpretation>::StoppedShort(budget.Report());
+      }
     }
     current = std::move(next);
   }
-  return current;
+  return Outcome<IdbInterpretation>::Done(std::move(current),
+                                          budget.Report());
 }
 
-DatalogResult EvaluateNaive(const DatalogProgram& program,
-                            const Structure& edb) {
+IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
+                        int m) {
+  Budget unlimited = Budget::Unlimited();
+  return std::move(StageBudgeted(program, edb, m, unlimited)).TakeValue();
+}
+
+Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
+                                             const Structure& edb,
+                                             Budget& budget) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
   const auto edb_sets = EdbSets(program, edb);
   DatalogResult result;
@@ -124,18 +146,28 @@ DatalogResult EvaluateNaive(const DatalogProgram& program,
               *program.IdbIndexOf(atom.relation))]);
         }
       }
-      result.derivations +=
-          ApplyRule(rule, sources, &next[static_cast<size_t>(head)]);
+      if (!ApplyRule(rule, sources, budget, &result.derivations,
+                     &next[static_cast<size_t>(head)])) {
+        return Outcome<DatalogResult>::StoppedShort(budget.Report());
+      }
     }
     if (next == result.idb) break;
     result.idb = std::move(next);
     ++result.stages;
   }
-  return result;
+  return Outcome<DatalogResult>::Done(std::move(result), budget.Report());
 }
 
-DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
-                                const Structure& edb) {
+DatalogResult EvaluateNaive(const DatalogProgram& program,
+                            const Structure& edb) {
+  Budget unlimited = Budget::Unlimited();
+  return std::move(EvaluateNaiveBudgeted(program, edb, unlimited))
+      .TakeValue();
+}
+
+Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
+                                                 const Structure& edb,
+                                                 Budget& budget) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
   const auto edb_sets = EdbSets(program, edb);
   const size_t idb_count =
@@ -159,8 +191,10 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
           &edb_sets[static_cast<size_t>(*program.Edb().IndexOf(
               atom.relation))]);
     }
-    result.derivations +=
-        ApplyRule(rule, sources, &delta[static_cast<size_t>(head)]);
+    if (!ApplyRule(rule, sources, budget, &result.derivations,
+                   &delta[static_cast<size_t>(head)])) {
+      return Outcome<DatalogResult>::StoppedShort(budget.Report());
+    }
   }
 
   bool any_delta = false;
@@ -194,8 +228,10 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
                 *program.IdbIndexOf(atom.relation))]);
           }
         }
-        result.derivations +=
-            ApplyRule(rule, sources, &derived[static_cast<size_t>(head)]);
+        if (!ApplyRule(rule, sources, budget, &result.derivations,
+                       &derived[static_cast<size_t>(head)])) {
+          return Outcome<DatalogResult>::StoppedShort(budget.Report());
+        }
       }
     }
     // New facts only.
@@ -211,7 +247,14 @@ DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
     }
     delta = std::move(next_delta);
   }
-  return result;
+  return Outcome<DatalogResult>::Done(std::move(result), budget.Report());
+}
+
+DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
+                                const Structure& edb) {
+  Budget unlimited = Budget::Unlimited();
+  return std::move(EvaluateSemiNaiveBudgeted(program, edb, unlimited))
+      .TakeValue();
 }
 
 }  // namespace hompres

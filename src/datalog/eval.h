@@ -9,6 +9,8 @@
 #include <set>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "datalog/program.h"
 #include "structure/structure.h"
 
@@ -29,14 +31,31 @@ struct DatalogResult {
 IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
                         int m);
 
+// Budgeted stage computation (one step per rule-body assignment
+// enumerated).
+Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
+                                         const Structure& edb, int m,
+                                         Budget& budget);
+
 // Least fixpoint by naive iteration.
 DatalogResult EvaluateNaive(const DatalogProgram& program,
                             const Structure& edb);
+
+// Budgeted naive fixpoint: Done(result) only when the fixpoint was
+// reached; Exhausted/Cancelled mean evaluation stopped mid-iteration and
+// no (partial) interpretation is claimed.
+Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
+                                             const Structure& edb,
+                                             Budget& budget);
 
 // Least fixpoint by semi-naive (delta) iteration; produces the same
 // relations and stage count, typically with far fewer derivations.
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
                                 const Structure& edb);
+
+Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
+                                                 const Structure& edb,
+                                                 Budget& budget);
 
 }  // namespace hompres
 

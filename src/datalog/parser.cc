@@ -3,7 +3,6 @@
 #include <cctype>
 #include <map>
 #include <set>
-#include <sstream>
 
 namespace hompres {
 
@@ -13,7 +12,7 @@ class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  std::optional<std::vector<DatalogRule>> Run(std::string* error) {
+  std::optional<std::vector<DatalogRule>> Run(ParseError* error) {
     std::vector<DatalogRule> rules;
     for (;;) {
       SkipWhitespace();
@@ -75,11 +74,7 @@ class Parser {
   }
 
   void Fail(const std::string& message) {
-    if (error_.empty()) {
-      std::ostringstream out;
-      out << message << " at position " << pos_;
-      error_ = out.str();
-    }
+    if (error_.message.empty()) error_ = ParseErrorAt(text_, pos_, message);
   }
 
   std::optional<DatalogAtom> ParseAtom() {
@@ -167,18 +162,20 @@ class Parser {
 
   const std::string& text_;
   size_t pos_ = 0;
-  std::string error_;
+  ParseError error_;
 };
 
 // Pre-validates the semantic conditions DatalogProgram's constructor
-// CHECKs, so that untrusted text fails gracefully.
+// CHECKs, so that untrusted text fails gracefully. Semantic errors carry
+// no source location.
 bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
-              std::string* error) {
+              ParseError* error) {
   std::map<std::string, int> idb_arity;
   for (const DatalogRule& rule : rules) {
     if (edb.IndexOf(rule.head.relation).has_value()) {
       if (error != nullptr) {
-        *error = "EDB predicate '" + rule.head.relation + "' in rule head";
+        error->message =
+            "EDB predicate '" + rule.head.relation + "' in rule head";
       }
       return false;
     }
@@ -187,7 +184,8 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
     if (!inserted &&
         it->second != static_cast<int>(rule.head.arguments.size())) {
       if (error != nullptr) {
-        *error = "inconsistent arity for '" + rule.head.relation + "'";
+        error->message =
+            "inconsistent arity for '" + rule.head.relation + "'";
       }
       return false;
     }
@@ -204,13 +202,13 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
         arity = i->second;
       } else {
         if (error != nullptr) {
-          *error = "unknown predicate '" + atom.relation + "'";
+          error->message = "unknown predicate '" + atom.relation + "'";
         }
         return false;
       }
       if (arity != static_cast<int>(atom.arguments.size())) {
         if (error != nullptr) {
-          *error = "wrong arity for '" + atom.relation + "'";
+          error->message = "wrong arity for '" + atom.relation + "'";
         }
         return false;
       }
@@ -219,8 +217,8 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
     for (const auto& v : rule.head.arguments) {
       if (body_variables.count(v) == 0) {
         if (error != nullptr) {
-          *error = "unsafe rule: head variable '" + v +
-                   "' missing from the body";
+          error->message = "unsafe rule: head variable '" + v +
+                           "' missing from the body";
         }
         return false;
       }
@@ -229,7 +227,8 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
       if (body_variables.count(left) == 0 ||
           body_variables.count(right) == 0) {
         if (error != nullptr) {
-          *error = "inequality over variables missing from the body";
+          error->message =
+              "inequality over variables missing from the body";
         }
         return false;
       }
@@ -242,16 +241,27 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
 
 std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
                                                   const Vocabulary& edb,
-                                                  std::string* error) {
+                                                  ParseError* error) {
   Parser parser(text);
   auto rules = parser.Run(error);
   if (!rules.has_value()) return std::nullopt;
   if (rules->empty()) {
-    if (error != nullptr) *error = "empty program";
+    if (error != nullptr) error->message = "empty program";
     return std::nullopt;
   }
   if (!Validate(*rules, edb, error)) return std::nullopt;
   return DatalogProgram(edb, std::move(*rules));
+}
+
+std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
+                                                  const Vocabulary& edb,
+                                                  std::string* error) {
+  ParseError parse_error;
+  auto result = ParseDatalogProgram(text, edb, &parse_error);
+  if (!result.has_value() && error != nullptr) {
+    *error = parse_error.ToString();
+  }
+  return result;
 }
 
 }  // namespace hompres

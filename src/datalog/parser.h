@@ -19,16 +19,23 @@
 #include <optional>
 #include <string>
 
+#include "base/parse_error.h"
 #include "datalog/program.h"
 
 namespace hompres {
 
 // Parses `text` into a program over `edb`. On failure returns nullopt
-// and, if `error` is non-null, a message with the offending position.
-// Note that DatalogProgram's constructor CHECKs semantic validity
-// (safety, arities); this function reports *syntax* errors gracefully
-// and pre-validates the semantic conditions so invalid input yields an
-// error instead of a crash.
+// and, if `error` is non-null, the line/column and message of the first
+// problem (semantic errors — safety, arities — carry no location).
+// Note that DatalogProgram's constructor CHECKs semantic validity;
+// this function pre-validates everything it CHECKs so invalid input
+// yields an error instead of a crash.
+std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
+                                                  const Vocabulary& edb,
+                                                  ParseError* error);
+
+// String-error convenience wrapper (error formatted via
+// ParseError::ToString).
 std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
                                                   const Vocabulary& edb,
                                                   std::string* error = nullptr);

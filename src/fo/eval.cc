@@ -66,4 +66,37 @@ bool EvaluateSentence(const Structure& s, const FormulaPtr& f) {
   return Evaluate(s, f, {});
 }
 
+bool ValidateFormulaForVocabulary(const FormulaPtr& f,
+                                  const Vocabulary& vocabulary,
+                                  std::string* error) {
+  switch (f->Kind()) {
+    case FormulaKind::kAtom: {
+      const auto rel = vocabulary.IndexOf(f->Relation());
+      if (!rel.has_value()) {
+        if (error != nullptr) {
+          *error = "unknown relation '" + f->Relation() + "'";
+        }
+        return false;
+      }
+      if (vocabulary.Arity(*rel) !=
+          static_cast<int>(f->Variables().size())) {
+        if (error != nullptr) {
+          *error = "wrong arity for relation '" + f->Relation() + "'";
+        }
+        return false;
+      }
+      return true;
+    }
+    case FormulaKind::kEqual:
+      return true;
+    default:
+      for (const auto& child : f->Children()) {
+        if (!ValidateFormulaForVocabulary(child, vocabulary, error)) {
+          return false;
+        }
+      }
+      return true;
+  }
+}
+
 }  // namespace hompres

@@ -23,6 +23,14 @@ bool Evaluate(const Structure& s, const FormulaPtr& f,
 // Evaluation of a sentence (CHECK: no free variables).
 bool EvaluateSentence(const Structure& s, const FormulaPtr& f);
 
+// Non-aborting pre-check for untrusted (e.g. parsed) formulas: true iff
+// every atom names a relation of `vocabulary` with the right arity, so
+// Evaluate cannot hit its vocabulary CHECKs. On failure, *error (if
+// non-null) names the offending relation.
+bool ValidateFormulaForVocabulary(const FormulaPtr& f,
+                                  const Vocabulary& vocabulary,
+                                  std::string* error = nullptr);
+
 }  // namespace hompres
 
 #endif  // HOMPRES_FO_EVAL_H_

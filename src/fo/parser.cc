@@ -1,7 +1,6 @@
 #include "fo/parser.h"
 
 #include <cctype>
-#include <sstream>
 
 namespace hompres {
 
@@ -11,7 +10,7 @@ class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
-  std::optional<FormulaPtr> Run(std::string* error) {
+  std::optional<FormulaPtr> Run(ParseError* error) {
     auto result = ParseOr();
     if (result.has_value()) {
       SkipWhitespace();
@@ -61,11 +60,7 @@ class Parser {
   }
 
   void Fail(const std::string& message) {
-    if (error_.empty()) {
-      std::ostringstream out;
-      out << message << " at position " << pos_;
-      error_ = out.str();
-    }
+    if (error_.message.empty()) error_ = ParseErrorAt(text_, pos_, message);
   }
 
   std::optional<FormulaPtr> ParseOr() {
@@ -163,15 +158,25 @@ class Parser {
 
   const std::string& text_;
   size_t pos_ = 0;
-  std::string error_;
+  ParseError error_;
 };
 
 }  // namespace
 
 std::optional<FormulaPtr> ParseFormula(const std::string& text,
-                                       std::string* error) {
+                                       ParseError* error) {
   Parser parser(text);
   return parser.Run(error);
+}
+
+std::optional<FormulaPtr> ParseFormula(const std::string& text,
+                                       std::string* error) {
+  ParseError parse_error;
+  auto result = ParseFormula(text, &parse_error);
+  if (!result.has_value() && error != nullptr) {
+    *error = parse_error.ToString();
+  }
+  return result;
 }
 
 }  // namespace hompres

@@ -22,12 +22,23 @@
 #include <optional>
 #include <string>
 
+#include "base/parse_error.h"
 #include "fo/formula.h"
 
 namespace hompres {
 
 // Parses `text`; on failure returns nullopt and, if `error` is non-null,
-// writes a human-readable message with the offending position.
+// fills it with the line/column and message of the first problem.
+//
+// Parsing is purely syntactic: the formula may mention relations or
+// arities a vocabulary lacks. Evaluate only after
+// ValidateFormulaForVocabulary (fo/eval.h) accepts the pair — evaluation
+// itself CHECKs.
+std::optional<FormulaPtr> ParseFormula(const std::string& text,
+                                       ParseError* error);
+
+// String-error convenience wrapper (error formatted via
+// ParseError::ToString).
 std::optional<FormulaPtr> ParseFormula(const std::string& text,
                                        std::string* error = nullptr);
 

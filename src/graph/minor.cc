@@ -51,7 +51,7 @@ constexpr size_t kMemoCap = 1u << 22;  // ~4M states
 struct MinorSearch {
   const Graph& host;
   const Graph& pattern;
-  long long budget;              // remaining nodes; <0 means unlimited
+  Budget& budget;                // one step per search node
   std::vector<int> orbit;        // pattern vertex -> interchangeability class
   std::vector<std::vector<int>> patches;
   std::vector<int> owner;        // host vertex -> patch id or -1
@@ -122,8 +122,7 @@ struct MinorSearch {
   }
 
   bool Solve() {
-    if (budget == 0) return false;
-    if (budget > 0) --budget;
+    if (!budget.Checkpoint()) return false;
 
     const int h = pattern.NumVertices();
     int empty_patch = -1;
@@ -216,7 +215,8 @@ struct MinorSearch {
 // remain, look for h pairwise-adjacent classes in the quotient. Sound
 // (every answer is verified) but incomplete; used as a fast path before
 // the exact search.
-std::optional<MinorModel> CompleteMinorHeuristic(const Graph& host, int h) {
+std::optional<MinorModel> CompleteMinorHeuristic(const Graph& host, int h,
+                                                 Budget& budget) {
   if (h <= 0 || h > host.NumVertices()) return std::nullopt;
   // Union-find over host vertices.
   std::vector<int> parent(static_cast<size_t>(host.NumVertices()));
@@ -274,6 +274,7 @@ std::optional<MinorModel> CompleteMinorHeuristic(const Graph& host, int h) {
   };
 
   for (;;) {
+    if (!budget.Checkpoint()) return std::nullopt;
     auto [roots, quotient] = quotient_state();
     const int c = quotient.NumVertices();
     if (c < h) return std::nullopt;
@@ -350,39 +351,59 @@ std::vector<int> PatternOrbits(const Graph& pattern) {
 
 }  // namespace
 
-std::optional<MinorModel> FindMinor(const Graph& host, const Graph& pattern,
-                                    long long node_budget,
-                                    bool pattern_is_complete) {
-  (void)pattern_is_complete;  // orbits are now derived from the pattern
+Outcome<std::optional<MinorModel>> FindMinorBudgeted(const Graph& host,
+                                                     const Graph& pattern,
+                                                     Budget& budget) {
+  using Result = Outcome<std::optional<MinorModel>>;
   const int h = pattern.NumVertices();
-  if (h == 0) return MinorModel{};
-  if (h > host.NumVertices()) return std::nullopt;
-  if (pattern.NumEdges() > host.NumEdges()) return std::nullopt;
+  if (h == 0) return Result::Finish(budget, MinorModel{});
+  if (h > host.NumVertices()) return Result::Finish(budget, std::nullopt);
+  if (pattern.NumEdges() > host.NumEdges()) {
+    return Result::Finish(budget, std::nullopt);
+  }
   // Fast path for complete patterns: greedy contraction often finds a
   // model immediately (and is always verified before being returned).
   if (pattern == CompleteGraph(h)) {
-    if (auto model = CompleteMinorHeuristic(host, h); model.has_value()) {
-      return model;
+    if (auto model = CompleteMinorHeuristic(host, h, budget);
+        model.has_value()) {
+      return Result::Done(std::move(model), budget.Report());
     }
+    if (budget.Stopped()) return Result::StoppedShort(budget.Report());
   }
   MinorSearch search{
       .host = host,
       .pattern = pattern,
-      .budget = node_budget == 0 ? -1 : node_budget,
+      .budget = budget,
       .orbit = PatternOrbits(pattern),
       .patches = std::vector<std::vector<int>>(static_cast<size_t>(h)),
       .owner = std::vector<int>(static_cast<size_t>(host.NumVertices()), -1),
       .memo = {},
   };
-  if (!search.Solve()) return std::nullopt;
+  if (!search.Solve()) {
+    // Distinguish a refuted search space from a truncated one.
+    return Result::Finish(budget, std::nullopt);
+  }
   MinorModel model{.branch_sets = std::move(search.patches)};
   HOMPRES_CHECK(VerifyMinorModel(host, pattern, model));
-  return model;
+  return Result::Done(std::move(model), budget.Report());
 }
 
-bool HasCompleteMinor(const Graph& host, int h, long long node_budget) {
+std::optional<MinorModel> FindMinor(const Graph& host, const Graph& pattern) {
+  Budget unlimited = Budget::Unlimited();
+  return FindMinorBudgeted(host, pattern, unlimited).Value();
+}
+
+bool HasCompleteMinor(const Graph& host, int h) {
   HOMPRES_CHECK_GE(h, 0);
-  return FindMinor(host, CompleteGraph(h), node_budget).has_value();
+  return FindMinor(host, CompleteGraph(h)).has_value();
+}
+
+Outcome<bool> HasCompleteMinorBudgeted(const Graph& host, int h,
+                                       Budget& budget) {
+  HOMPRES_CHECK_GE(h, 0);
+  auto found = FindMinorBudgeted(host, CompleteGraph(h), budget);
+  if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
+  return Outcome<bool>::Done(found.Value().has_value(), found.Report());
 }
 
 int HadwigerNumber(const Graph& host) {

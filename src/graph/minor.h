@@ -5,7 +5,9 @@
 // between the corresponding patches. This header provides an exact
 // branch-set search (exponential in the worst case, fine at bench sizes),
 // a verifier for minor models, the Wagner planarity test (no K5 / K3,3
-// minor), and the Hadwiger number.
+// minor), and the Hadwiger number. The former ad-hoc `node_budget`
+// parameter is subsumed by the budgeted entry points (one budget step per
+// search node).
 
 #ifndef HOMPRES_GRAPH_MINOR_H_
 #define HOMPRES_GRAPH_MINOR_H_
@@ -13,6 +15,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "graph/graph.h"
 
 namespace hompres {
@@ -30,17 +34,20 @@ bool VerifyMinorModel(const Graph& host, const Graph& pattern,
                       const MinorModel& model);
 
 // Exact search for `pattern` as a minor of `host`. Returns a verified
-// model, or nullopt if none exists (or the node budget ran out; pass
-// node_budget = 0 for an unbudgeted, certain answer). If
-// `pattern_is_complete` the search breaks patch symmetry (sound only when
-// the pattern is vertex-transitive under all permutations, i.e. K_h).
-std::optional<MinorModel> FindMinor(const Graph& host, const Graph& pattern,
-                                    long long node_budget = 0,
-                                    bool pattern_is_complete = false);
+// model, or nullopt if none exists.
+std::optional<MinorModel> FindMinor(const Graph& host, const Graph& pattern);
 
-// Convenience: does host contain K_h as a minor? Exact for
-// node_budget = 0.
-bool HasCompleteMinor(const Graph& host, int h, long long node_budget = 0);
+// Budgeted search: Done(model) / Done(nullopt = certainly no minor) /
+// Exhausted / Cancelled.
+Outcome<std::optional<MinorModel>> FindMinorBudgeted(const Graph& host,
+                                                     const Graph& pattern,
+                                                     Budget& budget);
+
+// Convenience: does host contain K_h as a minor? Exact.
+bool HasCompleteMinor(const Graph& host, int h);
+
+Outcome<bool> HasCompleteMinorBudgeted(const Graph& host, int h,
+                                       Budget& budget);
 
 // Largest h such that K_h is a minor of host (the Hadwiger number).
 // Exact; exponential worst case.

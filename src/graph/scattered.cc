@@ -67,13 +67,14 @@ std::vector<int> GreedyScatteredSet(const Graph& g, int d) {
 namespace {
 
 // Branch-and-bound search for an independent set of size m in `conflict`,
-// restricted to `candidates`. `chosen` accumulates the result.
+// restricted to `candidates`. `chosen` accumulates the result. One budget
+// step per node; after a false return, budget.Stopped() distinguishes a
+// refuted subtree from a truncated one.
 bool IndependentSetSearch(const Graph& conflict, std::vector<int>& candidates,
-                          int m, std::vector<int>& chosen,
-                          long long& budget) {
+                          int m, std::vector<int>& chosen, Budget& budget) {
   if (static_cast<int>(chosen.size()) >= m) return true;
   if (static_cast<int>(chosen.size() + candidates.size()) < m) return false;
-  if (budget > 0 && --budget == 0) return false;
+  if (!budget.Checkpoint()) return false;
   // Branch on the candidate with the most conflicts among candidates
   // (fail-first).
   std::vector<bool> is_candidate(
@@ -114,42 +115,54 @@ bool IndependentSetSearch(const Graph& conflict, std::vector<int>& candidates,
 
 }  // namespace
 
-std::optional<std::vector<int>> FindScatteredSetOfSize(
-    const Graph& g, int d, int m, long long node_budget) {
+Outcome<std::optional<std::vector<int>>> FindScatteredSetOfSizeBudgeted(
+    const Graph& g, int d, int m, Budget& budget) {
+  using Result = Outcome<std::optional<std::vector<int>>>;
   HOMPRES_CHECK_GE(m, 0);
-  if (m == 0) return std::vector<int>{};
-  if (m > g.NumVertices()) return std::nullopt;
+  if (m == 0) return Result::Finish(budget, std::vector<int>{});
+  if (m > g.NumVertices()) return Result::Finish(budget, std::nullopt);
   const Graph conflict = ScatterConflictGraph(g, d);
   std::vector<int> candidates(static_cast<size_t>(g.NumVertices()));
   for (int v = 0; v < g.NumVertices(); ++v) {
     candidates[static_cast<size_t>(v)] = v;
   }
   std::vector<int> chosen;
-  long long budget = node_budget;
   if (!IndependentSetSearch(conflict, candidates, m, chosen, budget)) {
-    return std::nullopt;
+    return Result::Finish(budget, std::nullopt);
   }
   std::sort(chosen.begin(), chosen.end());
   HOMPRES_CHECK(IsDScattered(g, chosen, d));
-  return chosen;
+  return Result::Done(std::move(chosen), budget.Report());
 }
 
-std::optional<std::vector<int>> FindIndependentSetOfSize(
-    const Graph& g, int m, long long node_budget) {
+std::optional<std::vector<int>> FindScatteredSetOfSize(const Graph& g, int d,
+                                                       int m) {
+  Budget unlimited = Budget::Unlimited();
+  return FindScatteredSetOfSizeBudgeted(g, d, m, unlimited).Value();
+}
+
+Outcome<std::optional<std::vector<int>>> FindIndependentSetOfSizeBudgeted(
+    const Graph& g, int m, Budget& budget) {
+  using Result = Outcome<std::optional<std::vector<int>>>;
   HOMPRES_CHECK_GE(m, 0);
-  if (m == 0) return std::vector<int>{};
-  if (m > g.NumVertices()) return std::nullopt;
+  if (m == 0) return Result::Finish(budget, std::vector<int>{});
+  if (m > g.NumVertices()) return Result::Finish(budget, std::nullopt);
   std::vector<int> candidates(static_cast<size_t>(g.NumVertices()));
   for (int v = 0; v < g.NumVertices(); ++v) {
     candidates[static_cast<size_t>(v)] = v;
   }
   std::vector<int> chosen;
-  long long budget = node_budget;
   if (!IndependentSetSearch(g, candidates, m, chosen, budget)) {
-    return std::nullopt;
+    return Result::Finish(budget, std::nullopt);
   }
   std::sort(chosen.begin(), chosen.end());
-  return chosen;
+  return Result::Done(std::move(chosen), budget.Report());
+}
+
+std::optional<std::vector<int>> FindIndependentSetOfSize(const Graph& g,
+                                                         int m) {
+  Budget unlimited = Budget::Unlimited();
+  return FindIndependentSetOfSizeBudgeted(g, m, unlimited).Value();
 }
 
 int MaxIndependentSetSize(const Graph& g) {
@@ -162,7 +175,7 @@ int MaxIndependentSetSize(const Graph& g) {
 }
 
 std::vector<int> LargeIndependentSet(const Graph& g,
-                                     long long improve_budget) {
+                                     uint64_t improve_budget) {
   // Greedy: repeatedly take the minimum-degree available vertex.
   std::vector<bool> excluded(static_cast<size_t>(g.NumVertices()), false);
   std::vector<int> chosen;
@@ -185,12 +198,16 @@ std::vector<int> LargeIndependentSet(const Graph& g,
     excluded[static_cast<size_t>(best)] = true;
     for (int w : g.Neighbors(best)) excluded[static_cast<size_t>(w)] = true;
   }
-  // Budgeted exact improvement.
+  // Budgeted exact improvement: a truncated attempt ("Exhausted") ends
+  // the improvement loop just like a certain "no larger set" does.
   while (static_cast<int>(chosen.size()) < g.NumVertices()) {
-    auto better = FindIndependentSetOfSize(
-        g, static_cast<int>(chosen.size()) + 1, improve_budget);
-    if (!better.has_value()) break;
-    chosen = std::move(*better);
+    Budget attempt =
+        improve_budget == 0 ? Budget::Unlimited()
+                            : Budget::MaxSteps(improve_budget);
+    auto better = FindIndependentSetOfSizeBudgeted(
+        g, static_cast<int>(chosen.size()) + 1, attempt);
+    if (!better.IsDone() || !better.Value().has_value()) break;
+    chosen = std::move(*better.Value());
   }
   std::sort(chosen.begin(), chosen.end());
   return chosen;
@@ -206,17 +223,21 @@ int MaxScatteredSetSize(const Graph& g, int d) {
   return size;
 }
 
-std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
-                                                          int s, int d,
-                                                          int m) {
+Outcome<std::optional<ScatteredWitness>> FindScatteredAfterRemovalBudgeted(
+    const Graph& g, int s, int d, int m, Budget& budget) {
+  using Result = Outcome<std::optional<ScatteredWitness>>;
   HOMPRES_CHECK_GE(s, 0);
   const int n = g.NumVertices();
   for (int size = 0; size <= std::min(s, n); ++size) {
     std::optional<ScatteredWitness> found;
     ForEachCombination(n, size, [&](const std::vector<int>& b) {
+      if (!budget.Checkpoint()) return false;
       std::vector<int> old_to_new;
       const Graph reduced = g.RemoveVertices(b, &old_to_new);
-      auto scattered = FindScatteredSetOfSize(reduced, d, m);
+      auto scattered_outcome =
+          FindScatteredSetOfSizeBudgeted(reduced, d, m, budget);
+      if (!scattered_outcome.IsDone()) return false;
+      auto& scattered = scattered_outcome.Value();
       if (!scattered.has_value()) return true;  // keep searching
       // Translate back to original ids.
       std::vector<int> new_to_old(static_cast<size_t>(reduced.NumVertices()));
@@ -232,9 +253,19 @@ std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
       found = std::move(witness);
       return false;  // stop
     });
-    if (found.has_value()) return found;
+    if (budget.Stopped()) return Result::StoppedShort(budget.Report());
+    if (found.has_value()) {
+      return Result::Done(std::move(found), budget.Report());
+    }
   }
-  return std::nullopt;
+  return Result::Finish(budget, std::nullopt);
+}
+
+std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
+                                                          int s, int d,
+                                                          int m) {
+  Budget unlimited = Budget::Unlimited();
+  return FindScatteredAfterRemovalBudgeted(g, s, d, m, unlimited).Value();
 }
 
 bool VerifyScatteredWitness(const Graph& g, const ScatteredWitness& witness,

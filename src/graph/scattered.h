@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "graph/graph.h"
 
 namespace hompres {
@@ -33,30 +35,36 @@ std::vector<int> GreedyScatteredSet(const Graph& g, int d);
 
 // Exact: a d-scattered set of size exactly m, if one exists. Branch and
 // bound over the conflict graph; exponential in the worst case, intended
-// for the modest sizes the benches use. `node_budget` caps the search tree
-// (0 = unlimited); on budget exhaustion returns nullopt as if none exists
-// (callers that need certainty pass 0).
-std::optional<std::vector<int>> FindScatteredSetOfSize(
-    const Graph& g, int d, int m, long long node_budget = 0);
+// for the modest sizes the benches use.
+std::optional<std::vector<int>> FindScatteredSetOfSize(const Graph& g, int d,
+                                                       int m);
+
+// Budgeted variant (one step per branch-and-bound node): Done(set) /
+// Done(nullopt = certainly none) / Exhausted / Cancelled.
+Outcome<std::optional<std::vector<int>>> FindScatteredSetOfSizeBudgeted(
+    const Graph& g, int d, int m, Budget& budget);
 
 // Size of a maximum d-scattered set (exact; exponential worst case).
 int MaxScatteredSetSize(const Graph& g, int d);
 
 // Independent set of size exactly m in g, if one exists (the d-scattered
 // machinery in terms of an explicit conflict graph; also used by the
-// Lemma 5.2 / Theorem 5.3 constructions). Branch and bound; same budget
-// semantics as FindScatteredSetOfSize.
-std::optional<std::vector<int>> FindIndependentSetOfSize(
-    const Graph& g, int m, long long node_budget = 0);
+// Lemma 5.2 / Theorem 5.3 constructions). Branch and bound.
+std::optional<std::vector<int>> FindIndependentSetOfSize(const Graph& g,
+                                                         int m);
+
+Outcome<std::optional<std::vector<int>>> FindIndependentSetOfSizeBudgeted(
+    const Graph& g, int m, Budget& budget);
 
 // Size of a maximum independent set (exact; exponential worst case).
 int MaxIndependentSetSize(const Graph& g);
 
 // Greedy maximal independent set (minimum-degree-first), then budgeted
-// exact improvement: keeps searching for one-larger sets until the node
-// budget per attempt fails. Deterministic, never empty for nonempty g.
+// exact improvement: keeps searching for one-larger sets until the
+// per-attempt step budget fails. Deterministic, never empty for
+// nonempty g.
 std::vector<int> LargeIndependentSet(const Graph& g,
-                                     long long improve_budget = 20000);
+                                     uint64_t improve_budget = 20000);
 
 // Witness for the Theorem 3.2 density condition: a removal set B with
 // |B| <= s and a d-scattered set of size m in G - B. `scattered` holds
@@ -72,6 +80,9 @@ struct ScatteredWitness {
 std::optional<ScatteredWitness> FindScatteredAfterRemoval(const Graph& g,
                                                           int s, int d,
                                                           int m);
+
+Outcome<std::optional<ScatteredWitness>> FindScatteredAfterRemovalBudgeted(
+    const Graph& g, int s, int d, int m, Budget& budget);
 
 // Verifies a witness: removed has size <= s, scattered has size >= m and
 // avoids `removed`, and scattered is d-scattered in G - removed.

@@ -7,36 +7,49 @@ namespace hompres {
 
 namespace {
 
+enum class RetractResult { kFound, kNone, kStopped };
+
 // If some one-step removal of `a` (one element with its incident tuples,
 // or one tuple) admits a homomorphism from `a`, writes it to `out` and
-// returns true.
-bool FindOneStepRetract(const Structure& a, Structure* out) {
+// returns kFound. kNone is a certain answer; kStopped means the budget
+// ran out mid-search and nothing is known.
+RetractResult FindOneStepRetract(const Structure& a, Budget& budget,
+                                 Structure* out) {
   for (int e = 0; e < a.UniverseSize(); ++e) {
     Structure candidate = a.RemoveElement(e);
-    if (HasHomomorphism(a, candidate)) {
+    auto has = HasHomomorphismBudgeted(a, candidate, budget);
+    if (!has.IsDone()) return RetractResult::kStopped;
+    if (has.Value()) {
       *out = std::move(candidate);
-      return true;
+      return RetractResult::kFound;
     }
   }
   for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
     const int count = static_cast<int>(a.Tuples(rel).size());
     for (int i = 0; i < count; ++i) {
       Structure candidate = a.RemoveTuple(rel, i);
-      if (HasHomomorphism(a, candidate)) {
+      auto has = HasHomomorphismBudgeted(a, candidate, budget);
+      if (!has.IsDone()) return RetractResult::kStopped;
+      if (has.Value()) {
         *out = std::move(candidate);
-        return true;
+        return RetractResult::kFound;
       }
     }
   }
-  return false;
+  return RetractResult::kNone;
 }
 
 }  // namespace
 
-Structure ComputeCore(const Structure& a) {
+Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget) {
   Structure current = a;
   Structure next(current.GetVocabulary(), 0);
-  while (FindOneStepRetract(current, &next)) {
+  for (;;) {
+    const RetractResult step = FindOneStepRetract(current, budget, &next);
+    if (step == RetractResult::kStopped) {
+      return Outcome<Structure>::StoppedShort(budget.Report());
+    }
+    if (step == RetractResult::kNone) break;
     // `next` is hom-equivalent to `current`: current -> next was just
     // witnessed, and next embeds into current... note the embedding is not
     // the identity after element renumbering, but next was built from
@@ -45,13 +58,34 @@ Structure ComputeCore(const Structure& a) {
     current = std::move(next);
     next = Structure(current.GetVocabulary(), 0);
   }
-  HOMPRES_CHECK(IsCore(current));
-  return current;
+  // The final FindOneStepRetract returned kNone with budget to spare,
+  // which is exactly the IsCore condition.
+  return Outcome<Structure>::Done(std::move(current), budget.Report());
+}
+
+Structure ComputeCore(const Structure& a) {
+  Budget unlimited = Budget::Unlimited();
+  Structure core = std::move(ComputeCoreBudgeted(a, unlimited)).TakeValue();
+  HOMPRES_CHECK(IsCore(core));
+  return core;
 }
 
 bool IsCore(const Structure& a) {
+  Budget unlimited = Budget::Unlimited();
+  return IsCoreBudgeted(a, unlimited).Value();
+}
+
+Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget) {
   Structure scratch(a.GetVocabulary(), 0);
-  return !FindOneStepRetract(a, &scratch);
+  switch (FindOneStepRetract(a, budget, &scratch)) {
+    case RetractResult::kFound:
+      return Outcome<bool>::Done(false, budget.Report());
+    case RetractResult::kNone:
+      return Outcome<bool>::Done(true, budget.Report());
+    case RetractResult::kStopped:
+      break;
+  }
+  return Outcome<bool>::StoppedShort(budget.Report());
 }
 
 }  // namespace hompres

@@ -10,6 +10,8 @@
 #ifndef HOMPRES_HOM_CORE_H_
 #define HOMPRES_HOM_CORE_H_
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "structure/structure.h"
 
 namespace hompres {
@@ -22,10 +24,19 @@ namespace hompres {
 // discusses.
 Structure ComputeCore(const Structure& a);
 
+// Budgeted core computation; the budget is shared across all inner
+// homomorphism searches. Done(core) is a verified core; Exhausted /
+// Cancelled mean the reduction stopped short and no intermediate result
+// is claimed (a partial retract is not hom-distinguishable from the
+// input, but it is not known to be the core either).
+Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget);
+
 // True iff `a` is its own core: no homomorphism from `a` into any proper
 // substructure. Equivalently (by the maximal-substructure argument), no
 // homomorphism into any one-step removal.
 bool IsCore(const Structure& a);
+
+Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget);
 
 }  // namespace hompres
 

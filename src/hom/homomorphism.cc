@@ -30,9 +30,9 @@ struct Domain {
 
 class HomSearch {
  public:
-  HomSearch(const Structure& a, const Structure& b, const HomOptions& options)
-      : a_(a), b_(b), options_(options),
-        budget_(options.node_budget == 0 ? -1 : options.node_budget) {
+  HomSearch(const Structure& a, const Structure& b, const HomOptions& options,
+            Budget& budget)
+      : a_(a), b_(b), options_(options), budget_(budget) {
     for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
       for (const Tuple& t : a.Tuples(rel)) {
         constraints_.push_back(TupleConstraint{rel, t});
@@ -41,9 +41,9 @@ class HomSearch {
   }
 
   // Runs the search; invokes `emit` for every homomorphism found. `emit`
-  // returns false to stop the enumeration. Returns false iff the search
-  // was stopped early (by emit or budget exhaustion mid-enumeration has
-  // the same effect as "no more solutions").
+  // returns false to stop the enumeration. After Run, the caller
+  // distinguishes "space exhausted" from "budget exhausted" via
+  // budget_.Stopped().
   void Run(const std::function<bool(const std::vector<int>&)>& emit) {
     const int n = a_.UniverseSize();
     const int m = b_.UniverseSize();
@@ -180,11 +180,10 @@ class HomSearch {
   void Solve(const std::vector<Domain>& domains,
              const std::function<bool(const std::vector<int>&)>& emit) {
     if (stopped_) return;
-    if (budget_ == 0) {
+    if (!budget_.Checkpoint()) {
       stopped_ = true;
       return;
     }
-    if (budget_ > 0) --budget_;
 
     // Pick the unassigned variable with the smallest domain.
     int var = -1;
@@ -238,7 +237,7 @@ class HomSearch {
   const Structure& a_;
   const Structure& b_;
   HomOptions options_;
-  long long budget_;
+  Budget& budget_;
   std::vector<TupleConstraint> constraints_;
   std::vector<int> assignment_;
   bool stopped_ = false;
@@ -246,24 +245,42 @@ class HomSearch {
 
 }  // namespace
 
-std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
-                                                 const Structure& b,
-                                                 const HomOptions& options) {
+Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
+    const Structure& a, const Structure& b, Budget& budget,
+    const HomOptions& options) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
   std::optional<std::vector<int>> result;
-  HomSearch search(a, b, options);
+  HomSearch search(a, b, options, budget);
   search.Run([&](const std::vector<int>& h) {
     result = h;
     return false;  // stop at the first witness
   });
   if (result.has_value()) {
     HOMPRES_CHECK(VerifyHomomorphism(a, b, *result));
+    // A witness is a witness even if the budget ran out as it was found.
+    return Outcome<std::optional<std::vector<int>>>::Done(std::move(result),
+                                                          budget.Report());
   }
-  return result;
+  return Outcome<std::optional<std::vector<int>>>::Finish(budget,
+                                                          std::nullopt);
+}
+
+std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
+                                                 const Structure& b,
+                                                 const HomOptions& options) {
+  Budget unlimited = Budget::Unlimited();
+  return FindHomomorphismBudgeted(a, b, unlimited, options).Value();
 }
 
 bool HasHomomorphism(const Structure& a, const Structure& b) {
   return FindHomomorphism(a, b).has_value();
+}
+
+Outcome<bool> HasHomomorphismBudgeted(const Structure& a, const Structure& b,
+                                      Budget& budget) {
+  auto found = FindHomomorphismBudgeted(a, b, budget);
+  if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
+  return Outcome<bool>::Done(found.Value().has_value(), found.Report());
 }
 
 bool VerifyHomomorphism(const Structure& a, const Structure& b,
@@ -289,20 +306,47 @@ bool AreHomEquivalent(const Structure& a, const Structure& b) {
 
 uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
                             uint64_t limit) {
+  Budget unlimited = Budget::Unlimited();
+  return CountHomomorphismsBudgeted(a, b, unlimited, limit).Value();
+}
+
+Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
+                                             const Structure& b,
+                                             Budget& budget, uint64_t limit) {
   uint64_t count = 0;
-  EnumerateHomomorphisms(a, b, [&](const std::vector<int>&) {
-    ++count;
-    return limit == 0 || count < limit;
-  });
-  return count;
+  auto ran = EnumerateHomomorphismsBudgeted(
+      a, b, budget, [&](const std::vector<int>&) {
+        ++count;
+        return limit == 0 || count < limit;
+      });
+  if (!ran.IsDone()) return Outcome<uint64_t>::StoppedShort(ran.Report());
+  return Outcome<uint64_t>::Done(count, ran.Report());
 }
 
 void EnumerateHomomorphisms(
     const Structure& a, const Structure& b,
     const std::function<bool(const std::vector<int>&)>& callback) {
+  Budget unlimited = Budget::Unlimited();
+  EnumerateHomomorphismsBudgeted(a, b, unlimited, callback);
+}
+
+Outcome<bool> EnumerateHomomorphismsBudgeted(
+    const Structure& a, const Structure& b, Budget& budget,
+    const std::function<bool(const std::vector<int>&)>& callback) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-  HomSearch search(a, b, HomOptions{});
-  search.Run(callback);
+  bool callback_stopped = false;
+  HomSearch search(a, b, HomOptions{}, budget);
+  search.Run([&](const std::vector<int>& h) {
+    if (!callback(h)) {
+      callback_stopped = true;
+      return false;
+    }
+    return true;
+  });
+  if (callback_stopped) {
+    return Outcome<bool>::Done(false, budget.Report());
+  }
+  return Outcome<bool>::Finish(budget, true);
 }
 
 }  // namespace hompres

@@ -7,6 +7,12 @@
 // generalized arc consistency (AC-3 over tuple constraints) inside a
 // smallest-domain-first backtracking search; a plain backtracking baseline
 // is provided for the engine benchmarks (E14).
+//
+// Every search entry point has a budgeted form taking a Budget& and
+// returning an Outcome (one step = one search node): Done carries the
+// exact answer, Exhausted/Cancelled mean the search stopped short and the
+// answer is unknown. The unbudgeted signatures are thin wrappers passing
+// Budget::Unlimited().
 
 #ifndef HOMPRES_HOM_HOMOMORPHISM_H_
 #define HOMPRES_HOM_HOMOMORPHISM_H_
@@ -16,6 +22,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "structure/structure.h"
 
 namespace hompres {
@@ -32,10 +40,6 @@ struct HomOptions {
 
   // Disable arc consistency (naive backtracking baseline).
   bool use_arc_consistency = true;
-
-  // Cap on search nodes; 0 = unlimited. A budgeted search that runs out
-  // returns nullopt, so pass 0 whenever the answer must be certain.
-  long long node_budget = 0;
 };
 
 // Returns a homomorphism from a to b as an element map, or nullopt.
@@ -44,7 +48,17 @@ std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
                                                  const Structure& b,
                                                  const HomOptions& options = {});
 
+// Budgeted search. Done(witness) / Done(nullopt = certainly none) /
+// Exhausted / Cancelled. A witness found just as the budget runs out is
+// still reported as Done.
+Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
+    const Structure& a, const Structure& b, Budget& budget,
+    const HomOptions& options = {});
+
 bool HasHomomorphism(const Structure& a, const Structure& b);
+
+Outcome<bool> HasHomomorphismBudgeted(const Structure& a, const Structure& b,
+                                      Budget& budget);
 
 // True iff h maps every tuple of a to a tuple of b (and is total/in-range).
 bool VerifyHomomorphism(const Structure& a, const Structure& b,
@@ -57,9 +71,23 @@ bool AreHomEquivalent(const Structure& a, const Structure& b);
 uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
                             uint64_t limit = 0);
 
+// Budgeted count: Done(count) only when the enumeration completed (or hit
+// `limit`); a partial count is never reported as an answer.
+Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
+                                             const Structure& b,
+                                             Budget& budget,
+                                             uint64_t limit = 0);
+
 // Enumerates homomorphisms a -> b; the callback returns false to stop.
 void EnumerateHomomorphisms(
     const Structure& a, const Structure& b,
+    const std::function<bool(const std::vector<int>&)>& callback);
+
+// Budgeted enumeration. Done(true) = exhausted the solution space,
+// Done(false) = the callback stopped it; Exhausted/Cancelled = the budget
+// stopped it (some homomorphisms may not have been visited).
+Outcome<bool> EnumerateHomomorphismsBudgeted(
+    const Structure& a, const Structure& b, Budget& budget,
     const std::function<bool(const std::vector<int>&)>& callback);
 
 }  // namespace hompres

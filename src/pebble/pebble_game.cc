@@ -39,32 +39,49 @@ bool IsPartialHomomorphism(const Structure& a, const Structure& b,
 
 }  // namespace
 
-bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
-                                          const Structure& b, int k) {
+Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
+                                                           const Structure& b,
+                                                           int k,
+                                                           Budget& budget) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
   HOMPRES_CHECK_GE(k, 1);
   const int n = a.UniverseSize();
   const int m = b.UniverseSize();
-  if (n == 0) return true;   // nothing to pebble
-  if (m == 0) return false;  // Spoiler pebbles anything, no reply
+  if (n == 0) return Outcome<bool>::Finish(budget, true);  // nothing to pebble
+  if (m == 0) {
+    // Spoiler pebbles anything, no reply.
+    return Outcome<bool>::Finish(budget, false);
+  }
 
-  // Enumerate all partial homomorphisms with domain size <= k.
+  // Enumerate all partial homomorphisms with domain size <= k. One budget
+  // step per candidate map; the family itself is charged as memory.
   std::map<PartialMap, bool> alive;  // value: still in the family
   const int max_domain = std::min(k, n);
-  for (int size = 0; size <= max_domain; ++size) {
+  bool stopped = false;
+  for (int size = 0; size <= max_domain && !stopped; ++size) {
     ForEachCombination(n, size, [&](const std::vector<int>& domain) {
-      ForEachTuple(m, size, [&](const std::vector<int>& values) {
+      return ForEachTuple(m, size, [&](const std::vector<int>& values) {
+        if (!budget.Checkpoint()) {
+          stopped = true;
+          return false;
+        }
         PartialMap p(static_cast<size_t>(n), -1);
         for (int i = 0; i < size; ++i) {
           p[static_cast<size_t>(domain[static_cast<size_t>(i)])] =
               values[static_cast<size_t>(i)];
         }
-        if (IsPartialHomomorphism(a, b, p)) alive.emplace(std::move(p), true);
+        if (IsPartialHomomorphism(a, b, p)) {
+          if (!budget.ChargeMemory(sizeof(int) * p.size())) {
+            stopped = true;
+            return false;
+          }
+          alive.emplace(std::move(p), true);
+        }
         return true;
       });
-      return true;
     });
   }
+  if (stopped) return Outcome<bool>::StoppedShort(budget.Report());
 
   // Iterated removal to the greatest fixpoint.
   bool changed = true;
@@ -72,6 +89,9 @@ bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
     changed = false;
     for (auto& [p, live] : alive) {
       if (!live) continue;
+      if (!budget.Checkpoint()) {
+        return Outcome<bool>::StoppedShort(budget.Report());
+      }
       int domain_size = 0;
       for (int v : p) {
         if (v != -1) ++domain_size;
@@ -115,7 +135,15 @@ bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
 
   const PartialMap empty(static_cast<size_t>(n), -1);
   auto it = alive.find(empty);
-  return it != alive.end() && it->second;
+  const bool wins = it != alive.end() && it->second;
+  return Outcome<bool>::Done(wins, budget.Report());
+}
+
+bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
+                                          const Structure& b, int k) {
+  Budget unlimited = Budget::Unlimited();
+  return DuplicatorWinsExistentialKPebbleGameBudgeted(a, b, k, unlimited)
+      .Value();
 }
 
 }  // namespace hompres

@@ -11,6 +11,8 @@
 #ifndef HOMPRES_PEBBLE_PEBBLE_GAME_H_
 #define HOMPRES_PEBBLE_PEBBLE_GAME_H_
 
+#include "base/budget.h"
+#include "base/outcome.h"
 #include "structure/structure.h"
 
 namespace hompres {
@@ -19,6 +21,15 @@ namespace hompres {
 // Cost is roughly (|A| choose <=k) * |B|^k; intended for small |A| and k.
 bool DuplicatorWinsExistentialKPebbleGame(const Structure& a,
                                           const Structure& b, int k);
+
+// Budgeted solver: one step per candidate partial map enumerated and per
+// family member re-examined during the fixpoint; the strategy family is
+// also charged against the budget's memory limit (if any). Done(win) is
+// exact; Exhausted/Cancelled mean the greatest fixpoint was not reached.
+Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
+                                                           const Structure& b,
+                                                           int k,
+                                                           Budget& budget);
 
 // The query q(A, k) of Section 7.2 applied to b.
 inline bool PebbleGameQuery(const Structure& a, int k, const Structure& b) {

@@ -1,7 +1,7 @@
 #include "structure/parser.h"
 
 #include <cctype>
-#include <sstream>
+#include <limits>
 
 namespace hompres {
 
@@ -12,7 +12,7 @@ class Parser {
   Parser(const std::string& text, const Vocabulary& vocabulary)
       : text_(text), vocabulary_(vocabulary) {}
 
-  std::optional<Structure> Run(std::string* error) {
+  std::optional<Structure> Run(ParseError* error) {
     auto result = Parse();
     if (!result.has_value() && error != nullptr) *error = error_;
     return result;
@@ -35,17 +35,28 @@ class Parser {
     return false;
   }
 
+  // Overflow-checked decimal number (std::stoi would throw, which the
+  // no-exceptions policy forbids).
   std::optional<int> ConsumeNumber() {
     SkipWhitespace();
     size_t end = pos_;
+    long long value = 0;
+    bool overflow = false;
     while (end < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      if (!overflow) {
+        value = value * 10 + (text_[end] - '0');
+        if (value > std::numeric_limits<int>::max()) overflow = true;
+      }
       ++end;
     }
     if (end == pos_) return std::nullopt;
-    const int value = std::stoi(text_.substr(pos_, end - pos_));
+    if (overflow) {
+      Fail("number too large");
+      return std::nullopt;
+    }
     pos_ = end;
-    return value;
+    return static_cast<int>(value);
   }
 
   std::optional<std::string> ConsumeName() {
@@ -63,11 +74,7 @@ class Parser {
   }
 
   void Fail(const std::string& message) {
-    if (error_.empty()) {
-      std::ostringstream out;
-      out << message << " at position " << pos_;
-      error_ = out.str();
-    }
+    if (error_.message.empty()) error_ = ParseErrorAt(text_, pos_, message);
   }
 
   std::optional<Structure> Parse() {
@@ -78,6 +85,10 @@ class Parser {
     auto n = ConsumeNumber();
     if (!n.has_value()) {
       Fail("expected universe size");
+      return std::nullopt;
+    }
+    if (*n > kMaxParsedUniverse) {
+      Fail("universe size exceeds limit");
       return std::nullopt;
     }
     Structure result(vocabulary_, *n);
@@ -100,6 +111,10 @@ class Parser {
       }
       bool first = true;
       while (!ConsumeLiteral("}")) {
+        if (pos_ >= text_.size()) {
+          Fail("unterminated tuple list");
+          return std::nullopt;
+        }
         if (!first && !ConsumeLiteral(",")) {
           Fail("expected ',' or '}'");
           return std::nullopt;
@@ -140,15 +155,26 @@ class Parser {
   const std::string& text_;
   const Vocabulary& vocabulary_;
   size_t pos_ = 0;
-  std::string error_;
+  ParseError error_;
 };
 
 }  // namespace
 
 std::optional<Structure> ParseStructure(const std::string& text,
                                         const Vocabulary& vocabulary,
-                                        std::string* error) {
+                                        ParseError* error) {
   return Parser(text, vocabulary).Run(error);
+}
+
+std::optional<Structure> ParseStructure(const std::string& text,
+                                        const Vocabulary& vocabulary,
+                                        std::string* error) {
+  ParseError parse_error;
+  auto result = ParseStructure(text, vocabulary, &parse_error);
+  if (!result.has_value() && error != nullptr) {
+    *error = parse_error.ToString();
+  }
+  return result;
 }
 
 }  // namespace hompres

@@ -4,6 +4,10 @@
 //
 // Universe size first, then each relation's tuple list (relations may be
 // omitted; unknown relations and out-of-range elements are errors).
+//
+// The parser never aborts on malformed input: every syntactic or semantic
+// problem — including numeric overflow and oversized universes — is
+// reported through the error out-parameter with a line/column position.
 
 #ifndef HOMPRES_STRUCTURE_PARSER_H_
 #define HOMPRES_STRUCTURE_PARSER_H_
@@ -11,10 +15,23 @@
 #include <optional>
 #include <string>
 
+#include "base/parse_error.h"
 #include "structure/structure.h"
 
 namespace hompres {
 
+// Largest universe size the parser accepts; bigger inputs are malformed,
+// not a request to allocate.
+inline constexpr int kMaxParsedUniverse = 1'000'000;
+
+// Structured-error form: on failure, *error (if non-null) holds the
+// 1-based line/column and message of the first problem.
+std::optional<Structure> ParseStructure(const std::string& text,
+                                        const Vocabulary& vocabulary,
+                                        ParseError* error);
+
+// String-error convenience wrapper (error formatted via
+// ParseError::ToString).
 std::optional<Structure> ParseStructure(const std::string& text,
                                         const Vocabulary& vocabulary,
                                         std::string* error = nullptr);

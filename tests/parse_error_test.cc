@@ -1,0 +1,140 @@
+// Tests for structured parse errors: line/column reporting across the
+// structure, FO, and Datalog parsers, overflow hardening, and the
+// non-aborting vocabulary validation for parsed formulas.
+
+#include <gtest/gtest.h>
+
+#include "base/parse_error.h"
+#include "datalog/parser.h"
+#include "fo/eval.h"
+#include "fo/parser.h"
+#include "structure/parser.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+TEST(ParseErrorTest, ToStringWithAndWithoutLocation) {
+  ParseError located{2, 5, "boom"};
+  EXPECT_EQ(located.ToString(), "line 2, column 5: boom");
+  ParseError unlocated{0, 0, "semantic problem"};
+  EXPECT_EQ(unlocated.ToString(), "semantic problem");
+}
+
+TEST(ParseErrorTest, ParseErrorAtComputesLineAndColumn) {
+  const std::string text = "ab\ncde\nf";
+  ParseError start = ParseErrorAt(text, 0, "x");
+  EXPECT_EQ(start.line, 1);
+  EXPECT_EQ(start.column, 1);
+  ParseError mid = ParseErrorAt(text, 4, "x");  // the 'd'
+  EXPECT_EQ(mid.line, 2);
+  EXPECT_EQ(mid.column, 2);
+  ParseError last = ParseErrorAt(text, 7, "x");  // the 'f'
+  EXPECT_EQ(last.line, 3);
+  EXPECT_EQ(last.column, 1);
+  // Past-the-end positions clamp to the end of the text.
+  ParseError past = ParseErrorAt(text, 100, "x");
+  EXPECT_EQ(past.line, 3);
+  EXPECT_EQ(past.column, 2);
+}
+
+TEST(StructureParserErrorTest, ReportsLocation) {
+  const Vocabulary voc = GraphVocabulary();
+  ParseError error;
+  EXPECT_FALSE(ParseStructure("|A|=2; F={(0 1)}", voc, &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_GT(error.column, 1);
+  EXPECT_NE(error.message.find("unknown relation"), std::string::npos);
+}
+
+TEST(StructureParserErrorTest, RejectsOverflowingNumber) {
+  const Vocabulary voc = GraphVocabulary();
+  ParseError error;
+  EXPECT_FALSE(
+      ParseStructure("|A|=99999999999999999999", voc, &error).has_value());
+  EXPECT_NE(error.message.find("number too large"), std::string::npos);
+  // Overflowing elements, not just universe sizes.
+  EXPECT_FALSE(
+      ParseStructure("|A|=2; E={(0 99999999999)}", voc).has_value());
+}
+
+TEST(StructureParserErrorTest, RejectsOversizedUniverse) {
+  const Vocabulary voc = GraphVocabulary();
+  ParseError error;
+  EXPECT_FALSE(ParseStructure("|A|=2000000000", voc, &error).has_value());
+  EXPECT_NE(error.message.find("universe size"), std::string::npos);
+}
+
+TEST(StructureParserErrorTest, RejectsUnterminatedTupleList) {
+  const Vocabulary voc = GraphVocabulary();
+  ParseError error;
+  EXPECT_FALSE(ParseStructure("|A|=2; E={(0 1)", voc, &error).has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(StructureParserErrorTest, StringWrapperStillWorks) {
+  const Vocabulary voc = GraphVocabulary();
+  std::string error;
+  EXPECT_FALSE(ParseStructure("|A|=2; E={(0 5)}", voc, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(FoParserErrorTest, ReportsLineAcrossNewlines) {
+  ParseError error;
+  EXPECT_FALSE(
+      ParseFormula("exists x\nE(x", &error).has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(FoParserErrorTest, TrailingInputIsLocated) {
+  ParseError error;
+  EXPECT_FALSE(ParseFormula("E(x,y) extra", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_GT(error.column, 6);
+}
+
+TEST(DatalogParserErrorTest, SyntaxErrorsAreLocated) {
+  ParseError error;
+  EXPECT_FALSE(ParseDatalogProgram("T(x,y <- E(x,y).", GraphVocabulary(),
+                                   &error)
+                   .has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_GT(error.column, 1);
+}
+
+TEST(DatalogParserErrorTest, SemanticErrorsAreUnlocatedButNamed) {
+  ParseError error;
+  EXPECT_FALSE(ParseDatalogProgram("T(x,y) <- F(x,y).", GraphVocabulary(),
+                                   &error)
+                   .has_value());
+  EXPECT_EQ(error.line, 0);
+  EXPECT_NE(error.message.find("unknown predicate"), std::string::npos);
+  EXPECT_EQ(error.ToString(), error.message);
+}
+
+TEST(FormulaVocabularyTest, AcceptsWellFormed) {
+  auto f = ParseFormula("exists x exists y (E(x,y) & !(x = y))");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(ValidateFormulaForVocabulary(*f, GraphVocabulary()));
+}
+
+TEST(FormulaVocabularyTest, RejectsUnknownRelationWithoutAborting) {
+  auto f = ParseFormula("exists x F(x,x)");
+  ASSERT_TRUE(f.has_value());
+  std::string error;
+  EXPECT_FALSE(ValidateFormulaForVocabulary(*f, GraphVocabulary(), &error));
+  EXPECT_NE(error.find("unknown relation 'F'"), std::string::npos);
+}
+
+TEST(FormulaVocabularyTest, RejectsWrongArityWithoutAborting) {
+  auto f = ParseFormula("exists x E(x,x,x)");
+  ASSERT_TRUE(f.has_value());
+  std::string error;
+  EXPECT_FALSE(ValidateFormulaForVocabulary(*f, GraphVocabulary(), &error));
+  EXPECT_NE(error.find("wrong arity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hompres
