@@ -62,6 +62,53 @@ void BM_HomomorphismNaive(benchmark::State& state) {
 
 BENCHMARK(BM_HomomorphismNaive)->Arg(1)->Arg(2)->Iterations(3);
 
+// Serial vs parallel engine on the same adversarial family. Args are
+// {level, threads}; threads = 0 is the serial engine, so comparing rows
+// with equal level gives the parallel speedup (expect ~linear scaling up
+// to the core count on the unsatisfiable instances: the subtree tasks
+// partition the search space with little overlap).
+void BM_HomomorphismParallel(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  Structure a = MycielskiInstance(level);
+  Structure target = UndirectedGraphStructure(CompleteGraph(level + 1));
+  HomOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  bool sat = true;
+  for (auto _ : state) {
+    auto h = FindHomomorphism(a, target, options);
+    sat = h.has_value();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["satisfiable"] = sat ? 1.0 : 0.0;
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+
+BENCHMARK(BM_HomomorphismParallel)
+    ->Args({2, 0})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 0})
+    ->Args({3, 2})
+    ->Args({3, 4});
+
+// Core computation with parallel retraction searches; rows with equal n
+// compare the serial (threads = 0) and fanned-out candidate checks.
+void BM_CoreComputationParallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Structure b = UndirectedGraphStructure(BicycleGraph(n));
+  for (auto _ : state) {
+    Structure core = ComputeCore(b, threads);
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+BENCHMARK(BM_CoreComputationParallel)
+    ->Args({9, 0})
+    ->Args({9, 2})
+    ->Args({9, 4});
+
 void BM_ExactTreewidth(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(31);

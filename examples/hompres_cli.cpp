@@ -3,6 +3,7 @@
 // treewidth, FO evaluation, Datalog, scattered sets.
 //
 //   ./build/examples/hompres_cli [--timeout-ms <n>] [--max-steps <n>]
+//                                [--threads <n>]
 //   > let a = |A|=3; E={(0 1),(1 2),(2 0)}
 //   > let b = |A|=2; E={(0 1),(1 0)}
 //   > hom a b
@@ -13,11 +14,14 @@
 //
 // --timeout-ms / --max-steps bound every search command; a search that
 // hits the budget prints "budget exhausted" instead of hanging.
+// --threads <n> runs the hom / core / datalog commands on n worker
+// threads (0, the default, is the serial engine).
 //
 // Exit codes: 0 = all commands completed, 2 = some command exhausted its
 // budget, 3 = some input failed to parse (parse errors win over budget
 // exhaustion).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +58,7 @@ constexpr int kExitParseError = 3;
 struct CliLimits {
   uint64_t max_steps = 0;       // 0 = unlimited
   uint64_t timeout_ms = 0;      // 0 = unlimited
+  uint64_t threads = 0;         // 0 = serial engines
 };
 
 Budget MakeBudget(const CliLimits& limits) {
@@ -116,10 +121,12 @@ int main(int argc, char** argv) {
       target = &limits.timeout_ms;
     } else if (std::strcmp(arg, "--max-steps") == 0) {
       target = &limits.max_steps;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      target = &limits.threads;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --timeout-ms <n>, "
-                   "--max-steps <n>)\n",
+                   "--max-steps <n>, --threads <n>)\n",
                    arg);
       return kExitUsage;
     }
@@ -129,6 +136,9 @@ int main(int argc, char** argv) {
     }
     ++i;
   }
+
+  const int num_threads =
+      static_cast<int>(std::min<uint64_t>(limits.threads, 256));
 
   std::map<std::string, Structure> environment;
   const Vocabulary voc = GraphVocabulary();
@@ -172,7 +182,7 @@ int main(int argc, char** argv) {
         std::printf("%s\n", it->second.DebugString().c_str());
       } else if (command == "core") {
         Budget budget = MakeBudget(limits);
-        auto core = ComputeCoreBudgeted(it->second, budget);
+        auto core = ComputeCoreBudgeted(it->second, budget, num_threads);
         if (!core.IsDone()) {
           saw_exhausted = true;
           PrintExhausted(core.Report());
@@ -192,7 +202,11 @@ int main(int argc, char** argv) {
         std::printf("error: unknown structure\n");
       } else {
         Budget budget = MakeBudget(limits);
-        auto h = FindHomomorphismBudgeted(ita->second, itb->second, budget);
+        HomOptions options;
+        options.num_threads = num_threads;
+        options.deterministic_witness = true;  // stable CLI output
+        auto h = FindHomomorphismBudgeted(ita->second, itb->second, budget,
+                                          options);
         if (!h.IsDone()) {
           saw_exhausted = true;
           PrintExhausted(h.Report());
@@ -248,8 +262,8 @@ int main(int argc, char** argv) {
         std::printf("parse error: %s\n", error.ToString().c_str());
       } else {
         Budget budget = MakeBudget(limits);
-        auto outcome =
-            EvaluateSemiNaiveBudgeted(*program, it->second, budget);
+        auto outcome = EvaluateSemiNaiveBudgeted(*program, it->second,
+                                                 budget, num_threads);
         if (!outcome.IsDone()) {
           saw_exhausted = true;
           PrintExhausted(outcome.Report());

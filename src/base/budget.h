@@ -14,8 +14,10 @@
 //
 // A Budget is a mutable accumulator: it is consumed by one logical
 // operation (possibly spanning several library calls, which then share
-// the limits) and is not thread-safe; the only cross-thread channel is
-// the cancellation flag, which may be raised from any thread.
+// the limits) and is not thread-safe; the only cross-thread channels are
+// the cancellation flag, which may be raised from any thread, and the
+// shared step counter of a parallel search (see SpawnWorker), which is an
+// atomic the cooperating worker budgets advance together.
 
 #ifndef HOMPRES_BASE_BUDGET_H_
 #define HOMPRES_BASE_BUDGET_H_
@@ -91,6 +93,37 @@ class Budget {
     return *this;
   }
 
+  // Draws steps from a pool shared with other budgets: every Checkpoint
+  // also advances *counter, and the budget stops with StopReason::kSteps
+  // once the shared total passes `shared_max`. Used by the parallel search
+  // drivers so the workers of one logical operation together respect the
+  // caller's step limit. `counter` must outlive the budget.
+  Budget& WithSharedSteps(std::atomic<uint64_t>* counter,
+                          uint64_t shared_max) {
+    shared_steps_ = counter;
+    shared_max_ = shared_max;
+    return *this;
+  }
+
+  // A child budget for one worker of a parallel search: same start time
+  // and deadline as this budget, steps drawn from `shared_steps` against
+  // this budget's step limit, and `cancel` (typically one flag per task,
+  // raised for first-finisher cancellation) in place of the cancellation
+  // flag. The driver must initialize *shared_steps to StepsUsed() before
+  // spawning and, after the workers join, charge the delta back via
+  // ChargeSteps so the parent's accounting stays exact.
+  Budget SpawnWorker(std::atomic<uint64_t>* shared_steps,
+                     const std::atomic<bool>* cancel) const {
+    Budget child;
+    child.start_ = start_;
+    child.has_deadline_ = has_deadline_;
+    child.deadline_ = deadline_;
+    child.cancel_flag_ = cancel;
+    child.shared_steps_ = shared_steps;
+    child.shared_max_ = max_steps_;
+    return child;
+  }
+
   // Counts one unit of work and polls the limits. Returns true while the
   // computation may continue; once false, it stays false (the budget is
   // spent). Step accounting is deterministic: the same sequence of
@@ -103,6 +136,14 @@ class Budget {
       reason_ = StopReason::kSteps;
       return false;
     }
+    if (shared_steps_ != nullptr) {
+      const uint64_t total =
+          shared_steps_->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (total > shared_max_) {
+        reason_ = StopReason::kSteps;
+        return false;
+      }
+    }
     if (cancel_flag_ != nullptr &&
         cancel_flag_->load(std::memory_order_relaxed)) {
       reason_ = StopReason::kCancelled;
@@ -114,6 +155,20 @@ class Budget {
     if (has_deadline_ && (steps_used_ & 31u) == 1u &&
         Clock::now() >= deadline_) {
       reason_ = StopReason::kDeadline;
+      return false;
+    }
+    return true;
+  }
+
+  // Charges `steps` units of work at once (saturating). Used to settle a
+  // parallel region's total consumption back into the parent budget after
+  // its workers join; sets StopReason::kSteps once over the limit.
+  bool ChargeSteps(uint64_t steps) {
+    if (reason_ != StopReason::kNone) return false;
+    steps_used_ =
+        steps > UINT64_MAX - steps_used_ ? UINT64_MAX : steps_used_ + steps;
+    if (steps_used_ > max_steps_) {
+      reason_ = StopReason::kSteps;
       return false;
     }
     return true;
@@ -136,9 +191,14 @@ class Budget {
   bool Stopped() const { return reason_ != StopReason::kNone; }
   StopReason Reason() const { return reason_; }
 
+  // The external cancellation flag, if any (parallel drivers poll it to
+  // propagate cancellation to their workers' per-task flags).
+  const std::atomic<bool>* CancelFlag() const { return cancel_flag_; }
+
   bool IsUnlimited() const {
     return max_steps_ == kNoLimit && max_memory_ == kNoLimit &&
-           !has_deadline_ && cancel_flag_ == nullptr;
+           !has_deadline_ && cancel_flag_ == nullptr &&
+           (shared_steps_ == nullptr || shared_max_ == kNoLimit);
   }
 
   uint64_t StepsUsed() const { return steps_used_; }
@@ -154,6 +214,8 @@ class Budget {
   uint64_t max_memory_ = kNoLimit;
   uint64_t steps_used_ = 0;
   uint64_t memory_used_ = 0;
+  std::atomic<uint64_t>* shared_steps_ = nullptr;
+  uint64_t shared_max_ = kNoLimit;
   Clock::time_point start_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;

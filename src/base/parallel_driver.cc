@@ -1,0 +1,71 @@
+#include "base/parallel_driver.h"
+
+#include <chrono>
+
+#include "base/check.h"
+
+namespace hompres {
+
+ParallelRegion::ParallelRegion(Budget& parent, int num_tasks)
+    : parent_(parent),
+      num_tasks_(num_tasks),
+      base_steps_(parent.StepsUsed()),
+      shared_steps_(parent.StepsUsed()),
+      cancels_(new std::atomic<bool>[static_cast<size_t>(num_tasks)]) {
+  HOMPRES_CHECK_GE(num_tasks, 1);
+  for (int i = 0; i < num_tasks_; ++i) {
+    cancels_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+Budget ParallelRegion::WorkerBudget(int i) const {
+  HOMPRES_CHECK_GE(i, 0);
+  HOMPRES_CHECK_LT(i, num_tasks_);
+  return parent_.SpawnWorker(&shared_steps_, &cancels_[i]);
+}
+
+void ParallelRegion::CancelFrom(int first) {
+  for (int j = first < 0 ? 0 : first; j < num_tasks_; ++j) {
+    cancels_[j].store(true, std::memory_order_relaxed);
+  }
+}
+
+void ParallelRegion::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  done_cv_.notify_all();
+}
+
+bool ParallelRegion::Join(ThreadPool& pool) {
+  const std::atomic<bool>* external = parent_.CancelFlag();
+  bool external_cancel = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (done_ < num_tasks_) {
+      if (external == nullptr) {
+        done_cv_.wait(lock);
+      } else {
+        // Poll the external flag so a cancellation raised while the
+        // workers are deep in their searches reaches them promptly.
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        if (!external_cancel &&
+            external->load(std::memory_order_relaxed)) {
+          external_cancel = true;
+          CancelFrom(0);
+        }
+      }
+    }
+  }
+  pool.WaitIdle();
+  parent_.ChargeSteps(shared_steps_.load(std::memory_order_relaxed) -
+                      base_steps_);
+  return external_cancel;
+}
+
+StopReason CombineWorkerStops(bool external_cancel, bool any_deadline) {
+  if (external_cancel) return StopReason::kCancelled;
+  if (any_deadline) return StopReason::kDeadline;
+  return StopReason::kSteps;
+}
+
+}  // namespace hompres

@@ -1,0 +1,91 @@
+// Budget plumbing for parallel fan-out regions.
+//
+// Every parallel driver in the library follows the same shape: split one
+// logical budgeted operation into a fixed set of independent subtasks,
+// run them on a ThreadPool, and keep the caller's Budget contract intact.
+// ParallelRegion owns the three pieces of shared state that makes
+// possible:
+//
+//  - a shared atomic step counter (Budget::SpawnWorker) so the workers
+//    together respect the parent's step limit, settled back into the
+//    parent via ChargeSteps when the region joins;
+//  - one cancellation flag per task, so a driver can cancel exactly the
+//    subtasks whose result can no longer matter (first-finisher or
+//    lexicographic cancellation);
+//  - relaying of the parent's external cancellation flag (WithCancelFlag)
+//    to every task while the driver blocks in Join.
+//
+// Protocol: construct the region with the parent budget and the task
+// count, Submit one closure per task to a ThreadPool, have each closure
+// draw its budget from WorkerBudget(i) and call TaskDone() as its last
+// action, then call Join(pool) once from the submitting thread. After
+// Join returns, the tasks' writes are visible to the caller (TaskDone /
+// Join synchronize) and the parent's step accounting is settled.
+
+#ifndef HOMPRES_BASE_PARALLEL_DRIVER_H_
+#define HOMPRES_BASE_PARALLEL_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "base/budget.h"
+#include "base/thread_pool.h"
+
+namespace hompres {
+
+class ParallelRegion {
+ public:
+  // `parent` must outlive the region and must not be used while the
+  // region's tasks run (until Join returns).
+  ParallelRegion(Budget& parent, int num_tasks);
+
+  ParallelRegion(const ParallelRegion&) = delete;
+  ParallelRegion& operator=(const ParallelRegion&) = delete;
+
+  int NumTasks() const { return num_tasks_; }
+
+  // The budget for task `i`: same deadline as the parent, steps drawn
+  // from the region's shared pool against the parent's step limit, and
+  // the task's own cancellation flag. Call from the task body.
+  Budget WorkerBudget(int i) const;
+
+  // Raises the cancellation flag of every task with index >= first.
+  // Callable from task bodies (e.g. a task that found a witness cancels
+  // the subtrees to its right).
+  void CancelFrom(int first);
+  void CancelAll() { CancelFrom(0); }
+
+  // Each task body must call this exactly once, as its last action.
+  void TaskDone();
+
+  // Blocks until every task called TaskDone, relaying an external
+  // cancellation (the parent's WithCancelFlag flag) to the per-task
+  // flags, waits for `pool` to go idle, and settles the shared step
+  // total into the parent via ChargeSteps. Returns true iff an external
+  // cancellation was observed. Call exactly once, from the thread that
+  // owns the parent budget.
+  bool Join(ThreadPool& pool);
+
+ private:
+  Budget& parent_;
+  const int num_tasks_;
+  const uint64_t base_steps_;
+  mutable std::atomic<uint64_t> shared_steps_;
+  std::unique_ptr<std::atomic<bool>[]> cancels_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int done_ = 0;
+};
+
+// The StopReason a driver reports when some subtask stopped short and the
+// parent budget itself carries no reason: kCancelled if the region was
+// externally cancelled, else kDeadline if any worker hit the deadline,
+// else kSteps (the shared step pool ran dry).
+StopReason CombineWorkerStops(bool external_cancel, bool any_deadline);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_PARALLEL_DRIVER_H_

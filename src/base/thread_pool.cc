@@ -1,0 +1,124 @@
+#include "base/thread_pool.h"
+
+#include "base/check.h"
+
+namespace hompres {
+
+namespace {
+
+// Identity of the current thread within a pool, so Submit from a worker
+// lands on that worker's own deque (LIFO end).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  HOMPRES_CHECK_GE(num_threads, 1);
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  if (tls_pool == this && tls_worker >= 0) {
+    target = static_cast<size_t>(tls_worker);
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // The push precedes the count increment, so a worker that claims a unit
+  // of work (decrements queued_) always finds some task in some deque.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++queued_;
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return queued_ > 0 || stopping_; });
+      if (queued_ == 0) return;  // stopping and fully drained
+      --queued_;  // claim one unit of work
+    }
+    // Claims never outnumber pushed tasks, so the claimed task is in some
+    // deque; a miss is a transient interleaving with other claimants.
+    std::function<void()> task;
+    for (;;) {
+      task = TakeTask(self);
+      if (task) break;
+      std::this_thread::yield();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+std::function<void()> ThreadPool::TakeTask(int self) {
+  {
+    WorkerQueue& own = *queues_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  const int n = NumWorkers();
+  for (int k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[static_cast<size_t>((self + k) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ParallelFor(ThreadPool& pool, int n,
+                 const std::function<void(int)>& fn) {
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.WaitIdle();
+}
+
+}  // namespace hompres

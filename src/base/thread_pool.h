@@ -1,0 +1,91 @@
+// A small work-stealing thread pool for the parallel search drivers.
+//
+// The pool owns a fixed set of worker threads, each with its own task
+// deque in the Chase-Lev discipline: the owner pushes and pops at the
+// back (LIFO, cache-friendly for recursively spawned work), thieves steal
+// from the front (FIFO, takes the oldest and typically largest task).
+// The deques are guarded by per-deque locks rather than the lock-free
+// Chase-Lev protocol: the tasks scheduled here are coarse subtree
+// searches (milliseconds to seconds), so queue contention is noise, and
+// the locked form is trivially data-race-free under TSan.
+//
+// Cooperation with the Budget layer is by convention, not mechanism: a
+// parallel driver gives every task a worker budget (Budget::SpawnWorker)
+// whose shared atomic step counter and per-task cancellation flag let the
+// driver stop stragglers (first-finisher cancellation) without the pool
+// knowing anything about budgets. Tasks must not throw (the library is
+// exception-free).
+
+#ifndef HOMPRES_BASE_THREAD_POOL_H_
+#define HOMPRES_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hompres {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (must be >= 1). The calling thread does
+  // not execute tasks; entry points pick num_threads = the option value.
+  explicit ThreadPool(int num_threads);
+
+  // Drains every submitted task, then joins the workers. Destroying a
+  // pool with tasks still running blocks until they finish (tasks polling
+  // a cancelled budget exit promptly).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int NumWorkers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Submissions from outside the pool are distributed
+  // round-robin across the worker deques; a submission from a worker
+  // thread goes to that worker's own deque (back), where it pops it LIFO
+  // and idle workers steal it FIFO.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished. The pool is
+  // reusable afterwards (the Datalog evaluator runs one batch per
+  // fixpoint round on the same pool).
+  void WaitIdle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int self);
+
+  // Pops from own back, else steals from the fronts of the others,
+  // starting after `self` so thieves spread out. Returns an empty
+  // function if every deque came up empty.
+  std::function<void()> TakeTask(int self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int queued_ = 0;      // submitted, not yet claimed by a worker
+  int in_flight_ = 0;   // submitted, not yet finished
+  size_t next_queue_ = 0;
+  bool stopping_ = false;
+};
+
+// Runs fn(0) ... fn(n-1) on the pool and blocks until all calls return.
+// fn must be safe to invoke concurrently from the pool's workers.
+void ParallelFor(ThreadPool& pool, int n,
+                 const std::function<void(int)>& fn);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_THREAD_POOL_H_

@@ -1,9 +1,12 @@
 #include "core/minimal_models.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/check.h"
+#include "base/parallel_driver.h"
 #include "base/subsets.h"
+#include "base/thread_pool.h"
 #include "cq/cq.h"
 #include "hom/homomorphism.h"
 #include "structure/isomorphism.h"
@@ -48,9 +51,109 @@ bool IsMinimalModel(const BooleanQuery& q, const Structure& a,
   return IsMinimalModelBudgeted(q, a, c, unlimited).Value();
 }
 
+namespace {
+
+// Parallel body of MinimalModelsOfUcqBudgeted: candidate quotients are
+// collected in the serial enumeration order (one budget step each, as in
+// the serial path), their minimality checks fan out, and the surviving
+// candidates are merged back in order — so the model list matches the
+// serial result exactly.
+Outcome<std::vector<Structure>> MinimalModelsOfUcqParallel(
+    const UnionOfCq& q, const StructureClass& c, Budget& budget,
+    int num_threads) {
+  const BooleanQuery query = [&q](const Structure& s) {
+    return q.SatisfiedBy(s);
+  };
+  std::vector<Structure> candidates;
+  for (const ConjunctiveQuery& disjunct : q.Disjuncts()) {
+    const Structure& canonical = disjunct.Canonical();
+    ForEachSetPartition(canonical.UniverseSize(),
+                        [&](const std::vector<int>& block) {
+                          if (!budget.Checkpoint()) return false;
+                          int blocks = 0;
+                          for (int b : block) blocks = std::max(blocks, b + 1);
+                          Structure image = canonical.Image(block, blocks);
+                          if (c.contains(image)) {
+                            candidates.push_back(std::move(image));
+                          }
+                          return true;
+                        });
+    if (budget.Stopped()) {
+      return Outcome<std::vector<Structure>>::StoppedShort(budget.Report());
+    }
+  }
+  if (candidates.empty()) {
+    return Outcome<std::vector<Structure>>::Done({}, budget.Report());
+  }
+
+  const int num_tasks = static_cast<int>(candidates.size());
+  struct TaskState {
+    bool completed = false;
+    bool minimal = false;
+    StopReason stop = StopReason::kNone;
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+
+  ParallelRegion region(budget, num_tasks);
+  ThreadPool pool(std::min(num_threads, num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    pool.Submit([&, i] {
+      Budget worker = region.WorkerBudget(i);
+      auto minimal = IsMinimalModelBudgeted(
+          query, candidates[static_cast<size_t>(i)], c, worker);
+      // Task-exclusive state; TaskDone/Join publish it to the joiner.
+      TaskState& state = states[static_cast<size_t>(i)];
+      if (minimal.IsDone()) {
+        state.completed = true;
+        state.minimal = minimal.Value();
+      } else {
+        state.stop = minimal.Report().reason;
+      }
+      region.TaskDone();
+    });
+  }
+  const bool external_cancel = region.Join(pool);
+
+  bool any_incomplete = false;
+  bool any_deadline = false;
+  for (const TaskState& state : states) {
+    if (state.completed) continue;
+    any_incomplete = true;
+    any_deadline |= state.stop == StopReason::kDeadline;
+  }
+  if (any_incomplete) {
+    BudgetReport report = budget.Report();
+    if (report.reason == StopReason::kNone) {
+      report.reason = CombineWorkerStops(external_cancel, any_deadline);
+    }
+    return Outcome<std::vector<Structure>>::StoppedShort(report);
+  }
+  std::vector<Structure> models;
+  for (int i = 0; i < num_tasks; ++i) {
+    if (!states[static_cast<size_t>(i)].minimal) continue;
+    Structure& image = candidates[static_cast<size_t>(i)];
+    bool duplicate = false;
+    for (const Structure& seen : models) {
+      if (AreIsomorphic(seen, image)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) models.push_back(std::move(image));
+  }
+  return Outcome<std::vector<Structure>>::Done(std::move(models),
+                                               budget.Report());
+}
+
+}  // namespace
+
 Outcome<std::vector<Structure>> MinimalModelsOfUcqBudgeted(
-    const UnionOfCq& q, const StructureClass& c, Budget& budget) {
+    const UnionOfCq& q, const StructureClass& c, Budget& budget,
+    int num_threads) {
   HOMPRES_CHECK_EQ(q.Arity(), 0);
+  if (num_threads > 0) {
+    return MinimalModelsOfUcqParallel(q, c, budget, num_threads);
+  }
   const BooleanQuery query = [&q](const Structure& s) {
     return q.SatisfiedBy(s);
   };
@@ -82,9 +185,11 @@ Outcome<std::vector<Structure>> MinimalModelsOfUcqBudgeted(
 }
 
 std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
-                                          const StructureClass& c) {
+                                          const StructureClass& c,
+                                          int num_threads) {
   Budget unlimited = Budget::Unlimited();
-  return std::move(MinimalModelsOfUcqBudgeted(q, c, unlimited)).TakeValue();
+  return std::move(MinimalModelsOfUcqBudgeted(q, c, unlimited, num_threads))
+      .TakeValue();
 }
 
 UnionOfCq UcqFromMinimalModels(const std::vector<Structure>& models) {

@@ -43,14 +43,23 @@ Outcome<bool> IsMinimalModelBudgeted(const BooleanQuery& q, const Structure& a,
 // of some disjunct's canonical structure, so it enumerates all quotients
 // of each canonical structure (Bell(n) partitions — keep disjuncts
 // small), filters to C-members that are minimal, and deduplicates.
+//
+// With num_threads > 0 the per-candidate minimality checks (the expensive
+// part: each is a batch of homomorphism searches) fan out over a
+// work-stealing pool; candidates are merged back in enumeration order, so
+// the model list is identical to the serial one. Requires c.contains and
+// the query evaluation to be thread-safe (true for the classes and
+// queries in this library: they are stateless const calls).
 std::vector<Structure> MinimalModelsOfUcq(const UnionOfCq& q,
-                                          const StructureClass& c);
+                                          const StructureClass& c,
+                                          int num_threads = 0);
 
 // Budgeted enumeration (one step per candidate quotient). On exhaustion
 // no model list is claimed: a truncated enumeration could both miss
 // models and retain non-minimal ones.
 Outcome<std::vector<Structure>> MinimalModelsOfUcqBudgeted(
-    const UnionOfCq& q, const StructureClass& c, Budget& budget);
+    const UnionOfCq& q, const StructureClass& c, Budget& budget,
+    int num_threads = 0);
 
 // Theorem 3.1 (1) => (2): the existential-positive sentence equivalent to
 // q on C, as the union of the canonical conjunctive queries of the

@@ -1,9 +1,14 @@
 #include "cq/ucq.h"
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
 #include <sstream>
 
+#include "base/budget.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
+#include "hom/homomorphism.h"
 
 namespace hompres {
 
@@ -25,11 +30,52 @@ bool UnionOfCq::SatisfiedBy(const Structure& b) const {
   return false;
 }
 
+bool UnionOfCq::SatisfiedBy(const Structure& b, int num_threads) const {
+  if (num_threads <= 0 || disjuncts_.size() < 2) return SatisfiedBy(b);
+  // One task per disjunct. A satisfied disjunct raises `found`, which
+  // doubles as the cancellation flag of every still-running search; if
+  // `found` stays false, every search necessarily ran to completion, so
+  // the negative answer is certain.
+  std::atomic<bool> found{false};
+  ThreadPool pool(std::min(num_threads, static_cast<int>(disjuncts_.size())));
+  for (const ConjunctiveQuery& d : disjuncts_) {
+    pool.Submit([&found, &d, &b] {
+      if (found.load(std::memory_order_relaxed)) return;
+      Budget budget = Budget().WithCancelFlag(&found);
+      auto has = HasHomomorphismBudgeted(d.Canonical(), b, budget);
+      if (has.IsDone() && has.Value()) {
+        found.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.WaitIdle();
+  return found.load(std::memory_order_relaxed);
+}
+
 std::vector<Tuple> UnionOfCq::Evaluate(const Structure& b) const {
   std::vector<Tuple> answers;
   for (const auto& d : disjuncts_) {
     std::vector<Tuple> part = d.Evaluate(b);
     answers.insert(answers.end(), part.begin(), part.end());
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+std::vector<Tuple> UnionOfCq::Evaluate(const Structure& b,
+                                       int num_threads) const {
+  if (num_threads <= 0 || disjuncts_.size() < 2) return Evaluate(b);
+  std::vector<std::vector<Tuple>> parts(disjuncts_.size());
+  ThreadPool pool(std::min(num_threads, static_cast<int>(disjuncts_.size())));
+  ParallelFor(pool, static_cast<int>(disjuncts_.size()), [&](int i) {
+    parts[static_cast<size_t>(i)] =
+        disjuncts_[static_cast<size_t>(i)].Evaluate(b);
+  });
+  std::vector<Tuple> answers;
+  for (std::vector<Tuple>& part : parts) {
+    answers.insert(answers.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
   }
   std::sort(answers.begin(), answers.end());
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());

@@ -24,8 +24,18 @@ class UnionOfCq {
 
   bool SatisfiedBy(const Structure& b) const;
 
+  // Parallel satisfaction: the disjuncts' homomorphism searches run
+  // concurrently on `num_threads` workers, and the first disjunct found
+  // satisfied cancels the rest. Same answer as the serial overload;
+  // num_threads <= 0 falls back to it.
+  bool SatisfiedBy(const Structure& b, int num_threads) const;
+
   // Union of the disjuncts' answers, sorted and deduplicated.
   std::vector<Tuple> Evaluate(const Structure& b) const;
+
+  // Parallel evaluation: one task per disjunct, answers merged, sorted
+  // and deduplicated — identical output to the serial overload.
+  std::vector<Tuple> Evaluate(const Structure& b, int num_threads) const;
 
   std::string ToString() const;
 

@@ -1,9 +1,13 @@
 #include "datalog/eval.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
+#include <utility>
 
 #include "base/check.h"
+#include "base/parallel_driver.h"
+#include "base/thread_pool.h"
 
 namespace hompres {
 
@@ -78,6 +82,86 @@ std::vector<std::set<Tuple>> EdbSets(const DatalogProgram& program,
     }
   }
   return sets;
+}
+
+// One rule-body evaluation of a semi-naive round: the rule, the resolved
+// tuple-set sources for its body atoms, and the IDB index its head
+// derives into.
+struct RuleJob {
+  const DatalogRule* rule;
+  std::vector<const std::set<Tuple>*> sources;
+  int head;
+};
+
+// Runs every job, inserting each job's head tuples into (*out)[job.head]
+// and adding the assignments enumerated to *derivations. Serial when
+// num_threads <= 0; otherwise the jobs fan out over a work-stealing pool,
+// each deriving into its own set (the sources are read-only during the
+// region), merged after the join — the same tuples and derivation count
+// as the serial run. Returns true iff every job completed; on false,
+// *stop says why (the parent budget may carry no reason itself).
+bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
+                 int num_threads, long long* derivations,
+                 IdbInterpretation* out, StopReason* stop) {
+  if (num_threads <= 0 || jobs.size() < 2) {
+    for (const RuleJob& job : jobs) {
+      if (!ApplyRule(*job.rule, job.sources, budget, derivations,
+                     &(*out)[static_cast<size_t>(job.head)])) {
+        *stop = budget.Reason();
+        return false;
+      }
+    }
+    return true;
+  }
+  const int num_tasks = static_cast<int>(jobs.size());
+  struct TaskState {
+    bool completed = false;
+    std::set<Tuple> derived;
+    long long derivations = 0;
+    StopReason stop = StopReason::kNone;
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+  ParallelRegion region(budget, num_tasks);
+  ThreadPool pool(std::min(num_threads, num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    pool.Submit([&, i] {
+      Budget worker = region.WorkerBudget(i);
+      // Task-exclusive state; TaskDone/Join publish it to the joiner.
+      TaskState& state = states[static_cast<size_t>(i)];
+      const RuleJob& job = jobs[static_cast<size_t>(i)];
+      state.completed = ApplyRule(*job.rule, job.sources, worker,
+                                  &state.derivations, &state.derived);
+      if (!state.completed) state.stop = worker.Reason();
+      region.TaskDone();
+    });
+  }
+  const bool external_cancel = region.Join(pool);
+  bool any_incomplete = false;
+  bool any_deadline = false;
+  for (const TaskState& state : states) {
+    if (state.completed) continue;
+    any_incomplete = true;
+    any_deadline |= state.stop == StopReason::kDeadline;
+  }
+  if (any_incomplete) {
+    *stop = budget.Stopped()
+                ? budget.Reason()
+                : CombineWorkerStops(external_cancel, any_deadline);
+    return false;
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    TaskState& state = states[static_cast<size_t>(i)];
+    *derivations += state.derivations;
+    (*out)[static_cast<size_t>(jobs[static_cast<size_t>(i)].head)].insert(
+        state.derived.begin(), state.derived.end());
+  }
+  return true;
+}
+
+Outcome<DatalogResult> StoppedEval(const Budget& budget, StopReason stop) {
+  BudgetReport report = budget.Report();
+  if (report.reason == StopReason::kNone) report.reason = stop;
+  return Outcome<DatalogResult>::StoppedShort(report);
 }
 
 }  // namespace
@@ -167,33 +251,40 @@ DatalogResult EvaluateNaive(const DatalogProgram& program,
 
 Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
                                                  const Structure& edb,
-                                                 Budget& budget) {
+                                                 Budget& budget,
+                                                 int num_threads) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
   const auto edb_sets = EdbSets(program, edb);
   const size_t idb_count =
       static_cast<size_t>(program.Idb().NumRelations());
   DatalogResult result;
   result.idb.assign(idb_count, {});
+  StopReason stop = StopReason::kNone;
 
   // Round 1: plain application against the empty IDB (fires the EDB-only
   // rules).
   IdbInterpretation delta(idb_count);
-  for (const DatalogRule& rule : program.Rules()) {
-    bool has_idb_atom = false;
-    for (const DatalogAtom& atom : rule.body) {
-      has_idb_atom |= program.IdbIndexOf(atom.relation).has_value();
+  {
+    std::vector<RuleJob> jobs;
+    for (const DatalogRule& rule : program.Rules()) {
+      bool has_idb_atom = false;
+      for (const DatalogAtom& atom : rule.body) {
+        has_idb_atom |= program.IdbIndexOf(atom.relation).has_value();
+      }
+      if (has_idb_atom) continue;  // needs IDB facts; none yet
+      RuleJob job;
+      job.rule = &rule;
+      job.head = *program.IdbIndexOf(rule.head.relation);
+      for (const DatalogAtom& atom : rule.body) {
+        job.sources.push_back(
+            &edb_sets[static_cast<size_t>(*program.Edb().IndexOf(
+                atom.relation))]);
+      }
+      jobs.push_back(std::move(job));
     }
-    if (has_idb_atom) continue;  // needs IDB facts; none yet
-    const int head = *program.IdbIndexOf(rule.head.relation);
-    std::vector<const std::set<Tuple>*> sources;
-    for (const DatalogAtom& atom : rule.body) {
-      sources.push_back(
-          &edb_sets[static_cast<size_t>(*program.Edb().IndexOf(
-              atom.relation))]);
-    }
-    if (!ApplyRule(rule, sources, budget, &result.derivations,
-                   &delta[static_cast<size_t>(head)])) {
-      return Outcome<DatalogResult>::StoppedShort(budget.Report());
+    if (!RunRuleJobs(jobs, budget, num_threads, &result.derivations, &delta,
+                     &stop)) {
+      return StoppedEval(budget, stop);
     }
   }
 
@@ -206,8 +297,11 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
       result.idb[i].insert(delta[i].begin(), delta[i].end());
     }
     // Derive the next delta: for each rule and each IDB body position,
-    // evaluate with that position restricted to the current delta.
+    // evaluate with that position restricted to the current delta. The
+    // jobs only read delta / result.idb / edb_sets, none of which change
+    // until the round's jobs have all completed.
     IdbInterpretation derived(idb_count);
+    std::vector<RuleJob> jobs;
     for (const DatalogRule& rule : program.Rules()) {
       const int head = *program.IdbIndexOf(rule.head.relation);
       for (size_t delta_position = 0; delta_position < rule.body.size();
@@ -215,24 +309,27 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
         const auto idb_index =
             program.IdbIndexOf(rule.body[delta_position].relation);
         if (!idb_index.has_value()) continue;
-        std::vector<const std::set<Tuple>*> sources;
+        RuleJob job;
+        job.rule = &rule;
+        job.head = head;
         for (size_t i = 0; i < rule.body.size(); ++i) {
           const DatalogAtom& atom = rule.body[i];
           if (i == delta_position) {
-            sources.push_back(&delta[static_cast<size_t>(*idb_index)]);
+            job.sources.push_back(&delta[static_cast<size_t>(*idb_index)]);
           } else if (const auto e = program.Edb().IndexOf(atom.relation);
                      e.has_value()) {
-            sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
+            job.sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
           } else {
-            sources.push_back(&result.idb[static_cast<size_t>(
+            job.sources.push_back(&result.idb[static_cast<size_t>(
                 *program.IdbIndexOf(atom.relation))]);
           }
         }
-        if (!ApplyRule(rule, sources, budget, &result.derivations,
-                       &derived[static_cast<size_t>(head)])) {
-          return Outcome<DatalogResult>::StoppedShort(budget.Report());
-        }
+        jobs.push_back(std::move(job));
       }
+    }
+    if (!RunRuleJobs(jobs, budget, num_threads, &result.derivations,
+                     &derived, &stop)) {
+      return StoppedEval(budget, stop);
     }
     // New facts only.
     IdbInterpretation next_delta(idb_count);
@@ -251,9 +348,10 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
 }
 
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
-                                const Structure& edb) {
+                                const Structure& edb, int num_threads) {
   Budget unlimited = Budget::Unlimited();
-  return std::move(EvaluateSemiNaiveBudgeted(program, edb, unlimited))
+  return std::move(
+             EvaluateSemiNaiveBudgeted(program, edb, unlimited, num_threads))
       .TakeValue();
 }
 

@@ -50,12 +50,19 @@ Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
 
 // Least fixpoint by semi-naive (delta) iteration; produces the same
 // relations and stage count, typically with far fewer derivations.
+//
+// With num_threads > 0 the rule-body evaluations of each round — one job
+// per (rule, delta position) pair — fan out over a work-stealing pool,
+// each job deriving into its own tuple set, merged after the round. The
+// fixpoint, stage count and derivation total are identical to the serial
+// evaluation (every job enumerates the same assignments either way).
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
-                                const Structure& edb);
+                                const Structure& edb, int num_threads = 0);
 
 Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
                                                  const Structure& edb,
-                                                 Budget& budget);
+                                                 Budget& budget,
+                                                 int num_threads = 0);
 
 }  // namespace hompres
 

@@ -1,6 +1,14 @@
 #include "hom/core.h"
 
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "base/check.h"
+#include "base/parallel_driver.h"
+#include "base/thread_pool.h"
 #include "hom/homomorphism.h"
 
 namespace hompres {
@@ -12,13 +20,17 @@ enum class RetractResult { kFound, kNone, kStopped };
 // If some one-step removal of `a` (one element with its incident tuples,
 // or one tuple) admits a homomorphism from `a`, writes it to `out` and
 // returns kFound. kNone is a certain answer; kStopped means the budget
-// ran out mid-search and nothing is known.
-RetractResult FindOneStepRetract(const Structure& a, Budget& budget,
-                                 Structure* out) {
+// ran out mid-search and nothing is known — `*stop` then says why (the
+// parent budget itself may carry no reason after a parallel region).
+RetractResult FindOneStepRetractSerial(const Structure& a, Budget& budget,
+                                       Structure* out, StopReason* stop) {
   for (int e = 0; e < a.UniverseSize(); ++e) {
     Structure candidate = a.RemoveElement(e);
     auto has = HasHomomorphismBudgeted(a, candidate, budget);
-    if (!has.IsDone()) return RetractResult::kStopped;
+    if (!has.IsDone()) {
+      *stop = budget.Reason();
+      return RetractResult::kStopped;
+    }
     if (has.Value()) {
       *out = std::move(candidate);
       return RetractResult::kFound;
@@ -29,7 +41,10 @@ RetractResult FindOneStepRetract(const Structure& a, Budget& budget,
     for (int i = 0; i < count; ++i) {
       Structure candidate = a.RemoveTuple(rel, i);
       auto has = HasHomomorphismBudgeted(a, candidate, budget);
-      if (!has.IsDone()) return RetractResult::kStopped;
+      if (!has.IsDone()) {
+        *stop = budget.Reason();
+        return RetractResult::kStopped;
+      }
       if (has.Value()) {
         *out = std::move(candidate);
         return RetractResult::kFound;
@@ -39,16 +54,114 @@ RetractResult FindOneStepRetract(const Structure& a, Budget& budget,
   return RetractResult::kNone;
 }
 
+// Parallel variant: one task per candidate removal, indexed in the serial
+// scan order (element removals first, then tuples relation by relation).
+// The accepted retraction is the lowest-index candidate whose check
+// succeeded with every lower-index check completed "no" — exactly the
+// serial choice — so the greedy reduction is deterministic for any
+// thread count. A task that finds a retraction cancels the candidates to
+// its right (their answers can no longer be chosen).
+RetractResult FindOneStepRetractParallel(const Structure& a, Budget& budget,
+                                         int num_threads, Structure* out,
+                                         StopReason* stop) {
+  const int n = a.UniverseSize();
+  std::vector<std::pair<int, int>> tuple_jobs;
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    const int count = static_cast<int>(a.Tuples(rel).size());
+    for (int i = 0; i < count; ++i) tuple_jobs.emplace_back(rel, i);
+  }
+  const int num_tasks = n + static_cast<int>(tuple_jobs.size());
+  if (num_tasks == 0) return RetractResult::kNone;
+
+  struct TaskState {
+    bool completed = false;
+    std::optional<Structure> retract;
+    StopReason stop = StopReason::kNone;
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+  std::mutex state_mu;
+  int best = num_tasks;  // smallest candidate index with a retraction
+
+  ParallelRegion region(budget, num_tasks);
+  ThreadPool pool(std::min(num_threads, num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    pool.Submit([&, i] {
+      Budget worker = region.WorkerBudget(i);
+      Structure candidate =
+          i < n ? a.RemoveElement(i)
+                : a.RemoveTuple(tuple_jobs[static_cast<size_t>(i - n)].first,
+                                tuple_jobs[static_cast<size_t>(i - n)].second);
+      auto has = HasHomomorphismBudgeted(a, candidate, worker);
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        TaskState& state = states[static_cast<size_t>(i)];
+        if (has.IsDone()) {
+          state.completed = true;
+          if (has.Value()) {
+            state.retract = std::move(candidate);
+            if (i < best) {
+              best = i;
+              region.CancelFrom(best + 1);
+            }
+          }
+        } else {
+          state.stop = has.Report().reason;
+        }
+      }
+      region.TaskDone();
+    });
+  }
+  const bool external_cancel = region.Join(pool);
+
+  for (int i = 0; i < num_tasks; ++i) {
+    TaskState& state = states[static_cast<size_t>(i)];
+    if (state.retract.has_value()) {
+      // Every earlier candidate completed without a retraction, so this
+      // is the candidate the serial scan would descend into.
+      *out = std::move(*state.retract);
+      return RetractResult::kFound;
+    }
+    if (!state.completed) {
+      bool any_deadline = false;
+      for (int j = i; j < num_tasks; ++j) {
+        any_deadline |=
+            states[static_cast<size_t>(j)].stop == StopReason::kDeadline;
+      }
+      *stop = budget.Stopped()
+                  ? budget.Reason()
+                  : CombineWorkerStops(external_cancel, any_deadline);
+      return RetractResult::kStopped;
+    }
+  }
+  return RetractResult::kNone;
+}
+
+RetractResult FindOneStepRetract(const Structure& a, Budget& budget,
+                                 int num_threads, Structure* out,
+                                 StopReason* stop) {
+  if (num_threads > 0) {
+    return FindOneStepRetractParallel(a, budget, num_threads, out, stop);
+  }
+  return FindOneStepRetractSerial(a, budget, out, stop);
+}
+
+Outcome<Structure> StoppedCore(const Budget& budget, StopReason stop) {
+  BudgetReport report = budget.Report();
+  if (report.reason == StopReason::kNone) report.reason = stop;
+  return Outcome<Structure>::StoppedShort(report);
+}
+
 }  // namespace
 
-Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget) {
+Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget,
+                                       int num_threads) {
   Structure current = a;
   Structure next(current.GetVocabulary(), 0);
+  StopReason stop = StopReason::kNone;
   for (;;) {
-    const RetractResult step = FindOneStepRetract(current, budget, &next);
-    if (step == RetractResult::kStopped) {
-      return Outcome<Structure>::StoppedShort(budget.Report());
-    }
+    const RetractResult step =
+        FindOneStepRetract(current, budget, num_threads, &next, &stop);
+    if (step == RetractResult::kStopped) return StoppedCore(budget, stop);
     if (step == RetractResult::kNone) break;
     // `next` is hom-equivalent to `current`: current -> next was just
     // witnessed, and next embeds into current... note the embedding is not
@@ -63,21 +176,24 @@ Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget) {
   return Outcome<Structure>::Done(std::move(current), budget.Report());
 }
 
-Structure ComputeCore(const Structure& a) {
+Structure ComputeCore(const Structure& a, int num_threads) {
   Budget unlimited = Budget::Unlimited();
-  Structure core = std::move(ComputeCoreBudgeted(a, unlimited)).TakeValue();
+  Structure core =
+      std::move(ComputeCoreBudgeted(a, unlimited, num_threads)).TakeValue();
   HOMPRES_CHECK(IsCore(core));
   return core;
 }
 
-bool IsCore(const Structure& a) {
+bool IsCore(const Structure& a, int num_threads) {
   Budget unlimited = Budget::Unlimited();
-  return IsCoreBudgeted(a, unlimited).Value();
+  return IsCoreBudgeted(a, unlimited, num_threads).Value();
 }
 
-Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget) {
+Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget,
+                             int num_threads) {
   Structure scratch(a.GetVocabulary(), 0);
-  switch (FindOneStepRetract(a, budget, &scratch)) {
+  StopReason stop = StopReason::kNone;
+  switch (FindOneStepRetract(a, budget, num_threads, &scratch, &stop)) {
     case RetractResult::kFound:
       return Outcome<bool>::Done(false, budget.Report());
     case RetractResult::kNone:
@@ -85,7 +201,9 @@ Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget) {
     case RetractResult::kStopped:
       break;
   }
-  return Outcome<bool>::StoppedShort(budget.Report());
+  BudgetReport report = budget.Report();
+  if (report.reason == StopReason::kNone) report.reason = stop;
+  return Outcome<bool>::StoppedShort(report);
 }
 
 }  // namespace hompres

@@ -22,21 +22,29 @@ namespace hompres {
 // hom-equivalent to `a` and is a core. Exponential worst case (each step
 // is a homomorphism search); intended for the modest structures the paper
 // discusses.
-Structure ComputeCore(const Structure& a);
+//
+// With num_threads > 0 the retraction searches of each reduction step fan
+// out over a work-stealing pool (one task per candidate removal). The
+// reduction still descends into the first candidate (in the serial scan
+// order) that admits a retraction, so the result is the same structure
+// the serial computation produces, for any thread count.
+Structure ComputeCore(const Structure& a, int num_threads = 0);
 
 // Budgeted core computation; the budget is shared across all inner
 // homomorphism searches. Done(core) is a verified core; Exhausted /
 // Cancelled mean the reduction stopped short and no intermediate result
 // is claimed (a partial retract is not hom-distinguishable from the
 // input, but it is not known to be the core either).
-Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget);
+Outcome<Structure> ComputeCoreBudgeted(const Structure& a, Budget& budget,
+                                       int num_threads = 0);
 
 // True iff `a` is its own core: no homomorphism from `a` into any proper
 // substructure. Equivalently (by the maximal-substructure argument), no
 // homomorphism into any one-step removal.
-bool IsCore(const Structure& a);
+bool IsCore(const Structure& a, int num_threads = 0);
 
-Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget);
+Outcome<bool> IsCoreBudgeted(const Structure& a, Budget& budget,
+                             int num_threads = 0);
 
 }  // namespace hompres
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "hom/parallel.h"
 
 namespace hompres {
 
@@ -47,6 +48,12 @@ class HomSearch {
   void Run(const std::function<bool(const std::vector<int>&)>& emit) {
     const int n = a_.UniverseSize();
     const int m = b_.UniverseSize();
+    // A pre-assignment referencing an element outside either universe can
+    // be satisfied by no map: report "no homomorphism" instead of
+    // aborting (and never index past the domain vectors).
+    for (const auto& [var, val] : options_.forced) {
+      if (var < 0 || var >= n || val < 0 || val >= m) return;
+    }
     if (n == 0) {
       // The empty map is the unique homomorphism; surjectivity requires an
       // empty target.
@@ -60,10 +67,6 @@ class HomSearch {
       d.size = m;
     }
     for (const auto& [var, val] : options_.forced) {
-      HOMPRES_CHECK_GE(var, 0);
-      HOMPRES_CHECK_LT(var, n);
-      HOMPRES_CHECK_GE(val, 0);
-      HOMPRES_CHECK_LT(val, m);
       for (int v = 0; v < m; ++v) {
         if (v != val) domains[static_cast<size_t>(var)].Remove(v);
       }
@@ -249,6 +252,9 @@ Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
     const HomOptions& options) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  if (options.num_threads > 0) {
+    return ParallelFindHomomorphismBudgeted(a, b, budget, options);
+  }
   std::optional<std::vector<int>> result;
   HomSearch search(a, b, options, budget);
   search.Run([&](const std::vector<int>& h) {
@@ -305,37 +311,49 @@ bool AreHomEquivalent(const Structure& a, const Structure& b) {
 }
 
 uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
-                            uint64_t limit) {
+                            uint64_t limit, const HomOptions& options) {
   Budget unlimited = Budget::Unlimited();
-  return CountHomomorphismsBudgeted(a, b, unlimited, limit).Value();
+  return CountHomomorphismsBudgeted(a, b, unlimited, limit, options).Value();
 }
 
 Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
                                              const Structure& b,
-                                             Budget& budget, uint64_t limit) {
+                                             Budget& budget, uint64_t limit,
+                                             const HomOptions& options) {
+  if (options.num_threads > 0) {
+    return ParallelCountHomomorphismsBudgeted(a, b, budget, limit, options);
+  }
   uint64_t count = 0;
   auto ran = EnumerateHomomorphismsBudgeted(
-      a, b, budget, [&](const std::vector<int>&) {
+      a, b, budget,
+      [&](const std::vector<int>&) {
         ++count;
         return limit == 0 || count < limit;
-      });
+      },
+      options);
   if (!ran.IsDone()) return Outcome<uint64_t>::StoppedShort(ran.Report());
   return Outcome<uint64_t>::Done(count, ran.Report());
 }
 
 void EnumerateHomomorphisms(
     const Structure& a, const Structure& b,
-    const std::function<bool(const std::vector<int>&)>& callback) {
+    const std::function<bool(const std::vector<int>&)>& callback,
+    const HomOptions& options) {
   Budget unlimited = Budget::Unlimited();
-  EnumerateHomomorphismsBudgeted(a, b, unlimited, callback);
+  EnumerateHomomorphismsBudgeted(a, b, unlimited, callback, options);
 }
 
 Outcome<bool> EnumerateHomomorphismsBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
-    const std::function<bool(const std::vector<int>&)>& callback) {
+    const std::function<bool(const std::vector<int>&)>& callback,
+    const HomOptions& options) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  // Enumeration is always serial: the callback makes no thread-safety
+  // promise.
+  HomOptions serial = options;
+  serial.num_threads = 0;
   bool callback_stopped = false;
-  HomSearch search(a, b, HomOptions{}, budget);
+  HomSearch search(a, b, serial, budget);
   search.Run([&](const std::vector<int>& h) {
     if (!callback(h)) {
       callback_stopped = true;

@@ -35,11 +35,28 @@ struct HomOptions {
   bool surjective = false;
 
   // Pre-assigned pairs (a, b): h(a) must equal b. Used for pointed
-  // structures / retraction searches.
+  // structures / retraction searches. A pair referencing an element
+  // outside either universe is an unsatisfiable constraint: the search
+  // reports "no homomorphism" rather than aborting.
   std::vector<std::pair<int, int>> forced;
 
   // Disable arc consistency (naive backtracking baseline).
   bool use_arc_consistency = true;
+
+  // Number of worker threads for the parallel engine (hom/parallel.h).
+  // 0 = serial search, bit-identical to the pre-parallel engine. With
+  // n > 0 the search splits the top decision levels into independent
+  // subtree tasks on a work-stealing pool; the has/none decision is the
+  // same as serial, but which witness is found depends on thread timing
+  // unless deterministic_witness is set.
+  int num_threads = 0;
+
+  // With num_threads > 0: return the witness of the lexicographically
+  // first completed subtree instead of the first finisher's, making the
+  // witness a deterministic function of the inputs (including
+  // num_threads). Costs some parallelism: subtrees left of a witness run
+  // to completion instead of being cancelled.
+  bool deterministic_witness = false;
 };
 
 // Returns a homomorphism from a to b as an element map, or nullopt.
@@ -68,27 +85,35 @@ bool VerifyHomomorphism(const Structure& a, const Structure& b,
 bool AreHomEquivalent(const Structure& a, const Structure& b);
 
 // Counts homomorphisms a -> b, stopping at `limit` (0 = count all).
+// Honors options.surjective/forced; options.num_threads > 0 fans the
+// disjoint subtree counts out to the parallel engine.
 uint64_t CountHomomorphisms(const Structure& a, const Structure& b,
-                            uint64_t limit = 0);
+                            uint64_t limit = 0,
+                            const HomOptions& options = {});
 
 // Budgeted count: Done(count) only when the enumeration completed (or hit
 // `limit`); a partial count is never reported as an answer.
 Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
                                              const Structure& b,
                                              Budget& budget,
-                                             uint64_t limit = 0);
+                                             uint64_t limit = 0,
+                                             const HomOptions& options = {});
 
 // Enumerates homomorphisms a -> b; the callback returns false to stop.
+// Enumeration is always serial (the callback is not required to be
+// thread-safe): options.num_threads is ignored here.
 void EnumerateHomomorphisms(
     const Structure& a, const Structure& b,
-    const std::function<bool(const std::vector<int>&)>& callback);
+    const std::function<bool(const std::vector<int>&)>& callback,
+    const HomOptions& options = {});
 
 // Budgeted enumeration. Done(true) = exhausted the solution space,
 // Done(false) = the callback stopped it; Exhausted/Cancelled = the budget
 // stopped it (some homomorphisms may not have been visited).
 Outcome<bool> EnumerateHomomorphismsBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
-    const std::function<bool(const std::vector<int>&)>& callback);
+    const std::function<bool(const std::vector<int>&)>& callback,
+    const HomOptions& options = {});
 
 }  // namespace hompres
 

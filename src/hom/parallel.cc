@@ -1,0 +1,284 @@
+#include "hom/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "base/check.h"
+#include "base/parallel_driver.h"
+#include "base/thread_pool.h"
+
+namespace hompres {
+
+namespace {
+
+// Split assignments, one per task, in lexicographic order of the values
+// assigned to the split elements (the order that defines the
+// deterministic_witness winner).
+using SplitPlan = std::vector<std::vector<std::pair<int, int>>>;
+
+// Maximum number of subtree tasks: enough to load the pool several times
+// over (work stealing evens out subtree-size skew) without drowning in
+// per-task setup.
+constexpr size_t kMaxTasks = 512;
+
+// Picks the source elements that occur in the most tuples (the most
+// constrained decisions) and crosses their value ranges until there are
+// enough tasks to keep `num_threads` workers busy. Returns an empty plan
+// when splitting is pointless (trivial instance, or m < 2).
+SplitPlan PlanSplit(const Structure& a, const Structure& b,
+                    const HomOptions& options, int num_threads) {
+  const int n = a.UniverseSize();
+  const int m = b.UniverseSize();
+  if (n == 0 || m < 2 || a.NumTuples() == 0) return {};
+  std::vector<int> occurrences(static_cast<size_t>(n), 0);
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      for (int e : t) ++occurrences[static_cast<size_t>(e)];
+    }
+  }
+  std::vector<bool> already_forced(static_cast<size_t>(n), false);
+  for (const auto& [var, val] : options.forced) {
+    (void)val;
+    if (var >= 0 && var < n) already_forced[static_cast<size_t>(var)] = true;
+  }
+  std::vector<int> candidates;
+  for (int v = 0; v < n; ++v) {
+    if (!already_forced[static_cast<size_t>(v)] &&
+        occurrences[static_cast<size_t>(v)] > 0) {
+      candidates.push_back(v);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(), [&](int x, int y) {
+    return occurrences[static_cast<size_t>(x)] >
+           occurrences[static_cast<size_t>(y)];
+  });
+  const size_t target = 2 * static_cast<size_t>(num_threads);
+  std::vector<int> split_elements;
+  size_t num_tasks = 1;
+  for (int v : candidates) {
+    if (num_tasks >= target || split_elements.size() >= 3) break;
+    if (num_tasks * static_cast<size_t>(m) > kMaxTasks) break;
+    split_elements.push_back(v);
+    num_tasks *= static_cast<size_t>(m);
+  }
+  if (split_elements.empty()) return {};
+  SplitPlan plan(1);
+  for (int v : split_elements) {
+    SplitPlan next;
+    next.reserve(plan.size() * static_cast<size_t>(m));
+    for (const auto& prefix : plan) {
+      for (int val = 0; val < m; ++val) {
+        auto task = prefix;
+        task.emplace_back(v, val);
+        next.push_back(std::move(task));
+      }
+    }
+    plan = std::move(next);
+  }
+  return plan;
+}
+
+bool ForcedPairsInRange(const Structure& a, const Structure& b,
+                        const HomOptions& options) {
+  for (const auto& [var, val] : options.forced) {
+    if (var < 0 || var >= a.UniverseSize() || val < 0 ||
+        val >= b.UniverseSize()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
+    const Structure& a, const Structure& b, Budget& budget,
+    const HomOptions& options) {
+  using Result = Outcome<std::optional<std::vector<int>>>;
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  HomOptions serial = options;
+  serial.num_threads = 0;
+  if (options.num_threads <= 0 || !ForcedPairsInRange(a, b, options)) {
+    return FindHomomorphismBudgeted(a, b, budget, serial);
+  }
+  const SplitPlan plan = PlanSplit(a, b, options, options.num_threads);
+  if (plan.size() < 2) {
+    return FindHomomorphismBudgeted(a, b, budget, serial);
+  }
+  if (!budget.Checkpoint()) return Result::StoppedShort(budget.Report());
+
+  const int num_tasks = static_cast<int>(plan.size());
+  struct TaskState {
+    bool completed = false;
+    std::optional<std::vector<int>> witness;
+    StopReason stop = StopReason::kNone;
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+  std::mutex state_mu;
+  int best_witness = num_tasks;  // smallest task index with a witness
+
+  ParallelRegion region(budget, num_tasks);
+  ThreadPool pool(std::min(options.num_threads, num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    pool.Submit([&, i] {
+      Budget worker = region.WorkerBudget(i);
+      HomOptions task_options = serial;
+      task_options.forced.insert(task_options.forced.end(),
+                                 plan[static_cast<size_t>(i)].begin(),
+                                 plan[static_cast<size_t>(i)].end());
+      auto out = FindHomomorphismBudgeted(a, b, worker, task_options);
+      {
+        std::lock_guard<std::mutex> lock(state_mu);
+        TaskState& state = states[static_cast<size_t>(i)];
+        if (out.IsDone()) {
+          state.completed = true;
+          state.witness = std::move(out).TakeValue();
+          if (state.witness.has_value()) {
+            if (!options.deterministic_witness) {
+              // First finisher: no other subtree can change the decision.
+              region.CancelAll();
+            } else if (i < best_witness) {
+              // Subtrees right of the best witness can no longer win;
+              // those left of it may still produce an earlier one.
+              best_witness = i;
+              region.CancelFrom(best_witness + 1);
+            }
+          }
+        } else {
+          state.stop = out.Report().reason;
+        }
+      }
+      region.TaskDone();
+    });
+  }
+  const bool external_cancel = region.Join(pool);
+
+  for (TaskState& state : states) {
+    if (state.witness.has_value()) {
+      HOMPRES_CHECK(VerifyHomomorphism(a, b, *state.witness));
+      return Result::Done(std::move(state.witness), budget.Report());
+    }
+  }
+  bool any_incomplete = false;
+  bool any_deadline = false;
+  for (const TaskState& state : states) {
+    if (state.completed) continue;
+    any_incomplete = true;
+    any_deadline |= state.stop == StopReason::kDeadline;
+  }
+  if (!any_incomplete) {
+    return Result::Done(std::nullopt, budget.Report());
+  }
+  BudgetReport report = budget.Report();
+  if (report.reason == StopReason::kNone) {
+    report.reason = CombineWorkerStops(external_cancel, any_deadline);
+  }
+  return Result::StoppedShort(report);
+}
+
+std::optional<std::vector<int>> ParallelFindHomomorphism(
+    const Structure& a, const Structure& b, const HomOptions& options) {
+  Budget unlimited = Budget::Unlimited();
+  return ParallelFindHomomorphismBudgeted(a, b, unlimited, options).Value();
+}
+
+Outcome<bool> ParallelHasHomomorphismBudgeted(const Structure& a,
+                                              const Structure& b,
+                                              Budget& budget,
+                                              const HomOptions& options) {
+  auto found = ParallelFindHomomorphismBudgeted(a, b, budget, options);
+  if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
+  return Outcome<bool>::Done(found.Value().has_value(), found.Report());
+}
+
+Outcome<uint64_t> ParallelCountHomomorphismsBudgeted(
+    const Structure& a, const Structure& b, Budget& budget, uint64_t limit,
+    const HomOptions& options) {
+  using Result = Outcome<uint64_t>;
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  HomOptions serial = options;
+  serial.num_threads = 0;
+  if (options.num_threads <= 0 || !ForcedPairsInRange(a, b, options)) {
+    return CountHomomorphismsBudgeted(a, b, budget, limit, serial);
+  }
+  const SplitPlan plan = PlanSplit(a, b, options, options.num_threads);
+  if (plan.size() < 2) {
+    return CountHomomorphismsBudgeted(a, b, budget, limit, serial);
+  }
+  if (!budget.Checkpoint()) return Result::StoppedShort(budget.Report());
+
+  const int num_tasks = static_cast<int>(plan.size());
+  std::atomic<uint64_t> found{0};
+  struct TaskState {
+    bool completed = false;
+    StopReason stop = StopReason::kNone;
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+
+  ParallelRegion region(budget, num_tasks);
+  ThreadPool pool(std::min(options.num_threads, num_tasks));
+  for (int i = 0; i < num_tasks; ++i) {
+    pool.Submit([&, i] {
+      Budget worker = region.WorkerBudget(i);
+      HomOptions task_options = serial;
+      task_options.forced.insert(task_options.forced.end(),
+                                 plan[static_cast<size_t>(i)].begin(),
+                                 plan[static_cast<size_t>(i)].end());
+      auto out = EnumerateHomomorphismsBudgeted(
+          a, b, worker,
+          [&](const std::vector<int>&) {
+            const uint64_t now =
+                found.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (limit != 0 && now >= limit) {
+              // The answer is `limit`; stop every subtree.
+              region.CancelAll();
+              return false;
+            }
+            return true;
+          },
+          task_options);
+      // Done(false) means the limit callback stopped the enumeration,
+      // which only happens once the global count reached the limit — a
+      // completed outcome for this driver. The state is task-exclusive:
+      // TaskDone/Join publish it to the joining thread.
+      TaskState& state = states[static_cast<size_t>(i)];
+      if (out.IsDone()) {
+        state.completed = true;
+      } else {
+        state.stop = out.Report().reason;
+      }
+      region.TaskDone();
+    });
+  }
+  const bool external_cancel = region.Join(pool);
+
+  const uint64_t total = found.load(std::memory_order_relaxed);
+  if (limit != 0 && total >= limit) {
+    return Result::Done(limit, budget.Report());
+  }
+  bool any_incomplete = false;
+  bool any_deadline = false;
+  for (const TaskState& state : states) {
+    if (state.completed) continue;
+    any_incomplete = true;
+    any_deadline |= state.stop == StopReason::kDeadline;
+  }
+  if (!any_incomplete) return Result::Done(total, budget.Report());
+  BudgetReport report = budget.Report();
+  if (report.reason == StopReason::kNone) {
+    report.reason = CombineWorkerStops(external_cancel, any_deadline);
+  }
+  return Result::StoppedShort(report);
+}
+
+uint64_t ParallelCountHomomorphisms(const Structure& a, const Structure& b,
+                                    uint64_t limit,
+                                    const HomOptions& options) {
+  Budget unlimited = Budget::Unlimited();
+  return ParallelCountHomomorphismsBudgeted(a, b, unlimited, limit, options)
+      .Value();
+}
+
+}  // namespace hompres

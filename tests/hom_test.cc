@@ -247,5 +247,107 @@ TEST(Core, CoreIsUniqueUpToIsomorphismAcrossEquivalents) {
   EXPECT_TRUE(AreIsomorphic(core4, core8));
 }
 
+// Regression: a forced pair referencing an element outside either
+// universe is an unsatisfiable constraint and must report "no
+// homomorphism" — the search used to index domains with the raw value.
+TEST(Homomorphism, ForcedPairOutOfRangeReportsNoHomomorphism) {
+  Structure a = DirectedPathStructure(2);
+  Structure b = DirectedCycleStructure(3);
+  for (const auto& bad : std::vector<std::pair<int, int>>{
+           {0, 99}, {0, -1}, {99, 0}, {-1, 0}}) {
+    HomOptions options;
+    options.forced = {bad};
+    EXPECT_FALSE(FindHomomorphism(a, b, options).has_value())
+        << "forced (" << bad.first << ", " << bad.second << ")";
+    EXPECT_EQ(CountHomomorphisms(a, b, 0, options), 0u);
+
+    Budget budget = Budget::Unlimited();
+    auto outcome = FindHomomorphismBudgeted(a, b, budget, options);
+    ASSERT_TRUE(outcome.IsDone());
+    EXPECT_FALSE(outcome.Value().has_value());
+
+    // The naive and parallel engines validate the same way.
+    options.use_arc_consistency = false;
+    EXPECT_FALSE(FindHomomorphism(a, b, options).has_value());
+    options.use_arc_consistency = true;
+    options.num_threads = 3;
+    EXPECT_FALSE(FindHomomorphism(a, b, options).has_value());
+  }
+}
+
+TEST(Homomorphism, ForcedPairInRangeStillWorksAfterValidation) {
+  // The validation must not reject legitimate boundary values.
+  Structure c3 = DirectedCycleStructure(3);
+  HomOptions options;
+  options.forced = {{2, 2}};  // last element of each universe
+  const auto h = FindHomomorphism(c3, c3, options);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ((*h)[2], 2);
+}
+
+// Surjective mode crossed with both engines. The interesting case is a
+// target with an isolated extra vertex: homomorphisms exist (ignore the
+// extra vertex) but none is onto, and arc consistency alone cannot see
+// that — only the surjectivity check at the leaves can.
+TEST(Homomorphism, SurjectiveHomExistsButNoSurjection) {
+  Structure k2 = UndirectedGraphStructure(CompleteGraph(2));
+  Graph g = CompleteGraph(2);
+  g.AddVertex();  // isolated vertex 2
+  Structure k2_plus_isolated = UndirectedGraphStructure(g);
+
+  EXPECT_TRUE(FindHomomorphism(k2, k2_plus_isolated).has_value());
+  for (bool use_ac : {true, false}) {
+    HomOptions options;
+    options.surjective = true;
+    options.use_arc_consistency = use_ac;
+    EXPECT_FALSE(FindHomomorphism(k2, k2_plus_isolated, options).has_value())
+        << "use_arc_consistency=" << use_ac;
+    EXPECT_EQ(CountHomomorphisms(k2, k2_plus_isolated, 0, options), 0u);
+  }
+}
+
+TEST(Homomorphism, SurjectiveAgreesAcrossEngines) {
+  // C6 -> C3: surjective homs exist; count them with AC on and off (and
+  // in parallel) and check the witnesses are genuinely onto.
+  Structure c6 = UndirectedGraphStructure(CycleGraph(6));
+  Structure c3 = UndirectedGraphStructure(CycleGraph(3));
+  HomOptions ac;
+  ac.surjective = true;
+  HomOptions naive = ac;
+  naive.use_arc_consistency = false;
+  HomOptions parallel = ac;
+  parallel.num_threads = 3;
+
+  const uint64_t count_ac = CountHomomorphisms(c6, c3, 0, ac);
+  EXPECT_GE(count_ac, 1u);
+  EXPECT_EQ(count_ac, CountHomomorphisms(c6, c3, 0, naive));
+  EXPECT_EQ(count_ac, CountHomomorphisms(c6, c3, 0, parallel));
+
+  for (const HomOptions& options : {ac, naive, parallel}) {
+    const auto h = FindHomomorphism(c6, c3, options);
+    ASSERT_TRUE(h.has_value());
+    std::vector<bool> hit(3, false);
+    for (int image : *h) hit[static_cast<size_t>(image)] = true;
+    EXPECT_TRUE(hit[0] && hit[1] && hit[2]);
+  }
+}
+
+TEST(Homomorphism, SurjectiveOntoSingleVertexNeedsLoop) {
+  // Everything maps onto a loop; nothing with an edge maps onto a single
+  // loopless vertex. Exercises the 1-element target corner in both
+  // engines.
+  Structure edge = DirectedPathStructure(2);
+  Structure loopless(GraphVocabulary(), 1);
+  Structure loop(GraphVocabulary(), 1);
+  loop.AddTuple(0, {0, 0});
+  for (bool use_ac : {true, false}) {
+    HomOptions options;
+    options.surjective = true;
+    options.use_arc_consistency = use_ac;
+    EXPECT_FALSE(FindHomomorphism(edge, loopless, options).has_value());
+    EXPECT_TRUE(FindHomomorphism(edge, loop, options).has_value());
+  }
+}
+
 }  // namespace
 }  // namespace hompres
