@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "core/lemmas.h"
 #include "combinatorics/ramsey.h"
@@ -110,4 +112,4 @@ BENCHMARK(BM_Lemma52OnRandomForests)->Arg(18)->Arg(30);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "cq/cq.h"
 #include "hom/homomorphism.h"
@@ -65,4 +67,4 @@ BENCHMARK(BM_HomomorphismCheck)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "core/plebian.h"
 #include "graph/builders.h"
 #include "hom/core.h"
@@ -90,4 +92,4 @@ BENCHMARK(BM_PointedBicycleCoreDegree)->Arg(5)->Arg(7)->Arg(9);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "cq/cq.h"
 #include "fo/cqk.h"
@@ -80,4 +82,4 @@ BENCHMARK(BM_PaperExamplePathSentence);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "core/classes.h"
 #include "core/density.h"
 #include "core/extension_preservation.h"
@@ -89,4 +91,4 @@ BENCHMARK(BM_LosTarskiPipeline)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "core/classes.h"
 #include "core/minimal_models.h"
 #include "cq/cq.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_MinimalModelsRestrictedClass)->Arg(2)->Arg(3)->Arg(4);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "hom/homomorphism.h"
 #include "pebble/pebble_game.h"
@@ -98,4 +100,4 @@ BENCHMARK(BM_PebbleGameCost)
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

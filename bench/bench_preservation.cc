@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "core/classes.h"
 #include "core/preservation.h"
 #include "fo/parser.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_NonPreservedSentenceFailsVerification);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "core/lemmas.h"
 #include "graph/builders.h"
@@ -149,4 +151,4 @@ BENCHMARK(BM_ScatteredOnGrids)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

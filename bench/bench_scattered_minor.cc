@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "core/lemmas.h"
 #include "graph/builders.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_Theorem53OnTrees)->Arg(30)->Arg(60)->Iterations(3);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

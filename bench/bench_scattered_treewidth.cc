@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include "base/rng.h"
 #include "base/saturating.h"
 #include "core/lemmas.h"
@@ -110,4 +112,4 @@ BENCHMARK(BM_Lemma42MeasuredThreshold)
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_main.h"
+
 #include <vector>
 
 #include "base/rng.h"
@@ -85,4 +87,4 @@ BENCHMARK(BM_SunflowerFinderScaling)->Arg(50)->Arg(200)->Arg(800);
 }  // namespace
 }  // namespace hompres
 
-BENCHMARK_MAIN();
+HOMPRES_BENCHMARK_MAIN()

@@ -1,0 +1,127 @@
+// Shared main() for the bench_* binaries, adding a `--json` mode.
+//
+// Default (no flag): byte-for-byte the stock BENCHMARK_MAIN() console
+// output. With `--json` (stripped before Google Benchmark sees the
+// arguments), every benchmark row is emitted as one self-contained JSON
+// object per line on stdout:
+//
+//   {"name":"BM_Foo/8","real_time_ns":123.4,"cpu_time_ns":120.1,
+//    "iterations":1000,"counters":{"satisfiable":0}}
+//
+// One line per row keeps the format shell-friendly: bench/run_all.sh
+// concatenates the lines of every binary into BENCH_results.json without
+// a JSON parser. Aggregate rows (mean/stddev) and errored runs are
+// skipped; times are converted to nanoseconds regardless of each
+// benchmark's display unit.
+
+#ifndef HOMPRES_BENCH_JSON_MAIN_H_
+#define HOMPRES_BENCH_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hompres {
+namespace bench_internal {
+
+inline double ToNanoseconds(double value, benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond:
+      return value;
+    case benchmark::kMicrosecond:
+      return value * 1e3;
+    case benchmark::kMillisecond:
+      return value * 1e6;
+    case benchmark::kSecond:
+      return value * 1e9;
+  }
+  return value;
+}
+
+// Minimal JSON string escape (benchmark names contain '/' and ':' only,
+// but counters are user-named, so quote defensively).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class JsonLinesReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    (void)context;
+    return true;
+  }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::ostream& out = GetOutputStream();
+      out << "{\"name\":\"" << JsonEscape(run.benchmark_name()) << "\""
+          << ",\"real_time_ns\":"
+          << ToNanoseconds(run.GetAdjustedRealTime(), run.time_unit)
+          << ",\"cpu_time_ns\":"
+          << ToNanoseconds(run.GetAdjustedCPUTime(), run.time_unit)
+          << ",\"iterations\":" << run.iterations << ",\"counters\":{";
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << JsonEscape(name) << "\":" << counter.value;
+      }
+      out << "}}" << std::endl;
+    }
+  }
+};
+
+// Runs the registered benchmarks; `--json` anywhere in argv selects the
+// line-per-row reporter above.
+inline int BenchmarkMain(int argc, char** argv) {
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (json) {
+    JsonLinesReporter reporter;
+    reporter.SetOutputStream(&std::cout);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench_internal
+}  // namespace hompres
+
+#define HOMPRES_BENCHMARK_MAIN()                                  \
+  int main(int argc, char** argv) {                               \
+    return ::hompres::bench_internal::BenchmarkMain(argc, argv);  \
+  }
+
+#endif  // HOMPRES_BENCH_JSON_MAIN_H_

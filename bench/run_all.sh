@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in --json mode and aggregates the rows into a
+# single JSON array, one object per benchmark row, each tagged with the
+# binary it came from:
+#
+#   bench/run_all.sh <build_dir> [<output.json>] [--quick]
+#
+# <build_dir>   CMake build directory holding bench/bench_* binaries.
+# <output.json> Aggregated output (default: BENCH_results.json in the
+#               current directory).
+# --quick       Reduced measurement time for CI smoke runs (the relative
+#               indexed-vs-scan ratios survive; absolute times are noisy).
+#
+# No JSON tooling required: each binary emits one object per line, so the
+# aggregation is pure shell.
+
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <build_dir> [<output.json>] [--quick]" >&2
+  exit 2
+fi
+
+build_dir=$1
+shift
+output=BENCH_results.json
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) output=$arg ;;
+  esac
+done
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found (build the project first)" >&2
+  exit 1
+fi
+
+extra_args=()
+if [[ $quick -eq 1 ]]; then
+  extra_args+=("--benchmark_min_time=0.01")
+else
+  extra_args+=("--benchmark_min_time=0.05")
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for bench in "$bench_dir"/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name=$(basename "$bench")
+  echo "running $name ..." >&2
+  # Tag each row with its binary so names stay unique in the aggregate.
+  "$bench" --json "${extra_args[@]}" \
+    | sed "s/^{/{\"bench\":\"$name\",/" >>"$tmp"
+done
+
+{
+  echo "["
+  sed '$!s/$/,/' "$tmp"
+  echo "]"
+} >"$output"
+
+rows=$(wc -l <"$tmp")
+echo "wrote $output ($rows rows)" >&2

@@ -6,6 +6,7 @@
 #include "base/check.h"
 #include "base/subsets.h"
 #include "structure/gaifman.h"
+#include "structure/relation_index.h"
 #include "tw/nice.h"
 
 namespace hompres {
@@ -16,33 +17,114 @@ namespace {
 // bag's order.
 using AssignmentSet = std::set<std::vector<int>>;
 
+// A canonical tuple relevant to an introduce node: fully contained in the
+// bag and mentioning the introduced element. `bag_pos[j]` is the bag
+// position of entry j; `is_fresh[j]` marks the entries equal to the
+// introduced element.
+struct RelevantTuple {
+  int rel;
+  Tuple t;
+  std::vector<int> bag_pos;
+  std::vector<bool> is_fresh;
+};
+
 class DecompositionDp {
  public:
   DecompositionDp(const Structure& canonical, const Structure& b,
                   const NiceTreeDecomposition& nice)
-      : canonical_(canonical), b_(b), nice_(nice) {}
+      : canonical_(canonical),
+        b_(b),
+        nice_(nice),
+        canonical_index_(canonical.Index()),
+        b_index_(b.Index()) {}
 
   bool Run() { return !Solve(nice_.root).empty(); }
 
  private:
   // All tuples of the canonical structure fully contained in `bag` that
-  // mention `fresh`.
-  std::vector<std::pair<int, Tuple>> RelevantTuples(
-      const std::vector<int>& bag, int fresh) const {
-    std::vector<std::pair<int, Tuple>> result;
+  // mention `fresh`, found through the inverted lists instead of a scan
+  // over every canonical tuple per introduce node.
+  std::vector<RelevantTuple> RelevantTuples(const std::vector<int>& bag,
+                                            int fresh) const {
+    std::vector<RelevantTuple> result;
     for (int rel = 0; rel < canonical_.GetVocabulary().NumRelations();
          ++rel) {
-      for (const Tuple& t : canonical_.Tuples(rel)) {
-        bool mentions_fresh = false;
+      const auto& tuples = canonical_.Tuples(rel);
+      for (int id : canonical_index_.TuplesMentioning(rel, fresh)) {
+        const Tuple& t = tuples[static_cast<size_t>(id)];
+        RelevantTuple r{rel, t, {}, {}};
+        r.bag_pos.reserve(t.size());
+        r.is_fresh.reserve(t.size());
         bool inside = true;
         for (int e : t) {
-          mentions_fresh |= (e == fresh);
-          inside &= std::binary_search(bag.begin(), bag.end(), e);
+          const auto it = std::lower_bound(bag.begin(), bag.end(), e);
+          if (it == bag.end() || *it != e) {
+            inside = false;
+            break;
+          }
+          r.bag_pos.push_back(static_cast<int>(it - bag.begin()));
+          r.is_fresh.push_back(e == fresh);
         }
-        if (mentions_fresh && inside) result.emplace_back(rel, t);
+        if (inside) result.push_back(std::move(r));
       }
     }
     return result;
+  }
+
+  // The sorted values v such that the image of `r.t` under the extended
+  // assignment (fresh -> v, other bag elements -> their value in
+  // `assignment`, which is aligned with the bag minus `fresh`) is a tuple
+  // of B. The enumeration runs over the shortest inverted list of a bound
+  // position (or the whole relation if every position is fresh); a value
+  // qualifies exactly when HasTuple would accept the image, so the DP
+  // tables match the scan construction bit for bit.
+  std::vector<int> CandidateValues(const RelevantTuple& r,
+                                   const std::vector<int>& assignment,
+                                   size_t fresh_pos) const {
+    const size_t arity = r.t.size();
+    // Bound value per position (-1 at fresh positions).
+    std::vector<int> bound(arity, -1);
+    int best_pos = -1;
+    size_t best_size = 0;
+    for (size_t j = 0; j < arity; ++j) {
+      if (r.is_fresh[j]) continue;
+      const size_t p = static_cast<size_t>(r.bag_pos[j]);
+      bound[j] = assignment[p > fresh_pos ? p - 1 : p];
+      const auto ids =
+          b_index_.TuplesAt(r.rel, static_cast<int>(j), bound[j]);
+      if (best_pos == -1 || ids.size() < best_size) {
+        best_pos = static_cast<int>(j);
+        best_size = ids.size();
+      }
+    }
+    std::vector<int> values;
+    const auto& tuples = b_.Tuples(r.rel);
+    const auto consider = [&](const Tuple& s) {
+      int v = -1;
+      for (size_t j = 0; j < arity; ++j) {
+        if (r.is_fresh[j]) {
+          if (v == -1) {
+            v = s[j];
+          } else if (s[j] != v) {
+            return;  // repeated fresh positions must agree
+          }
+        } else if (s[j] != bound[j]) {
+          return;
+        }
+      }
+      values.push_back(v);
+    };
+    if (best_pos >= 0) {
+      for (int id : b_index_.TuplesAt(r.rel, best_pos, bound[static_cast<size_t>(
+                                                           best_pos)])) {
+        consider(tuples[static_cast<size_t>(id)]);
+      }
+    } else {
+      for (const Tuple& s : tuples) consider(s);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    return values;
   }
 
   AssignmentSet Solve(int node) const {
@@ -68,31 +150,35 @@ class DecompositionDp {
         const auto tuples = RelevantTuples(bag, fresh);
         const AssignmentSet below = Solve(children[0]);
         AssignmentSet result;
+        std::vector<int> candidates;
         for (const auto& assignment : below) {
-          for (int value = 0; value < b_.UniverseSize(); ++value) {
-            std::vector<int> extended = assignment;
-            extended.insert(extended.begin() +
-                                static_cast<long>(fresh_pos),
-                            value);
-            // Check every canonical tuple inside the bag that mentions
-            // the fresh element (others were checked at their own
-            // introduce nodes).
-            bool consistent = true;
-            for (const auto& [rel, t] : tuples) {
-              Tuple image;
-              image.reserve(t.size());
-              for (int e : t) {
-                const size_t pos = static_cast<size_t>(
-                    std::lower_bound(bag.begin(), bag.end(), e) -
-                    bag.begin());
-                image.push_back(extended[pos]);
-              }
-              if (!b_.HasTuple(rel, image)) {
-                consistent = false;
-                break;
-              }
+          // Values the fresh element may take: all of B's universe when no
+          // canonical tuple constrains it, otherwise the intersection of
+          // the per-tuple candidate sets.
+          if (tuples.empty()) {
+            candidates.resize(static_cast<size_t>(b_.UniverseSize()));
+            for (int v = 0; v < b_.UniverseSize(); ++v) {
+              candidates[static_cast<size_t>(v)] = v;
             }
-            if (consistent) result.insert(std::move(extended));
+          } else {
+            candidates = CandidateValues(tuples[0], assignment, fresh_pos);
+            std::vector<int> scratch;
+            for (size_t i = 1; i < tuples.size() && !candidates.empty();
+                 ++i) {
+              const auto next =
+                  CandidateValues(tuples[i], assignment, fresh_pos);
+              scratch.clear();
+              std::set_intersection(candidates.begin(), candidates.end(),
+                                    next.begin(), next.end(),
+                                    std::back_inserter(scratch));
+              candidates.swap(scratch);
+            }
+          }
+          for (int value : candidates) {
+            std::vector<int> extended = assignment;
+            extended.insert(extended.begin() + static_cast<long>(fresh_pos),
+                            value);
+            result.insert(std::move(extended));
           }
         }
         return result;
@@ -134,6 +220,8 @@ class DecompositionDp {
   const Structure& canonical_;
   const Structure& b_;
   const NiceTreeDecomposition& nice_;
+  const RelationIndex& canonical_index_;
+  const RelationIndex& b_index_;
 };
 
 }  // namespace

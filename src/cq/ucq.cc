@@ -9,6 +9,7 @@
 #include "base/check.h"
 #include "base/thread_pool.h"
 #include "hom/homomorphism.h"
+#include "structure/relation_index.h"
 
 namespace hompres {
 
@@ -32,6 +33,9 @@ bool UnionOfCq::SatisfiedBy(const Structure& b) const {
 
 bool UnionOfCq::SatisfiedBy(const Structure& b, int num_threads) const {
   if (num_threads <= 0 || disjuncts_.size() < 2) return SatisfiedBy(b);
+  // Every disjunct's search probes the same target: build its index once
+  // up front instead of the first tasks racing for the lazy build.
+  (void)b.Index();
   // One task per disjunct. A satisfied disjunct raises `found`, which
   // doubles as the cancellation flag of every still-running search; if
   // `found` stays false, every search necessarily ran to completion, so
@@ -66,6 +70,7 @@ std::vector<Tuple> UnionOfCq::Evaluate(const Structure& b) const {
 std::vector<Tuple> UnionOfCq::Evaluate(const Structure& b,
                                        int num_threads) const {
   if (num_threads <= 0 || disjuncts_.size() < 2) return Evaluate(b);
+  (void)b.Index();  // shared by every disjunct's enumeration
   std::vector<std::vector<Tuple>> parts(disjuncts_.size());
   ThreadPool pool(std::min(num_threads, static_cast<int>(disjuncts_.size())));
   ParallelFor(pool, static_cast<int>(disjuncts_.size()), [&](int i) {

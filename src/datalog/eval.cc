@@ -3,25 +3,272 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <span>
 #include <utility>
 
 #include "base/check.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
+#include "structure/relation_index.h"
 
 namespace hompres {
 
 namespace {
 
+// --- Compiled rules (indexed engine) ------------------------------------
+//
+// Variable names resolve to dense integer slots once per evaluation, so
+// the join loop never touches a string map. Body atoms are reordered
+// greedily — the atom with the most already-bound positions joins next,
+// ties keeping the original order — and every inequality is attached to
+// the earliest atom after which both of its slots are bound.
+
+struct CompiledAtom {
+  int body_pos;            // original body index (keys into job sources)
+  std::vector<int> slots;  // variable slot per argument position
+};
+
+struct CompiledRule {
+  int num_slots = 0;
+  std::vector<CompiledAtom> atoms;  // greedy bound-first order
+  std::vector<int> head_slots;
+  // ineqs_after[i]: slot pairs to check right after atoms[i] unifies.
+  std::vector<std::vector<std::pair<int, int>>> ineqs_after;
+};
+
+CompiledRule CompileRule(const DatalogRule& rule) {
+  CompiledRule cr;
+  std::map<std::string, int> slot_of;
+  const auto slot = [&slot_of](const std::string& v) {
+    const auto [it, inserted] =
+        slot_of.try_emplace(v, static_cast<int>(slot_of.size()));
+    return it->second;
+  };
+  std::vector<std::vector<int>> atom_slots;
+  atom_slots.reserve(rule.body.size());
+  for (const DatalogAtom& atom : rule.body) {
+    std::vector<int> slots;
+    slots.reserve(atom.arguments.size());
+    for (const auto& v : atom.arguments) slots.push_back(slot(v));
+    atom_slots.push_back(std::move(slots));
+  }
+  cr.num_slots = static_cast<int>(slot_of.size());
+  cr.head_slots.reserve(rule.head.arguments.size());
+  for (const auto& v : rule.head.arguments) {
+    const auto it = slot_of.find(v);
+    HOMPRES_CHECK(it != slot_of.end());  // safety: head vars occur in body
+    cr.head_slots.push_back(it->second);
+  }
+  const size_t n = rule.body.size();
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(static_cast<size_t>(cr.num_slots), false);
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    int best_bound = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int count = 0;
+      for (int s : atom_slots[i]) {
+        if (bound[static_cast<size_t>(s)]) ++count;
+      }
+      if (count > best_bound) {
+        best_bound = count;
+        best = static_cast<int>(i);
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    cr.atoms.push_back(
+        CompiledAtom{best, atom_slots[static_cast<size_t>(best)]});
+    for (int s : atom_slots[static_cast<size_t>(best)]) {
+      bound[static_cast<size_t>(s)] = true;
+    }
+  }
+  cr.ineqs_after.assign(n, {});
+  std::fill(bound.begin(), bound.end(), false);
+  std::vector<std::pair<int, int>> pending;
+  for (const auto& [left, right] : rule.inequalities) {
+    const auto l = slot_of.find(left);
+    const auto r = slot_of.find(right);
+    HOMPRES_CHECK(l != slot_of.end());
+    HOMPRES_CHECK(r != slot_of.end());
+    pending.emplace_back(l->second, r->second);
+  }
+  for (size_t i = 0; i < cr.atoms.size(); ++i) {
+    for (int s : cr.atoms[i].slots) bound[static_cast<size_t>(s)] = true;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (bound[static_cast<size_t>(it->first)] &&
+          bound[static_cast<size_t>(it->second)]) {
+        cr.ineqs_after[i].push_back(*it);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  HOMPRES_CHECK(pending.empty());  // every ineq var occurs in the body
+  return cr;
+}
+
+std::vector<CompiledRule> CompileProgram(const DatalogProgram& program) {
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(program.Rules().size());
+  for (const DatalogRule& rule : program.Rules()) {
+    compiled.push_back(CompileRule(rule));
+  }
+  return compiled;
+}
+
+// One tuple store a body atom joins against: either an IDB/delta tuple
+// set, or an EDB relation (sorted vector plus its RelationIndex).
+struct TupleSource {
+  const std::set<Tuple>* set = nullptr;
+  const std::vector<Tuple>* vec = nullptr;
+  const RelationIndex* index = nullptr;
+  int rel = -1;
+};
+
+// Indexed join over the compiled atom order. Each atom enumerates only
+// candidates matching its bound positions — the longest bound prefix via
+// a range lookup on the sorted store, or the shortest inverted list of a
+// bound position (EDB sources) — and unification re-checks every
+// position, so the derived heads equal the full scan's. One budget step
+// per candidate visited.
+class CompiledJoin {
+ public:
+  CompiledJoin(const CompiledRule& rule,
+               const std::vector<TupleSource>& sources, Budget& budget,
+               long long* derivations, std::set<Tuple>* out)
+      : rule_(rule),
+        sources_(sources),
+        budget_(budget),
+        derivations_(derivations),
+        out_(out) {}
+
+  // Returns false iff the budget stopped the enumeration.
+  bool Run() {
+    binding_.assign(static_cast<size_t>(rule_.num_slots), -1);
+    added_.resize(rule_.atoms.size());
+    for (size_t i = 0; i < rule_.atoms.size(); ++i) {
+      added_[i].reserve(rule_.atoms[i].slots.size());
+    }
+    return Join(0);
+  }
+
+ private:
+  bool Visit(size_t idx, const Tuple& t) {
+    if (!budget_.Checkpoint()) return false;
+    ++*derivations_;
+    const CompiledAtom& atom = rule_.atoms[idx];
+    bool consistent = true;
+    // Per-depth scratch: Visit at this depth is not re-entered while its
+    // slots are still bound (the recursion proceeds to idx + 1).
+    std::vector<int>& added = added_[idx];
+    added.clear();
+    for (size_t j = 0; j < atom.slots.size(); ++j) {
+      const size_t s = static_cast<size_t>(atom.slots[j]);
+      if (binding_[s] == -1) {
+        binding_[s] = t[j];
+        added.push_back(static_cast<int>(s));
+      } else if (binding_[s] != t[j]) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      // Eager inequality pruning: both sides are bound from this atom on.
+      for (const auto& [l, r] : rule_.ineqs_after[idx]) {
+        if (binding_[static_cast<size_t>(l)] ==
+            binding_[static_cast<size_t>(r)]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    bool ok = true;
+    if (consistent) ok = Join(idx + 1);
+    for (int s : added) binding_[static_cast<size_t>(s)] = -1;
+    return ok;
+  }
+
+  bool Join(size_t idx) {
+    if (idx == rule_.atoms.size()) {
+      Tuple head;
+      head.reserve(rule_.head_slots.size());
+      for (int s : rule_.head_slots) {
+        head.push_back(binding_[static_cast<size_t>(s)]);
+      }
+      out_->insert(std::move(head));
+      return true;
+    }
+    const CompiledAtom& atom = rule_.atoms[idx];
+    const TupleSource& src = sources_[static_cast<size_t>(atom.body_pos)];
+    const size_t arity = atom.slots.size();
+    Tuple prefix;
+    for (size_t j = 0; j < arity; ++j) {
+      const int v = binding_[static_cast<size_t>(atom.slots[j])];
+      if (v < 0) break;
+      prefix.push_back(v);
+    }
+    if (src.set != nullptr) {
+      if (prefix.empty()) {
+        for (const Tuple& t : *src.set) {
+          if (!Visit(idx, t)) return false;
+        }
+      } else {
+        for (auto it = src.set->lower_bound(prefix); it != src.set->end();
+             ++it) {
+          if (!std::equal(prefix.begin(), prefix.end(), it->begin())) break;
+          if (!Visit(idx, *it)) return false;
+        }
+      }
+      return true;
+    }
+    const auto [lo, hi] = src.index->PrefixRange(src.rel, prefix);
+    std::span<const int> ids;
+    bool use_ids = false;
+    size_t best = static_cast<size_t>(hi - lo);
+    for (size_t j = prefix.size(); j < arity; ++j) {
+      const int v = binding_[static_cast<size_t>(atom.slots[j])];
+      if (v < 0) continue;
+      const auto list = src.index->TuplesAt(src.rel, static_cast<int>(j), v);
+      if (list.size() < best) {
+        best = list.size();
+        ids = list;
+        use_ids = true;
+      }
+    }
+    const std::vector<Tuple>& tuples = *src.vec;
+    if (use_ids) {
+      for (int id : ids) {
+        if (!Visit(idx, tuples[static_cast<size_t>(id)])) return false;
+      }
+    } else {
+      for (int id = lo; id < hi; ++id) {
+        if (!Visit(idx, tuples[static_cast<size_t>(id)])) return false;
+      }
+    }
+    return true;
+  }
+
+  const CompiledRule& rule_;
+  const std::vector<TupleSource>& sources_;
+  Budget& budget_;
+  long long* derivations_;
+  std::set<Tuple>* out_;
+  std::vector<int> binding_;
+  std::vector<std::vector<int>> added_;  // per-depth unbind scratch
+};
+
+// --- Interpretive scan engine (the pre-index baseline, bit-identical) ---
+//
 // Enumerates all assignments satisfying the rule body and emits head
 // tuples into `out`. For each body atom, `sources` gives the tuple set to
 // match it against. Adds the number of assignments enumerated to
 // `*derivations`; each assignment is one budget step. Returns false iff
 // the budget stopped the enumeration (out may hold a partial result).
-bool ApplyRule(const DatalogRule& rule,
-               const std::vector<const std::set<Tuple>*>& sources,
-               Budget& budget, long long* derivations,
-               std::set<Tuple>* out) {
+bool ApplyRuleScan(const DatalogRule& rule,
+                   const std::vector<TupleSource>& sources, Budget& budget,
+                   long long* derivations, std::set<Tuple>* out) {
   std::map<std::string, int> binding;
   bool stopped = false;
   // Recursive join over the body atoms.
@@ -40,7 +287,7 @@ bool ApplyRule(const DatalogRule& rule,
       return;
     }
     const DatalogAtom& atom = rule.body[index];
-    for (const Tuple& t : *sources[index]) {
+    for (const Tuple& t : *sources[index].set) {
       if (!budget.Checkpoint()) {
         stopped = true;
         return;
@@ -71,7 +318,9 @@ bool ApplyRule(const DatalogRule& rule,
   return !stopped;
 }
 
-// Tuple sets of the EDB relations of `edb` (copied once per evaluation).
+// Tuple sets of the EDB relations of `edb` (copied once per evaluation;
+// scan engine only — the indexed engine joins against the structure's
+// own sorted vectors through its RelationIndex).
 std::vector<std::set<Tuple>> EdbSets(const DatalogProgram& program,
                                      const Structure& edb) {
   std::vector<std::set<Tuple>> sets(
@@ -84,13 +333,75 @@ std::vector<std::set<Tuple>> EdbSets(const DatalogProgram& program,
   return sets;
 }
 
-// One rule-body evaluation of a semi-naive round: the rule, the resolved
-// tuple-set sources for its body atoms, and the IDB index its head
-// derives into.
+// One rule-body evaluation of a semi-naive round: the rule (in whichever
+// engine's form), the resolved sources for its body atoms (by original
+// body position), and the IDB index its head derives into.
 struct RuleJob {
-  const DatalogRule* rule;
-  std::vector<const std::set<Tuple>*> sources;
-  int head;
+  const DatalogRule* rule = nullptr;
+  const CompiledRule* compiled = nullptr;  // null = scan engine
+  std::vector<TupleSource> sources;
+  int head = 0;
+};
+
+bool ApplyJob(const RuleJob& job, Budget& budget, long long* derivations,
+              std::set<Tuple>* out) {
+  if (job.compiled != nullptr) {
+    return CompiledJoin(*job.compiled, job.sources, budget, derivations, out)
+        .Run();
+  }
+  return ApplyRuleScan(*job.rule, job.sources, budget, derivations, out);
+}
+
+// Resolves body-atom sources for one evaluation: EDB atoms hit either the
+// indexed structure or the copied sets, IDB atoms hit the interpretation
+// the caller names.
+class SourcePlan {
+ public:
+  SourcePlan(const DatalogProgram& program, const Structure& edb,
+             bool use_index)
+      : program_(program), edb_(edb), use_index_(use_index) {
+    if (use_index_) {
+      index_ = &edb.Index();
+    } else {
+      edb_sets_ = EdbSets(program, edb);
+    }
+  }
+
+  TupleSource EdbSource(int rel) const {
+    TupleSource s;
+    if (use_index_) {
+      s.vec = &edb_.Tuples(rel);
+      s.index = index_;
+      s.rel = rel;
+    } else {
+      s.set = &edb_sets_[static_cast<size_t>(rel)];
+    }
+    return s;
+  }
+
+  static TupleSource IdbSource(const std::set<Tuple>& set) {
+    TupleSource s;
+    s.set = &set;
+    return s;
+  }
+
+  // Source for body atom `atom`, taking IDB relations from `idb`.
+  TupleSource Resolve(const DatalogAtom& atom,
+                      const IdbInterpretation& idb) const {
+    if (const auto e = program_.Edb().IndexOf(atom.relation);
+        e.has_value()) {
+      return EdbSource(*e);
+    }
+    return IdbSource(
+        idb[static_cast<size_t>(*program_.IdbIndexOf(atom.relation))]);
+  }
+
+ private:
+  const DatalogProgram& program_;
+  const Structure& edb_;
+  bool use_index_;
+  const RelationIndex* index_ = nullptr;
+  std::vector<std::set<Tuple>> edb_sets_;
 };
 
 // Runs every job, inserting each job's head tuples into (*out)[job.head]
@@ -105,8 +416,8 @@ bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
                  IdbInterpretation* out, StopReason* stop) {
   if (num_threads <= 0 || jobs.size() < 2) {
     for (const RuleJob& job : jobs) {
-      if (!ApplyRule(*job.rule, job.sources, budget, derivations,
-                     &(*out)[static_cast<size_t>(job.head)])) {
+      if (!ApplyJob(job, budget, derivations,
+                    &(*out)[static_cast<size_t>(job.head)])) {
         *stop = budget.Reason();
         return false;
       }
@@ -129,8 +440,8 @@ bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
       // Task-exclusive state; TaskDone/Join publish it to the joiner.
       TaskState& state = states[static_cast<size_t>(i)];
       const RuleJob& job = jobs[static_cast<size_t>(i)];
-      state.completed = ApplyRule(*job.rule, job.sources, worker,
-                                  &state.derivations, &state.derived);
+      state.completed =
+          ApplyJob(job, worker, &state.derivations, &state.derived);
       if (!state.completed) state.stop = worker.Reason();
       region.TaskDone();
     });
@@ -164,35 +475,48 @@ Outcome<DatalogResult> StoppedEval(const Budget& budget, StopReason stop) {
   return Outcome<DatalogResult>::StoppedShort(report);
 }
 
+// Per-rule engine handles for one evaluation: compiled forms when the
+// indexed engine is selected, rule pointers otherwise.
+struct EvalSetup {
+  std::vector<CompiledRule> compiled;  // empty in scan mode
+
+  EvalSetup(const DatalogProgram& program, bool use_index) {
+    if (use_index) compiled = CompileProgram(program);
+  }
+
+  void Bind(RuleJob* job, const DatalogRule& rule, size_t rule_idx) const {
+    job->rule = &rule;
+    if (!compiled.empty()) job->compiled = &compiled[rule_idx];
+  }
+};
+
 }  // namespace
 
 Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
                                          const Structure& edb, int m,
-                                         Budget& budget) {
+                                         Budget& budget,
+                                         const DatalogEvalOptions& options) {
   HOMPRES_CHECK_GE(m, 0);
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const auto edb_sets = EdbSets(program, edb);
+  const SourcePlan plan(program, edb, options.use_index);
+  const EvalSetup setup(program, options.use_index);
   IdbInterpretation current(
       static_cast<size_t>(program.Idb().NumRelations()));
   long long derivations = 0;
   for (int step = 0; step < m; ++step) {
     IdbInterpretation next(
         static_cast<size_t>(program.Idb().NumRelations()));
-    for (const DatalogRule& rule : program.Rules()) {
+    for (size_t r = 0; r < program.Rules().size(); ++r) {
+      const DatalogRule& rule = program.Rules()[r];
       const int head = *program.IdbIndexOf(rule.head.relation);
-      std::vector<const std::set<Tuple>*> sources;
+      RuleJob job;
+      setup.Bind(&job, rule, r);
+      job.head = head;
       for (const DatalogAtom& atom : rule.body) {
-        if (const auto e = program.Edb().IndexOf(atom.relation);
-            e.has_value()) {
-          sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
-        } else {
-          sources.push_back(
-              &current[static_cast<size_t>(*program.IdbIndexOf(
-                  atom.relation))]);
-        }
+        job.sources.push_back(plan.Resolve(atom, current));
       }
-      if (!ApplyRule(rule, sources, budget, &derivations,
-                     &next[static_cast<size_t>(head)])) {
+      if (!ApplyJob(job, budget, &derivations,
+                    &next[static_cast<size_t>(head)])) {
         return Outcome<IdbInterpretation>::StoppedShort(budget.Report());
       }
     }
@@ -203,35 +527,34 @@ Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
 }
 
 IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
-                        int m) {
+                        int m, const DatalogEvalOptions& options) {
   Budget unlimited = Budget::Unlimited();
-  return std::move(StageBudgeted(program, edb, m, unlimited)).TakeValue();
+  return std::move(StageBudgeted(program, edb, m, unlimited, options))
+      .TakeValue();
 }
 
-Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
-                                             const Structure& edb,
-                                             Budget& budget) {
+Outcome<DatalogResult> EvaluateNaiveBudgeted(
+    const DatalogProgram& program, const Structure& edb, Budget& budget,
+    const DatalogEvalOptions& options) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const auto edb_sets = EdbSets(program, edb);
+  const SourcePlan plan(program, edb, options.use_index);
+  const EvalSetup setup(program, options.use_index);
   DatalogResult result;
   result.idb.assign(static_cast<size_t>(program.Idb().NumRelations()), {});
   for (;;) {
     IdbInterpretation next(
         static_cast<size_t>(program.Idb().NumRelations()));
-    for (const DatalogRule& rule : program.Rules()) {
+    for (size_t r = 0; r < program.Rules().size(); ++r) {
+      const DatalogRule& rule = program.Rules()[r];
       const int head = *program.IdbIndexOf(rule.head.relation);
-      std::vector<const std::set<Tuple>*> sources;
+      RuleJob job;
+      setup.Bind(&job, rule, r);
+      job.head = head;
       for (const DatalogAtom& atom : rule.body) {
-        if (const auto e = program.Edb().IndexOf(atom.relation);
-            e.has_value()) {
-          sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
-        } else {
-          sources.push_back(&result.idb[static_cast<size_t>(
-              *program.IdbIndexOf(atom.relation))]);
-        }
+        job.sources.push_back(plan.Resolve(atom, result.idb));
       }
-      if (!ApplyRule(rule, sources, budget, &result.derivations,
-                     &next[static_cast<size_t>(head)])) {
+      if (!ApplyJob(job, budget, &result.derivations,
+                    &next[static_cast<size_t>(head)])) {
         return Outcome<DatalogResult>::StoppedShort(budget.Report());
       }
     }
@@ -243,18 +566,19 @@ Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
 }
 
 DatalogResult EvaluateNaive(const DatalogProgram& program,
-                            const Structure& edb) {
+                            const Structure& edb,
+                            const DatalogEvalOptions& options) {
   Budget unlimited = Budget::Unlimited();
-  return std::move(EvaluateNaiveBudgeted(program, edb, unlimited))
+  return std::move(EvaluateNaiveBudgeted(program, edb, unlimited, options))
       .TakeValue();
 }
 
-Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
-                                                 const Structure& edb,
-                                                 Budget& budget,
-                                                 int num_threads) {
+Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(
+    const DatalogProgram& program, const Structure& edb, Budget& budget,
+    const DatalogEvalOptions& options) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const auto edb_sets = EdbSets(program, edb);
+  const SourcePlan plan(program, edb, options.use_index);
+  const EvalSetup setup(program, options.use_index);
   const size_t idb_count =
       static_cast<size_t>(program.Idb().NumRelations());
   DatalogResult result;
@@ -266,24 +590,24 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
   IdbInterpretation delta(idb_count);
   {
     std::vector<RuleJob> jobs;
-    for (const DatalogRule& rule : program.Rules()) {
+    for (size_t r = 0; r < program.Rules().size(); ++r) {
+      const DatalogRule& rule = program.Rules()[r];
       bool has_idb_atom = false;
       for (const DatalogAtom& atom : rule.body) {
         has_idb_atom |= program.IdbIndexOf(atom.relation).has_value();
       }
       if (has_idb_atom) continue;  // needs IDB facts; none yet
       RuleJob job;
-      job.rule = &rule;
+      setup.Bind(&job, rule, r);
       job.head = *program.IdbIndexOf(rule.head.relation);
       for (const DatalogAtom& atom : rule.body) {
         job.sources.push_back(
-            &edb_sets[static_cast<size_t>(*program.Edb().IndexOf(
-                atom.relation))]);
+            plan.EdbSource(*program.Edb().IndexOf(atom.relation)));
       }
       jobs.push_back(std::move(job));
     }
-    if (!RunRuleJobs(jobs, budget, num_threads, &result.derivations, &delta,
-                     &stop)) {
+    if (!RunRuleJobs(jobs, budget, options.num_threads, &result.derivations,
+                     &delta, &stop)) {
       return StoppedEval(budget, stop);
     }
   }
@@ -298,11 +622,12 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
     }
     // Derive the next delta: for each rule and each IDB body position,
     // evaluate with that position restricted to the current delta. The
-    // jobs only read delta / result.idb / edb_sets, none of which change
-    // until the round's jobs have all completed.
+    // jobs only read delta / result.idb / the EDB sources, none of which
+    // change until the round's jobs have all completed.
     IdbInterpretation derived(idb_count);
     std::vector<RuleJob> jobs;
-    for (const DatalogRule& rule : program.Rules()) {
+    for (size_t r = 0; r < program.Rules().size(); ++r) {
+      const DatalogRule& rule = program.Rules()[r];
       const int head = *program.IdbIndexOf(rule.head.relation);
       for (size_t delta_position = 0; delta_position < rule.body.size();
            ++delta_position) {
@@ -310,24 +635,21 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
             program.IdbIndexOf(rule.body[delta_position].relation);
         if (!idb_index.has_value()) continue;
         RuleJob job;
-        job.rule = &rule;
+        setup.Bind(&job, rule, r);
         job.head = head;
         for (size_t i = 0; i < rule.body.size(); ++i) {
           const DatalogAtom& atom = rule.body[i];
           if (i == delta_position) {
-            job.sources.push_back(&delta[static_cast<size_t>(*idb_index)]);
-          } else if (const auto e = program.Edb().IndexOf(atom.relation);
-                     e.has_value()) {
-            job.sources.push_back(&edb_sets[static_cast<size_t>(*e)]);
+            job.sources.push_back(SourcePlan::IdbSource(
+                delta[static_cast<size_t>(*idb_index)]));
           } else {
-            job.sources.push_back(&result.idb[static_cast<size_t>(
-                *program.IdbIndexOf(atom.relation))]);
+            job.sources.push_back(plan.Resolve(atom, result.idb));
           }
         }
         jobs.push_back(std::move(job));
       }
     }
-    if (!RunRuleJobs(jobs, budget, num_threads, &result.derivations,
+    if (!RunRuleJobs(jobs, budget, options.num_threads, &result.derivations,
                      &derived, &stop)) {
       return StoppedEval(budget, stop);
     }
@@ -348,10 +670,11 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
 }
 
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
-                                const Structure& edb, int num_threads) {
+                                const Structure& edb,
+                                const DatalogEvalOptions& options) {
   Budget unlimited = Budget::Unlimited();
   return std::move(
-             EvaluateSemiNaiveBudgeted(program, edb, unlimited, num_threads))
+             EvaluateSemiNaiveBudgeted(program, edb, unlimited, options))
       .TakeValue();
 }
 

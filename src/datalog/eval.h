@@ -2,6 +2,24 @@
 // semi-naive (delta-driven). Stage semantics follow Section 2.3: stage
 // m+1 applies the operator to stage m simultaneously (Jacobi iteration),
 // so stage counts line up with the formulas of Theorem 7.1.
+//
+// Two rule-body engines sit underneath every entry point:
+//
+//   * compiled + indexed (default): each rule is compiled once per
+//     evaluation — variable names resolved to dense integer slots (no
+//     per-join-node string maps), body atoms greedily reordered so atoms
+//     with the most bound positions join first, inequality constraints
+//     checked the moment both sides are bound — and bound-position atoms
+//     are answered with index lookups (bound-prefix ranges on the sorted
+//     EDB/IDB tuple stores, inverted lists on the EDB) instead of full
+//     scans. The derived facts, fixpoints, and stage counts are identical
+//     to the scan engine; only the number of assignments visited (the
+//     `derivations` work measure, = budget steps) shrinks.
+//
+//   * interpretive scan (options.use_index = false): the original
+//     evaluator, kept bit-identical (including its derivation counts) as
+//     the baseline for the differential tests and the indexed-vs-scan
+//     benches (E10).
 
 #ifndef HOMPRES_DATALOG_EVAL_H_
 #define HOMPRES_DATALOG_EVAL_H_
@@ -19,50 +37,71 @@ namespace hompres {
 // Interpretation of the IDB predicates: one tuple set per IDB index.
 using IdbInterpretation = std::vector<std::set<Tuple>>;
 
+struct DatalogEvalOptions {
+  // Number of worker threads for the per-round rule jobs (semi-naive
+  // only); 0 = serial. The fixpoint, stage count and derivation total
+  // are identical to the serial run for any thread count.
+  int num_threads = 0;
+
+  // Use the compiled/indexed rule engine (see the header comment). Off =
+  // the original interpretive scan evaluator.
+  bool use_index = true;
+
+  DatalogEvalOptions() = default;
+  // Implicit so existing `EvaluateSemiNaive(program, edb, 3)` call sites
+  // keep reading as a thread count.
+  DatalogEvalOptions(int threads) : num_threads(threads) {}
+};
+
 struct DatalogResult {
   IdbInterpretation idb;
   // Smallest m with stage(m) == stage(m+1) (m_0 in the paper's notation).
   int stages = 0;
   // Total rule-body assignments enumerated (work measure for benches).
+  // The indexed engine visits fewer assignments than the scan engine for
+  // the same fixpoint, so compare counts only within one engine.
   long long derivations = 0;
 };
 
 // The m-th stage Phi^m of the program's operator on `edb` (m >= 0).
 IdbInterpretation Stage(const DatalogProgram& program, const Structure& edb,
-                        int m);
+                        int m, const DatalogEvalOptions& options = {});
 
 // Budgeted stage computation (one step per rule-body assignment
 // enumerated).
 Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
                                          const Structure& edb, int m,
-                                         Budget& budget);
+                                         Budget& budget,
+                                         const DatalogEvalOptions& options = {});
 
 // Least fixpoint by naive iteration.
 DatalogResult EvaluateNaive(const DatalogProgram& program,
-                            const Structure& edb);
+                            const Structure& edb,
+                            const DatalogEvalOptions& options = {});
 
 // Budgeted naive fixpoint: Done(result) only when the fixpoint was
 // reached; Exhausted/Cancelled mean evaluation stopped mid-iteration and
 // no (partial) interpretation is claimed.
-Outcome<DatalogResult> EvaluateNaiveBudgeted(const DatalogProgram& program,
-                                             const Structure& edb,
-                                             Budget& budget);
+Outcome<DatalogResult> EvaluateNaiveBudgeted(
+    const DatalogProgram& program, const Structure& edb, Budget& budget,
+    const DatalogEvalOptions& options = {});
 
 // Least fixpoint by semi-naive (delta) iteration; produces the same
 // relations and stage count, typically with far fewer derivations.
 //
-// With num_threads > 0 the rule-body evaluations of each round — one job
-// per (rule, delta position) pair — fan out over a work-stealing pool,
-// each job deriving into its own tuple set, merged after the round. The
-// fixpoint, stage count and derivation total are identical to the serial
-// evaluation (every job enumerates the same assignments either way).
+// With options.num_threads > 0 the rule-body evaluations of each round —
+// one job per (rule, delta position) pair — fan out over a work-stealing
+// pool, each job deriving into its own tuple set, merged after the round.
+// The fixpoint, stage count and derivation total are identical to the
+// serial evaluation (every job enumerates the same assignments either
+// way).
 DatalogResult EvaluateSemiNaive(const DatalogProgram& program,
-                                const Structure& edb, int num_threads = 0);
+                                const Structure& edb,
+                                const DatalogEvalOptions& options = {});
 
-Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(const DatalogProgram& program,
-                                                 const Structure& edb,
-                                                 Budget& budget,
-                                                 int num_threads = 0);
+Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(
+    const DatalogProgram& program, const Structure& edb, Budget& budget,
+    const DatalogEvalOptions& options = {});
 
 }  // namespace hompres
 

@@ -1,9 +1,11 @@
 #include "hom/homomorphism.h"
 
 #include <algorithm>
+#include <span>
 
 #include "base/check.h"
 #include "hom/parallel.h"
+#include "structure/relation_index.h"
 
 namespace hompres {
 
@@ -34,11 +36,22 @@ class HomSearch {
   HomSearch(const Structure& a, const Structure& b, const HomOptions& options,
             Budget& budget)
       : a_(a), b_(b), options_(options), budget_(budget) {
+    size_t max_arity = 0;
     for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
       for (const Tuple& t : a.Tuples(rel)) {
         constraints_.push_back(TupleConstraint{rel, t});
+        max_arity = std::max(max_arity, t.size());
       }
     }
+    if (options_.use_arc_consistency && options_.use_index &&
+        !constraints_.empty()) {
+      index_ = &b.Index();
+    }
+    // Scratch for Propagate, hoisted out of the fixpoint loop (one
+    // allocation per search instead of one per constraint visit).
+    supported_.assign(max_arity,
+                      std::vector<bool>(static_cast<size_t>(b.UniverseSize()),
+                                        false));
   }
 
   // Runs the search; invokes `emit` for every homomorphism found. `emit`
@@ -79,9 +92,24 @@ class HomSearch {
   }
 
  private:
+  // The single value of a singleton domain.
+  static int OnlyValue(const Domain& d) {
+    for (size_t v = 0; v < d.allowed.size(); ++v) {
+      if (d.allowed[v]) return static_cast<int>(v);
+    }
+    return -1;
+  }
+
   // Generalized arc consistency: repeatedly drop unsupported values until
   // fixpoint. Returns false if some domain empties.
-  bool Propagate(std::vector<Domain>& domains) const {
+  //
+  // With the index enabled, a constraint whose pattern has a
+  // singleton-domain (assigned) position only scans the inverted list of
+  // that position's value — the shortest such list if several positions
+  // are assigned. Every skipped tuple disagrees with a singleton domain,
+  // so Compatible would have rejected it: the support sets, and hence the
+  // propagation fixpoint, are bit-identical to the full scan.
+  bool Propagate(std::vector<Domain>& domains) {
     bool changed = true;
     while (changed) {
       changed = false;
@@ -89,20 +117,42 @@ class HomSearch {
         // For each position, collect the values that appear in some
         // compatible B-tuple.
         const size_t arity = c.pattern.size();
-        std::vector<std::vector<bool>> supported(
-            arity,
-            std::vector<bool>(static_cast<size_t>(b_.UniverseSize()), false));
-        for (const Tuple& s : b_.Tuples(c.rel)) {
-          if (!Compatible(c.pattern, s, domains)) continue;
+        for (size_t i = 0; i < arity; ++i) {
+          supported_[i].assign(static_cast<size_t>(b_.UniverseSize()), false);
+        }
+        const std::vector<Tuple>& tuples = b_.Tuples(c.rel);
+        std::span<const int> narrowed;
+        bool use_narrowed = false;
+        if (index_ != nullptr) {
+          size_t best = tuples.size();
           for (size_t i = 0; i < arity; ++i) {
-            supported[i][static_cast<size_t>(s[i])] = true;
+            const Domain& d = domains[static_cast<size_t>(c.pattern[i])];
+            if (d.size != 1) continue;
+            const auto ids =
+                index_->TuplesAt(c.rel, static_cast<int>(i), OnlyValue(d));
+            if (ids.size() <= best) {
+              best = ids.size();
+              narrowed = ids;
+              use_narrowed = true;
+            }
           }
+        }
+        const auto mark = [&](const Tuple& s) {
+          if (!Compatible(c.pattern, s, domains)) return;
+          for (size_t i = 0; i < arity; ++i) {
+            supported_[i][static_cast<size_t>(s[i])] = true;
+          }
+        };
+        if (use_narrowed) {
+          for (int id : narrowed) mark(tuples[static_cast<size_t>(id)]);
+        } else {
+          for (const Tuple& s : tuples) mark(s);
         }
         for (size_t i = 0; i < arity; ++i) {
           Domain& d = domains[static_cast<size_t>(c.pattern[i])];
           for (int v = 0; v < b_.UniverseSize(); ++v) {
             if (d.allowed[static_cast<size_t>(v)] &&
-                !supported[i][static_cast<size_t>(v)]) {
+                !supported_[i][static_cast<size_t>(v)]) {
               d.Remove(v);
               changed = true;
             }
@@ -241,7 +291,9 @@ class HomSearch {
   const Structure& b_;
   HomOptions options_;
   Budget& budget_;
+  const RelationIndex* index_ = nullptr;  // null = pure-scan propagation
   std::vector<TupleConstraint> constraints_;
+  std::vector<std::vector<bool>> supported_;  // Propagate scratch
   std::vector<int> assignment_;
   bool stopped_ = false;
 };

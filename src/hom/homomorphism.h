@@ -43,6 +43,16 @@ struct HomOptions {
   // Disable arc consistency (naive backtracking baseline).
   bool use_arc_consistency = true;
 
+  // Use the target's RelationIndex to narrow the tuple scans of the
+  // propagation loop to the candidates matching already-assigned
+  // (singleton-domain) positions. Bit-identical results — the index only
+  // excludes tuples the scan would have rejected — with fewer tuples
+  // visited. Off = the pure-scan engine, kept selectable for the
+  // differential tests and the indexed-vs-scan benches (E14). Only
+  // meaningful together with use_arc_consistency (the naive baseline
+  // probes single tuples and never scans).
+  bool use_index = true;
+
   // Number of worker threads for the parallel engine (hom/parallel.h).
   // 0 = serial search, bit-identical to the pre-parallel engine. With
   // n > 0 the search splits the top decision levels into independent

@@ -8,6 +8,7 @@
 #include "base/check.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
+#include "structure/relation_index.h"
 
 namespace hompres {
 
@@ -32,12 +33,9 @@ SplitPlan PlanSplit(const Structure& a, const Structure& b,
   const int n = a.UniverseSize();
   const int m = b.UniverseSize();
   if (n == 0 || m < 2 || a.NumTuples() == 0) return {};
-  std::vector<int> occurrences(static_cast<size_t>(n), 0);
-  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
-    for (const Tuple& t : a.Tuples(rel)) {
-      for (int e : t) ++occurrences[static_cast<size_t>(e)];
-    }
-  }
+  // Occurrence counts come from the cached index (one hoisted pass
+  // instead of a rescan per PlanSplit call).
+  const std::vector<int>& occurrences = a.Index().ElementOccurrences();
   std::vector<bool> already_forced(static_cast<size_t>(n), false);
   for (const auto& [var, val] : options.forced) {
     (void)val;
@@ -91,6 +89,16 @@ bool ForcedPairsInRange(const Structure& a, const Structure& b,
   return true;
 }
 
+// Builds the indexes the subtree searches will share before the workers
+// start, so the lazy build happens exactly once instead of the first
+// tasks racing for the build lock.
+void WarmIndexes(const Structure& a, const Structure& b,
+                 const HomOptions& options) {
+  if (!options.use_arc_consistency || !options.use_index) return;
+  (void)a.Index();
+  (void)b.Index();
+}
+
 }  // namespace
 
 Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
@@ -108,6 +116,7 @@ Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
     return FindHomomorphismBudgeted(a, b, budget, serial);
   }
   if (!budget.Checkpoint()) return Result::StoppedShort(budget.Report());
+  WarmIndexes(a, b, serial);
 
   const int num_tasks = static_cast<int>(plan.size());
   struct TaskState {
@@ -208,6 +217,7 @@ Outcome<uint64_t> ParallelCountHomomorphismsBudgeted(
     return CountHomomorphismsBudgeted(a, b, budget, limit, serial);
   }
   if (!budget.Checkpoint()) return Result::StoppedShort(budget.Report());
+  WarmIndexes(a, b, serial);
 
   const int num_tasks = static_cast<int>(plan.size());
   std::atomic<uint64_t> found{0};

@@ -1,23 +1,63 @@
 #include "structure/gaifman.h"
 
+#include <algorithm>
+
+#include "structure/relation_index.h"
+
 namespace hompres {
 
-Graph GaifmanGraph(const Structure& a) {
-  Graph g(a.UniverseSize());
+namespace {
+
+// Per-element co-occurrence lists, one pass over the tuple store. The
+// occurrence counts of the cached index size the buffers so the pass
+// never reallocates; the sort+unique at the end replaces the per-pair
+// HasEdge probes of the naive construction.
+std::vector<std::vector<int>> CoOccurrenceLists(const Structure& a) {
+  const std::vector<int>& occurrences = a.Index().ElementOccurrences();
+  std::vector<std::vector<int>> nbrs(
+      static_cast<size_t>(a.UniverseSize()));
+  for (int e = 0; e < a.UniverseSize(); ++e) {
+    nbrs[static_cast<size_t>(e)].reserve(
+        static_cast<size_t>(occurrences[static_cast<size_t>(e)]));
+  }
   for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
     for (const Tuple& t : a.Tuples(rel)) {
       for (size_t i = 0; i < t.size(); ++i) {
         for (size_t j = i + 1; j < t.size(); ++j) {
-          if (t[i] != t[j] && !g.HasEdge(t[i], t[j])) g.AddEdge(t[i], t[j]);
+          if (t[i] == t[j]) continue;
+          nbrs[static_cast<size_t>(t[i])].push_back(t[j]);
+          nbrs[static_cast<size_t>(t[j])].push_back(t[i]);
         }
       }
+    }
+  }
+  for (auto& list : nbrs) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+Graph GaifmanGraph(const Structure& a) {
+  const auto nbrs = CoOccurrenceLists(a);
+  Graph g(a.UniverseSize());
+  for (int u = 0; u < a.UniverseSize(); ++u) {
+    for (int v : nbrs[static_cast<size_t>(u)]) {
+      if (u < v) g.AddEdge(u, v);
     }
   }
   return g;
 }
 
 int StructureDegree(const Structure& a) {
-  return GaifmanGraph(a).MaxDegree();
+  const auto nbrs = CoOccurrenceLists(a);
+  size_t max_degree = 0;
+  for (const auto& list : nbrs) {
+    max_degree = std::max(max_degree, list.size());
+  }
+  return static_cast<int>(max_degree);
 }
 
 }  // namespace hompres

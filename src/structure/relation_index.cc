@@ -1,0 +1,104 @@
+#include "structure/relation_index.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "structure/structure.h"
+
+namespace hompres {
+
+RelationIndex::RelationIndex(const Structure& s)
+    : universe_size_(s.UniverseSize()) {
+  const int num_relations = s.GetVocabulary().NumRelations();
+  rels_.resize(static_cast<size_t>(num_relations));
+  occurrences_.assign(static_cast<size_t>(universe_size_), 0);
+  for (int rel = 0; rel < num_relations; ++rel) {
+    RelIndex& r = rels_[static_cast<size_t>(rel)];
+    r.tuples = &s.Tuples(rel);
+    r.arity = s.GetVocabulary().Arity(rel);
+    const auto& tuples = *r.tuples;
+    const size_t slots =
+        static_cast<size_t>(r.arity) * static_cast<size_t>(universe_size_);
+    // Counting sort per position: counts -> offsets -> fill in tuple-id
+    // order, so every inverted list comes out ascending.
+    r.starts.assign(slots + 1, 0);
+    for (const Tuple& t : tuples) {
+      for (size_t p = 0; p < t.size(); ++p) {
+        const size_t slot = p * static_cast<size_t>(universe_size_) +
+                            static_cast<size_t>(t[p]);
+        ++r.starts[slot + 1];
+        ++occurrences_[static_cast<size_t>(t[p])];
+      }
+    }
+    for (size_t i = 1; i <= slots; ++i) r.starts[i] += r.starts[i - 1];
+    r.ids.resize(static_cast<size_t>(r.arity) * tuples.size());
+    std::vector<int> cursor(r.starts.begin(), r.starts.end() - 1);
+    for (size_t id = 0; id < tuples.size(); ++id) {
+      const Tuple& t = tuples[id];
+      for (size_t p = 0; p < t.size(); ++p) {
+        const size_t slot = p * static_cast<size_t>(universe_size_) +
+                            static_cast<size_t>(t[p]);
+        r.ids[static_cast<size_t>(cursor[slot]++)] = static_cast<int>(id);
+      }
+    }
+  }
+}
+
+const RelationIndex::RelIndex& RelationIndex::Rel(int rel) const {
+  HOMPRES_CHECK_GE(rel, 0);
+  HOMPRES_CHECK_LT(rel, static_cast<int>(rels_.size()));
+  return rels_[static_cast<size_t>(rel)];
+}
+
+std::span<const int> RelationIndex::TuplesAt(int rel, int pos,
+                                             int value) const {
+  const RelIndex& r = Rel(rel);
+  HOMPRES_CHECK_GE(pos, 0);
+  HOMPRES_CHECK_LT(pos, r.arity);
+  HOMPRES_CHECK_GE(value, 0);
+  HOMPRES_CHECK_LT(value, universe_size_);
+  const size_t slot = static_cast<size_t>(pos) *
+                          static_cast<size_t>(universe_size_) +
+                      static_cast<size_t>(value);
+  const int lo = r.starts[slot];
+  const int hi = r.starts[slot + 1];
+  return {r.ids.data() + lo, static_cast<size_t>(hi - lo)};
+}
+
+std::pair<int, int> RelationIndex::PrefixRange(int rel,
+                                               const Tuple& prefix) const {
+  const RelIndex& r = Rel(rel);
+  const auto& tuples = *r.tuples;
+  HOMPRES_CHECK_LE(prefix.size(), static_cast<size_t>(r.arity));
+  if (prefix.empty()) return {0, static_cast<int>(tuples.size())};
+  // A strict prefix compares less than any tuple extending it, so the
+  // plain lexicographic lower_bound is the range start; the range end is
+  // the first tuple whose leading prefix.size() entries exceed `prefix`.
+  const auto lo = std::lower_bound(tuples.begin(), tuples.end(), prefix);
+  const size_t k = prefix.size();
+  const auto hi = std::upper_bound(
+      lo, tuples.end(), prefix, [k](const Tuple& p, const Tuple& t) {
+        return std::lexicographical_compare(p.begin(), p.end(), t.begin(),
+                                            t.begin() + static_cast<long>(k));
+      });
+  return {static_cast<int>(lo - tuples.begin()),
+          static_cast<int>(hi - tuples.begin())};
+}
+
+std::vector<int> RelationIndex::TuplesMentioning(int rel, int e) const {
+  const RelIndex& r = Rel(rel);
+  std::vector<int> ids;
+  for (int p = 0; p < r.arity; ++p) {
+    const auto list = TuplesAt(rel, p, e);
+    ids.insert(ids.end(), list.begin(), list.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+int RelationIndex::NumTuples(int rel) const {
+  return static_cast<int>(Rel(rel).tuples->size());
+}
+
+}  // namespace hompres

@@ -1,0 +1,84 @@
+// Per-relation tuple indexes (the data layer behind every solver).
+//
+// Each solver in the library ultimately asks "which tuples of relation R
+// match this partially bound atom?". The sorted tuple lists of Structure
+// answer that in O(|R|) per probe; RelationIndex makes the common probes
+// sub-linear:
+//
+//   * per-position inverted lists   element -> ids of tuples holding it
+//                                   at a given position (CSR layout),
+//   * bound-prefix range lookup     lower_bound/upper_bound over the
+//                                   sorted tuple vector for atoms whose
+//                                   leading positions are bound,
+//   * element occurrence counts     one pass, shared by IsolatedElements,
+//                                   split planning, and degree probes.
+//
+// An index is a pure function of the structure's value: consumers that
+// iterate a narrowed candidate set see exactly the tuples a full scan
+// would have accepted, in the same relative (lexicographic) order, so
+// search results stay bit-identical.
+//
+// Lifetime: RelationIndex borrows the tuple storage of the Structure it
+// was built from (ids plus raw pointers to the sorted vectors). It is
+// obtained via Structure::Index(), which caches it until the next
+// mutation; see the invalidation rules documented there.
+
+#ifndef HOMPRES_STRUCTURE_RELATION_INDEX_H_
+#define HOMPRES_STRUCTURE_RELATION_INDEX_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hompres {
+
+class Structure;
+using Tuple = std::vector<int>;
+
+class RelationIndex {
+ public:
+  // Builds the index in one pass over the tuples: O(total tuple slots).
+  explicit RelationIndex(const Structure& s);
+
+  // Ids of the tuples of `rel` whose entry at position `pos` equals
+  // `value`, ascending (= lexicographic tuple order). Ids index into
+  // Structure::Tuples(rel).
+  std::span<const int> TuplesAt(int rel, int pos, int value) const;
+
+  // Half-open id range [lo, hi) of the tuples of `rel` whose first
+  // prefix.size() entries equal `prefix`. Requires
+  // prefix.size() <= arity. An empty prefix yields the full range.
+  std::pair<int, int> PrefixRange(int rel, const Tuple& prefix) const;
+
+  // Sorted distinct ids of tuples of `rel` mentioning element `e` at any
+  // position (union of the per-position lists).
+  std::vector<int> TuplesMentioning(int rel, int e) const;
+
+  // occurrences[e] = number of (tuple, position) slots across all
+  // relations holding element e (counting multiplicity, exactly as a
+  // full scan incrementing per slot would).
+  const std::vector<int>& ElementOccurrences() const { return occurrences_; }
+
+  // Number of tuples of `rel` at build time.
+  int NumTuples(int rel) const;
+
+ private:
+  struct RelIndex {
+    const std::vector<Tuple>* tuples;  // borrowed from the owning Structure
+    int arity = 0;
+    // CSR inverted lists: ids of tuples with value v at position p live in
+    // ids[starts[p * universe + v] .. starts[p * universe + v + 1]).
+    std::vector<int> starts;
+    std::vector<int> ids;
+  };
+
+  const RelIndex& Rel(int rel) const;
+
+  int universe_size_ = 0;
+  std::vector<RelIndex> rels_;
+  std::vector<int> occurrences_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_RELATION_INDEX_H_

@@ -1,14 +1,52 @@
 #include "structure/structure.h"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
 
+#include "structure/relation_index.h"
+
 namespace hompres {
+
+namespace {
+
+// Guards the lazy index build across threads. Consumers fetch Index()
+// once per search/evaluation (not per node), so a single global lock is
+// contention-free in practice; mutators bypass it entirely.
+std::mutex& IndexBuildMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
 
 Structure::Structure(Vocabulary vocabulary, int universe_size)
     : vocabulary_(std::move(vocabulary)), universe_size_(universe_size) {
   HOMPRES_CHECK_GE(universe_size, 0);
   relations_.resize(static_cast<size_t>(vocabulary_.NumRelations()));
+}
+
+Structure::Structure(const Structure& other)
+    : vocabulary_(other.vocabulary_),
+      universe_size_(other.universe_size_),
+      relations_(other.relations_) {}
+
+Structure& Structure::operator=(const Structure& other) {
+  if (this != &other) {
+    vocabulary_ = other.vocabulary_;
+    universe_size_ = other.universe_size_;
+    relations_ = other.relations_;
+    InvalidateIndex();
+  }
+  return *this;
+}
+
+const RelationIndex& Structure::Index() const {
+  std::lock_guard<std::mutex> lock(IndexBuildMutex());
+  if (index_ == nullptr) {
+    index_ = std::make_shared<const RelationIndex>(*this);
+  }
+  return *index_;
 }
 
 void Structure::CheckRelation(int rel) const {
@@ -21,7 +59,10 @@ void Structure::CheckElement(int a) const {
   HOMPRES_CHECK_LT(a, universe_size_);
 }
 
-int Structure::AddElement() { return universe_size_++; }
+int Structure::AddElement() {
+  InvalidateIndex();
+  return universe_size_++;
+}
 
 bool Structure::AddTuple(int rel, const Tuple& tuple) {
   CheckRelation(rel);
@@ -30,6 +71,7 @@ bool Structure::AddTuple(int rel, const Tuple& tuple) {
   auto& tuples = relations_[static_cast<size_t>(rel)];
   auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple);
   if (it != tuples.end() && *it == tuple) return false;
+  InvalidateIndex();
   tuples.insert(it, tuple);
   return true;
 }
@@ -116,15 +158,13 @@ Structure Structure::InducedSubstructure(const std::vector<int>& elements,
 }
 
 std::vector<int> Structure::IsolatedElements() const {
-  std::vector<bool> used(static_cast<size_t>(universe_size_), false);
-  for (const auto& tuples : relations_) {
-    for (const Tuple& t : tuples) {
-      for (int e : t) used[static_cast<size_t>(e)] = true;
-    }
-  }
+  // The index's occurrence counts are the single pass over the tuple
+  // store this needs; repeated calls on the same structure (the
+  // minimal-model search does many) reuse the cached index.
+  const std::vector<int>& occurrences = Index().ElementOccurrences();
   std::vector<int> isolated;
   for (int e = 0; e < universe_size_; ++e) {
-    if (!used[static_cast<size_t>(e)]) isolated.push_back(e);
+    if (occurrences[static_cast<size_t>(e)] == 0) isolated.push_back(e);
   }
   return isolated;
 }

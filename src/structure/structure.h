@@ -10,12 +10,15 @@
 #ifndef HOMPRES_STRUCTURE_STRUCTURE_H_
 #define HOMPRES_STRUCTURE_STRUCTURE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "structure/vocabulary.h"
 
 namespace hompres {
+
+class RelationIndex;
 
 // A tuple of universe elements.
 using Tuple = std::vector<int>;
@@ -25,10 +28,13 @@ class Structure {
   // Empty structure with the given universe size. Requires n >= 0.
   Structure(Vocabulary vocabulary, int universe_size);
 
-  Structure(const Structure&) = default;
-  Structure& operator=(const Structure&) = default;
-  Structure(Structure&&) = default;
-  Structure& operator=(Structure&&) = default;
+  // Copies do not inherit the cached relation index (it borrows the
+  // source's tuple storage); moves carry it along (the storage moves
+  // with the structure).
+  Structure(const Structure& other);
+  Structure& operator=(const Structure& other);
+  Structure(Structure&&) noexcept = default;
+  Structure& operator=(Structure&&) noexcept = default;
 
   const Vocabulary& GetVocabulary() const { return vocabulary_; }
   int UniverseSize() const { return universe_size_; }
@@ -47,6 +53,16 @@ class Structure {
 
   // Total number of tuples across all relations.
   int NumTuples() const;
+
+  // The per-position relation index over the current tuples (see
+  // structure/relation_index.h), built lazily on first use and cached.
+  // AddTuple/AddElement invalidate the cache; the copy/mutation
+  // constructors (RemoveTuple, RemoveElement, InducedSubstructure,
+  // DisjointUnion, Image, plain copies) produce structures without a
+  // cache. The reference stays valid until the next mutation of *this.
+  // Concurrent Index() calls on a const structure are safe; mutating
+  // while other threads read is not (as for every other accessor).
+  const RelationIndex& Index() const;
 
   // --- Substructure operations -------------------------------------------
 
@@ -92,10 +108,14 @@ class Structure {
  private:
   void CheckRelation(int rel) const;
   void CheckElement(int a) const;
+  void InvalidateIndex() { index_.reset(); }
 
   Vocabulary vocabulary_;
   int universe_size_ = 0;
   std::vector<std::vector<Tuple>> relations_;  // sorted tuple lists
+  // Lazily built index cache; null until Index() is first called and
+  // reset by any mutation. Shared-ptr so moves transfer it for free.
+  mutable std::shared_ptr<const RelationIndex> index_;
 };
 
 }  // namespace hompres

@@ -71,15 +71,17 @@ struct Engine {
 };
 
 std::vector<Engine> AllEngines() {
-  std::vector<Engine> engines(4);
+  std::vector<Engine> engines(5);
   engines[0].name = "naive";
   engines[0].options.use_arc_consistency = false;
   engines[1].name = "ac";
-  engines[2].name = "parallel";
-  engines[2].options.num_threads = 3;
-  engines[3].name = "parallel_det";
+  engines[2].name = "ac_noindex";
+  engines[2].options.use_index = false;
+  engines[3].name = "parallel";
   engines[3].options.num_threads = 3;
-  engines[3].options.deterministic_witness = true;
+  engines[4].name = "parallel_det";
+  engines[4].options.num_threads = 3;
+  engines[4].options.deterministic_witness = true;
   return engines;
 }
 
@@ -305,6 +307,70 @@ TEST(PropertyHom, ZeroThreadsMatchesSerialWitnessExactly) {
     ASSERT_EQ(FindHomomorphism(a, b, HomOptions{}),
               FindHomomorphism(a, b, zero_threads))
         << "seed " << seed << " trial " << trial;
+  }
+}
+
+// The index-aware AC engine must be bit-identical to the pure-scan AC
+// engine: same witness (not merely the same existence answer) and the
+// same count, because the index only skips tuples the scan rejects.
+TEST(PropertyHom, IndexedEngineMatchesScanEngineExactly) {
+  const uint64_t seed = TestSeed() ^ 0xD6E8FEB86659FD93ULL;
+  Rng rng(seed);
+  const Vocabulary voc = MixedVocabulary();
+  for (int trial = 0; trial < 150; ++trial) {
+    const int n = rng.UniformInt(1, 5);
+    const int m = rng.UniformInt(1, 5);
+    const Structure a = RandomStructure(voc, n, rng.UniformInt(0, n + 3), rng);
+    const Structure b =
+        RandomStructure(voc, m, rng.UniformInt(0, 2 * m + 3), rng);
+    HomOptions indexed;
+    HomOptions scan;
+    scan.use_index = false;
+    ASSERT_EQ(FindHomomorphism(a, b, indexed), FindHomomorphism(a, b, scan))
+        << "seed " << seed << " trial " << trial << "\na: " << a.DebugString()
+        << "\nb: " << b.DebugString();
+    ASSERT_EQ(CountHomomorphisms(a, b, /*limit=*/0, indexed),
+              CountHomomorphisms(a, b, /*limit=*/0, scan))
+        << "seed " << seed << " trial " << trial;
+  }
+}
+
+// Mutating a structure after its index was built must invalidate the
+// cache: engines running on the mutated structure answer as if the index
+// never existed (compared against a fresh copy that never built one).
+TEST(PropertyHom, MutationAfterIndexBuildInvalidatesCache) {
+  const uint64_t seed = TestSeed() ^ 0xA3EC647659359ACDULL;
+  Rng rng(seed);
+  const Vocabulary voc = GraphVocabulary();
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = rng.UniformInt(1, 4);
+    const int m = rng.UniformInt(2, 5);
+    const Structure a = RandomStructure(voc, n, rng.UniformInt(0, 2 * n), rng);
+    Structure b = RandomStructure(voc, m, rng.UniformInt(0, 2 * m), rng);
+    // Force the lazy build, then mutate.
+    (void)b.Index();
+    if (trial % 2 == 0) {
+      const int u = rng.UniformInt(0, b.UniverseSize() - 1);
+      const int v = rng.UniformInt(0, b.UniverseSize() - 1);
+      if (!b.HasTuple(0, {u, v})) b.AddTuple(0, {u, v});
+    } else {
+      const int fresh = b.AddElement();
+      b.AddTuple(0, {fresh, rng.UniformInt(0, fresh)});
+    }
+    // A fresh copy never had an index; the mutated original must agree
+    // with it under every engine.
+    const Structure pristine = b;
+    for (const Engine& engine : AllEngines()) {
+      ASSERT_EQ(FindHomomorphism(a, b, engine.options).has_value(),
+                FindHomomorphism(a, pristine, engine.options).has_value())
+          << "engine '" << engine.name << "' stale-index divergence; seed "
+          << seed << " trial " << trial << "\na: " << a.DebugString()
+          << "\nb: " << b.DebugString();
+      ASSERT_EQ(CountHomomorphisms(a, b, /*limit=*/0, engine.options),
+                CountHomomorphisms(a, pristine, /*limit=*/0, engine.options))
+          << "engine '" << engine.name << "' stale-index count; seed " << seed
+          << " trial " << trial;
+    }
   }
 }
 

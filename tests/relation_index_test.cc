@@ -1,0 +1,216 @@
+// RelationIndex unit and property tests: the CSR inverted lists and
+// bound-prefix ranges against brute-force scans on random structures,
+// plus the cache lifecycle on Structure (lazy build, invalidation on
+// mutation, copies dropping the cache, moves carrying it).
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "structure/generators.h"
+#include "structure/relation_index.h"
+#include "structure/structure.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 20260806;
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("HOMPRES_TEST_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultSeed;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+Vocabulary MixedVocabulary() {
+  Vocabulary voc;
+  voc.AddRelation("U", 1);
+  voc.AddRelation("E", 2);
+  voc.AddRelation("T", 3);
+  return voc;
+}
+
+// Brute-force reference for TuplesAt.
+std::vector<int> ScanTuplesAt(const Structure& s, int rel, int pos,
+                              int value) {
+  std::vector<int> ids;
+  const auto& tuples = s.Tuples(rel);
+  for (size_t id = 0; id < tuples.size(); ++id) {
+    if (tuples[id][static_cast<size_t>(pos)] == value) {
+      ids.push_back(static_cast<int>(id));
+    }
+  }
+  return ids;
+}
+
+// Brute-force reference for PrefixRange: the ids whose tuples extend the
+// prefix (tuples are sorted, so they form a contiguous block).
+std::vector<int> ScanPrefixIds(const Structure& s, int rel,
+                               const Tuple& prefix) {
+  std::vector<int> ids;
+  const auto& tuples = s.Tuples(rel);
+  for (size_t id = 0; id < tuples.size(); ++id) {
+    if (std::equal(prefix.begin(), prefix.end(), tuples[id].begin())) {
+      ids.push_back(static_cast<int>(id));
+    }
+  }
+  return ids;
+}
+
+std::vector<int> RangeIds(std::pair<int, int> range) {
+  std::vector<int> ids;
+  for (int id = range.first; id < range.second; ++id) ids.push_back(id);
+  return ids;
+}
+
+TEST(RelationIndex, MatchesBruteForceOnRandomStructures) {
+  const uint64_t seed = TestSeed();
+  Rng rng(seed);
+  const Vocabulary voc = MixedVocabulary();
+  for (int trial = 0; trial < 80; ++trial) {
+    const int n = rng.UniformInt(1, 6);
+    const Structure s =
+        RandomStructure(voc, n, rng.UniformInt(0, 3 * n), rng);
+    const RelationIndex& index = s.Index();
+    for (int rel = 0; rel < voc.NumRelations(); ++rel) {
+      ASSERT_EQ(index.NumTuples(rel),
+                static_cast<int>(s.Tuples(rel).size()));
+      for (int pos = 0; pos < voc.Arity(rel); ++pos) {
+        for (int v = 0; v < s.UniverseSize(); ++v) {
+          const auto span = index.TuplesAt(rel, pos, v);
+          const std::vector<int> got(span.begin(), span.end());
+          ASSERT_EQ(got, ScanTuplesAt(s, rel, pos, v))
+              << "seed " << seed << " trial " << trial << " rel " << rel
+              << " pos " << pos << " value " << v;
+          ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+        }
+      }
+      // Prefix ranges for every prefix of every stored tuple, plus a few
+      // random (possibly absent) prefixes.
+      for (const Tuple& t : s.Tuples(rel)) {
+        for (size_t k = 0; k <= t.size(); ++k) {
+          const Tuple prefix(t.begin(), t.begin() + static_cast<long>(k));
+          ASSERT_EQ(RangeIds(index.PrefixRange(rel, prefix)),
+                    ScanPrefixIds(s, rel, prefix))
+              << "seed " << seed << " trial " << trial << " rel " << rel;
+        }
+      }
+      for (int probe = 0; probe < 5; ++probe) {
+        Tuple prefix;
+        const int len = rng.UniformInt(0, voc.Arity(rel));
+        for (int i = 0; i < len; ++i) {
+          prefix.push_back(rng.UniformInt(0, std::max(0, n - 1)));
+        }
+        ASSERT_EQ(RangeIds(index.PrefixRange(rel, prefix)),
+                  ScanPrefixIds(s, rel, prefix));
+      }
+      // TuplesMentioning: every tuple containing e, each id once.
+      for (int e = 0; e < s.UniverseSize(); ++e) {
+        std::vector<int> expected;
+        const auto& tuples = s.Tuples(rel);
+        for (size_t id = 0; id < tuples.size(); ++id) {
+          if (std::find(tuples[id].begin(), tuples[id].end(), e) !=
+              tuples[id].end()) {
+            expected.push_back(static_cast<int>(id));
+          }
+        }
+        ASSERT_EQ(index.TuplesMentioning(rel, e), expected);
+      }
+    }
+    // Occurrence counts: one per slot mentioning the element.
+    std::vector<int> expected_occ(static_cast<size_t>(s.UniverseSize()), 0);
+    for (int rel = 0; rel < voc.NumRelations(); ++rel) {
+      for (const Tuple& t : s.Tuples(rel)) {
+        for (int e : t) ++expected_occ[static_cast<size_t>(e)];
+      }
+    }
+    ASSERT_EQ(index.ElementOccurrences(), expected_occ);
+  }
+}
+
+TEST(RelationIndex, AddTupleInvalidatesCache) {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  Structure s(voc, 3);
+  s.AddTuple(0, {0, 1});
+  const RelationIndex& before = s.Index();
+  EXPECT_EQ(before.TuplesAt(0, 0, 2).size(), 0u);
+  ASSERT_TRUE(s.AddTuple(0, {2, 0}));
+  const RelationIndex& after = s.Index();
+  EXPECT_EQ(after.NumTuples(0), 2);
+  ASSERT_EQ(after.TuplesAt(0, 0, 2).size(), 1u);
+  const int id = after.TuplesAt(0, 0, 2)[0];
+  EXPECT_EQ(s.Tuples(0)[static_cast<size_t>(id)], Tuple({2, 0}));
+  // A rejected duplicate must not invalidate (the structure is unchanged).
+  const RelationIndex* cached = &s.Index();
+  ASSERT_FALSE(s.AddTuple(0, {2, 0}));
+  EXPECT_EQ(&s.Index(), cached);
+}
+
+TEST(RelationIndex, AddElementInvalidatesCache) {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  Structure s(voc, 2);
+  s.AddTuple(0, {0, 1});
+  (void)s.Index();
+  const int fresh = s.AddElement();
+  s.AddTuple(0, {fresh, 0});
+  const RelationIndex& index = s.Index();
+  ASSERT_EQ(index.TuplesAt(0, 0, fresh).size(), 1u);
+  EXPECT_EQ(index.ElementOccurrences().size(),
+            static_cast<size_t>(s.UniverseSize()));
+}
+
+TEST(RelationIndex, CopyDropsCacheAndStaysIndependent) {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  Structure s(voc, 3);
+  s.AddTuple(0, {0, 1});
+  (void)s.Index();
+  Structure copy = s;
+  // The copy builds its own index over its own tuple storage.
+  const RelationIndex& copy_index = copy.Index();
+  EXPECT_NE(&copy_index, &s.Index());
+  // Mutating the original leaves the copy's answers untouched.
+  s.AddTuple(0, {1, 2});
+  EXPECT_EQ(copy.Index().NumTuples(0), 1);
+  EXPECT_EQ(s.Index().NumTuples(0), 2);
+}
+
+TEST(RelationIndex, MoveCarriesTheCache) {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  Structure s(voc, 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {1, 2});
+  const RelationIndex* built = &s.Index();
+  Structure moved = std::move(s);
+  // Same index object, still valid over the moved-into storage.
+  EXPECT_EQ(&moved.Index(), built);
+  ASSERT_EQ(moved.Index().TuplesAt(0, 0, 1).size(), 1u);
+  EXPECT_EQ(moved.Tuples(0)[static_cast<size_t>(
+                moved.Index().TuplesAt(0, 0, 1)[0])],
+            Tuple({1, 2}));
+}
+
+TEST(RelationIndex, MutationConstructorsDropTheCache) {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  Structure s(voc, 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {1, 2});
+  (void)s.Index();
+  const Structure removed = s.RemoveTuple(0, 0);
+  EXPECT_EQ(removed.Index().NumTuples(0), 1);
+  const Structure shrunk = s.RemoveElement(0);
+  EXPECT_EQ(shrunk.Index().ElementOccurrences().size(),
+            static_cast<size_t>(shrunk.UniverseSize()));
+}
+
+}  // namespace
+}  // namespace hompres
