@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against the committed baseline.
+
+    bench/check_regression.py <baseline.json> <current.json> [--threshold=3.0]
+
+Both inputs are run_all.sh aggregates: a JSON array of rows, each with a
+"bench" (binary) and "name" (benchmark/args) field plus timings. Rows are
+matched on (bench, name); rows present on only one side are reported but
+never fail the gate (benchmarks come and go across PRs).
+
+A shared row fails when current real_time exceeds baseline real_time by
+more than the threshold factor (default 3x). The threshold is deliberately
+loose: CI runners are noisy and the committed baseline was measured on
+different hardware, so only order-of-magnitude blowups — an accidentally
+quadratic kernel, a lost index — should trip it. Exit status: 0 clean,
+1 regression detected, 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(rows, list):
+        print(f"error: {path}: expected a JSON array of rows", file=sys.stderr)
+        sys.exit(2)
+    table = {}
+    for row in rows:
+        key = (row.get("bench", "?"), row.get("name", "?"))
+        time = row.get("real_time_ns")
+        if isinstance(time, (int, float)) and time > 0:
+            table[key] = float(time)
+    return table
+
+
+def main(argv):
+    threshold = 3.0
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+
+    baseline = load_rows(paths[0])
+    current = load_rows(paths[1])
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no shared (bench, name) rows to compare", file=sys.stderr)
+        return 2
+
+    only_base = len(set(baseline) - set(current))
+    only_cur = len(set(current) - set(baseline))
+    if only_base or only_cur:
+        print(f"note: {only_base} baseline-only and {only_cur} current-only "
+              "rows skipped", file=sys.stderr)
+
+    regressions = []
+    for key in shared:
+        ratio = current[key] / baseline[key]
+        if ratio > threshold:
+            regressions.append((ratio, key))
+
+    print(f"compared {len(shared)} shared rows "
+          f"(threshold {threshold:.1f}x on real_time_ns)")
+    if regressions:
+        regressions.sort(reverse=True)
+        for ratio, (bench, name) in regressions:
+            print(f"REGRESSION {ratio:6.2f}x  {bench}  {name}  "
+                  f"({baseline[(bench, name)]:.0f}ns -> "
+                  f"{current[(bench, name)]:.0f}ns)")
+        print(f"{len(regressions)} row(s) regressed beyond {threshold:.1f}x",
+              file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

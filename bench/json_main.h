@@ -5,7 +5,8 @@
 // arguments), every benchmark row is emitted as one self-contained JSON
 // object per line on stdout:
 //
-//   {"name":"BM_Foo/8","real_time_ns":123.4,"cpu_time_ns":120.1,
+//   {"name":"BM_Foo/8","git_sha":"62c4808","mode":"quick",
+//    "real_time_ns":123.4,"cpu_time_ns":120.1,
 //    "iterations":1000,"counters":{"satisfiable":0}}
 //
 // One line per row keeps the format shell-friendly: bench/run_all.sh
@@ -13,6 +14,12 @@
 // a JSON parser. Aggregate rows (mean/stddev) and errored runs are
 // skipped; times are converted to nanoseconds regardless of each
 // benchmark's display unit.
+//
+// `--json-sha=<sha>` and `--json-mode=<quick|full>` (also stripped before
+// Google Benchmark parses the arguments) stamp every row with the
+// provenance of the run, so a committed BENCH_results.json records which
+// commit and measurement regime produced it. All string fields, including
+// these, go through JsonEscape.
 
 #ifndef HOMPRES_BENCH_JSON_MAIN_H_
 #define HOMPRES_BENCH_JSON_MAIN_H_
@@ -61,6 +68,9 @@ inline std::string JsonEscape(const std::string& s) {
 
 class JsonLinesReporter : public benchmark::BenchmarkReporter {
  public:
+  JsonLinesReporter(std::string git_sha, std::string mode)
+      : git_sha_(std::move(git_sha)), mode_(std::move(mode)) {}
+
   bool ReportContext(const Context& context) override {
     (void)context;
     return true;
@@ -71,6 +81,8 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       std::ostream& out = GetOutputStream();
       out << "{\"name\":\"" << JsonEscape(run.benchmark_name()) << "\""
+          << ",\"git_sha\":\"" << JsonEscape(git_sha_) << "\""
+          << ",\"mode\":\"" << JsonEscape(mode_) << "\""
           << ",\"real_time_ns\":"
           << ToNanoseconds(run.GetAdjustedRealTime(), run.time_unit)
           << ",\"cpu_time_ns\":"
@@ -85,16 +97,27 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter {
       out << "}}" << std::endl;
     }
   }
+
+ private:
+  std::string git_sha_;
+  std::string mode_;
 };
 
 // Runs the registered benchmarks; `--json` anywhere in argv selects the
-// line-per-row reporter above.
+// line-per-row reporter above, `--json-sha=`/`--json-mode=` set the
+// provenance fields stamped on every row.
 inline int BenchmarkMain(int argc, char** argv) {
   bool json = false;
+  std::string git_sha = "unknown";
+  std::string mode = "default";
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strncmp(argv[i], "--json-sha=", 11) == 0) {
+      git_sha = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--json-mode=", 12) == 0) {
+      mode = argv[i] + 12;
     } else {
       args.push_back(argv[i]);
     }
@@ -106,7 +129,7 @@ inline int BenchmarkMain(int argc, char** argv) {
     return 1;
   }
   if (json) {
-    JsonLinesReporter reporter;
+    JsonLinesReporter reporter(git_sha, mode);
     reporter.SetOutputStream(&std::cout);
     benchmark::RunSpecifiedBenchmarks(&reporter);
   } else {

@@ -38,7 +38,16 @@ if [[ ! -d "$bench_dir" ]]; then
   exit 1
 fi
 
-extra_args=()
+# Every row records which commit and measurement regime produced it.
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [[ $quick -eq 1 ]]; then
+  mode=quick
+else
+  mode=full
+fi
+
+extra_args=("--json-sha=$git_sha" "--json-mode=$mode")
 if [[ $quick -eq 1 ]]; then
   extra_args+=("--benchmark_min_time=0.01")
 else
@@ -53,8 +62,14 @@ for bench in "$bench_dir"/bench_*; do
   name=$(basename "$bench")
   echo "running $name ..." >&2
   # Tag each row with its binary so names stay unique in the aggregate.
-  "$bench" --json "${extra_args[@]}" \
-    | sed "s/^{/{\"bench\":\"$name\",/" >>"$tmp"
+  # A crashing or failing binary must fail the whole run (with pipefail
+  # the pipeline status reflects the binary, not the sed): a truncated
+  # aggregate that looks complete is worse than no aggregate.
+  if ! "$bench" --json "${extra_args[@]}" \
+    | sed "s/^{/{\"bench\":\"$name\",/" >>"$tmp"; then
+    echo "error: $name exited nonzero; aborting without writing $output" >&2
+    exit 1
+  fi
 done
 
 {

@@ -23,7 +23,12 @@ ConjunctiveQuery ConjunctiveQuery::BooleanQueryOf(Structure canonical) {
 }
 
 bool ConjunctiveQuery::SatisfiedBy(const Structure& b) const {
-  return HasHomomorphism(canonical_, b);
+  // Satisfaction is a pure has-hom question; the pipeline's minimal-model
+  // and verification scans ask it about the same (canonical, b) pairs
+  // over and over, so consult the global result cache.
+  HomOptions options;
+  options.use_cache = true;
+  return HasHomomorphism(canonical_, b, options);
 }
 
 std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& b) const {

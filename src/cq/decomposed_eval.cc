@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "base/bitset64.h"
 #include "base/check.h"
 #include "base/subsets.h"
 #include "structure/gaifman.h"
@@ -71,16 +72,17 @@ class DecompositionDp {
     return result;
   }
 
-  // The sorted values v such that the image of `r.t` under the extended
-  // assignment (fresh -> v, other bag elements -> their value in
+  // Fills `out` with the values v such that the image of `r.t` under the
+  // extended assignment (fresh -> v, other bag elements -> their value in
   // `assignment`, which is aligned with the bag minus `fresh`) is a tuple
   // of B. The enumeration runs over the shortest inverted list of a bound
   // position (or the whole relation if every position is fresh); a value
-  // qualifies exactly when HasTuple would accept the image, so the DP
-  // tables match the scan construction bit for bit.
-  std::vector<int> CandidateValues(const RelevantTuple& r,
-                                   const std::vector<int>& assignment,
-                                   size_t fresh_pos) const {
+  // qualifies exactly when HasTuple would accept the image, and the
+  // packed set iterates ascending, so the DP tables match the old
+  // sorted-vector construction bit for bit.
+  void CandidateValues(const RelevantTuple& r,
+                       const std::vector<int>& assignment, size_t fresh_pos,
+                       Bitset64& out) const {
     const size_t arity = r.t.size();
     // Bound value per position (-1 at fresh positions).
     std::vector<int> bound(arity, -1);
@@ -97,7 +99,7 @@ class DecompositionDp {
         best_size = ids.size();
       }
     }
-    std::vector<int> values;
+    out.ClearAll();
     const auto& tuples = b_.Tuples(r.rel);
     const auto consider = [&](const Tuple& s) {
       int v = -1;
@@ -112,7 +114,7 @@ class DecompositionDp {
           return;
         }
       }
-      values.push_back(v);
+      out.Set(v);
     };
     if (best_pos >= 0) {
       for (int id : b_index_.TuplesAt(r.rel, best_pos, bound[static_cast<size_t>(
@@ -122,9 +124,6 @@ class DecompositionDp {
     } else {
       for (const Tuple& s : tuples) consider(s);
     }
-    std::sort(values.begin(), values.end());
-    values.erase(std::unique(values.begin(), values.end()), values.end());
-    return values;
   }
 
   AssignmentSet Solve(int node) const {
@@ -150,31 +149,26 @@ class DecompositionDp {
         const auto tuples = RelevantTuples(bag, fresh);
         const AssignmentSet below = Solve(children[0]);
         AssignmentSet result;
-        std::vector<int> candidates;
+        // Packed candidate sets, hoisted out of the assignment loop; the
+        // per-tuple intersection is a word-wise AND instead of a
+        // set_intersection over sorted vectors.
+        Bitset64 candidates(b_.UniverseSize());
+        Bitset64 per_tuple(b_.UniverseSize());
         for (const auto& assignment : below) {
           // Values the fresh element may take: all of B's universe when no
           // canonical tuple constrains it, otherwise the intersection of
           // the per-tuple candidate sets.
           if (tuples.empty()) {
-            candidates.resize(static_cast<size_t>(b_.UniverseSize()));
-            for (int v = 0; v < b_.UniverseSize(); ++v) {
-              candidates[static_cast<size_t>(v)] = v;
-            }
+            candidates.SetAll();
           } else {
-            candidates = CandidateValues(tuples[0], assignment, fresh_pos);
-            std::vector<int> scratch;
-            for (size_t i = 1; i < tuples.size() && !candidates.empty();
-                 ++i) {
-              const auto next =
-                  CandidateValues(tuples[i], assignment, fresh_pos);
-              scratch.clear();
-              std::set_intersection(candidates.begin(), candidates.end(),
-                                    next.begin(), next.end(),
-                                    std::back_inserter(scratch));
-              candidates.swap(scratch);
+            CandidateValues(tuples[0], assignment, fresh_pos, candidates);
+            for (size_t i = 1; i < tuples.size() && candidates.Any(); ++i) {
+              CandidateValues(tuples[i], assignment, fresh_pos, per_tuple);
+              candidates.IntersectWith(per_tuple);
             }
           }
-          for (int value : candidates) {
+          for (int value = candidates.FindFirst(); value >= 0;
+               value = candidates.FindNext(value)) {
             std::vector<int> extended = assignment;
             extended.insert(extended.begin() + static_cast<long>(fresh_pos),
                             value);

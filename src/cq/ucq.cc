@@ -46,7 +46,9 @@ bool UnionOfCq::SatisfiedBy(const Structure& b, int num_threads) const {
     pool.Submit([&found, &d, &b] {
       if (found.load(std::memory_order_relaxed)) return;
       Budget budget = Budget().WithCancelFlag(&found);
-      auto has = HasHomomorphismBudgeted(d.Canonical(), b, budget);
+      HomOptions options;
+      options.use_cache = true;
+      auto has = HasHomomorphismBudgeted(d.Canonical(), b, budget, options);
       if (has.IsDone() && has.Value()) {
         found.store(true, std::memory_order_relaxed);
       }

@@ -22,11 +22,21 @@ enum class RetractResult { kFound, kNone, kStopped };
 // returns kFound. kNone is a certain answer; kStopped means the budget
 // ran out mid-search and nothing is known — `*stop` then says why (the
 // parent budget itself may carry no reason after a parallel region).
+// Retract probes opt into the global result cache: the core loop's final
+// IsCore pass repeats every probe of its last reduction round verbatim,
+// and unchanged candidates recur across rounds.
+HomOptions RetractProbeOptions() {
+  HomOptions options;
+  options.use_cache = true;
+  return options;
+}
+
 RetractResult FindOneStepRetractSerial(const Structure& a, Budget& budget,
                                        Structure* out, StopReason* stop) {
   for (int e = 0; e < a.UniverseSize(); ++e) {
     Structure candidate = a.RemoveElement(e);
-    auto has = HasHomomorphismBudgeted(a, candidate, budget);
+    auto has = HasHomomorphismBudgeted(a, candidate, budget,
+                                       RetractProbeOptions());
     if (!has.IsDone()) {
       *stop = budget.Reason();
       return RetractResult::kStopped;
@@ -40,7 +50,8 @@ RetractResult FindOneStepRetractSerial(const Structure& a, Budget& budget,
     const int count = static_cast<int>(a.Tuples(rel).size());
     for (int i = 0; i < count; ++i) {
       Structure candidate = a.RemoveTuple(rel, i);
-      auto has = HasHomomorphismBudgeted(a, candidate, budget);
+      auto has = HasHomomorphismBudgeted(a, candidate, budget,
+                                         RetractProbeOptions());
       if (!has.IsDone()) {
         *stop = budget.Reason();
         return RetractResult::kStopped;
@@ -91,7 +102,8 @@ RetractResult FindOneStepRetractParallel(const Structure& a, Budget& budget,
           i < n ? a.RemoveElement(i)
                 : a.RemoveTuple(tuple_jobs[static_cast<size_t>(i - n)].first,
                                 tuple_jobs[static_cast<size_t>(i - n)].second);
-      auto has = HasHomomorphismBudgeted(a, candidate, worker);
+      auto has = HasHomomorphismBudgeted(a, candidate, worker,
+                                         RetractProbeOptions());
       {
         std::lock_guard<std::mutex> lock(state_mu);
         TaskState& state = states[static_cast<size_t>(i)];

@@ -1,0 +1,87 @@
+// A bounded, mutex-sharded LRU cache of homomorphism results.
+//
+// The preservation pipeline, core computation, and UCQ evaluation issue
+// thousands of near-identical homomorphism probes: minimal-model checks
+// re-evaluate the same quotient images, the core loop's final IsCore pass
+// repeats every retract probe of the last iteration, and the exhaustive
+// verification scan asks each UCQ disjunct about structures it has
+// already seen. This cache memoizes the *answers* (has-hom / count) —
+// never witnesses — keyed by the 64-bit value fingerprints of the two
+// structures (Structure::Fingerprint) plus a digest of the
+// answer-relevant options (surjective, forced pairs, count limit).
+//
+// Soundness: a fingerprint is a pure function of a structure's value and
+// is invalidated by the same mutations that invalidate the relation
+// index, so a stale entry can only be read through a 64-bit collision
+// (probability ~2^-64 per distinct pair). Engine-selection options
+// (use_arc_consistency, use_index, num_threads, factorize) are *excluded*
+// from the key: the engines are bit-identical on has/count by contract,
+// so they share entries. Only completed (Done) results are ever stored —
+// an exhausted search caches nothing.
+//
+// Caching is opt-in per call site (HomOptions::use_cache, default off):
+// the differential test harnesses compare engines against each other and
+// must not let one engine's memoized answer mask another's bug.
+//
+// Concurrency: the table is split into 16 shards, each a small
+// independently-locked LRU list, so parallel pipeline workers do not
+// serialize on one mutex. Capacity is bounded (kShardCapacity entries per
+// shard); eviction is least-recently-used per shard.
+
+#ifndef HOMPRES_HOM_HOM_CACHE_H_
+#define HOMPRES_HOM_HOM_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace hompres {
+
+struct HomCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+class HomCache {
+ public:
+  // What question the cached value answers.
+  enum class Kind : uint8_t {
+    kHas = 0,    // value: 0 / 1
+    kCount = 1,  // value: CountHomomorphisms result under the keyed limit
+  };
+
+  // The process-wide cache used by the solver entry points.
+  static HomCache& Global();
+
+  // Looks up (source_fp, target_fp, options_digest, kind) and refreshes
+  // its LRU position. nullopt = miss.
+  std::optional<uint64_t> Lookup(uint64_t source_fp, uint64_t target_fp,
+                                 uint64_t options_digest, Kind kind);
+
+  // Inserts or refreshes an entry, evicting the shard's LRU tail when
+  // full.
+  void Insert(uint64_t source_fp, uint64_t target_fp,
+              uint64_t options_digest, Kind kind, uint64_t value);
+
+  // Drops every entry (tests use this to isolate trials).
+  void Clear();
+
+  HomCacheStats Stats() const;
+
+  HomCache();
+  ~HomCache();
+  HomCache(const HomCache&) = delete;
+  HomCache& operator=(const HomCache&) = delete;
+
+ private:
+  struct Shard;
+  static constexpr int kNumShards = 16;
+  static constexpr int kShardCapacity = 1024;
+
+  Shard* shards_;  // kNumShards of them
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_HOM_HOM_CACHE_H_

@@ -1,10 +1,19 @@
 #include "hom/homomorphism.h"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
 #include <span>
+#include <utility>
 
+#include "base/bitset64.h"
 #include "base/check.h"
+#include "base/hash.h"
+#include "base/saturating.h"
+#include "graph/algorithms.h"
+#include "hom/hom_cache.h"
 #include "hom/parallel.h"
+#include "structure/gaifman.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -18,24 +27,58 @@ struct TupleConstraint {
   Tuple pattern;
 };
 
-// Domains as boolean membership plus a size counter.
-struct Domain {
-  std::vector<bool> allowed;
-  int size = 0;
+// Reusable per-thread scratch of the packed solver. Domains live in flat
+// row pools: at search depth l, level_words[l] holds n rows of `stride`
+// uint64_t words (one packed candidate set per variable) and
+// level_sizes[l] the matching popcounts, so "copy all domains for the
+// next search node" is one contiguous memcpy instead of n vector<bool>
+// copies. The pool grows to the largest instance a thread has seen and
+// is reused across searches (leased, so nested searches on the same
+// thread — e.g. one started from an enumeration callback — get their
+// own).
+struct SolverWorkspace {
+  std::vector<std::vector<uint64_t>> level_words;
+  std::vector<std::vector<int>> level_sizes;
+  std::vector<uint64_t> supported;  // Propagate scratch: arity x stride rows
+  std::vector<uint64_t> covered;    // surjectivity scratch
+  std::vector<uint64_t> reachable;  // surjectivity scratch
+  std::vector<uint64_t> full_row;   // all m bits set
+  std::vector<int> assignment;
+};
 
-  void Remove(int v) {
-    if (allowed[static_cast<size_t>(v)]) {
-      allowed[static_cast<size_t>(v)] = false;
-      --size;
+std::vector<std::unique_ptr<SolverWorkspace>>& WorkspacePool() {
+  thread_local std::vector<std::unique_ptr<SolverWorkspace>> pool;
+  return pool;
+}
+
+// Checks a workspace out of the thread's pool for the lifetime of one
+// HomSearch and returns it on destruction.
+class WorkspaceLease {
+ public:
+  WorkspaceLease() {
+    auto& pool = WorkspacePool();
+    if (pool.empty()) {
+      ws_ = std::make_unique<SolverWorkspace>();
+    } else {
+      ws_ = std::move(pool.back());
+      pool.pop_back();
     }
   }
+  ~WorkspaceLease() { WorkspacePool().push_back(std::move(ws_)); }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  SolverWorkspace& Get() { return *ws_; }
+
+ private:
+  std::unique_ptr<SolverWorkspace> ws_;
 };
 
 class HomSearch {
  public:
   HomSearch(const Structure& a, const Structure& b, const HomOptions& options,
             Budget& budget)
-      : a_(a), b_(b), options_(options), budget_(budget) {
+      : a_(a), b_(b), options_(options), budget_(budget), ws_(lease_.Get()) {
     size_t max_arity = 0;
     for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
       for (const Tuple& t : a.Tuples(rel)) {
@@ -47,11 +90,10 @@ class HomSearch {
         !constraints_.empty()) {
       index_ = &b.Index();
     }
-    // Scratch for Propagate, hoisted out of the fixpoint loop (one
-    // allocation per search instead of one per constraint visit).
-    supported_.assign(max_arity,
-                      std::vector<bool>(static_cast<size_t>(b.UniverseSize()),
-                                        false));
+    n_ = a.UniverseSize();
+    m_ = b.UniverseSize();
+    stride_ = bitset64::WordsFor(m_);
+    max_arity_ = static_cast<int>(max_arity);
   }
 
   // Runs the search; invokes `emit` for every homomorphism found. `emit`
@@ -59,45 +101,75 @@ class HomSearch {
   // distinguishes "space exhausted" from "budget exhausted" via
   // budget_.Stopped().
   void Run(const std::function<bool(const std::vector<int>&)>& emit) {
-    const int n = a_.UniverseSize();
-    const int m = b_.UniverseSize();
     // A pre-assignment referencing an element outside either universe can
     // be satisfied by no map: report "no homomorphism" instead of
-    // aborting (and never index past the domain vectors).
+    // aborting (and never index past the domain rows).
     for (const auto& [var, val] : options_.forced) {
-      if (var < 0 || var >= n || val < 0 || val >= m) return;
+      if (var < 0 || var >= n_ || val < 0 || val >= m_) return;
     }
-    if (n == 0) {
+    if (n_ == 0) {
       // The empty map is the unique homomorphism; surjectivity requires an
       // empty target.
-      if (!options_.surjective || m == 0) emit(std::vector<int>{});
+      if (!options_.surjective || m_ == 0) emit(std::vector<int>{});
       return;
     }
-    if (m == 0) return;  // nonempty universe cannot map anywhere
-    std::vector<Domain> domains(static_cast<size_t>(n));
-    for (auto& d : domains) {
-      d.allowed.assign(static_cast<size_t>(m), true);
-      d.size = m;
+    if (m_ == 0) return;  // nonempty universe cannot map anywhere
+
+    // Size the workspace for this instance. The outer level vectors are
+    // sized once up front: Solve holds references into them across
+    // recursive calls, so they must never reallocate mid-search.
+    if (static_cast<int>(ws_.level_words.size()) < n_ + 1) {
+      ws_.level_words.resize(static_cast<size_t>(n_ + 1));
+      ws_.level_sizes.resize(static_cast<size_t>(n_ + 1));
+    }
+    ws_.supported.resize(static_cast<size_t>(max_arity_) *
+                         static_cast<size_t>(stride_));
+    ws_.covered.resize(static_cast<size_t>(stride_));
+    ws_.reachable.resize(static_cast<size_t>(stride_));
+    ws_.full_row.resize(static_cast<size_t>(stride_));
+    bitset64::SetFirstN(ws_.full_row.data(), stride_, m_);
+
+    std::vector<uint64_t>& words = LevelWords(0);
+    std::vector<int>& sizes = LevelSizes(0);
+    for (int v = 0; v < n_; ++v) {
+      std::memcpy(Row(words, v), ws_.full_row.data(), RowBytes());
+      sizes[static_cast<size_t>(v)] = m_;
     }
     for (const auto& [var, val] : options_.forced) {
-      for (int v = 0; v < m; ++v) {
-        if (v != val) domains[static_cast<size_t>(var)].Remove(v);
-      }
-      if (domains[static_cast<size_t>(var)].size == 0) return;
+      uint64_t* row = Row(words, var);
+      const bool allowed = bitset64::Test(row, val);
+      bitset64::ClearAll(row, stride_);
+      if (!allowed) return;  // conflicting pre-assignments empty the domain
+      bitset64::Set(row, val);
+      sizes[static_cast<size_t>(var)] = 1;
     }
-    if (options_.use_arc_consistency && !Propagate(domains)) return;
-    assignment_.assign(static_cast<size_t>(n), -1);
+    if (options_.use_arc_consistency && !Propagate(words, sizes)) return;
+    ws_.assignment.assign(static_cast<size_t>(n_), -1);
     stopped_ = false;
-    Solve(domains, emit);
+    Solve(0, words, sizes, emit);
   }
 
  private:
-  // The single value of a singleton domain.
-  static int OnlyValue(const Domain& d) {
-    for (size_t v = 0; v < d.allowed.size(); ++v) {
-      if (d.allowed[v]) return static_cast<int>(v);
-    }
-    return -1;
+  size_t RowBytes() const {
+    return static_cast<size_t>(stride_) * sizeof(uint64_t);
+  }
+
+  uint64_t* Row(std::vector<uint64_t>& words, int var) const {
+    return words.data() + static_cast<size_t>(var) * static_cast<size_t>(stride_);
+  }
+  const uint64_t* Row(const std::vector<uint64_t>& words, int var) const {
+    return words.data() + static_cast<size_t>(var) * static_cast<size_t>(stride_);
+  }
+
+  std::vector<uint64_t>& LevelWords(int level) {
+    std::vector<uint64_t>& w = ws_.level_words[static_cast<size_t>(level)];
+    w.resize(static_cast<size_t>(n_) * static_cast<size_t>(stride_));
+    return w;
+  }
+  std::vector<int>& LevelSizes(int level) {
+    std::vector<int>& s = ws_.level_sizes[static_cast<size_t>(level)];
+    s.resize(static_cast<size_t>(n_));
+    return s;
   }
 
   // Generalized arc consistency: repeatedly drop unsupported values until
@@ -109,27 +181,26 @@ class HomSearch {
   // are assigned. Every skipped tuple disagrees with a singleton domain,
   // so Compatible would have rejected it: the support sets, and hence the
   // propagation fixpoint, are bit-identical to the full scan.
-  bool Propagate(std::vector<Domain>& domains) {
+  bool Propagate(std::vector<uint64_t>& words, std::vector<int>& sizes) {
+    uint64_t* supported = ws_.supported.data();
     bool changed = true;
     while (changed) {
       changed = false;
       for (const TupleConstraint& c : constraints_) {
         // For each position, collect the values that appear in some
         // compatible B-tuple.
-        const size_t arity = c.pattern.size();
-        for (size_t i = 0; i < arity; ++i) {
-          supported_[i].assign(static_cast<size_t>(b_.UniverseSize()), false);
-        }
+        const int arity = static_cast<int>(c.pattern.size());
+        bitset64::ClearAll(supported, arity * stride_);
         const std::vector<Tuple>& tuples = b_.Tuples(c.rel);
         std::span<const int> narrowed;
         bool use_narrowed = false;
         if (index_ != nullptr) {
           size_t best = tuples.size();
-          for (size_t i = 0; i < arity; ++i) {
-            const Domain& d = domains[static_cast<size_t>(c.pattern[i])];
-            if (d.size != 1) continue;
-            const auto ids =
-                index_->TuplesAt(c.rel, static_cast<int>(i), OnlyValue(d));
+          for (int i = 0; i < arity; ++i) {
+            const int var = c.pattern[static_cast<size_t>(i)];
+            if (sizes[static_cast<size_t>(var)] != 1) continue;
+            const int only = bitset64::FindFirst(Row(words, var), stride_);
+            const auto ids = index_->TuplesAt(c.rel, i, only);
             if (ids.size() <= best) {
               best = ids.size();
               narrowed = ids;
@@ -138,9 +209,10 @@ class HomSearch {
           }
         }
         const auto mark = [&](const Tuple& s) {
-          if (!Compatible(c.pattern, s, domains)) return;
-          for (size_t i = 0; i < arity; ++i) {
-            supported_[i][static_cast<size_t>(s[i])] = true;
+          if (!Compatible(c.pattern, s, words)) return;
+          for (int i = 0; i < arity; ++i) {
+            bitset64::Set(supported + i * stride_,
+                          s[static_cast<size_t>(i)]);
           }
         };
         if (use_narrowed) {
@@ -148,16 +220,16 @@ class HomSearch {
         } else {
           for (const Tuple& s : tuples) mark(s);
         }
-        for (size_t i = 0; i < arity; ++i) {
-          Domain& d = domains[static_cast<size_t>(c.pattern[i])];
-          for (int v = 0; v < b_.UniverseSize(); ++v) {
-            if (d.allowed[static_cast<size_t>(v)] &&
-                !supported_[i][static_cast<size_t>(v)]) {
-              d.Remove(v);
-              changed = true;
-            }
+        for (int i = 0; i < arity; ++i) {
+          const int var = c.pattern[static_cast<size_t>(i)];
+          uint64_t* row = Row(words, var);
+          if (bitset64::IntersectInPlace(row, supported + i * stride_,
+                                         stride_)) {
+            changed = true;
+            sizes[static_cast<size_t>(var)] =
+                bitset64::Popcount(row, stride_);
+            if (sizes[static_cast<size_t>(var)] == 0) return false;
           }
-          if (d.size == 0) return false;
         }
       }
     }
@@ -167,10 +239,10 @@ class HomSearch {
   // Is B-tuple s compatible with the pattern under current domains
   // (including repeated-variable consistency)?
   bool Compatible(const Tuple& pattern, const Tuple& s,
-                  const std::vector<Domain>& domains) const {
+                  const std::vector<uint64_t>& words) const {
     for (size_t i = 0; i < pattern.size(); ++i) {
-      if (!domains[static_cast<size_t>(pattern[i])]
-               .allowed[static_cast<size_t>(s[i])]) {
+      if (!bitset64::Test(Row(words, pattern[i]),
+                          s[i])) {
         return false;
       }
       for (size_t j = i + 1; j < pattern.size(); ++j) {
@@ -187,7 +259,7 @@ class HomSearch {
       image.reserve(c.pattern.size());
       bool full = true;
       for (int var : c.pattern) {
-        const int val = assignment_[static_cast<size_t>(var)];
+        const int val = ws_.assignment[static_cast<size_t>(var)];
         if (val == -1) {
           full = false;
           break;
@@ -200,37 +272,34 @@ class HomSearch {
   }
 
   // Surjectivity pruning: every target value must be assigned or still
-  // available in some unassigned domain.
-  bool SurjectivityPossible(const std::vector<Domain>& domains) const {
-    const int m = b_.UniverseSize();
-    std::vector<bool> covered(static_cast<size_t>(m), false);
+  // available in some unassigned domain, and the uncovered values must
+  // fit in the unassigned variables.
+  bool SurjectivityPossible(const std::vector<uint64_t>& words) {
+    uint64_t* covered = ws_.covered.data();
+    uint64_t* reach = ws_.reachable.data();
+    bitset64::ClearAll(covered, stride_);
+    bitset64::ClearAll(reach, stride_);
     int unassigned = 0;
-    for (int var = 0; var < a_.UniverseSize(); ++var) {
-      const int val = assignment_[static_cast<size_t>(var)];
+    for (int var = 0; var < n_; ++var) {
+      const int val = ws_.assignment[static_cast<size_t>(var)];
       if (val != -1) {
-        covered[static_cast<size_t>(val)] = true;
+        bitset64::Set(covered, val);
       } else {
         ++unassigned;
+        bitset64::UnionInPlace(reach, Row(words, var), stride_);
       }
     }
     int missing = 0;
-    for (int v = 0; v < m; ++v) {
-      if (covered[static_cast<size_t>(v)]) continue;
-      ++missing;
-      bool reachable = false;
-      for (int var = 0; var < a_.UniverseSize(); ++var) {
-        if (assignment_[static_cast<size_t>(var)] == -1 &&
-            domains[static_cast<size_t>(var)].allowed[static_cast<size_t>(v)]) {
-          reachable = true;
-          break;
-        }
-      }
-      if (!reachable) return false;
+    for (int w = 0; w < stride_; ++w) {
+      const uint64_t uncovered = ws_.full_row[static_cast<size_t>(w)] &
+                                 ~covered[w];
+      if ((uncovered & ~reach[w]) != 0) return false;  // unreachable value
+      missing += std::popcount(uncovered);
     }
     return missing <= unassigned;
   }
 
-  void Solve(const std::vector<Domain>& domains,
+  void Solve(int level, std::vector<uint64_t>& words, std::vector<int>& sizes,
              const std::function<bool(const std::vector<int>&)>& emit) {
     if (stopped_) return;
     if (!budget_.Checkpoint()) {
@@ -241,9 +310,9 @@ class HomSearch {
     // Pick the unassigned variable with the smallest domain.
     int var = -1;
     int best_size = -1;
-    for (int v = 0; v < a_.UniverseSize(); ++v) {
-      if (assignment_[static_cast<size_t>(v)] != -1) continue;
-      const int size = domains[static_cast<size_t>(v)].size;
+    for (int v = 0; v < n_; ++v) {
+      if (ws_.assignment[static_cast<size_t>(v)] != -1) continue;
+      const int size = sizes[static_cast<size_t>(v)];
       if (var == -1 || size < best_size) {
         var = v;
         best_size = size;
@@ -252,37 +321,40 @@ class HomSearch {
     if (var == -1) {
       // Complete assignment.
       if (options_.surjective) {
-        std::vector<bool> covered(static_cast<size_t>(b_.UniverseSize()),
-                                  false);
-        for (int val : assignment_) covered[static_cast<size_t>(val)] = true;
-        for (bool c : covered) {
-          if (!c) return;
-        }
+        bitset64::ClearAll(ws_.covered.data(), stride_);
+        for (int val : ws_.assignment) bitset64::Set(ws_.covered.data(), val);
+        if (bitset64::Popcount(ws_.covered.data(), stride_) != m_) return;
       }
-      if (!emit(assignment_)) stopped_ = true;
+      if (!emit(ws_.assignment)) stopped_ = true;
       return;
     }
 
-    for (int val = 0; val < b_.UniverseSize(); ++val) {
-      if (!domains[static_cast<size_t>(var)].allowed[static_cast<size_t>(val)]) {
-        continue;
-      }
-      assignment_[static_cast<size_t>(var)] = val;
-      std::vector<Domain> next = domains;
-      for (int other = 0; other < b_.UniverseSize(); ++other) {
-        if (other != val) next[static_cast<size_t>(var)].Remove(other);
-      }
+    // The next level's buffers are fixed for the whole value loop: each
+    // candidate overwrites them with a flat copy of this level's domains.
+    const uint64_t* row = Row(words, var);
+    std::vector<uint64_t>& next_words = LevelWords(level + 1);
+    std::vector<int>& next_sizes = LevelSizes(level + 1);
+    for (int val = bitset64::FindFirst(row, stride_); val >= 0;
+         val = bitset64::FindNext(row, stride_, val)) {
+      ws_.assignment[static_cast<size_t>(var)] = val;
+      std::memcpy(next_words.data(), words.data(),
+                  words.size() * sizeof(uint64_t));
+      std::memcpy(next_sizes.data(), sizes.data(), sizes.size() * sizeof(int));
+      uint64_t* next_row = Row(next_words, var);
+      bitset64::ClearAll(next_row, stride_);
+      bitset64::Set(next_row, val);
+      next_sizes[static_cast<size_t>(var)] = 1;
       bool feasible = true;
       if (options_.use_arc_consistency) {
-        feasible = Propagate(next);
+        feasible = Propagate(next_words, next_sizes);
       } else {
         feasible = AssignedConsistent();
       }
       if (feasible && options_.surjective) {
-        feasible = SurjectivityPossible(next);
+        feasible = SurjectivityPossible(next_words);
       }
-      if (feasible) Solve(next, emit);
-      assignment_[static_cast<size_t>(var)] = -1;
+      if (feasible) Solve(level + 1, next_words, next_sizes, emit);
+      ws_.assignment[static_cast<size_t>(var)] = -1;
       if (stopped_) return;
     }
   }
@@ -293,10 +365,117 @@ class HomSearch {
   Budget& budget_;
   const RelationIndex* index_ = nullptr;  // null = pure-scan propagation
   std::vector<TupleConstraint> constraints_;
-  std::vector<std::vector<bool>> supported_;  // Propagate scratch
-  std::vector<int> assignment_;
+  int n_ = 0;
+  int m_ = 0;
+  int stride_ = 0;  // words per packed domain row
+  int max_arity_ = 0;
   bool stopped_ = false;
+  WorkspaceLease lease_;  // declared before ws_: initialization order
+  SolverWorkspace& ws_;
 };
+
+// --- Component factorization -------------------------------------------
+
+// Factorization rewrites hom(A, B) through the connected components of
+// A's Gaifman graph: a homomorphism is exactly an independent choice of
+// homomorphism per component, so existence is a conjunction and the
+// count is a product. It is skipped when the options couple the
+// components globally: surjectivity constrains the union of the images,
+// and forced pairs name elements of the unsplit universe.
+bool FactorizationApplies(const HomOptions& options) {
+  return options.factorize && !options.surjective && options.forced.empty();
+}
+
+// Element lists of the Gaifman components of `a`, or empty when there
+// are fewer than two (factorization is then the identity).
+std::vector<std::vector<int>> SourceComponents(const Structure& a) {
+  if (a.UniverseSize() < 2) return {};
+  int num_components = 0;
+  const std::vector<int> comp =
+      ConnectedComponents(GaifmanGraph(a), &num_components);
+  if (num_components < 2) return {};
+  std::vector<std::vector<int>> elements(static_cast<size_t>(num_components));
+  for (int v = 0; v < a.UniverseSize(); ++v) {
+    elements[static_cast<size_t>(comp[static_cast<size_t>(v)])].push_back(v);
+  }
+  return elements;
+}
+
+Outcome<std::optional<std::vector<int>>> FindFactorized(
+    const Structure& a, const Structure& b, Budget& budget,
+    const HomOptions& options,
+    const std::vector<std::vector<int>>& components) {
+  using Result = Outcome<std::optional<std::vector<int>>>;
+  HomOptions sub_options = options;
+  sub_options.factorize = false;  // components are connected: don't re-split
+  std::vector<int> h(static_cast<size_t>(a.UniverseSize()), -1);
+  for (const std::vector<int>& elements : components) {
+    const Structure sub = a.InducedSubstructure(elements);
+    auto found = FindHomomorphismBudgeted(sub, b, budget, sub_options);
+    if (!found.IsDone()) return Result::StoppedShort(found.Report());
+    if (!found.Value().has_value()) {
+      // One component with no homomorphism is a certain global "no".
+      return Result::Done(std::nullopt, budget.Report());
+    }
+    const std::vector<int>& sub_h = *found.Value();
+    for (size_t i = 0; i < elements.size(); ++i) {
+      h[static_cast<size_t>(elements[i])] = sub_h[i];
+    }
+  }
+  HOMPRES_CHECK(VerifyHomomorphism(a, b, h));
+  return Result::Done(std::move(h), budget.Report());
+}
+
+Outcome<uint64_t> CountFactorized(
+    const Structure& a, const Structure& b, Budget& budget, uint64_t limit,
+    const HomOptions& options,
+    const std::vector<std::vector<int>>& components) {
+  HomOptions sub_options = options;
+  sub_options.factorize = false;
+  uint64_t product = 1;
+  bool saturated = false;  // the running product has reached `limit`
+  for (const std::vector<int>& elements : components) {
+    const Structure sub = a.InducedSubstructure(elements);
+    // Once the product has reached the limit, later components only
+    // matter through "zero or not": count them with limit 1. Clamping
+    // the per-component counts at `limit` keeps each sub-enumeration
+    // bounded without changing min(total, limit): if some component
+    // count was clamped, the true total is already >= limit.
+    const uint64_t sub_limit = saturated ? 1 : limit;
+    auto counted =
+        CountHomomorphismsBudgeted(sub, b, budget, sub_limit, sub_options);
+    if (!counted.IsDone()) {
+      return Outcome<uint64_t>::StoppedShort(counted.Report());
+    }
+    if (counted.Value() == 0) {
+      return Outcome<uint64_t>::Done(0, budget.Report());
+    }
+    if (!saturated) {
+      product = SatMul(product, counted.Value());
+      if (limit != 0 && product >= limit) {
+        product = limit;
+        saturated = true;
+      }
+    }
+  }
+  return Outcome<uint64_t>::Done(product, budget.Report());
+}
+
+// --- Result cache -------------------------------------------------------
+
+// Digest of the options fields that change the has/count answer. Engine
+// selection (use_arc_consistency, use_index, num_threads, factorize,
+// deterministic_witness) is excluded: every engine returns the same
+// has/count by contract, so they share cache entries.
+uint64_t CacheOptionsDigest(const HomOptions& options, uint64_t limit) {
+  uint64_t h = Mix64(options.surjective ? 0x53555246ULL : 0x544F54ULL);
+  for (const auto& [var, val] : options.forced) {
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(var)));
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(val)));
+  }
+  h = Mix64(h ^ limit);
+  return h;
+}
 
 }  // namespace
 
@@ -304,6 +483,12 @@ Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
     const HomOptions& options) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  if (FactorizationApplies(options)) {
+    const std::vector<std::vector<int>> components = SourceComponents(a);
+    if (!components.empty()) {
+      return FindFactorized(a, b, budget, options, components);
+    }
+  }
   if (options.num_threads > 0) {
     return ParallelFindHomomorphismBudgeted(a, b, budget, options);
   }
@@ -330,13 +515,36 @@ std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
   return FindHomomorphismBudgeted(a, b, unlimited, options).Value();
 }
 
-bool HasHomomorphism(const Structure& a, const Structure& b) {
-  return FindHomomorphism(a, b).has_value();
+bool HasHomomorphism(const Structure& a, const Structure& b,
+                     const HomOptions& options) {
+  Budget unlimited = Budget::Unlimited();
+  return HasHomomorphismBudgeted(a, b, unlimited, options).Value();
 }
 
 Outcome<bool> HasHomomorphismBudgeted(const Structure& a, const Structure& b,
-                                      Budget& budget) {
-  auto found = FindHomomorphismBudgeted(a, b, budget);
+                                      Budget& budget,
+                                      const HomOptions& options) {
+  if (options.use_cache) {
+    HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+    const uint64_t digest = CacheOptionsDigest(options, 0);
+    const uint64_t a_fp = a.Fingerprint();
+    const uint64_t b_fp = b.Fingerprint();
+    if (auto hit = HomCache::Global().Lookup(a_fp, b_fp, digest,
+                                             HomCache::Kind::kHas)) {
+      return Outcome<bool>::Done(*hit != 0, budget.Report());
+    }
+    HomOptions uncached = options;
+    uncached.use_cache = false;
+    auto found = FindHomomorphismBudgeted(a, b, budget, uncached);
+    if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
+    const bool has = found.Value().has_value();
+    // Only completed answers are cached; an exhausted search proves
+    // nothing about the pair.
+    HomCache::Global().Insert(a_fp, b_fp, digest, HomCache::Kind::kHas,
+                              has ? 1 : 0);
+    return Outcome<bool>::Done(has, found.Report());
+  }
+  auto found = FindHomomorphismBudgeted(a, b, budget, options);
   if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
   return Outcome<bool>::Done(found.Value().has_value(), found.Report());
 }
@@ -372,6 +580,30 @@ Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
                                              const Structure& b,
                                              Budget& budget, uint64_t limit,
                                              const HomOptions& options) {
+  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
+  if (options.use_cache) {
+    const uint64_t digest = CacheOptionsDigest(options, limit);
+    const uint64_t a_fp = a.Fingerprint();
+    const uint64_t b_fp = b.Fingerprint();
+    if (auto hit = HomCache::Global().Lookup(a_fp, b_fp, digest,
+                                             HomCache::Kind::kCount)) {
+      return Outcome<uint64_t>::Done(*hit, budget.Report());
+    }
+    HomOptions uncached = options;
+    uncached.use_cache = false;
+    auto counted = CountHomomorphismsBudgeted(a, b, budget, limit, uncached);
+    if (counted.IsDone()) {
+      HomCache::Global().Insert(a_fp, b_fp, digest, HomCache::Kind::kCount,
+                                counted.Value());
+    }
+    return counted;
+  }
+  if (FactorizationApplies(options)) {
+    const std::vector<std::vector<int>> components = SourceComponents(a);
+    if (!components.empty()) {
+      return CountFactorized(a, b, budget, limit, options, components);
+    }
+  }
   if (options.num_threads > 0) {
     return ParallelCountHomomorphismsBudgeted(a, b, budget, limit, options);
   }
@@ -400,8 +632,9 @@ Outcome<bool> EnumerateHomomorphismsBudgeted(
     const std::function<bool(const std::vector<int>&)>& callback,
     const HomOptions& options) {
   HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-  // Enumeration is always serial: the callback makes no thread-safety
-  // promise.
+  // Enumeration is always serial and monolithic: the callback makes no
+  // thread-safety promise, and factorization would visit assignments in
+  // per-component order rather than the solver's global value order.
   HomOptions serial = options;
   serial.num_threads = 0;
   bool callback_stopped = false;

@@ -67,6 +67,26 @@ struct HomOptions {
   // num_threads). Costs some parallelism: subtrees left of a witness run
   // to completion instead of being cancelled.
   bool deterministic_witness = false;
+
+  // Factor the search through the connected components of the source's
+  // Gaifman graph: each component is solved independently, a witness is
+  // the concatenation of the per-component witnesses, and a count is the
+  // (saturating) product of the per-component counts. Off = the old
+  // monolithic search, kept selectable for the differential tests.
+  // Factorization is skipped (regardless of this flag) when it cannot be
+  // applied soundly: surjective mode (a global property) and pre-assigned
+  // `forced` pairs fall back to the monolithic engine. Answers are
+  // bit-identical either way; which witness is found may differ between
+  // the two modes (both always verify).
+  bool factorize = true;
+
+  // Consult and fill the global homomorphism-result cache
+  // (hom/hom_cache.h) in HasHomomorphismBudgeted /
+  // CountHomomorphismsBudgeted, keyed by the structures' value
+  // fingerprints. Off by default: the differential harnesses must not let
+  // one engine's memoized answer mask another engine's bug. The
+  // preservation pipeline, core search, and UCQ evaluation opt in.
+  bool use_cache = false;
 };
 
 // Returns a homomorphism from a to b as an element map, or nullopt.
@@ -82,10 +102,12 @@ Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
     const HomOptions& options = {});
 
-bool HasHomomorphism(const Structure& a, const Structure& b);
+bool HasHomomorphism(const Structure& a, const Structure& b,
+                     const HomOptions& options = {});
 
 Outcome<bool> HasHomomorphismBudgeted(const Structure& a, const Structure& b,
-                                      Budget& budget);
+                                      Budget& budget,
+                                      const HomOptions& options = {});
 
 // True iff h maps every tuple of a to a tuple of b (and is total/in-range).
 bool VerifyHomomorphism(const Structure& a, const Structure& b,

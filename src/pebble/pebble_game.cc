@@ -1,9 +1,13 @@
 #include "pebble/pebble_game.h"
 
 #include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "base/bitset64.h"
 #include "base/check.h"
+#include "base/hash.h"
 #include "base/subsets.h"
 
 namespace hompres {
@@ -13,6 +17,16 @@ namespace {
 // A partial map is encoded as a vector<int> of size |A| with -1 for
 // "unset".
 using PartialMap = std::vector<int>;
+
+struct PartialMapHash {
+  size_t operator()(const PartialMap& p) const {
+    uint64_t h = Mix64(p.size());
+    for (int v : p) {
+      h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    }
+    return static_cast<size_t>(h);
+  }
+};
 
 // Is p (restricted to its domain) a partial homomorphism? A tuple of A is
 // checked only when all its entries are in the domain.
@@ -83,59 +97,127 @@ Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
   }
   if (stopped) return Outcome<bool>::StoppedShort(budget.Report());
 
-  // Iterated removal to the greatest fixpoint.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (auto& [p, live] : alive) {
-      if (!live) continue;
-      if (!budget.Checkpoint()) {
-        return Outcome<bool>::StoppedShort(budget.Report());
+  // Greatest-fixpoint pruning, as a worklist over packed extension rows.
+  //
+  // For every map p with |dom(p)| < k and every free element e, row(p, e)
+  // is the packed value set {v : p[e:=v] is still in the family}. The
+  // forth property for (p, e) is exactly "row(p, e) is nonempty", and
+  // subfunction closure says a map dies with any of its one-point
+  // restrictions. A removal therefore touches only the rows of the map's
+  // restrictions (clear one bit each, possibly emptying a row) and the
+  // extensions recorded in its own rows — no repeated full sweeps of the
+  // family. The greatest fixpoint is unique, so the worklist order does
+  // not change the surviving set: the winner is identical to the old
+  // iterate-until-no-change sweeps.
+  const int stride = bitset64::WordsFor(m);
+  std::vector<PartialMap> maps;
+  std::unordered_map<PartialMap, int, PartialMapHash> ids;
+  maps.reserve(alive.size());
+  ids.reserve(alive.size());
+  for (const auto& entry : alive) {
+    ids.emplace(entry.first, static_cast<int>(maps.size()));
+    maps.push_back(entry.first);
+  }
+  const int num_maps = static_cast<int>(maps.size());
+  std::vector<int> domain_size(static_cast<size_t>(num_maps), 0);
+  for (int idx = 0; idx < num_maps; ++idx) {
+    for (int v : maps[static_cast<size_t>(idx)]) {
+      if (v != -1) ++domain_size[static_cast<size_t>(idx)];
+    }
+  }
+  const size_t row_stride = static_cast<size_t>(n) * static_cast<size_t>(stride);
+  if (!budget.ChargeMemory(static_cast<size_t>(num_maps) * row_stride *
+                           sizeof(uint64_t))) {
+    return Outcome<bool>::StoppedShort(budget.Report());
+  }
+  std::vector<uint64_t> rows(static_cast<size_t>(num_maps) * row_stride, 0);
+  const auto row = [&](int idx, int e) {
+    return rows.data() + static_cast<size_t>(idx) * row_stride +
+           static_cast<size_t>(e) * static_cast<size_t>(stride);
+  };
+  PartialMap probe;
+  for (int idx = 0; idx < num_maps; ++idx) {
+    if (!budget.Checkpoint()) {
+      return Outcome<bool>::StoppedShort(budget.Report());
+    }
+    if (domain_size[static_cast<size_t>(idx)] >= max_domain) continue;
+    probe = maps[static_cast<size_t>(idx)];
+    for (int e = 0; e < n; ++e) {
+      if (probe[static_cast<size_t>(e)] != -1) continue;
+      uint64_t* r = row(idx, e);
+      for (int v = 0; v < m; ++v) {
+        probe[static_cast<size_t>(e)] = v;
+        if (ids.find(probe) != ids.end()) bitset64::Set(r, v);
       }
-      int domain_size = 0;
-      for (int v : p) {
-        if (v != -1) ++domain_size;
+      probe[static_cast<size_t>(e)] = -1;
+    }
+  }
+
+  std::vector<char> live(static_cast<size_t>(num_maps), 1);
+  std::vector<int> worklist;
+  const auto kill = [&](int idx) {
+    if (!live[static_cast<size_t>(idx)]) return;
+    live[static_cast<size_t>(idx)] = 0;
+    worklist.push_back(idx);
+  };
+  // Initial forth violations (closure holds initially: every restriction
+  // of a partial homomorphism is a partial homomorphism).
+  for (int idx = 0; idx < num_maps; ++idx) {
+    if (domain_size[static_cast<size_t>(idx)] >= max_domain) continue;
+    const PartialMap& p = maps[static_cast<size_t>(idx)];
+    for (int e = 0; e < n; ++e) {
+      if (p[static_cast<size_t>(e)] != -1) continue;
+      if (!bitset64::AnySet(row(idx, e), stride)) {
+        kill(idx);
+        break;
       }
-      bool remove = false;
-      // Forth property: if the domain is not full, every element of A
-      // must be coverable.
-      if (domain_size < max_domain) {
-        for (int e = 0; e < n && !remove; ++e) {
-          if (p[static_cast<size_t>(e)] != -1) continue;
-          bool extendable = false;
-          PartialMap q = p;
-          for (int v = 0; v < m; ++v) {
-            q[static_cast<size_t>(e)] = v;
-            auto it = alive.find(q);
-            if (it != alive.end() && it->second) {
-              extendable = true;
-              break;
-            }
-          }
-          if (!extendable) remove = true;
+    }
+  }
+  while (!worklist.empty()) {
+    if (!budget.Checkpoint()) {
+      return Outcome<bool>::StoppedShort(budget.Report());
+    }
+    const int idx = worklist.back();
+    worklist.pop_back();
+    const PartialMap& p = maps[static_cast<size_t>(idx)];
+    // Forth propagation into the one-point restrictions: clear our value
+    // bit; an emptied row kills the restriction.
+    probe = p;
+    for (int e = 0; e < n; ++e) {
+      const int val = p[static_cast<size_t>(e)];
+      if (val == -1) continue;
+      probe[static_cast<size_t>(e)] = -1;
+      const auto it = ids.find(probe);
+      HOMPRES_CHECK(it != ids.end());
+      probe[static_cast<size_t>(e)] = val;
+      const int parent = it->second;
+      if (!live[static_cast<size_t>(parent)]) continue;
+      uint64_t* r = row(parent, e);
+      bitset64::Reset(r, val);
+      if (!bitset64::AnySet(r, stride)) kill(parent);
+    }
+    // Closure propagation into the extensions: every map extending a dead
+    // map loses a live restriction and dies with it.
+    if (domain_size[static_cast<size_t>(idx)] < max_domain) {
+      probe = p;
+      for (int e = 0; e < n; ++e) {
+        if (p[static_cast<size_t>(e)] != -1) continue;
+        const uint64_t* r = row(idx, e);
+        for (int v = bitset64::FindFirst(r, stride); v >= 0;
+             v = bitset64::FindNext(r, stride, v)) {
+          probe[static_cast<size_t>(e)] = v;
+          const auto it = ids.find(probe);
+          HOMPRES_CHECK(it != ids.end());
+          kill(it->second);
         }
-      }
-      // Subfunction closure: all one-point restrictions must be alive.
-      if (!remove) {
-        PartialMap q = p;
-        for (int e = 0; e < n && !remove; ++e) {
-          if (p[static_cast<size_t>(e)] == -1) continue;
-          q[static_cast<size_t>(e)] = -1;
-          auto it = alive.find(q);
-          if (it == alive.end() || !it->second) remove = true;
-          q[static_cast<size_t>(e)] = p[static_cast<size_t>(e)];
-        }
-      }
-      if (remove) {
-        live = false;
-        changed = true;
+        probe[static_cast<size_t>(e)] = -1;
       }
     }
   }
 
   const PartialMap empty(static_cast<size_t>(n), -1);
-  auto it = alive.find(empty);
-  const bool wins = it != alive.end() && it->second;
+  const auto it = ids.find(empty);
+  const bool wins = it != ids.end() && live[static_cast<size_t>(it->second)];
   return Outcome<bool>::Done(wins, budget.Report());
 }
 

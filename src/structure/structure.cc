@@ -4,6 +4,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "base/hash.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -47,6 +48,30 @@ const RelationIndex& Structure::Index() const {
     index_ = std::make_shared<const RelationIndex>(*this);
   }
   return *index_;
+}
+
+uint64_t Structure::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(IndexBuildMutex());
+  if (fingerprint_ != 0) return fingerprint_;
+  // Order-sensitive chain over (arities, universe size, tuple entries).
+  // Relation lists are kept sorted, so equal values hash equal no matter
+  // the insertion history; a relation boundary is mixed in explicitly so
+  // moving a tuple between same-arity relations changes the hash.
+  uint64_t h = Mix64(0x486F6D507265ULL);  // "HomPre"
+  h = Mix64(h ^ static_cast<uint64_t>(vocabulary_.NumRelations()));
+  for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
+    h = Mix64(h ^ static_cast<uint64_t>(vocabulary_.Arity(rel)));
+  }
+  h = Mix64(h ^ static_cast<uint64_t>(universe_size_));
+  for (size_t rel = 0; rel < relations_.size(); ++rel) {
+    h = Mix64(h ^ (0xABCDULL + rel));  // relation boundary
+    for (const Tuple& t : relations_[rel]) {
+      for (int e : t) h = Mix64(h ^ static_cast<uint64_t>(e));
+    }
+  }
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  fingerprint_ = h;
+  return h;
 }
 
 void Structure::CheckRelation(int rel) const {

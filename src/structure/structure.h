@@ -64,6 +64,16 @@ class Structure {
   // while other threads read is not (as for every other accessor).
   const RelationIndex& Index() const;
 
+  // A 64-bit order-sensitive fingerprint of the structure's value
+  // (vocabulary arities, universe size, and every tuple entry in sorted
+  // relation order). Equal structures always fingerprint equal; distinct
+  // structures collide with probability ~2^-64. Computed lazily, cached
+  // next to the relation index, and invalidated by exactly the same
+  // mutations (AddTuple/AddElement; copies recompute, moves carry it).
+  // Keys the homomorphism-result cache (hom/hom_cache.h). Never zero.
+  // Concurrent Fingerprint() calls on a const structure are safe.
+  uint64_t Fingerprint() const;
+
   // --- Substructure operations -------------------------------------------
 
   // True iff every tuple of *this (viewed with identical element ids) is a
@@ -108,7 +118,10 @@ class Structure {
  private:
   void CheckRelation(int rel) const;
   void CheckElement(int a) const;
-  void InvalidateIndex() { index_.reset(); }
+  void InvalidateIndex() {
+    index_.reset();
+    fingerprint_ = 0;
+  }
 
   Vocabulary vocabulary_;
   int universe_size_ = 0;
@@ -116,6 +129,9 @@ class Structure {
   // Lazily built index cache; null until Index() is first called and
   // reset by any mutation. Shared-ptr so moves transfer it for free.
   mutable std::shared_ptr<const RelationIndex> index_;
+  // Lazily computed Fingerprint(); 0 = not yet computed (the hash is
+  // remapped away from 0). Same invalidation discipline as index_.
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace hompres

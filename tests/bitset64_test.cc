@@ -1,0 +1,178 @@
+// Unit tests for the packed bitset kernels (base/bitset64.h): every
+// word-level kernel is compared against a naive bit-by-bit loop over
+// randomized sets, since the CSP solver's bit-identical-answers guarantee
+// rests on these primitives agreeing with the std::vector<bool> logic
+// they replaced.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/bitset64.h"
+#include "base/rng.h"
+
+namespace hompres {
+namespace {
+
+// A random packed row of `bits` bits paired with its vector<bool> mirror.
+struct MirroredSet {
+  std::vector<uint64_t> words;
+  std::vector<bool> naive;
+};
+
+MirroredSet RandomSet(int bits, double density, Rng& rng) {
+  MirroredSet s;
+  s.words.assign(static_cast<size_t>(bitset64::WordsFor(bits)), 0);
+  s.naive.assign(static_cast<size_t>(bits), false);
+  const int threshold = static_cast<int>(density * 1000);
+  for (int b = 0; b < bits; ++b) {
+    if (rng.UniformInt(0, 999) < threshold) {
+      bitset64::Set(s.words.data(), b);
+      s.naive[static_cast<size_t>(b)] = true;
+    }
+  }
+  return s;
+}
+
+TEST(Bitset64Kernels, WordsForBoundaries) {
+  EXPECT_EQ(bitset64::WordsFor(0), 0);
+  EXPECT_EQ(bitset64::WordsFor(1), 1);
+  EXPECT_EQ(bitset64::WordsFor(64), 1);
+  EXPECT_EQ(bitset64::WordsFor(65), 2);
+  EXPECT_EQ(bitset64::WordsFor(128), 2);
+  EXPECT_EQ(bitset64::WordsFor(129), 3);
+}
+
+TEST(Bitset64Kernels, PopcountMatchesNaiveLoop) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int bits = rng.UniformInt(1, 200);
+    const MirroredSet s = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    int expected = 0;
+    for (bool b : s.naive) expected += b ? 1 : 0;
+    EXPECT_EQ(bitset64::Popcount(s.words.data(),
+                                 static_cast<int>(s.words.size())),
+              expected)
+        << "bits=" << bits << " trial " << trial;
+  }
+}
+
+TEST(Bitset64Kernels, FindFirstAndNextVisitAscendingLikeNaiveLoop) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int bits = rng.UniformInt(1, 200);
+    const MirroredSet s = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    const int num_words = static_cast<int>(s.words.size());
+    std::vector<int> expected;
+    for (int b = 0; b < bits; ++b) {
+      if (s.naive[static_cast<size_t>(b)]) expected.push_back(b);
+    }
+    std::vector<int> actual;
+    for (int b = bitset64::FindFirst(s.words.data(), num_words); b >= 0;
+         b = bitset64::FindNext(s.words.data(), num_words, b)) {
+      actual.push_back(b);
+    }
+    EXPECT_EQ(actual, expected) << "bits=" << bits << " trial " << trial;
+    // FindNext(row, -1) must equal FindFirst (the iteration idiom).
+    EXPECT_EQ(bitset64::FindNext(s.words.data(), num_words, -1),
+              bitset64::FindFirst(s.words.data(), num_words));
+  }
+}
+
+TEST(Bitset64Kernels, IntersectInPlaceMatchesNaiveAndReportsChanges) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int bits = rng.UniformInt(1, 200);
+    MirroredSet dst = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    const MirroredSet src = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    const int num_words = static_cast<int>(dst.words.size());
+    bool expect_changed = false;
+    std::vector<bool> expected = dst.naive;
+    for (int b = 0; b < bits; ++b) {
+      const bool next =
+          dst.naive[static_cast<size_t>(b)] && src.naive[static_cast<size_t>(b)];
+      if (next != expected[static_cast<size_t>(b)]) expect_changed = true;
+      expected[static_cast<size_t>(b)] = next;
+    }
+    const bool changed =
+        bitset64::IntersectInPlace(dst.words.data(), src.words.data(),
+                                   num_words);
+    EXPECT_EQ(changed, expect_changed) << "bits=" << bits << " trial " << trial;
+    for (int b = 0; b < bits; ++b) {
+      EXPECT_EQ(bitset64::Test(dst.words.data(), b),
+                expected[static_cast<size_t>(b)])
+          << "bit " << b << " bits=" << bits << " trial " << trial;
+    }
+  }
+}
+
+TEST(Bitset64Kernels, SetFirstNKeepsTailClear) {
+  for (int bits : {1, 63, 64, 65, 127, 128, 130}) {
+    const int num_words = bitset64::WordsFor(bits);
+    std::vector<uint64_t> words(static_cast<size_t>(num_words),
+                                ~uint64_t{0});  // dirty
+    bitset64::SetFirstN(words.data(), num_words, bits);
+    EXPECT_EQ(bitset64::Popcount(words.data(), num_words), bits);
+    for (int b = 0; b < bits; ++b) {
+      EXPECT_TRUE(bitset64::Test(words.data(), b)) << "bit " << b;
+    }
+    // The tail of the last word must be zero (Popcount/FindFirst rely on
+    // it).
+    if (bits & 63) {
+      EXPECT_EQ(words.back() >> (bits & 63), 0u) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Bitset64Kernels, UnionAnyEqualAgreeWithNaive) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int bits = rng.UniformInt(1, 150);
+    MirroredSet a = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    const MirroredSet b = RandomSet(bits, 0.01 * rng.UniformInt(0, 100), rng);
+    const int num_words = static_cast<int>(a.words.size());
+    bool any = false;
+    for (bool x : a.naive) any = any || x;
+    EXPECT_EQ(bitset64::AnySet(a.words.data(), num_words), any);
+    EXPECT_EQ(bitset64::Equal(a.words.data(), b.words.data(), num_words),
+              a.naive == b.naive);
+    bitset64::UnionInPlace(a.words.data(), b.words.data(), num_words);
+    for (int bit = 0; bit < bits; ++bit) {
+      EXPECT_EQ(bitset64::Test(a.words.data(), bit),
+                a.naive[static_cast<size_t>(bit)] ||
+                    b.naive[static_cast<size_t>(bit)]);
+    }
+  }
+}
+
+TEST(Bitset64Class, OwningSetRoundTrips) {
+  Bitset64 s(100);
+  EXPECT_EQ(s.SizeBits(), 100);
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_FALSE(s.Any());
+  EXPECT_EQ(s.FindFirst(), -1);
+  s.Set(3);
+  s.Set(64);
+  s.Set(99);
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.FindFirst(), 3);
+  EXPECT_EQ(s.FindNext(3), 64);
+  EXPECT_EQ(s.FindNext(64), 99);
+  EXPECT_EQ(s.FindNext(99), -1);
+  s.Reset(64);
+  EXPECT_EQ(s.FindNext(3), 99);
+  Bitset64 t(100);
+  t.SetAll();
+  EXPECT_EQ(t.Count(), 100);
+  EXPECT_TRUE(t.IntersectWith(s));  // t := s
+  EXPECT_EQ(t, s);
+  EXPECT_FALSE(t.IntersectWith(s));  // no change the second time
+  s.ClearAll();
+  EXPECT_FALSE(s.Any());
+}
+
+}  // namespace
+}  // namespace hompres

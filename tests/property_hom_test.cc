@@ -335,6 +335,60 @@ TEST(PropertyHom, IndexedEngineMatchesScanEngineExactly) {
   }
 }
 
+// The factorized (Gaifman-component) search must agree with the
+// monolithic engine on existence and exact counts, and both witnesses
+// must pass the independent oracle (they may differ as maps: the
+// factorized engine picks per-component witnesses). Sources are disjoint
+// unions, sometimes with an extra isolated element, so several
+// components are guaranteed; counts are compared both exact and under a
+// small limit to exercise the saturating product clamp.
+TEST(PropertyHom, FactorizedMatchesMonolithicOnDisconnectedSources) {
+  const uint64_t seed = TestSeed() ^ 0x9E6C63D0876A9A23ULL;
+  Rng rng(seed);
+  const Vocabulary voc = MixedVocabulary();
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n1 = rng.UniformInt(1, 3);
+    const int n2 = rng.UniformInt(1, 3);
+    const int m = rng.UniformInt(1, 5);
+    const Structure part1 =
+        RandomStructure(voc, n1, rng.UniformInt(0, n1 + 2), rng);
+    const Structure part2 =
+        RandomStructure(voc, n2, rng.UniformInt(0, n2 + 2), rng);
+    Structure a = part1.DisjointUnion(part2);
+    if (trial % 3 == 0) a.AddElement();  // singleton component
+    const Structure b =
+        RandomStructure(voc, m, rng.UniformInt(0, 2 * m + 3), rng);
+    HomOptions factorized;  // factorize defaults to true
+    HomOptions monolithic;
+    monolithic.factorize = false;
+    const auto fw = FindHomomorphism(a, b, factorized);
+    const auto mw = FindHomomorphism(a, b, monolithic);
+    ASSERT_EQ(fw.has_value(), mw.has_value())
+        << "factorized/monolithic existence divergence; seed " << seed
+        << " trial " << trial << "\na: " << a.DebugString()
+        << "\nb: " << b.DebugString();
+    if (fw.has_value()) {
+      ASSERT_TRUE(CheckIsHomomorphism(a, b, *fw))
+          << "factorized witness fails the oracle; seed " << seed
+          << " trial " << trial << "\na: " << a.DebugString()
+          << "\nb: " << b.DebugString();
+      ASSERT_TRUE(CheckIsHomomorphism(a, b, *mw))
+          << "monolithic witness fails the oracle; seed " << seed
+          << " trial " << trial;
+    }
+    ASSERT_EQ(CountHomomorphisms(a, b, /*limit=*/0, factorized),
+              CountHomomorphisms(a, b, /*limit=*/0, monolithic))
+        << "factorized/monolithic count divergence; seed " << seed
+        << " trial " << trial << "\na: " << a.DebugString()
+        << "\nb: " << b.DebugString();
+    const uint64_t limit = static_cast<uint64_t>(rng.UniformInt(1, 4));
+    ASSERT_EQ(CountHomomorphisms(a, b, limit, factorized),
+              CountHomomorphisms(a, b, limit, monolithic))
+        << "factorized/monolithic limit-clamp divergence at limit " << limit
+        << "; seed " << seed << " trial " << trial;
+  }
+}
+
 // Mutating a structure after its index was built must invalidate the
 // cache: engines running on the mutated structure answer as if the index
 // never existed (compared against a fresh copy that never built one).
