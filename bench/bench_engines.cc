@@ -10,6 +10,8 @@
 #include "base/rng.h"
 #include "graph/builders.h"
 #include "cq/decomposed_eval.h"
+#include "engine/plan.h"
+#include "engine/problem.h"
 #include "hom/core.h"
 #include "hom/homomorphism.h"
 #include "structure/gaifman.h"
@@ -31,6 +33,21 @@ Structure MycielskiInstance(int level) {
   return UndirectedGraphStructure(g);
 }
 
+// Labels the row with the engine's plan summary for the query the
+// benchmark body runs; --json emits the label as the "plan" field, and
+// bench/check_regression.py flags rows whose summary changed.
+void LabelPlan(benchmark::State& state, const Structure& a,
+               const Structure& b, HomQueryMode mode,
+               const HomOptions& options = {}) {
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = mode;
+  const PlanResult planned =
+      PlanHomQuery(problem, options.ToEngineConfig(), PlanMode::kCompat);
+  state.SetLabel(planned.plan->Summary());
+}
+
 void BM_HomomorphismWithAC(benchmark::State& state) {
   const int level = static_cast<int>(state.range(0));
   Structure a = MycielskiInstance(level);
@@ -43,6 +60,7 @@ void BM_HomomorphismWithAC(benchmark::State& state) {
     benchmark::DoNotOptimize(h);
   }
   state.counters["satisfiable"] = sat ? 1.0 : 0.0;
+  LabelPlan(state, a, target, HomQueryMode::kFind);
 }
 
 BENCHMARK(BM_HomomorphismWithAC)->Arg(1)->Arg(2)->Arg(3);
@@ -60,6 +78,7 @@ void BM_HomomorphismNaive(benchmark::State& state) {
     benchmark::DoNotOptimize(h);
   }
   state.counters["satisfiable"] = sat ? 1.0 : 0.0;
+  LabelPlan(state, a, target, HomQueryMode::kFind, naive);
 }
 
 BENCHMARK(BM_HomomorphismNaive)->Arg(1)->Arg(2)->Iterations(3);
@@ -83,6 +102,7 @@ void BM_HomomorphismParallel(benchmark::State& state) {
   }
   state.counters["satisfiable"] = sat ? 1.0 : 0.0;
   state.counters["threads"] = static_cast<double>(options.num_threads);
+  LabelPlan(state, a, target, HomQueryMode::kFind, options);
 }
 
 BENCHMARK(BM_HomomorphismParallel)
@@ -219,6 +239,7 @@ void RunPathCountEngines(benchmark::State& state, bool use_index) {
     benchmark::DoNotOptimize(count);
   }
   state.counters["hom_count"] = static_cast<double>(count);
+  LabelPlan(state, path, b, HomQueryMode::kCount, options);
 }
 
 void BM_PathCountIndexed(benchmark::State& state) {
@@ -243,6 +264,7 @@ void BM_HomomorphismCounting(benchmark::State& state) {
     benchmark::DoNotOptimize(count);
   }
   state.counters["hom_count"] = static_cast<double>(count);
+  LabelPlan(state, cycle, target, HomQueryMode::kCount);
 }
 
 BENCHMARK(BM_HomomorphismCounting)->Arg(3)->Arg(4)->Arg(5);

@@ -14,6 +14,12 @@ loose: CI runners are noisy and the committed baseline was measured on
 different hardware, so only order-of-magnitude blowups — an accidentally
 quadratic kernel, a lost index — should trip it. Exit status: 0 clean,
 1 regression detected, 2 usage/parse error.
+
+Rows stamped with a "plan" field (the engine's HomPlan::Summary()) are
+additionally diffed: a changed kernel= or components= token is printed as
+a PLAN CHANGE warning. Plan changes are informational, never fatal — they
+explain timing shifts (a query that stopped factorizing, a kernel swap)
+rather than gate them.
 """
 
 import json
@@ -31,12 +37,27 @@ def load_rows(path):
         print(f"error: {path}: expected a JSON array of rows", file=sys.stderr)
         sys.exit(2)
     table = {}
+    plans = {}
     for row in rows:
         key = (row.get("bench", "?"), row.get("name", "?"))
         time = row.get("real_time_ns")
         if isinstance(time, (int, float)) and time > 0:
             table[key] = float(time)
-    return table
+        plan = row.get("plan")
+        if isinstance(plan, str) and plan:
+            plans[key] = plan
+    return table, plans
+
+
+def plan_tokens(summary):
+    """The dispatch-relevant tokens of a plan summary, as a dict."""
+    tokens = {}
+    for part in summary.split():
+        if "=" in part:
+            name, _, value = part.partition("=")
+            if name in ("kernel", "components", "strategy"):
+                tokens[name] = value
+    return tokens
 
 
 def main(argv):
@@ -51,8 +72,8 @@ def main(argv):
         print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
         return 2
 
-    baseline = load_rows(paths[0])
-    current = load_rows(paths[1])
+    baseline, base_plans = load_rows(paths[0])
+    current, cur_plans = load_rows(paths[1])
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("error: no shared (bench, name) rows to compare", file=sys.stderr)
@@ -70,8 +91,28 @@ def main(argv):
         if ratio > threshold:
             regressions.append((ratio, key))
 
+    # Non-fatal plan diffs: a changed kernel, strategy, or component
+    # count explains (or predicts) a timing shift.
+    plan_changes = 0
+    for key in shared:
+        if key not in base_plans or key not in cur_plans:
+            continue
+        before = plan_tokens(base_plans[key])
+        after = plan_tokens(cur_plans[key])
+        changed = sorted(name for name in set(before) | set(after)
+                         if before.get(name) != after.get(name))
+        if changed:
+            plan_changes += 1
+            bench, name = key
+            detail = ", ".join(
+                f"{n}: {before.get(n, '?')} -> {after.get(n, '?')}"
+                for n in changed)
+            print(f"PLAN CHANGE  {bench}  {name}  ({detail})")
+
     print(f"compared {len(shared)} shared rows "
           f"(threshold {threshold:.1f}x on real_time_ns)")
+    if plan_changes:
+        print(f"{plan_changes} row(s) changed plan (informational)")
     if regressions:
         regressions.sort(reverse=True)
         for ratio, (bench, name) in regressions:

@@ -82,8 +82,13 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter {
       std::ostream& out = GetOutputStream();
       out << "{\"name\":\"" << JsonEscape(run.benchmark_name()) << "\""
           << ",\"git_sha\":\"" << JsonEscape(git_sha_) << "\""
-          << ",\"mode\":\"" << JsonEscape(mode_) << "\""
-          << ",\"real_time_ns\":"
+          << ",\"mode\":\"" << JsonEscape(mode_) << "\"";
+      if (!run.report_label.empty()) {
+        // Benchmarks label themselves with the engine's plan summary
+        // (HomPlan::Summary()); bench/check_regression.py diffs it.
+        out << ",\"plan\":\"" << JsonEscape(run.report_label) << "\"";
+      }
+      out << ",\"real_time_ns\":"
           << ToNanoseconds(run.GetAdjustedRealTime(), run.time_unit)
           << ",\"cpu_time_ns\":"
           << ToNanoseconds(run.GetAdjustedCPUTime(), run.time_unit)

@@ -3,7 +3,7 @@
 // treewidth, FO evaluation, Datalog, scattered sets.
 //
 //   ./build/examples/hompres_cli [--timeout-ms <n>] [--max-steps <n>]
-//                                [--threads <n>]
+//                                [--threads <n>] [--explain]
 //   > let a = |A|=3; E={(0 1),(1 2),(2 0)}
 //   > let b = |A|=2; E={(0 1),(1 0)}
 //   > hom a b
@@ -15,7 +15,8 @@
 // --timeout-ms / --max-steps bound every search command; a search that
 // hits the budget prints "budget exhausted" instead of hanging.
 // --threads <n> runs the hom / core / datalog commands on n worker
-// threads (0, the default, is the serial engine).
+// threads (0, the default, is the serial engine). --explain prints the
+// engine's query plan and execution trace before each hom answer.
 //
 // Exit codes: 0 = all commands completed, 2 = some command exhausted its
 // budget, 3 = some input failed to parse (parse errors win over budget
@@ -36,6 +37,9 @@
 #include "core/preservation.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/problem.h"
 #include "fo/eval.h"
 #include "fo/parser.h"
 #include "graph/scattered.h"
@@ -59,6 +63,7 @@ struct CliLimits {
   uint64_t max_steps = 0;       // 0 = unlimited
   uint64_t timeout_ms = 0;      // 0 = unlimited
   uint64_t threads = 0;         // 0 = serial engines
+  bool explain = false;         // print plan + trace for hom queries
 };
 
 Budget MakeBudget(const CliLimits& limits) {
@@ -117,7 +122,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     uint64_t* target = nullptr;
-    if (std::strcmp(arg, "--timeout-ms") == 0) {
+    if (std::strcmp(arg, "--explain") == 0) {
+      limits.explain = true;
+      continue;
+    } else if (std::strcmp(arg, "--timeout-ms") == 0) {
       target = &limits.timeout_ms;
     } else if (std::strcmp(arg, "--max-steps") == 0) {
       target = &limits.max_steps;
@@ -126,7 +134,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --timeout-ms <n>, "
-                   "--max-steps <n>, --threads <n>)\n",
+                   "--max-steps <n>, --threads <n>, --explain)\n",
                    arg);
       return kExitUsage;
     }
@@ -202,19 +210,33 @@ int main(int argc, char** argv) {
         std::printf("error: unknown structure\n");
       } else {
         Budget budget = MakeBudget(limits);
-        HomOptions options;
-        options.num_threads = num_threads;
-        options.deterministic_witness = true;  // stable CLI output
-        auto h = FindHomomorphismBudgeted(ita->second, itb->second, budget,
-                                          options);
+        EngineConfig config;
+        config.num_threads = num_threads;
+        config.deterministic_witness = true;  // stable CLI output
+        HomProblem problem;
+        problem.source = &ita->second;
+        problem.target = &itb->second;
+        problem.mode = HomQueryMode::kFind;
+        // Compat planning: deterministic_witness without threads is
+        // normalized away instead of rejected.
+        const PlanResult planned =
+            PlanHomQuery(problem, config, PlanMode::kCompat);
+        const HomPlan& plan = *planned.plan;
+        if (limits.explain) std::printf("%s", plan.Explain().c_str());
+        ExecutionTrace trace;
+        auto h = Engine::Execute(plan, budget,
+                                 limits.explain ? &trace : nullptr);
+        if (limits.explain) {
+          std::printf("%s\n", trace.ToString().c_str());
+        }
         if (!h.IsDone()) {
           saw_exhausted = true;
           PrintExhausted(h.Report());
-        } else if (!h.Value().has_value()) {
+        } else if (!h.Value().witness.has_value()) {
           std::printf("no homomorphism\n");
         } else {
           std::printf("h = [");
-          const auto& map = *h.Value();
+          const auto& map = *h.Value().witness;
           for (size_t i = 0; i < map.size(); ++i) {
             std::printf("%s%d->%d", i ? ", " : "", static_cast<int>(i),
                         map[i]);

@@ -86,6 +86,43 @@ class ParallelRegion {
 // else kSteps (the shared step pool ran dry).
 StopReason CombineWorkerStops(bool external_cancel, bool any_deadline);
 
+// The post-Join bookkeeping every parallel driver repeats: scan the task
+// states, decide whether the region completed, and synthesize the stop
+// report when it did not. Usage, after Join(pool) returned
+// `external_cancel`:
+//
+//   WorkerStopScan scan;
+//   for (const TaskState& s : states) scan.Observe(s.completed, s.stop);
+//   if (!scan.AnyIncomplete()) return Done(...);
+//   return StoppedShort(scan.StoppedReport(parent, external_cancel));
+//
+// The report is the parent's, with its reason replaced by the combined
+// worker reason only when the parent itself carries none (a parent that
+// stopped knows better than any worker why).
+class WorkerStopScan {
+ public:
+  void Observe(bool completed, StopReason stop) {
+    if (completed) return;
+    any_incomplete_ = true;
+    any_deadline_ |= stop == StopReason::kDeadline;
+  }
+
+  bool AnyIncomplete() const { return any_incomplete_; }
+
+  BudgetReport StoppedReport(const Budget& parent,
+                             bool external_cancel) const {
+    BudgetReport report = parent.Report();
+    if (report.reason == StopReason::kNone) {
+      report.reason = CombineWorkerStops(external_cancel, any_deadline_);
+    }
+    return report;
+  }
+
+ private:
+  bool any_incomplete_ = false;
+  bool any_deadline_ = false;
+};
+
 }  // namespace hompres
 
 #endif  // HOMPRES_BASE_PARALLEL_DRIVER_H_

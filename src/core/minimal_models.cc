@@ -8,7 +8,7 @@
 #include "base/subsets.h"
 #include "base/thread_pool.h"
 #include "cq/cq.h"
-#include "hom/homomorphism.h"
+#include "engine/engine.h"
 #include "structure/isomorphism.h"
 
 namespace hompres {
@@ -114,19 +114,13 @@ Outcome<std::vector<Structure>> MinimalModelsOfUcqParallel(
   }
   const bool external_cancel = region.Join(pool);
 
-  bool any_incomplete = false;
-  bool any_deadline = false;
+  WorkerStopScan scan;
   for (const TaskState& state : states) {
-    if (state.completed) continue;
-    any_incomplete = true;
-    any_deadline |= state.stop == StopReason::kDeadline;
+    scan.Observe(state.completed, state.stop);
   }
-  if (any_incomplete) {
-    BudgetReport report = budget.Report();
-    if (report.reason == StopReason::kNone) {
-      report.reason = CombineWorkerStops(external_cancel, any_deadline);
-    }
-    return Outcome<std::vector<Structure>>::StoppedShort(report);
+  if (scan.AnyIncomplete()) {
+    return Outcome<std::vector<Structure>>::StoppedShort(
+        scan.StoppedReport(budget, external_cancel));
   }
   std::vector<Structure> models;
   for (int i = 0; i < num_tasks; ++i) {
@@ -306,7 +300,10 @@ bool CheckPreservedUnderHomomorphisms(const BooleanQuery& q,
     if (!value[i]) continue;
     for (size_t j = 0; j < samples.size(); ++j) {
       if (i == j || value[j]) continue;
-      if (HasHomomorphism(samples[i], samples[j])) return false;
+      Budget unlimited = Budget::Unlimited();
+      if (Engine::Has(samples[i], samples[j], unlimited).Value()) {
+        return false;
+      }
     }
   }
   return true;

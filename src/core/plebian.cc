@@ -2,9 +2,10 @@
 
 #include <string>
 
+#include "base/budget.h"
 #include "base/check.h"
 #include "base/subsets.h"
-#include "hom/homomorphism.h"
+#include "engine/engine.h"
 
 namespace hompres {
 
@@ -141,11 +142,15 @@ Structure PlebianCompanion(const PointedStructure& a) {
 bool HasPointedHomomorphism(const PointedStructure& a,
                             const PointedStructure& b) {
   HOMPRES_CHECK_EQ(a.constants.size(), b.constants.size());
-  HomOptions options;
+  EngineConfig config;
   for (size_t i = 0; i < a.constants.size(); ++i) {
-    options.forced.emplace_back(a.constants[i], b.constants[i]);
+    config.forced.emplace_back(a.constants[i], b.constants[i]);
   }
-  return FindHomomorphism(a.structure, b.structure, options).has_value();
+  // Constants pin elements of the unsplit universe; a constant-free pair
+  // of pointed structures still factorizes.
+  config.factorize = config.forced.empty();
+  Budget unlimited = Budget::Unlimited();
+  return Engine::Has(a.structure, b.structure, unlimited, config).Value();
 }
 
 }  // namespace hompres

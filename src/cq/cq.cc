@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "base/budget.h"
 #include "base/check.h"
-#include "hom/homomorphism.h"
+#include "engine/engine.h"
 
 namespace hompres {
 
@@ -26,14 +27,16 @@ bool ConjunctiveQuery::SatisfiedBy(const Structure& b) const {
   // Satisfaction is a pure has-hom question; the pipeline's minimal-model
   // and verification scans ask it about the same (canonical, b) pairs
   // over and over, so consult the global result cache.
-  HomOptions options;
-  options.use_cache = true;
-  return HasHomomorphism(canonical_, b, options);
+  EngineConfig config;
+  config.use_cache = true;
+  Budget unlimited = Budget::Unlimited();
+  return Engine::Has(canonical_, b, unlimited, config).Value();
 }
 
 std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& b) const {
   std::vector<Tuple> answers;
-  EnumerateHomomorphisms(canonical_, b, [&](const std::vector<int>& h) {
+  Budget unlimited = Budget::Unlimited();
+  Engine::Enumerate(canonical_, b, unlimited, [&](const std::vector<int>& h) {
     Tuple answer;
     answer.reserve(free_elements_.size());
     for (int e : free_elements_) {
@@ -76,13 +79,17 @@ std::string ConjunctiveQuery::ToString() const {
 
 bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   HOMPRES_CHECK_EQ(q1.Arity(), q2.Arity());
-  HomOptions options;
+  EngineConfig config;
   for (int i = 0; i < q2.Arity(); ++i) {
-    options.forced.emplace_back(q2.FreeElements()[static_cast<size_t>(i)],
-                                q1.FreeElements()[static_cast<size_t>(i)]);
+    config.forced.emplace_back(q2.FreeElements()[static_cast<size_t>(i)],
+                               q1.FreeElements()[static_cast<size_t>(i)]);
   }
-  return FindHomomorphism(q2.Canonical(), q1.Canonical(), options)
-      .has_value();
+  // Forced pairs pin the unsplit universe; a boolean containment (no
+  // free variables) still factorizes.
+  config.factorize = config.forced.empty();
+  Budget unlimited = Budget::Unlimited();
+  return Engine::Has(q2.Canonical(), q1.Canonical(), unlimited, config)
+      .Value();
 }
 
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {

@@ -8,7 +8,7 @@
 #include "base/budget.h"
 #include "base/check.h"
 #include "base/thread_pool.h"
-#include "hom/homomorphism.h"
+#include "engine/engine.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -46,9 +46,9 @@ bool UnionOfCq::SatisfiedBy(const Structure& b, int num_threads) const {
     pool.Submit([&found, &d, &b] {
       if (found.load(std::memory_order_relaxed)) return;
       Budget budget = Budget().WithCancelFlag(&found);
-      HomOptions options;
-      options.use_cache = true;
-      auto has = HasHomomorphismBudgeted(d.Canonical(), b, budget, options);
+      EngineConfig config;
+      config.use_cache = true;
+      auto has = Engine::Has(d.Canonical(), b, budget, config);
       if (has.IsDone() && has.Value()) {
         found.store(true, std::memory_order_relaxed);
       }

@@ -9,6 +9,7 @@
 #include "base/check.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
+#include "engine/ordering.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -60,31 +61,13 @@ CompiledRule CompileRule(const DatalogRule& rule) {
     cr.head_slots.push_back(it->second);
   }
   const size_t n = rule.body.size();
-  std::vector<bool> used(n, false);
-  std::vector<bool> bound(static_cast<size_t>(cr.num_slots), false);
-  for (size_t step = 0; step < n; ++step) {
-    int best = -1;
-    int best_bound = -1;
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      int count = 0;
-      for (int s : atom_slots[i]) {
-        if (bound[static_cast<size_t>(s)]) ++count;
-      }
-      if (count > best_bound) {
-        best_bound = count;
-        best = static_cast<int>(i);
-      }
-    }
-    used[static_cast<size_t>(best)] = true;
-    cr.atoms.push_back(
-        CompiledAtom{best, atom_slots[static_cast<size_t>(best)]});
-    for (int s : atom_slots[static_cast<size_t>(best)]) {
-      bound[static_cast<size_t>(s)] = true;
-    }
+  // Join order: most-bound-slots-first greedy (engine/ordering.h), the
+  // same statistics-driven policy the hom engine's planner uses.
+  for (int i : GreedyBoundFirstAtomOrder(atom_slots, cr.num_slots)) {
+    cr.atoms.push_back(CompiledAtom{i, atom_slots[static_cast<size_t>(i)]});
   }
   cr.ineqs_after.assign(n, {});
-  std::fill(bound.begin(), bound.end(), false);
+  std::vector<bool> bound(static_cast<size_t>(cr.num_slots), false);
   std::vector<std::pair<int, int>> pending;
   for (const auto& [left, right] : rule.inequalities) {
     const auto l = slot_of.find(left);
@@ -447,17 +430,12 @@ bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
     });
   }
   const bool external_cancel = region.Join(pool);
-  bool any_incomplete = false;
-  bool any_deadline = false;
+  WorkerStopScan scan;
   for (const TaskState& state : states) {
-    if (state.completed) continue;
-    any_incomplete = true;
-    any_deadline |= state.stop == StopReason::kDeadline;
+    scan.Observe(state.completed, state.stop);
   }
-  if (any_incomplete) {
-    *stop = budget.Stopped()
-                ? budget.Reason()
-                : CombineWorkerStops(external_cancel, any_deadline);
+  if (scan.AnyIncomplete()) {
+    *stop = scan.StoppedReport(budget, external_cancel).reason;
     return false;
   }
   for (int i = 0; i < num_tasks; ++i) {

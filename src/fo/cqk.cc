@@ -5,8 +5,10 @@
 #include <map>
 #include <set>
 
+#include "base/budget.h"
 #include "base/check.h"
 #include "core/minimal_models.h"
+#include "engine/engine.h"
 #include "cq/cq.h"
 #include "cq/ucq.h"
 #include "fo/eval.h"
@@ -197,7 +199,8 @@ std::optional<Lemma73Result> Lemma73Witness(
   auto canonical = CqkCanonicalStructure(*satisfied, vocabulary, k);
   HOMPRES_CHECK(canonical.has_value());
   Structure current = std::move(canonical->structure);
-  std::vector<int> hom = *FindHomomorphism(current, a);
+  Budget unlimited = Budget::Unlimited();
+  std::vector<int> hom = *Engine::Find(current, a, unlimited).Value();
 
   // Descend to a minimal model of the disjunction inside D: greedily
   // remove one tuple or one element while the result still satisfies

@@ -9,7 +9,7 @@
 #include "base/check.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
-#include "hom/homomorphism.h"
+#include "engine/engine.h"
 
 namespace hompres {
 
@@ -25,18 +25,17 @@ enum class RetractResult { kFound, kNone, kStopped };
 // Retract probes opt into the global result cache: the core loop's final
 // IsCore pass repeats every probe of its last reduction round verbatim,
 // and unchanged candidates recur across rounds.
-HomOptions RetractProbeOptions() {
-  HomOptions options;
-  options.use_cache = true;
-  return options;
+EngineConfig RetractProbeConfig() {
+  EngineConfig config;
+  config.use_cache = true;
+  return config;
 }
 
 RetractResult FindOneStepRetractSerial(const Structure& a, Budget& budget,
                                        Structure* out, StopReason* stop) {
   for (int e = 0; e < a.UniverseSize(); ++e) {
     Structure candidate = a.RemoveElement(e);
-    auto has = HasHomomorphismBudgeted(a, candidate, budget,
-                                       RetractProbeOptions());
+    auto has = Engine::Has(a, candidate, budget, RetractProbeConfig());
     if (!has.IsDone()) {
       *stop = budget.Reason();
       return RetractResult::kStopped;
@@ -50,8 +49,7 @@ RetractResult FindOneStepRetractSerial(const Structure& a, Budget& budget,
     const int count = static_cast<int>(a.Tuples(rel).size());
     for (int i = 0; i < count; ++i) {
       Structure candidate = a.RemoveTuple(rel, i);
-      auto has = HasHomomorphismBudgeted(a, candidate, budget,
-                                         RetractProbeOptions());
+      auto has = Engine::Has(a, candidate, budget, RetractProbeConfig());
       if (!has.IsDone()) {
         *stop = budget.Reason();
         return RetractResult::kStopped;
@@ -102,8 +100,7 @@ RetractResult FindOneStepRetractParallel(const Structure& a, Budget& budget,
           i < n ? a.RemoveElement(i)
                 : a.RemoveTuple(tuple_jobs[static_cast<size_t>(i - n)].first,
                                 tuple_jobs[static_cast<size_t>(i - n)].second);
-      auto has = HasHomomorphismBudgeted(a, candidate, worker,
-                                         RetractProbeOptions());
+      auto has = Engine::Has(a, candidate, worker, RetractProbeConfig());
       {
         std::lock_guard<std::mutex> lock(state_mu);
         TaskState& state = states[static_cast<size_t>(i)];
@@ -134,14 +131,12 @@ RetractResult FindOneStepRetractParallel(const Structure& a, Budget& budget,
       return RetractResult::kFound;
     }
     if (!state.completed) {
-      bool any_deadline = false;
+      WorkerStopScan scan;
       for (int j = i; j < num_tasks; ++j) {
-        any_deadline |=
-            states[static_cast<size_t>(j)].stop == StopReason::kDeadline;
+        const TaskState& later = states[static_cast<size_t>(j)];
+        scan.Observe(later.completed, later.stop);
       }
-      *stop = budget.Stopped()
-                  ? budget.Reason()
-                  : CombineWorkerStops(external_cancel, any_deadline);
+      *stop = scan.StoppedReport(budget, external_cancel).reason;
       return RetractResult::kStopped;
     }
   }

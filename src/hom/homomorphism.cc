@@ -8,12 +8,10 @@
 
 #include "base/bitset64.h"
 #include "base/check.h"
-#include "base/hash.h"
-#include "base/saturating.h"
-#include "graph/algorithms.h"
-#include "hom/hom_cache.h"
-#include "hom/parallel.h"
-#include "structure/gaifman.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/problem.h"
+#include "hom/kernel.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -76,8 +74,8 @@ class WorkspaceLease {
 
 class HomSearch {
  public:
-  HomSearch(const Structure& a, const Structure& b, const HomOptions& options,
-            Budget& budget)
+  HomSearch(const Structure& a, const Structure& b,
+            const KernelOptions& options, Budget& budget)
       : a_(a), b_(b), options_(options), budget_(budget), ws_(lease_.Get()) {
     size_t max_arity = 0;
     for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
@@ -361,7 +359,7 @@ class HomSearch {
 
   const Structure& a_;
   const Structure& b_;
-  HomOptions options_;
+  KernelOptions options_;
   Budget& budget_;
   const RelationIndex* index_ = nullptr;  // null = pure-scan propagation
   std::vector<TupleConstraint> constraints_;
@@ -374,107 +372,26 @@ class HomSearch {
   SolverWorkspace& ws_;
 };
 
-// --- Component factorization -------------------------------------------
+}  // namespace
 
-// Factorization rewrites hom(A, B) through the connected components of
-// A's Gaifman graph: a homomorphism is exactly an independent choice of
-// homomorphism per component, so existence is a conjunction and the
-// count is a product. It is skipped when the options couple the
-// components globally: surjectivity constrains the union of the images,
-// and forced pairs name elements of the unsplit universe.
-bool FactorizationApplies(const HomOptions& options) {
-  return options.factorize && !options.surjective && options.forced.empty();
+void RunSerialHomKernel(
+    const Structure& a, const Structure& b, const KernelOptions& options,
+    Budget& budget,
+    const std::function<bool(const std::vector<int>&)>& emit) {
+  HomSearch search(a, b, options, budget);
+  search.Run(emit);
 }
 
-// Element lists of the Gaifman components of `a`, or empty when there
-// are fewer than two (factorization is then the identity).
-std::vector<std::vector<int>> SourceComponents(const Structure& a) {
-  if (a.UniverseSize() < 2) return {};
-  int num_components = 0;
-  const std::vector<int> comp =
-      ConnectedComponents(GaifmanGraph(a), &num_components);
-  if (num_components < 2) return {};
-  std::vector<std::vector<int>> elements(static_cast<size_t>(num_components));
-  for (int v = 0; v < a.UniverseSize(); ++v) {
-    elements[static_cast<size_t>(comp[static_cast<size_t>(v)])].push_back(v);
-  }
-  return elements;
-}
+namespace {
 
-Outcome<std::optional<std::vector<int>>> FindFactorized(
-    const Structure& a, const Structure& b, Budget& budget,
-    const HomOptions& options,
-    const std::vector<std::vector<int>>& components) {
-  using Result = Outcome<std::optional<std::vector<int>>>;
-  HomOptions sub_options = options;
-  sub_options.factorize = false;  // components are connected: don't re-split
-  std::vector<int> h(static_cast<size_t>(a.UniverseSize()), -1);
-  for (const std::vector<int>& elements : components) {
-    const Structure sub = a.InducedSubstructure(elements);
-    auto found = FindHomomorphismBudgeted(sub, b, budget, sub_options);
-    if (!found.IsDone()) return Result::StoppedShort(found.Report());
-    if (!found.Value().has_value()) {
-      // One component with no homomorphism is a certain global "no".
-      return Result::Done(std::nullopt, budget.Report());
-    }
-    const std::vector<int>& sub_h = *found.Value();
-    for (size_t i = 0; i < elements.size(); ++i) {
-      h[static_cast<size_t>(elements[i])] = sub_h[i];
-    }
-  }
-  HOMPRES_CHECK(VerifyHomomorphism(a, b, h));
-  return Result::Done(std::move(h), budget.Report());
-}
-
-Outcome<uint64_t> CountFactorized(
-    const Structure& a, const Structure& b, Budget& budget, uint64_t limit,
-    const HomOptions& options,
-    const std::vector<std::vector<int>>& components) {
-  HomOptions sub_options = options;
-  sub_options.factorize = false;
-  uint64_t product = 1;
-  bool saturated = false;  // the running product has reached `limit`
-  for (const std::vector<int>& elements : components) {
-    const Structure sub = a.InducedSubstructure(elements);
-    // Once the product has reached the limit, later components only
-    // matter through "zero or not": count them with limit 1. Clamping
-    // the per-component counts at `limit` keeps each sub-enumeration
-    // bounded without changing min(total, limit): if some component
-    // count was clamped, the true total is already >= limit.
-    const uint64_t sub_limit = saturated ? 1 : limit;
-    auto counted =
-        CountHomomorphismsBudgeted(sub, b, budget, sub_limit, sub_options);
-    if (!counted.IsDone()) {
-      return Outcome<uint64_t>::StoppedShort(counted.Report());
-    }
-    if (counted.Value() == 0) {
-      return Outcome<uint64_t>::Done(0, budget.Report());
-    }
-    if (!saturated) {
-      product = SatMul(product, counted.Value());
-      if (limit != 0 && product >= limit) {
-        product = limit;
-        saturated = true;
-      }
-    }
-  }
-  return Outcome<uint64_t>::Done(product, budget.Report());
-}
-
-// --- Result cache -------------------------------------------------------
-
-// Digest of the options fields that change the has/count answer. Engine
-// selection (use_arc_consistency, use_index, num_threads, factorize,
-// deterministic_witness) is excluded: every engine returns the same
-// has/count by contract, so they share cache entries.
-uint64_t CacheOptionsDigest(const HomOptions& options, uint64_t limit) {
-  uint64_t h = Mix64(options.surjective ? 0x53555246ULL : 0x544F54ULL);
-  for (const auto& [var, val] : options.forced) {
-    h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(var)));
-    h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(val)));
-  }
-  h = Mix64(h ^ limit);
-  return h;
+// Legacy shim: plan in compatibility mode (incompatible options are
+// silently normalized, exactly as the pre-engine entry points behaved)
+// and hand the plan to the engine.
+HomPlan CompatPlan(const HomProblem& problem, const HomOptions& options) {
+  PlanResult planned =
+      PlanHomQuery(problem, options.ToEngineConfig(), PlanMode::kCompat);
+  HOMPRES_CHECK(planned.plan.has_value());
+  return *std::move(planned.plan);
 }
 
 }  // namespace
@@ -482,30 +399,15 @@ uint64_t CacheOptionsDigest(const HomOptions& options, uint64_t limit) {
 Outcome<std::optional<std::vector<int>>> FindHomomorphismBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
     const HomOptions& options) {
-  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-  if (FactorizationApplies(options)) {
-    const std::vector<std::vector<int>> components = SourceComponents(a);
-    if (!components.empty()) {
-      return FindFactorized(a, b, budget, options, components);
-    }
-  }
-  if (options.num_threads > 0) {
-    return ParallelFindHomomorphismBudgeted(a, b, budget, options);
-  }
-  std::optional<std::vector<int>> result;
-  HomSearch search(a, b, options, budget);
-  search.Run([&](const std::vector<int>& h) {
-    result = h;
-    return false;  // stop at the first witness
-  });
-  if (result.has_value()) {
-    HOMPRES_CHECK(VerifyHomomorphism(a, b, *result));
-    // A witness is a witness even if the budget ran out as it was found.
-    return Outcome<std::optional<std::vector<int>>>::Done(std::move(result),
-                                                          budget.Report());
-  }
-  return Outcome<std::optional<std::vector<int>>>::Finish(budget,
-                                                          std::nullopt);
+  using Result = Outcome<std::optional<std::vector<int>>>;
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = HomQueryMode::kFind;
+  auto out = Engine::Execute(CompatPlan(problem, options), budget);
+  if (!out.IsDone()) return Result::StoppedShort(out.Report());
+  const BudgetReport report = out.Report();
+  return Result::Done(std::move(out).TakeValue().witness, report);
 }
 
 std::optional<std::vector<int>> FindHomomorphism(const Structure& a,
@@ -524,29 +426,13 @@ bool HasHomomorphism(const Structure& a, const Structure& b,
 Outcome<bool> HasHomomorphismBudgeted(const Structure& a, const Structure& b,
                                       Budget& budget,
                                       const HomOptions& options) {
-  if (options.use_cache) {
-    HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-    const uint64_t digest = CacheOptionsDigest(options, 0);
-    const uint64_t a_fp = a.Fingerprint();
-    const uint64_t b_fp = b.Fingerprint();
-    if (auto hit = HomCache::Global().Lookup(a_fp, b_fp, digest,
-                                             HomCache::Kind::kHas)) {
-      return Outcome<bool>::Done(*hit != 0, budget.Report());
-    }
-    HomOptions uncached = options;
-    uncached.use_cache = false;
-    auto found = FindHomomorphismBudgeted(a, b, budget, uncached);
-    if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
-    const bool has = found.Value().has_value();
-    // Only completed answers are cached; an exhausted search proves
-    // nothing about the pair.
-    HomCache::Global().Insert(a_fp, b_fp, digest, HomCache::Kind::kHas,
-                              has ? 1 : 0);
-    return Outcome<bool>::Done(has, found.Report());
-  }
-  auto found = FindHomomorphismBudgeted(a, b, budget, options);
-  if (!found.IsDone()) return Outcome<bool>::StoppedShort(found.Report());
-  return Outcome<bool>::Done(found.Value().has_value(), found.Report());
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = HomQueryMode::kHas;
+  auto out = Engine::Execute(CompatPlan(problem, options), budget);
+  if (!out.IsDone()) return Outcome<bool>::StoppedShort(out.Report());
+  return Outcome<bool>::Done(out.Value().has, out.Report());
 }
 
 bool VerifyHomomorphism(const Structure& a, const Structure& b,
@@ -580,43 +466,14 @@ Outcome<uint64_t> CountHomomorphismsBudgeted(const Structure& a,
                                              const Structure& b,
                                              Budget& budget, uint64_t limit,
                                              const HomOptions& options) {
-  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-  if (options.use_cache) {
-    const uint64_t digest = CacheOptionsDigest(options, limit);
-    const uint64_t a_fp = a.Fingerprint();
-    const uint64_t b_fp = b.Fingerprint();
-    if (auto hit = HomCache::Global().Lookup(a_fp, b_fp, digest,
-                                             HomCache::Kind::kCount)) {
-      return Outcome<uint64_t>::Done(*hit, budget.Report());
-    }
-    HomOptions uncached = options;
-    uncached.use_cache = false;
-    auto counted = CountHomomorphismsBudgeted(a, b, budget, limit, uncached);
-    if (counted.IsDone()) {
-      HomCache::Global().Insert(a_fp, b_fp, digest, HomCache::Kind::kCount,
-                                counted.Value());
-    }
-    return counted;
-  }
-  if (FactorizationApplies(options)) {
-    const std::vector<std::vector<int>> components = SourceComponents(a);
-    if (!components.empty()) {
-      return CountFactorized(a, b, budget, limit, options, components);
-    }
-  }
-  if (options.num_threads > 0) {
-    return ParallelCountHomomorphismsBudgeted(a, b, budget, limit, options);
-  }
-  uint64_t count = 0;
-  auto ran = EnumerateHomomorphismsBudgeted(
-      a, b, budget,
-      [&](const std::vector<int>&) {
-        ++count;
-        return limit == 0 || count < limit;
-      },
-      options);
-  if (!ran.IsDone()) return Outcome<uint64_t>::StoppedShort(ran.Report());
-  return Outcome<uint64_t>::Done(count, ran.Report());
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = HomQueryMode::kCount;
+  problem.limit = limit;
+  auto out = Engine::Execute(CompatPlan(problem, options), budget);
+  if (!out.IsDone()) return Outcome<uint64_t>::StoppedShort(out.Report());
+  return Outcome<uint64_t>::Done(out.Value().count, out.Report());
 }
 
 void EnumerateHomomorphisms(
@@ -631,25 +488,14 @@ Outcome<bool> EnumerateHomomorphismsBudgeted(
     const Structure& a, const Structure& b, Budget& budget,
     const std::function<bool(const std::vector<int>&)>& callback,
     const HomOptions& options) {
-  HOMPRES_CHECK(a.GetVocabulary() == b.GetVocabulary());
-  // Enumeration is always serial and monolithic: the callback makes no
-  // thread-safety promise, and factorization would visit assignments in
-  // per-component order rather than the solver's global value order.
-  HomOptions serial = options;
-  serial.num_threads = 0;
-  bool callback_stopped = false;
-  HomSearch search(a, b, serial, budget);
-  search.Run([&](const std::vector<int>& h) {
-    if (!callback(h)) {
-      callback_stopped = true;
-      return false;
-    }
-    return true;
-  });
-  if (callback_stopped) {
-    return Outcome<bool>::Done(false, budget.Report());
-  }
-  return Outcome<bool>::Finish(budget, true);
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = HomQueryMode::kEnumerate;
+  problem.callback = callback;
+  auto out = Engine::Execute(CompatPlan(problem, options), budget);
+  if (!out.IsDone()) return Outcome<bool>::StoppedShort(out.Report());
+  return Outcome<bool>::Done(out.Value().enumeration_completed, out.Report());
 }
 
 }  // namespace hompres

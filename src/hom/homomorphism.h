@@ -24,11 +24,19 @@
 
 #include "base/budget.h"
 #include "base/outcome.h"
+#include "engine/config.h"
 #include "structure/structure.h"
 
 namespace hompres {
 
 // Options for the homomorphism search.
+//
+// Compatibility shim: HomOptions predates the engine layer and survives
+// as a field-for-field mirror of EngineConfig (engine/config.h). The
+// entry points below plan in compatibility mode — incompatible
+// combinations (see engine/plan.h) are silently normalized, preserving
+// the historical behavior. New code should build an EngineConfig and
+// call the engine (engine/engine.h) directly, getting strict validation.
 struct HomOptions {
   // Require the witness to be surjective onto the target's universe
   // (used by Lemma 7.3: minimal models are surjective images).
@@ -87,6 +95,20 @@ struct HomOptions {
   // one engine's memoized answer mask another engine's bug. The
   // preservation pipeline, core search, and UCQ evaluation opt in.
   bool use_cache = false;
+
+  // The engine-layer equivalent of these options (field for field).
+  EngineConfig ToEngineConfig() const {
+    EngineConfig config;
+    config.surjective = surjective;
+    config.forced = forced;
+    config.use_arc_consistency = use_arc_consistency;
+    config.use_index = use_index;
+    config.num_threads = num_threads;
+    config.deterministic_witness = deterministic_witness;
+    config.factorize = factorize;
+    config.use_cache = use_cache;
+    return config;
+  }
 };
 
 // Returns a homomorphism from a to b as an element map, or nullopt.

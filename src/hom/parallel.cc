@@ -8,6 +8,7 @@
 #include "base/check.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
+#include "engine/ordering.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -19,51 +20,18 @@ namespace {
 // deterministic_witness winner).
 using SplitPlan = std::vector<std::vector<std::pair<int, int>>>;
 
-// Maximum number of subtree tasks: enough to load the pool several times
-// over (work stealing evens out subtree-size skew) without drowning in
-// per-task setup.
-constexpr size_t kMaxTasks = 512;
-
-// Picks the source elements that occur in the most tuples (the most
-// constrained decisions) and crosses their value ranges until there are
-// enough tasks to keep `num_threads` workers busy. Returns an empty plan
-// when splitting is pointless (trivial instance, or m < 2).
+// Crosses the value ranges of the planner-chosen split elements
+// (engine/ordering.h: the highest-occurrence source elements) into one
+// forced-pair prefix per task. Returns an empty plan when splitting is
+// pointless (trivial instance, or m < 2).
 SplitPlan PlanSplit(const Structure& a, const Structure& b,
                     const HomOptions& options, int num_threads) {
-  const int n = a.UniverseSize();
+  const SplitChoice choice =
+      ChooseSplitElements(a, b, options.forced, num_threads);
+  if (choice.elements.empty()) return {};
   const int m = b.UniverseSize();
-  if (n == 0 || m < 2 || a.NumTuples() == 0) return {};
-  // Occurrence counts come from the cached index (one hoisted pass
-  // instead of a rescan per PlanSplit call).
-  const std::vector<int>& occurrences = a.Index().ElementOccurrences();
-  std::vector<bool> already_forced(static_cast<size_t>(n), false);
-  for (const auto& [var, val] : options.forced) {
-    (void)val;
-    if (var >= 0 && var < n) already_forced[static_cast<size_t>(var)] = true;
-  }
-  std::vector<int> candidates;
-  for (int v = 0; v < n; ++v) {
-    if (!already_forced[static_cast<size_t>(v)] &&
-        occurrences[static_cast<size_t>(v)] > 0) {
-      candidates.push_back(v);
-    }
-  }
-  std::stable_sort(candidates.begin(), candidates.end(), [&](int x, int y) {
-    return occurrences[static_cast<size_t>(x)] >
-           occurrences[static_cast<size_t>(y)];
-  });
-  const size_t target = 2 * static_cast<size_t>(num_threads);
-  std::vector<int> split_elements;
-  size_t num_tasks = 1;
-  for (int v : candidates) {
-    if (num_tasks >= target || split_elements.size() >= 3) break;
-    if (num_tasks * static_cast<size_t>(m) > kMaxTasks) break;
-    split_elements.push_back(v);
-    num_tasks *= static_cast<size_t>(m);
-  }
-  if (split_elements.empty()) return {};
   SplitPlan plan(1);
-  for (int v : split_elements) {
+  for (int v : choice.elements) {
     SplitPlan next;
     next.reserve(plan.size() * static_cast<size_t>(m));
     for (const auto& prefix : plan) {
@@ -170,21 +138,14 @@ Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
       return Result::Done(std::move(state.witness), budget.Report());
     }
   }
-  bool any_incomplete = false;
-  bool any_deadline = false;
+  WorkerStopScan scan;
   for (const TaskState& state : states) {
-    if (state.completed) continue;
-    any_incomplete = true;
-    any_deadline |= state.stop == StopReason::kDeadline;
+    scan.Observe(state.completed, state.stop);
   }
-  if (!any_incomplete) {
+  if (!scan.AnyIncomplete()) {
     return Result::Done(std::nullopt, budget.Report());
   }
-  BudgetReport report = budget.Report();
-  if (report.reason == StopReason::kNone) {
-    report.reason = CombineWorkerStops(external_cancel, any_deadline);
-  }
-  return Result::StoppedShort(report);
+  return Result::StoppedShort(scan.StoppedReport(budget, external_cancel));
 }
 
 std::optional<std::vector<int>> ParallelFindHomomorphism(
@@ -268,19 +229,12 @@ Outcome<uint64_t> ParallelCountHomomorphismsBudgeted(
   if (limit != 0 && total >= limit) {
     return Result::Done(limit, budget.Report());
   }
-  bool any_incomplete = false;
-  bool any_deadline = false;
+  WorkerStopScan scan;
   for (const TaskState& state : states) {
-    if (state.completed) continue;
-    any_incomplete = true;
-    any_deadline |= state.stop == StopReason::kDeadline;
+    scan.Observe(state.completed, state.stop);
   }
-  if (!any_incomplete) return Result::Done(total, budget.Report());
-  BudgetReport report = budget.Report();
-  if (report.reason == StopReason::kNone) {
-    report.reason = CombineWorkerStops(external_cancel, any_deadline);
-  }
-  return Result::StoppedShort(report);
+  if (!scan.AnyIncomplete()) return Result::Done(total, budget.Report());
+  return Result::StoppedShort(scan.StoppedReport(budget, external_cancel));
 }
 
 uint64_t ParallelCountHomomorphisms(const Structure& a, const Structure& b,

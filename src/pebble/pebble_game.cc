@@ -9,6 +9,7 @@
 #include "base/check.h"
 #include "base/hash.h"
 #include "base/subsets.h"
+#include "engine/engine.h"
 
 namespace hompres {
 
@@ -28,29 +29,6 @@ struct PartialMapHash {
   }
 };
 
-// Is p (restricted to its domain) a partial homomorphism? A tuple of A is
-// checked only when all its entries are in the domain.
-bool IsPartialHomomorphism(const Structure& a, const Structure& b,
-                           const PartialMap& p) {
-  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
-    for (const Tuple& t : a.Tuples(rel)) {
-      Tuple image;
-      image.reserve(t.size());
-      bool full = true;
-      for (int e : t) {
-        const int v = p[static_cast<size_t>(e)];
-        if (v == -1) {
-          full = false;
-          break;
-        }
-        image.push_back(v);
-      }
-      if (full && !b.HasTuple(rel, image)) return false;
-    }
-  }
-  return true;
-}
-
 }  // namespace
 
 Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
@@ -67,32 +45,36 @@ Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
     return Outcome<bool>::Finish(budget, false);
   }
 
-  // Enumerate all partial homomorphisms with domain size <= k. One budget
-  // step per candidate map; the family itself is charged as memory.
+  // Enumerate all partial homomorphisms with domain size <= k. A partial
+  // map with domain D is exactly a total homomorphism from the induced
+  // substructure A|D (InducedSubstructure keeps the tuples lying fully
+  // inside D, renumbering D's i-th element to i), so the family is built
+  // by one engine enumeration query per domain — the kernel's
+  // propagation prunes the m^|D| candidate grid the old setup loop
+  // checked one map at a time. Budget steps are search nodes; the family
+  // itself is charged as memory, as before.
   std::map<PartialMap, bool> alive;  // value: still in the family
   const int max_domain = std::min(k, n);
   bool stopped = false;
   for (int size = 0; size <= max_domain && !stopped; ++size) {
     ForEachCombination(n, size, [&](const std::vector<int>& domain) {
-      return ForEachTuple(m, size, [&](const std::vector<int>& values) {
-        if (!budget.Checkpoint()) {
-          stopped = true;
-          return false;
-        }
-        PartialMap p(static_cast<size_t>(n), -1);
-        for (int i = 0; i < size; ++i) {
-          p[static_cast<size_t>(domain[static_cast<size_t>(i)])] =
-              values[static_cast<size_t>(i)];
-        }
-        if (IsPartialHomomorphism(a, b, p)) {
-          if (!budget.ChargeMemory(sizeof(int) * p.size())) {
-            stopped = true;
-            return false;
-          }
-          alive.emplace(std::move(p), true);
-        }
-        return true;
-      });
+      const Structure sub = a.InducedSubstructure(domain);
+      auto ran = Engine::Enumerate(
+          sub, b, budget,
+          [&](const std::vector<int>& h) {
+            PartialMap p(static_cast<size_t>(n), -1);
+            for (size_t i = 0; i < domain.size(); ++i) {
+              p[static_cast<size_t>(domain[i])] = h[i];
+            }
+            if (!budget.ChargeMemory(sizeof(int) * p.size())) {
+              stopped = true;
+              return false;
+            }
+            alive.emplace(std::move(p), true);
+            return true;
+          });
+      if (!ran.IsDone()) stopped = true;  // budget stopped mid-enumeration
+      return !stopped;
     });
   }
   if (stopped) return Outcome<bool>::StoppedShort(budget.Report());

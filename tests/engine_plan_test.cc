@@ -1,0 +1,353 @@
+// Tests for the engine's planning layer: determinism and golden-stable
+// Explain/Summary output, the audited validation table in both strict
+// and compatibility modes, the cache/factorization/parallel passes, and
+// the execution-side guarantees the plans encode (a cache hit charges no
+// budget steps; an out-of-range forced pair is a certain "no" without
+// search).
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/budget.h"
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "engine/ordering.h"
+#include "engine/plan.h"
+#include "engine/problem.h"
+#include "gtest/gtest.h"
+#include "hom/hom_cache.h"
+#include "structure/structure.h"
+
+namespace hompres {
+namespace {
+
+Vocabulary GraphVocabulary() {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  return voc;
+}
+
+// Path 0 - 1 - 2: one Gaifman component, element 1 in two tuples.
+Structure Path3() {
+  Structure a(GraphVocabulary(), 3);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {1, 2});
+  return a;
+}
+
+// Two disjoint edges: two Gaifman components {0,1} and {2,3}.
+Structure TwoEdges() {
+  Structure a(GraphVocabulary(), 4);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {2, 3});
+  return a;
+}
+
+// Triangle 0-1-2 (directed cycle plus reverse edges): every path maps in.
+Structure Triangle() {
+  Structure b(GraphVocabulary(), 3);
+  b.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 2});
+  b.AddTuple(0, {2, 0});
+  b.AddTuple(0, {1, 0});
+  b.AddTuple(0, {2, 1});
+  b.AddTuple(0, {0, 2});
+  return b;
+}
+
+HomProblem MakeProblem(const Structure& a, const Structure& b,
+                       HomQueryMode mode) {
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = mode;
+  return problem;
+}
+
+TEST(EnginePlan, PlanningIsDeterministic) {
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  for (const HomQueryMode mode :
+       {HomQueryMode::kHas, HomQueryMode::kFind, HomQueryMode::kCount,
+        HomQueryMode::kEnumerate}) {
+    HomProblem problem = MakeProblem(a, b, mode);
+    if (mode == HomQueryMode::kEnumerate) {
+      problem.callback = [](const std::vector<int>&) { return true; };
+    }
+    EngineConfig config;
+    config.num_threads = 2;
+    const PlanResult first = PlanHomQuery(problem, config, PlanMode::kCompat);
+    const PlanResult second = PlanHomQuery(problem, config, PlanMode::kCompat);
+    ASSERT_TRUE(first.plan.has_value());
+    ASSERT_TRUE(second.plan.has_value());
+    EXPECT_EQ(first.plan->Explain(), second.plan->Explain());
+    EXPECT_EQ(first.plan->Summary(), second.plan->Summary());
+  }
+}
+
+TEST(EnginePlan, ExplainAndSummaryAreGoldenStable) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  const PlanResult planned =
+      PlanHomQuery(MakeProblem(a, b, HomQueryMode::kFind), EngineConfig{});
+  ASSERT_TRUE(planned.plan.has_value());
+  EXPECT_EQ(planned.plan->Summary(),
+            "mode=find strategy=serial kernel=ac-bitset components=1 "
+            "tasks=1 cache=0");
+  EXPECT_EQ(planned.plan->Explain(),
+            "HomPlan\n"
+            "  mode: find\n"
+            "  strategy: serial\n"
+            "  kernel: ac-bitset (index narrowing on)\n"
+            "  cache: off\n"
+            "  components: 1 (monolithic)\n"
+            "  split: none\n"
+            "  forced: 0 pairs\n"
+            "  adjustments: none\n");
+}
+
+TEST(EnginePlan, StrictModeRejectsEachAuditedCombination) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  const auto expect_error = [&](const HomProblem& problem,
+                                const EngineConfig& config,
+                                PlanErrorCode code) {
+    const PlanResult planned = PlanHomQuery(problem, config, PlanMode::kStrict);
+    ASSERT_TRUE(planned.error.has_value())
+        << "expected " << PlanErrorCodeName(code);
+    EXPECT_EQ(static_cast<int>(planned.error->code), static_cast<int>(code));
+    EXPECT_FALSE(planned.plan.has_value());
+    // The stable name leads the message, so callers can match on it.
+    EXPECT_EQ(planned.error->message.rfind(PlanErrorCodeName(code), 0), 0u)
+        << planned.error->message;
+  };
+
+  {
+    EngineConfig config;
+    config.use_cache = true;
+    expect_error(MakeProblem(a, b, HomQueryMode::kFind), config,
+                 PlanErrorCode::kCacheWithFind);
+    HomProblem problem = MakeProblem(a, b, HomQueryMode::kEnumerate);
+    problem.callback = [](const std::vector<int>&) { return true; };
+    expect_error(problem, config, PlanErrorCode::kCacheWithEnumerate);
+  }
+  {
+    EngineConfig config;
+    config.surjective = true;  // factorize defaults on
+    expect_error(MakeProblem(a, b, HomQueryMode::kHas), config,
+                 PlanErrorCode::kFactorizeWithSurjective);
+  }
+  {
+    EngineConfig config;
+    config.forced.emplace_back(0, 0);
+    expect_error(MakeProblem(a, b, HomQueryMode::kHas), config,
+                 PlanErrorCode::kFactorizeWithForced);
+  }
+  {
+    EngineConfig config;
+    config.use_arc_consistency = false;  // use_index defaults on
+    expect_error(MakeProblem(a, b, HomQueryMode::kHas), config,
+                 PlanErrorCode::kIndexWithoutArcConsistency);
+  }
+  {
+    Vocabulary other;
+    other.AddRelation("R", 1);
+    const Structure mismatched(other, 1);
+    expect_error(MakeProblem(a, mismatched, HomQueryMode::kHas),
+                 EngineConfig{}, PlanErrorCode::kVocabularyMismatch);
+  }
+  expect_error(MakeProblem(a, b, HomQueryMode::kEnumerate), EngineConfig{},
+               PlanErrorCode::kMissingCallback);
+  {
+    HomProblem problem = MakeProblem(a, b, HomQueryMode::kFind);
+    problem.limit = 5;
+    expect_error(problem, EngineConfig{}, PlanErrorCode::kLimitOutsideCount);
+  }
+}
+
+TEST(EnginePlan, ModeDrivenNormalizationsApplyEvenInStrictMode) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  // Enumeration is always serial and monolithic: the default config must
+  // stay valid in every mode, so these are adjustments, not errors.
+  HomProblem problem = MakeProblem(a, b, HomQueryMode::kEnumerate);
+  problem.callback = [](const std::vector<int>&) { return true; };
+  EngineConfig config;
+  config.num_threads = 4;
+  const PlanResult planned = PlanHomQuery(problem, config, PlanMode::kStrict);
+  ASSERT_TRUE(planned.plan.has_value());
+  EXPECT_EQ(planned.plan->config.num_threads, 0);
+  EXPECT_FALSE(planned.plan->config.factorize);
+  EXPECT_EQ(planned.plan->adjustments.size(), 2u);
+  EXPECT_EQ(static_cast<int>(planned.plan->strategy),
+            static_cast<int>(ExecStrategy::kSerial));
+
+  // deterministic_witness is a no-op without a thread pool.
+  EngineConfig det;
+  det.deterministic_witness = true;
+  const PlanResult det_planned =
+      PlanHomQuery(MakeProblem(a, b, HomQueryMode::kFind), det,
+                   PlanMode::kStrict);
+  ASSERT_TRUE(det_planned.plan.has_value());
+  EXPECT_FALSE(det_planned.plan->config.deterministic_witness);
+  EXPECT_EQ(det_planned.plan->adjustments.size(), 1u);
+}
+
+TEST(EnginePlan, CompatModeNormalizesAndRecordsAdjustments) {
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  EngineConfig config;
+  config.use_cache = true;           // incompatible with find
+  config.surjective = true;          // incompatible with factorize
+  config.use_arc_consistency = false;  // incompatible with use_index
+  const PlanResult planned = PlanHomQuery(
+      MakeProblem(a, b, HomQueryMode::kFind), config, PlanMode::kCompat);
+  ASSERT_TRUE(planned.plan.has_value());
+  const HomPlan& plan = *planned.plan;
+  EXPECT_FALSE(plan.config.use_cache);
+  EXPECT_FALSE(plan.config.factorize);
+  EXPECT_FALSE(plan.config.use_index);
+  EXPECT_EQ(plan.adjustments.size(), 3u);
+  EXPECT_FALSE(plan.consult_cache);
+  // Surjectivity survives normalization and forces the monolithic serial
+  // naive kernel.
+  EXPECT_TRUE(plan.config.surjective);
+  EXPECT_EQ(static_cast<int>(plan.kernel),
+            static_cast<int>(SerialKernel::kNaiveBacktracking));
+  EXPECT_EQ(static_cast<int>(plan.strategy),
+            static_cast<int>(ExecStrategy::kSerial));
+}
+
+TEST(EnginePlan, CachePlansDeferDispatchAndCarryFingerprints) {
+  const Structure a = TwoEdges();  // would factorize without the cache
+  const Structure b = Triangle();
+  EngineConfig config;
+  config.use_cache = true;
+  const PlanResult planned = PlanHomQuery(
+      MakeProblem(a, b, HomQueryMode::kHas), config, PlanMode::kStrict);
+  ASSERT_TRUE(planned.plan.has_value());
+  const HomPlan& plan = *planned.plan;
+  EXPECT_TRUE(plan.consult_cache);
+  // Dispatch analysis is deferred to the cache-miss path: no component
+  // or split work is done up front.
+  EXPECT_TRUE(plan.components.empty());
+  EXPECT_TRUE(plan.split_elements.empty());
+  EXPECT_EQ(plan.source_fingerprint, a.Fingerprint());
+  EXPECT_EQ(plan.target_fingerprint, b.Fingerprint());
+  EXPECT_EQ(plan.options_digest, CacheOptionsDigest(plan.config, 0));
+}
+
+TEST(EnginePlan, FactorizationPassSplitsDisconnectedSources) {
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  const PlanResult planned =
+      PlanHomQuery(MakeProblem(a, b, HomQueryMode::kHas), EngineConfig{});
+  ASSERT_TRUE(planned.plan.has_value());
+  EXPECT_EQ(static_cast<int>(planned.plan->strategy),
+            static_cast<int>(ExecStrategy::kFactorized));
+  ASSERT_EQ(planned.plan->components.size(), 2u);
+  EXPECT_EQ(planned.plan->components[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(planned.plan->components[1], (std::vector<int>{2, 3}));
+
+  // A connected source stays monolithic.
+  const Structure path = Path3();
+  const PlanResult connected =
+      PlanHomQuery(MakeProblem(path, b, HomQueryMode::kHas), EngineConfig{});
+  ASSERT_TRUE(connected.plan.has_value());
+  EXPECT_EQ(static_cast<int>(connected.plan->strategy),
+            static_cast<int>(ExecStrategy::kSerial));
+  EXPECT_TRUE(connected.plan->components.empty());
+}
+
+TEST(EnginePlan, ParallelPassChoosesOccurrenceOrderedSplits) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  EngineConfig config;
+  config.num_threads = 2;
+  const PlanResult planned = PlanHomQuery(
+      MakeProblem(a, b, HomQueryMode::kHas), config, PlanMode::kStrict);
+  ASSERT_TRUE(planned.plan.has_value());
+  const HomPlan& plan = *planned.plan;
+  EXPECT_EQ(static_cast<int>(plan.strategy),
+            static_cast<int>(ExecStrategy::kParallelSplit));
+  EXPECT_GE(plan.split_tasks, 2u);
+  ASSERT_FALSE(plan.split_elements.empty());
+  // Element 1 occurs in two tuples, the endpoints in one each: the
+  // occurrence order branches on 1 first.
+  EXPECT_EQ(plan.split_elements[0], 1);
+  // Each split element crosses in the full target range.
+  EXPECT_EQ(plan.split_tasks,
+            static_cast<size_t>(std::pow(3, plan.split_elements.size())));
+}
+
+TEST(EnginePlan, SplitChoiceRespectsCapsAndTrivialTargets) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  const SplitChoice choice = ChooseSplitElements(a, b, {}, 2);
+  EXPECT_LE(choice.elements.size(), 3u);
+  EXPECT_LE(choice.num_tasks, 512u);
+  EXPECT_GE(choice.num_tasks, 2u);
+
+  // Target universe < 2: nothing to split over.
+  const Structure point(GraphVocabulary(), 1);
+  const SplitChoice trivial = ChooseSplitElements(a, point, {}, 2);
+  EXPECT_TRUE(trivial.elements.empty());
+  EXPECT_EQ(trivial.num_tasks, 1u);
+}
+
+TEST(EnginePlan, CacheHitAnswersWithZeroBudgetSteps) {
+  HomCache::Global().Clear();
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  EngineConfig config;
+  config.use_cache = true;
+
+  // Warm the cache.
+  Budget warm = Budget::Unlimited();
+  ASSERT_TRUE(Engine::Has(a, b, warm, config).Value());
+
+  // A zero-step budget fails every Checkpoint, so completing proves the
+  // hit path charges nothing.
+  const PlanResult planned = PlanHomQuery(
+      MakeProblem(a, b, HomQueryMode::kHas), config, PlanMode::kStrict);
+  ASSERT_TRUE(planned.plan.has_value());
+  Budget zero = Budget::MaxSteps(0);
+  ExecutionTrace trace;
+  const auto out = Engine::Execute(*planned.plan, zero, &trace);
+  ASSERT_TRUE(out.IsDone());
+  EXPECT_TRUE(out.Value().has);
+  EXPECT_TRUE(trace.cache_consulted);
+  EXPECT_TRUE(trace.cache_hit);
+  EXPECT_EQ(trace.steps_charged, 0u);
+}
+
+TEST(EnginePlan, OutOfRangeForcedPairIsACertainNoWithoutSearch) {
+  const Structure a = Path3();
+  const Structure b = Triangle();
+  EngineConfig config;
+  config.forced.emplace_back(0, 99);  // 99 outside b's universe
+  config.factorize = false;
+  const PlanResult planned = PlanHomQuery(
+      MakeProblem(a, b, HomQueryMode::kHas), config, PlanMode::kStrict);
+  ASSERT_TRUE(planned.plan.has_value());
+  EXPECT_FALSE(planned.plan->forced_in_range);
+  Budget zero = Budget::MaxSteps(0);  // the certain "no" must not search
+  const auto out = Engine::Execute(*planned.plan, zero);
+  ASSERT_TRUE(out.IsDone());
+  EXPECT_FALSE(out.Value().has);
+}
+
+TEST(EnginePlan, GreedyBoundFirstAtomOrderPrefersBoundSlots) {
+  // All atoms start unbound: ties keep the original order.
+  EXPECT_EQ(GreedyBoundFirstAtomOrder({{0, 1}, {1, 2}, {2, 3}}, 4),
+            (std::vector<int>{0, 1, 2}));
+  // After atom 0 binds {2, 3}, atom 2 shares a slot and jumps the queue.
+  EXPECT_EQ(GreedyBoundFirstAtomOrder({{2, 3}, {0, 1}, {1, 2}}, 4),
+            (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(GreedyBoundFirstAtomOrder({}, 0), (std::vector<int>{}));
+}
+
+}  // namespace
+}  // namespace hompres
