@@ -20,6 +20,13 @@ additionally diffed: a changed kernel= or components= token is printed as
 a PLAN CHANGE warning. Plan changes are informational, never fatal — they
 explain timing shifts (a query that stopped factorizing, a kernel swap)
 rather than gate them.
+
+The exception is the "degraded=" token: the engine stamps it only when a
+run fell down the degradation ladder (index -> scan, parallel -> serial,
+...; see DESIGN.md §4.6). A current row carrying a degraded kind absent
+from its baseline row means the bench silently measured a fallback path
+— for example, an index build failing on the runner — so it fails the
+gate like a timing regression does.
 """
 
 import json
@@ -60,6 +67,14 @@ def plan_tokens(summary):
     return tokens
 
 
+def degraded_kinds(summary):
+    """The degradation kinds of a plan summary ("degraded=a+b"), as a set."""
+    for part in summary.split():
+        if part.startswith("degraded="):
+            return set(part[len("degraded="):].split("+")) - {""}
+    return set()
+
+
 def main(argv):
     threshold = 3.0
     paths = []
@@ -92,12 +107,21 @@ def main(argv):
             regressions.append((ratio, key))
 
     # Non-fatal plan diffs: a changed kernel, strategy, or component
-    # count explains (or predicts) a timing shift.
+    # count explains (or predicts) a timing shift. Unexpected degraded=
+    # tokens are fatal: the current run silently measured a fallback.
     plan_changes = 0
+    degradations = []
     for key in shared:
-        if key not in base_plans or key not in cur_plans:
+        if key not in cur_plans:
             continue
-        before = plan_tokens(base_plans[key])
+        base_plan = base_plans.get(key, "")
+        unexpected = sorted(degraded_kinds(cur_plans[key]) -
+                            degraded_kinds(base_plan))
+        if unexpected:
+            degradations.append((key, unexpected))
+        if key not in base_plans:
+            continue
+        before = plan_tokens(base_plan)
         after = plan_tokens(cur_plans[key])
         changed = sorted(name for name in set(before) | set(after)
                          if before.get(name) != after.get(name))
@@ -113,6 +137,8 @@ def main(argv):
           f"(threshold {threshold:.1f}x on real_time_ns)")
     if plan_changes:
         print(f"{plan_changes} row(s) changed plan (informational)")
+    for (bench, name), kinds in degradations:
+        print(f"DEGRADED  {bench}  {name}  ({'+'.join(kinds)})")
     if regressions:
         regressions.sort(reverse=True)
         for ratio, (bench, name) in regressions:
@@ -120,6 +146,11 @@ def main(argv):
                   f"({baseline[(bench, name)]:.0f}ns -> "
                   f"{current[(bench, name)]:.0f}ns)")
         print(f"{len(regressions)} row(s) regressed beyond {threshold:.1f}x",
+              file=sys.stderr)
+        return 1
+    if degradations:
+        print(f"{len(degradations)} row(s) ran degraded with no degraded "
+              "baseline (injected or real fault during the bench run)",
               file=sys.stderr)
         return 1
     print("no regressions")

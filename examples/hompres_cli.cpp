@@ -3,7 +3,8 @@
 // treewidth, FO evaluation, Datalog, scattered sets.
 //
 //   ./build/examples/hompres_cli [--timeout-ms <n>] [--max-steps <n>]
-//                                [--threads <n>] [--explain]
+//                                [--threads <n>] [--retries <n>]
+//                                [--explain]
 //   > let a = |A|=3; E={(0 1),(1 2),(2 0)}
 //   > let b = |A|=2; E={(0 1),(1 0)}
 //   > hom a b
@@ -15,14 +16,22 @@
 // --timeout-ms / --max-steps bound every search command; a search that
 // hits the budget prints "budget exhausted" instead of hanging.
 // --threads <n> runs the hom / core / datalog commands on n worker
-// threads (0, the default, is the serial engine). --explain prints the
-// engine's query plan and execution trace before each hom answer.
+// threads (0, the default, is the serial engine). --retries <n> reruns
+// an exhausted hom query up to n more times with geometrically
+// escalating budgets (base/retry.h). --explain prints the engine's
+// query plan and execution trace before each hom answer.
+//
+// SIGINT / SIGTERM raise a cancel flag checked by every budgeted
+// command: the running search stops with reason=cancelled, its partial
+// budget report is printed, and the shell exits.
 //
 // Exit codes: 0 = all commands completed, 2 = some command exhausted its
 // budget, 3 = some input failed to parse (parse errors win over budget
-// exhaustion).
+// exhaustion), 4 = interrupted by SIGINT/SIGTERM (wins over 2 and 3).
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +43,7 @@
 #include "base/budget.h"
 #include "base/outcome.h"
 #include "base/parse_error.h"
+#include "base/retry.h"
 #include "core/preservation.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -58,11 +68,22 @@ constexpr int kExitDone = 0;
 constexpr int kExitUsage = 1;
 constexpr int kExitExhausted = 2;
 constexpr int kExitParseError = 3;
+constexpr int kExitInterrupted = 4;
+
+// Raised by SIGINT/SIGTERM; every budgeted command polls it through its
+// budget's cancel flag, so a Ctrl-C stops the search at the next
+// checkpoint instead of killing the process mid-write.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void HandleInterrupt(int /*signum*/) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 struct CliLimits {
   uint64_t max_steps = 0;       // 0 = unlimited
   uint64_t timeout_ms = 0;      // 0 = unlimited
   uint64_t threads = 0;         // 0 = serial engines
+  uint64_t retries = 0;         // extra escalated hom attempts
   bool explain = false;         // print plan + trace for hom queries
 };
 
@@ -72,7 +93,21 @@ Budget MakeBudget(const CliLimits& limits) {
   if (limits.timeout_ms != 0) {
     budget.WithTimeout(std::chrono::milliseconds(limits.timeout_ms));
   }
+  budget.WithCancelFlag(&g_interrupted);
   return budget;
+}
+
+// The hom command's escalation schedule: attempt 0 runs with the CLI
+// limits; each of the `retries` extra attempts quadruples both limits.
+RetryPolicy MakeHomRetryPolicy(const CliLimits& limits) {
+  RetryPolicy policy;
+  policy.initial_steps = limits.max_steps;
+  policy.initial_timeout = std::chrono::milliseconds(limits.timeout_ms);
+  policy.max_attempts =
+      1 + static_cast<int>(std::min<uint64_t>(limits.retries, 16));
+  policy.escalation_factor = 4;
+  policy.cancel = &g_interrupted;
+  return policy;
 }
 
 void PrintExhausted(const BudgetReport& report) {
@@ -131,10 +166,13 @@ int main(int argc, char** argv) {
       target = &limits.max_steps;
     } else if (std::strcmp(arg, "--threads") == 0) {
       target = &limits.threads;
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      target = &limits.retries;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --timeout-ms <n>, "
-                   "--max-steps <n>, --threads <n>, --explain)\n",
+                   "--max-steps <n>, --threads <n>, --retries <n>, "
+                   "--explain)\n",
                    arg);
       return kExitUsage;
     }
@@ -148,6 +186,9 @@ int main(int argc, char** argv) {
   const int num_threads =
       static_cast<int>(std::min<uint64_t>(limits.threads, 256));
 
+  std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
+
   std::map<std::string, Structure> environment;
   const Vocabulary voc = GraphVocabulary();
   bool saw_parse_error = false;
@@ -157,6 +198,7 @@ int main(int argc, char** argv) {
   std::printf("> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
+    if (g_interrupted.load(std::memory_order_relaxed)) break;
     std::istringstream in(line);
     std::string command;
     in >> command;
@@ -209,7 +251,6 @@ int main(int argc, char** argv) {
       if (ita == environment.end() || itb == environment.end()) {
         std::printf("error: unknown structure\n");
       } else {
-        Budget budget = MakeBudget(limits);
         EngineConfig config;
         config.num_threads = num_threads;
         config.deterministic_witness = true;  // stable CLI output
@@ -224,8 +265,30 @@ int main(int argc, char** argv) {
         const HomPlan& plan = *planned.plan;
         if (limits.explain) std::printf("%s", plan.Explain().c_str());
         ExecutionTrace trace;
-        auto h = Engine::Execute(plan, budget,
+        const RetrySchedule schedule(MakeHomRetryPolicy(limits));
+        auto run_attempt = [&](int attempt) {
+          trace = ExecutionTrace{};
+          Budget budget = schedule.MakeBudget(attempt);
+          return Engine::Execute(plan, budget,
                                  limits.explain ? &trace : nullptr);
+        };
+        auto h = run_attempt(0);
+        for (int attempt = 1; attempt < schedule.NumAttempts() &&
+                              !h.IsDone() && !h.IsCancelled();
+             ++attempt) {
+          if (!schedule.Backoff(attempt)) break;
+          if (limits.explain) {
+            const RetryAttempt next = schedule.Attempt(attempt);
+            std::printf("retry %d/%d (max_steps=%llu timeout_ms=%lld)\n",
+                        attempt, schedule.NumAttempts() - 1,
+                        static_cast<unsigned long long>(next.max_steps),
+                        static_cast<long long>(
+                            std::chrono::duration_cast<
+                                std::chrono::milliseconds>(next.timeout)
+                                .count()));
+          }
+          h = run_attempt(attempt);
+        }
         if (limits.explain) {
           std::printf("%s\n", trace.ToString().c_str());
         }
@@ -343,6 +406,10 @@ int main(int argc, char** argv) {
     }
     std::printf("> ");
     std::fflush(stdout);
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::printf("\ninterrupted\n");
+    return kExitInterrupted;
   }
   if (saw_parse_error) return kExitParseError;
   if (saw_exhausted) return kExitExhausted;

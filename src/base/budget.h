@@ -72,11 +72,21 @@ class Budget {
     max_steps_ = steps;
     return *this;
   }
+  // A non-positive timeout is an already-expired deadline. A timeout so
+  // large that now + timeout would overflow Clock::time_point saturates
+  // to "no deadline" (the wrapped value would land in the past and stop
+  // the budget immediately, which is the opposite of what a huge timeout
+  // means).
   Budget& WithTimeout(std::chrono::nanoseconds timeout) {
+    const Clock::time_point now = Clock::now();
+    const auto headroom = Clock::time_point::max() - now;
+    if (timeout >= headroom) return *this;  // saturate: unlimited
     has_deadline_ = true;
-    deadline_ = Clock::now() + timeout;
+    deadline_ = now + std::chrono::duration_cast<Clock::duration>(timeout);
     return *this;
   }
+  // Takes an absolute deadline, so no arithmetic and no overflow; pass
+  // Clock::time_point::max() for "effectively never".
   Budget& WithDeadline(Clock::time_point deadline) {
     has_deadline_ = true;
     deadline_ = deadline;
@@ -185,6 +195,15 @@ class Budget {
       return false;
     }
     return true;
+  }
+
+  // Marks the budget stopped with `reason` (no-op if already stopped, or
+  // if reason is kNone). Failure containment uses this to turn a real
+  // resource failure — e.g. std::bad_alloc while growing a kernel
+  // workspace — into a structured stop the caller sees as an ordinary
+  // exhausted Outcome instead of a crash.
+  void ForceStop(StopReason reason) {
+    if (reason_ == StopReason::kNone) reason_ = reason;
   }
 
   // True once any limit has been hit (or the cancel flag observed).

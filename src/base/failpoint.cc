@@ -1,0 +1,187 @@
+#include "base/failpoint.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/hash.h"
+
+namespace hompres {
+
+std::atomic<uint64_t> FailpointRegistry::armed_count_{0};
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+namespace {
+// Arm env-configured failpoints before main() so any binary linking the
+// library honors HOMPRES_FAILPOINTS / HOMPRES_CHAOS_SEED without code
+// changes. AnyArmed() never constructs the registry on its own, so the
+// env spec must be applied eagerly.
+const bool g_env_armed = FailpointRegistry::Global().ArmFromEnv();
+}  // namespace
+
+bool FailpointRegistry::ParseSpec(const std::string& spec, Point* out) {
+  if (spec == "once") {
+    out->mode = Mode::kOnce;
+    return true;
+  }
+  if (spec == "always") {
+    out->mode = Mode::kAlways;
+    return true;
+  }
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string head = spec.substr(0, colon);
+  const std::string arg = spec.substr(colon + 1);
+  if (arg.empty()) return false;
+  if (head == "nth" || head == "every") {
+    uint64_t value = 0;
+    for (const char c : arg) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (value == 0) return false;
+    out->mode = head == "nth" ? Mode::kNth : Mode::kEvery;
+    out->n = value;
+    return true;
+  }
+  if (head == "prob") {
+    char* end = nullptr;
+    const double p = std::strtod(arg.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    if (!(p >= 0.0 && p <= 1.0)) return false;
+    out->mode = Mode::kProb;
+    out->p = p;
+    return true;
+  }
+  return false;
+}
+
+bool FailpointRegistry::Arm(const std::string& name, const std::string& spec) {
+  if (name.empty()) return false;
+  Point point;
+  if (!ParseSpec(spec, &point)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Distinct per-point streams from one seed: mix the seed with a digest
+  // of the name so two points armed "prob:P" do not fire in lockstep.
+  uint64_t digest = seed_;
+  for (const char c : name) {
+    digest = Mix64(digest ^ static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  point.rng_state = digest;
+  const bool was_armed = points_.count(name) != 0;
+  points_[name] = point;
+  if (!was_armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool FailpointRegistry::ArmFromSpec(const std::string& config) {
+  bool ok = true;
+  size_t start = 0;
+  while (start <= config.size()) {
+    size_t end = config.find_first_of(";,", start);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      ok = false;
+      continue;
+    }
+    if (!Arm(entry.substr(0, eq), entry.substr(eq + 1))) ok = false;
+  }
+  return ok;
+}
+
+bool FailpointRegistry::ArmFromEnv() {
+  if (const char* seed_text = std::getenv("HOMPRES_CHAOS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(seed_text, &end, 10);
+    if (end != nullptr && *end == '\0' && *seed_text != '\0') {
+      SetSeed(static_cast<uint64_t>(seed));
+    }
+  }
+  const char* spec = std::getenv("HOMPRES_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  ArmFromSpec(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  return !points_.empty();
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(name) != 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(points_.size(), std::memory_order_relaxed);
+  points_.clear();
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+bool FailpointRegistry::Hit(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) return false;
+  Point& point = it->second;
+  ++point.hits;
+  bool fire = false;
+  switch (point.mode) {
+    case Mode::kOnce:
+      fire = point.hits == 1;
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kNth:
+      fire = point.hits == point.n;
+      break;
+    case Mode::kEvery:
+      fire = point.hits % point.n == 0;
+      break;
+    case Mode::kProb: {
+      point.rng_state = Mix64(point.rng_state);
+      // 53 bits give a uniform double in [0, 1), as in Rng::Bernoulli.
+      const double u = static_cast<double>(point.rng_state >> 11) *
+                       (1.0 / 9007199254740992.0);
+      fire = point.p >= 1.0 || u < point.p;
+      break;
+    }
+  }
+  if (fire) ++point.fires;
+  return fire;
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::FireCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace hompres

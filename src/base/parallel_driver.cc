@@ -1,8 +1,11 @@
 #include "base/parallel_driver.h"
 
 #include <chrono>
+#include <stdexcept>
+#include <utility>
 
 #include "base/check.h"
+#include "base/failpoint.h"
 
 namespace hompres {
 
@@ -36,6 +39,24 @@ void ParallelRegion::TaskDone() {
   done_cv_.notify_all();
 }
 
+std::function<void()> ParallelRegion::GuardedTask(std::function<void()> body) {
+  return [this, body = std::move(body)] {
+    try {
+      if (HOMPRES_FAILPOINT("parallel/task_throw")) {
+        throw std::runtime_error("injected task fault (parallel/task_throw)");
+      }
+      body();
+    } catch (...) {
+      // The body died before its trailing TaskDone: mark the region
+      // cancelled (Join reports it; drivers synthesize kCancelled) and
+      // settle the done-count on the body's behalf.
+      task_threw_.store(true, std::memory_order_relaxed);
+      CancelAll();
+      TaskDone();
+    }
+  };
+}
+
 bool ParallelRegion::Join(ThreadPool& pool) {
   const std::atomic<bool>* external = parent_.CancelFlag();
   bool external_cancel = false;
@@ -59,7 +80,7 @@ bool ParallelRegion::Join(ThreadPool& pool) {
   pool.WaitIdle();
   parent_.ChargeSteps(shared_steps_.load(std::memory_order_relaxed) -
                       base_steps_);
-  return external_cancel;
+  return external_cancel || task_threw_.load(std::memory_order_relaxed);
 }
 
 StopReason CombineWorkerStops(bool external_cancel, bool any_deadline) {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -61,11 +62,23 @@ class ParallelRegion {
   // Each task body must call this exactly once, as its last action.
   void TaskDone();
 
+  // Wraps a task body for Submit so an escaping exception cancels the
+  // whole region instead of dying at the pool's worker boundary: the
+  // exception is swallowed, every task's cancellation flag is raised,
+  // and TaskDone is called on the body's behalf (the body's own trailing
+  // TaskDone was not reached). Join then reports the region cancelled,
+  // which the drivers turn into StopReason::kCancelled. Also hosts the
+  // "parallel/task_throw" failpoint, which fires a synthetic exception
+  // before the body runs.
+  std::function<void()> GuardedTask(std::function<void()> body);
+
   // Blocks until every task called TaskDone, relaying an external
   // cancellation (the parent's WithCancelFlag flag) to the per-task
   // flags, waits for `pool` to go idle, and settles the shared step
   // total into the parent via ChargeSteps. Returns true iff an external
-  // cancellation was observed. Call exactly once, from the thread that
+  // cancellation was observed or a guarded task threw (either way the
+  // region was cancelled and the caller should report
+  // StopReason::kCancelled). Call exactly once, from the thread that
   // owns the parent budget.
   bool Join(ThreadPool& pool);
 
@@ -75,6 +88,7 @@ class ParallelRegion {
   const uint64_t base_steps_;
   mutable std::atomic<uint64_t> shared_steps_;
   std::unique_ptr<std::atomic<bool>[]> cancels_;
+  std::atomic<bool> task_threw_{false};
   std::mutex mu_;
   std::condition_variable done_cv_;
   int done_ = 0;

@@ -1,0 +1,104 @@
+#include "base/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/saturating.h"
+
+namespace hompres {
+
+namespace {
+
+// value * factor^i, saturating; 0 stays 0 ("unlimited" escalates to
+// "unlimited").
+uint64_t Escalate(uint64_t value, uint64_t factor, int i) {
+  if (value == 0 || factor <= 1) return value;  // factor 0/1: no growth
+  uint64_t result = value;
+  for (int k = 0; k < i; ++k) {
+    result = SatMul(result, factor);
+    if (result == kSaturated) break;
+  }
+  return result;
+}
+
+std::chrono::nanoseconds EscalateDuration(std::chrono::nanoseconds value,
+                                          uint64_t factor, int i) {
+  const uint64_t ns = Escalate(
+      value.count() > 0 ? static_cast<uint64_t>(value.count()) : 0, factor, i);
+  const uint64_t max_ns =
+      static_cast<uint64_t>(std::chrono::nanoseconds::max().count());
+  return std::chrono::nanoseconds(
+      static_cast<int64_t>(std::min(ns, max_ns)));
+}
+
+}  // namespace
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy)
+    : policy_(policy), num_attempts_(std::max(policy.max_attempts, 1)) {}
+
+RetryAttempt RetrySchedule::Attempt(int i) const {
+  HOMPRES_CHECK_GE(i, 0);
+  HOMPRES_CHECK_LT(i, num_attempts_);
+  RetryAttempt attempt;
+  attempt.max_steps =
+      Escalate(policy_.initial_steps, policy_.escalation_factor, i);
+  if (policy_.max_steps != 0 && attempt.max_steps != 0) {
+    attempt.max_steps = std::min(attempt.max_steps, policy_.max_steps);
+  }
+  attempt.timeout =
+      EscalateDuration(policy_.initial_timeout, policy_.escalation_factor, i);
+  if (policy_.max_timeout.count() > 0 && attempt.timeout.count() > 0) {
+    attempt.timeout = std::min(attempt.timeout, policy_.max_timeout);
+  }
+  if (i > 0 && policy_.initial_backoff.count() > 0) {
+    std::chrono::nanoseconds backoff = EscalateDuration(
+        policy_.initial_backoff, policy_.escalation_factor, i - 1);
+    if (policy_.max_backoff.count() > 0) {
+      backoff = std::min(backoff, policy_.max_backoff);
+    }
+    if (policy_.jitter_seed != 0 && backoff.count() > 0) {
+      // Uniform in [backoff/2, backoff], deterministic in (seed, i).
+      const uint64_t half = static_cast<uint64_t>(backoff.count()) / 2;
+      const uint64_t draw =
+          Mix64(policy_.jitter_seed ^ Mix64(static_cast<uint64_t>(i)));
+      backoff = std::chrono::nanoseconds(
+          static_cast<int64_t>(half + draw % (half + 1)));
+    }
+    attempt.backoff = backoff;
+  }
+  return attempt;
+}
+
+Budget RetrySchedule::MakeBudget(int i) const {
+  const RetryAttempt attempt = Attempt(i);
+  Budget budget;
+  if (attempt.max_steps != 0) budget.WithMaxSteps(attempt.max_steps);
+  if (attempt.timeout.count() > 0) budget.WithTimeout(attempt.timeout);
+  if (policy_.cancel != nullptr) budget.WithCancelFlag(policy_.cancel);
+  return budget;
+}
+
+bool RetrySchedule::Cancelled() const {
+  return policy_.cancel != nullptr &&
+         policy_.cancel->load(std::memory_order_relaxed);
+}
+
+bool RetrySchedule::Backoff(int i) const {
+  if (Cancelled()) return false;
+  const std::chrono::nanoseconds wait = Attempt(i).backoff;
+  if (wait.count() <= 0) return true;
+  // Sleep in short slices so a raised cancel flag ends the wait promptly.
+  const auto slice = std::chrono::milliseconds(10);
+  auto remaining = wait;
+  while (remaining.count() > 0) {
+    if (Cancelled()) return false;
+    const auto chunk = std::min<std::chrono::nanoseconds>(remaining, slice);
+    std::this_thread::sleep_for(chunk);
+    remaining -= chunk;
+  }
+  return !Cancelled();
+}
+
+}  // namespace hompres

@@ -1,0 +1,96 @@
+// A reusable retry schedule: geometric budget escalation with capped,
+// seeded-jitter backoff.
+//
+// Generalizes the escalation loop that PreservationPipelineWithRetry
+// introduced (attempt i runs with step limit initial_steps * factor^i and
+// timeout initial_timeout * factor^i) into a policy any budgeted caller
+// can consume: the preservation pipeline, the CLI's --retries flag, and
+// the future hompresd admission control. The schedule itself is pure and
+// deterministic — Attempt(i) is a function of the policy alone — so a
+// retry trace can be reproduced exactly from the policy; only the
+// optional backoff sleep touches the clock.
+//
+// Conventions match Budget: a zero initial limit means "unlimited" for
+// that dimension (and stays unlimited under escalation); escalation
+// saturates at uint64 max rather than wrapping.
+
+#ifndef HOMPRES_BASE_RETRY_H_
+#define HOMPRES_BASE_RETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "base/budget.h"
+
+namespace hompres {
+
+struct RetryPolicy {
+  // First attempt's limits; 0 = unlimited for that dimension.
+  uint64_t initial_steps = 1u << 16;
+  std::chrono::nanoseconds initial_timeout = std::chrono::milliseconds(250);
+
+  // Total number of attempts (>= 1), and the geometric growth per
+  // attempt. A factor of 1 retries with identical limits.
+  int max_attempts = 3;
+  uint64_t escalation_factor = 4;
+
+  // Optional caps the escalated limits clamp to; 0 = uncapped.
+  uint64_t max_steps = 0;
+  std::chrono::nanoseconds max_timeout{0};
+
+  // Wait before attempt i (i >= 1): initial_backoff * factor^(i-1),
+  // clamped to max_backoff, then jittered. A zero initial_backoff
+  // disables waiting entirely.
+  std::chrono::nanoseconds initial_backoff{0};
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(2);
+
+  // With a nonzero seed, each backoff is drawn uniformly from
+  // [backoff/2, backoff] by a SplitMix64 stream over (seed, attempt), so
+  // a fleet of retriers sharing a policy but not a seed desynchronizes
+  // deterministically. Zero = no jitter.
+  uint64_t jitter_seed = 0;
+
+  // Optional external cancellation: checked between attempts and polled
+  // during backoff sleeps (which end early when raised). Must outlive
+  // the schedule. Attempt budgets also carry the flag.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// One attempt's limits, fully determined by (policy, attempt index).
+struct RetryAttempt {
+  uint64_t max_steps = 0;                // 0 = unlimited
+  std::chrono::nanoseconds timeout{0};   // 0 = unlimited
+  std::chrono::nanoseconds backoff{0};   // wait before this attempt
+};
+
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy);
+
+  int NumAttempts() const { return num_attempts_; }
+
+  // The limits of attempt i (0-based, i < NumAttempts()). Deterministic.
+  RetryAttempt Attempt(int i) const;
+
+  // A Budget configured with Attempt(i)'s limits and the policy's cancel
+  // flag. The deadline starts when this is called, so construct it after
+  // Backoff(i).
+  Budget MakeBudget(int i) const;
+
+  // True when the policy's cancel flag is raised.
+  bool Cancelled() const;
+
+  // Sleeps Attempt(i)'s backoff (no-op for attempt 0 or a zero backoff),
+  // polling the cancel flag. Returns false if cancelled before or during
+  // the wait — the caller should not run the attempt.
+  bool Backoff(int i) const;
+
+ private:
+  RetryPolicy policy_;
+  int num_attempts_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_BASE_RETRY_H_

@@ -1,6 +1,9 @@
 #include "base/thread_pool.h"
 
+#include <system_error>
+
 #include "base/check.h"
+#include "base/failpoint.h"
 
 namespace hompres {
 
@@ -21,7 +24,15 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+    // A failed spawn (resource exhaustion, or the injected fault) skips
+    // this worker; its deque stays and the survivors steal from it. If
+    // every spawn fails the pool degrades to inline execution in Submit.
+    if (HOMPRES_FAILPOINT("thread_pool/spawn")) continue;
+    try {
+      workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+    } catch (const std::system_error&) {
+      continue;
+    }
   }
 }
 
@@ -35,6 +46,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Zero-worker degeneration: run inline so WaitIdle never hangs. The
+    // in-flight counters stay untouched (the task is done before Submit
+    // returns).
+    try {
+      task();
+    } catch (...) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
   size_t target;
   if (tls_pool == this && tls_worker >= 0) {
     target = static_cast<size_t>(tls_worker);
@@ -81,7 +103,15 @@ void ThreadPool::WorkerLoop(int self) {
       if (task) break;
       std::this_thread::yield();
     }
-    task();
+    // An exception escaping a task must not reach the thread boundary
+    // (std::terminate); swallow and count it. Drivers that need
+    // cancel-on-throw semantics wrap bodies in
+    // ParallelRegion::GuardedTask before this backstop is reached.
+    try {
+      task();
+    } catch (...) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -100,7 +130,9 @@ std::function<void()> ThreadPool::TakeTask(int self) {
       return task;
     }
   }
-  const int n = NumWorkers();
+  // Scan every deque (there is one per requested worker, possibly more
+  // than live workers after spawn failures).
+  const int n = static_cast<int>(queues_.size());
   for (int k = 1; k < n; ++k) {
     WorkerQueue& victim = *queues_[static_cast<size_t>((self + k) % n)];
     std::lock_guard<std::mutex> lock(victim.mutex);

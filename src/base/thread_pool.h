@@ -13,13 +13,24 @@
 // parallel driver gives every task a worker budget (Budget::SpawnWorker)
 // whose shared atomic step counter and per-task cancellation flag let the
 // driver stop stragglers (first-finisher cancellation) without the pool
-// knowing anything about budgets. Tasks must not throw (the library is
-// exception-free).
+// knowing anything about budgets.
+//
+// Failure containment: the library itself is exception-free, but task
+// bodies can still throw (std::bad_alloc, third-party callbacks). An
+// exception escaping a task is swallowed at the worker boundary and
+// counted (ExceptionCount) instead of reaching std::terminate; drivers
+// that need cancel-on-throw semantics wrap their bodies with
+// ParallelRegion::GuardedTask. Worker spawning is also fault-tolerant:
+// a std::system_error from std::thread (or the "thread_pool/spawn"
+// failpoint) skips that worker, and a pool left with zero workers
+// degrades to running every Submit inline on the calling thread.
 
 #ifndef HOMPRES_BASE_THREAD_POOL_H_
 #define HOMPRES_BASE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -31,8 +42,10 @@ namespace hompres {
 
 class ThreadPool {
  public:
-  // Starts `num_threads` workers (must be >= 1). The calling thread does
-  // not execute tasks; entry points pick num_threads = the option value.
+  // Starts up to `num_threads` workers (request must be >= 1; fewer may
+  // start if spawning fails). The calling thread does not execute tasks
+  // unless every spawn failed; entry points pick num_threads = the
+  // option value.
   explicit ThreadPool(int num_threads);
 
   // Drains every submitted task, then joins the workers. Destroying a
@@ -45,10 +58,18 @@ class ThreadPool {
 
   int NumWorkers() const { return static_cast<int>(workers_.size()); }
 
+  // How many task bodies ended by throwing (swallowed at the worker
+  // boundary). Diagnostic; drivers needing semantics use GuardedTask.
+  uint64_t ExceptionCount() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
+
   // Enqueues a task. Submissions from outside the pool are distributed
   // round-robin across the worker deques; a submission from a worker
   // thread goes to that worker's own deque (back), where it pops it LIFO
-  // and idle workers steal it FIFO.
+  // and idle workers steal it FIFO. With zero workers (total spawn
+  // failure) the task runs inline on the calling thread before Submit
+  // returns — a serial degeneration, not an error.
   void Submit(std::function<void()> task);
 
   // Blocks until every task submitted so far has finished. The pool is
@@ -69,8 +90,11 @@ class ThreadPool {
   // function if every deque came up empty.
   std::function<void()> TakeTask(int self);
 
+  // One deque per *requested* worker; when a spawn fails its deque stays
+  // (tasks round-robined there are stolen by the surviving workers).
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> exceptions_{0};
 
   std::mutex mutex_;
   std::condition_variable work_available_;

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/failpoint.h"
+#include "base/retry.h"
 #include "cq/cq.h"
 #include "fo/eval.h"
 
@@ -68,18 +70,6 @@ PreservationResult PreservationPipeline(const FormulaPtr& sentence,
                               verify_universe);
 }
 
-namespace {
-
-// Multiplies a limit by the escalation factor, saturating instead of
-// overflowing (a saturated limit is effectively unlimited anyway).
-uint64_t Escalate(uint64_t value, uint64_t factor) {
-  if (value == 0 || factor == 0) return value;
-  if (value > UINT64_MAX / factor) return UINT64_MAX;
-  return value * factor;
-}
-
-}  // namespace
-
 PreservationReport PreservationPipelineWithRetry(
     const BooleanQuery& q, const Vocabulary& vocabulary,
     const StructureClass& c, int search_universe, int verify_universe,
@@ -89,23 +79,42 @@ PreservationReport PreservationPipelineWithRetry(
   report.result.verify_universe = verify_universe;
   report.result.equivalent_ucq = UnionOfCq({}, 0);
 
-  uint64_t steps = options.initial_steps;
-  std::chrono::nanoseconds timeout = options.initial_timeout;
-  const int attempts = options.max_attempts > 0 ? options.max_attempts : 1;
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    Budget budget = Budget::Unlimited();
-    if (steps != 0) budget.WithMaxSteps(steps);
-    if (timeout.count() != 0) budget.WithTimeout(timeout);
-    if (options.cancel != nullptr) budget.WithCancelFlag(options.cancel);
+  // The pipeline's historical escalation loop, expressed over the
+  // reusable schedule (base/retry.h): same limits per attempt, no
+  // backoff, saturating growth.
+  RetryPolicy policy;
+  policy.initial_steps = options.initial_steps;
+  policy.initial_timeout = options.initial_timeout;
+  policy.max_attempts = options.max_attempts;
+  policy.escalation_factor = options.escalation_factor;
+  policy.cancel = options.cancel;
+  const RetrySchedule schedule(policy);
 
+  for (int attempt = 0; attempt < schedule.NumAttempts(); ++attempt) {
+    // Attempt 0 always runs (an already-raised cancel flag is then
+    // recorded as a kCancelled attempt, not silently dropped); later
+    // attempts honor the schedule's cancellation-aware backoff.
+    if (attempt > 0 && !schedule.Backoff(attempt)) break;
+
+    const RetryAttempt limits = schedule.Attempt(attempt);
+    PreservationAttempt record;
+    record.max_steps = limits.max_steps;
+    record.timeout = limits.timeout;
+
+    if (HOMPRES_FAILPOINT("preservation/attempt")) {
+      // Injected attempt loss: the executor died before doing any work.
+      // Record the attempt as exhausted and let escalation proceed.
+      record.report.reason = StopReason::kSteps;
+      report.attempts.push_back(record);
+      continue;
+    }
+
+    Budget budget = schedule.MakeBudget(attempt);
     std::vector<Structure> partial;
     auto outcome = PreservationPipelineBudgeted(
         q, vocabulary, c, search_universe, verify_universe, budget,
         &partial);
 
-    PreservationAttempt record;
-    record.max_steps = steps;
-    record.timeout = timeout;
     record.report = outcome.Report();
     record.completed = outcome.IsDone();
     report.attempts.push_back(record);
@@ -123,11 +132,6 @@ PreservationReport PreservationPipelineWithRetry(
       report.result.verified = false;
     }
     if (outcome.IsCancelled()) break;  // escalation will not help
-    steps = Escalate(steps, options.escalation_factor);
-    timeout = std::chrono::nanoseconds(
-        static_cast<int64_t>(Escalate(
-            static_cast<uint64_t>(timeout.count()),
-            options.escalation_factor)));
   }
   return report;
 }

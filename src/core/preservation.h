@@ -75,6 +75,8 @@ Outcome<PreservationResult> PreservationPipelineBudgeted(
 // runs with step limit initial_steps * escalation_factor^i and timeout
 // initial_timeout * escalation_factor^i, for at most max_attempts
 // attempts. A zero initial limit means "unlimited" for that dimension.
+// (Executed through the general RetrySchedule of base/retry.h; this
+// struct remains the pipeline's stable options surface.)
 struct PreservationBudgetOptions {
   uint64_t initial_steps = 1u << 16;
   std::chrono::nanoseconds initial_timeout = std::chrono::milliseconds(250);

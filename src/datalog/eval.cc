@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/failpoint.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
 #include "engine/ordering.h"
@@ -397,6 +398,12 @@ class SourcePlan {
 bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
                  int num_threads, long long* derivations,
                  IdbInterpretation* out, StopReason* stop) {
+  // Injected mid-fixpoint degradation: a round whose fan-out fails runs
+  // serially instead. Tuples and derivation counts are identical by the
+  // merge contract below, so answers are unchanged.
+  if (num_threads > 0 && HOMPRES_FAILPOINT("datalog/parallel_round")) {
+    num_threads = 0;
+  }
   if (num_threads <= 0 || jobs.size() < 2) {
     for (const RuleJob& job : jobs) {
       if (!ApplyJob(job, budget, derivations,
@@ -418,7 +425,7 @@ bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
   ParallelRegion region(budget, num_tasks);
   ThreadPool pool(std::min(num_threads, num_tasks));
   for (int i = 0; i < num_tasks; ++i) {
-    pool.Submit([&, i] {
+    pool.Submit(region.GuardedTask([&, i] {
       Budget worker = region.WorkerBudget(i);
       // Task-exclusive state; TaskDone/Join publish it to the joiner.
       TaskState& state = states[static_cast<size_t>(i)];
@@ -427,7 +434,7 @@ bool RunRuleJobs(const std::vector<RuleJob>& jobs, Budget& budget,
           ApplyJob(job, worker, &state.derivations, &state.derived);
       if (!state.completed) state.stop = worker.Reason();
       region.TaskDone();
-    });
+    }));
   }
   const bool external_cancel = region.Join(pool);
   WorkerStopScan scan;
@@ -457,9 +464,19 @@ Outcome<DatalogResult> StoppedEval(const Budget& budget, StopReason stop) {
 // indexed engine is selected, rule pointers otherwise.
 struct EvalSetup {
   std::vector<CompiledRule> compiled;  // empty in scan mode
+  // False when compilation was skipped: the SourcePlan must then resolve
+  // scan-shaped (set-backed) sources, which ApplyRuleScan requires.
+  bool use_compiled = false;
 
   EvalSetup(const DatalogProgram& program, bool use_index) {
-    if (use_index) compiled = CompileProgram(program);
+    // A failed rule compilation (injected via "datalog/compile") leaves
+    // `compiled` empty: every job falls back to the interpretive scan
+    // engine. Same fixpoint, same stage assignment; only the per-round
+    // derivation accounting can differ between the two engines.
+    if (use_index && !HOMPRES_FAILPOINT("datalog/compile")) {
+      compiled = CompileProgram(program);
+      use_compiled = true;
+    }
   }
 
   void Bind(RuleJob* job, const DatalogRule& rule, size_t rule_idx) const {
@@ -476,8 +493,10 @@ Outcome<IdbInterpretation> StageBudgeted(const DatalogProgram& program,
                                          const DatalogEvalOptions& options) {
   HOMPRES_CHECK_GE(m, 0);
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const SourcePlan plan(program, edb, options.use_index);
   const EvalSetup setup(program, options.use_index);
+  // Sources must match the engine the jobs will actually run: a failed
+  // compilation degrades the plan to scan-shaped (set-backed) sources.
+  const SourcePlan plan(program, edb, setup.use_compiled);
   IdbInterpretation current(
       static_cast<size_t>(program.Idb().NumRelations()));
   long long derivations = 0;
@@ -515,8 +534,10 @@ Outcome<DatalogResult> EvaluateNaiveBudgeted(
     const DatalogProgram& program, const Structure& edb, Budget& budget,
     const DatalogEvalOptions& options) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const SourcePlan plan(program, edb, options.use_index);
   const EvalSetup setup(program, options.use_index);
+  // Sources must match the engine the jobs will actually run: a failed
+  // compilation degrades the plan to scan-shaped (set-backed) sources.
+  const SourcePlan plan(program, edb, setup.use_compiled);
   DatalogResult result;
   result.idb.assign(static_cast<size_t>(program.Idb().NumRelations()), {});
   for (;;) {
@@ -555,8 +576,10 @@ Outcome<DatalogResult> EvaluateSemiNaiveBudgeted(
     const DatalogProgram& program, const Structure& edb, Budget& budget,
     const DatalogEvalOptions& options) {
   HOMPRES_CHECK(program.Edb() == edb.GetVocabulary());
-  const SourcePlan plan(program, edb, options.use_index);
   const EvalSetup setup(program, options.use_index);
+  // Sources must match the engine the jobs will actually run: a failed
+  // compilation degrades the plan to scan-shaped (set-backed) sources.
+  const SourcePlan plan(program, edb, setup.use_compiled);
   const size_t idb_count =
       static_cast<size_t>(program.Idb().NumRelations());
   DatalogResult result;

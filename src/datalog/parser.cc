@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "base/failpoint.h"
+
 namespace hompres {
 
 namespace {
@@ -242,6 +244,12 @@ bool Validate(const std::vector<DatalogRule>& rules, const Vocabulary& edb,
 std::optional<DatalogProgram> ParseDatalogProgram(const std::string& text,
                                                   const Vocabulary& edb,
                                                   ParseError* error) {
+  if (HOMPRES_FAILPOINT("parser/datalog_io")) {
+    if (error != nullptr) {
+      *error = ParseError{0, 0, "injected I/O fault (parser/datalog_io)"};
+    }
+    return std::nullopt;
+  }
   Parser parser(text);
   auto rules = parser.Run(error);
   if (!rules.has_value()) return std::nullopt;

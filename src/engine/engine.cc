@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/failpoint.h"
 #include "base/saturating.h"
 #include "hom/hom_cache.h"
 #include "hom/homomorphism.h"
 #include "hom/kernel.h"
 #include "hom/parallel.h"
+#include "structure/relation_index.h"
 
 namespace hompres {
 
@@ -61,6 +63,89 @@ HomPlan PlanSubQuery(const HomProblem& problem, const EngineConfig& config) {
 Outcome<std::optional<std::vector<int>>> FindDispatch(const HomPlan& plan,
                                                       Budget& budget);
 Outcome<uint64_t> CountDispatch(const HomPlan& plan, Budget& budget);
+
+// ---------------------------------------------------------------------
+// Degradation ladder (DESIGN.md §4.6). When a facility the plan relies
+// on fails — for real, or through an armed failpoint — execution falls
+// back one rung instead of failing the query, and the fallback is
+// recorded on the root plan (surfaced by Explain/Summary and mirrored
+// into the trace). Every rung preserves the answer.
+// ---------------------------------------------------------------------
+
+void RecordDegradation(const HomPlan& root, ExecutionTrace* trace,
+                       DegradationKind kind, const char* site,
+                       std::string detail) {
+  DegradationEvent event{kind, site, std::move(detail)};
+  if (trace != nullptr) trace->degradations.push_back(event);
+  root.degradations.push_back(std::move(event));
+}
+
+// Applies the ladder to a dispatch-ready plan (the plan itself for
+// uncached queries, the re-planned miss path for cached ones) and
+// returns the plan actually dispatched. Probes happen once per
+// top-level Execute, before dispatch, so a fired fault always leaves a
+// DegradationEvent on `root`; sub-query plans (per-component, spawned by
+// the factorized drivers) inherit the degraded config and are not
+// re-probed. Ladder order: index -> scan, parallel -> serial,
+// factorized -> monolithic, AC bitset -> naive backtracking. (The cache
+// rungs — unreadable shard treated as an evicted miss, failed insert
+// skipped — live with the cache consult in ExecuteHas/ExecuteCount.)
+HomPlan DegradeForDispatch(HomPlan plan, const HomPlan& root,
+                           ExecutionTrace* trace) {
+  // Index -> scan: a target whose index cannot be built (allocation
+  // failure or "relation_index/build") is scanned directly. TryIndex
+  // returns the cached index without consulting the failpoint, so a
+  // successful probe here is never re-failed inside the kernels.
+  if (plan.use_index && plan.problem.target->TryIndex() == nullptr) {
+    plan.use_index = false;
+    plan.config.use_index = false;
+    RecordDegradation(root, trace, DegradationKind::kIndexToScan,
+                      "relation_index/build",
+                      "target index unavailable; kernels scan tuple lists");
+  }
+  // Parallel -> serial: a canary probe of the pool's spawn failpoint
+  // stands in for "no worker threads available"; the query runs as one
+  // serial search. (A partial spawn failure below this canary degrades
+  // inside ThreadPool itself: fewer workers, same answers.)
+  if (plan.config.num_threads > 0 && HOMPRES_FAILPOINT("thread_pool/spawn")) {
+    plan.config.num_threads = 0;
+    plan.strategy = plan.components.size() >= 2 ? ExecStrategy::kFactorized
+                                                : ExecStrategy::kSerial;
+    plan.split_elements.clear();
+    plan.split_tasks = 1;
+    RecordDegradation(root, trace, DegradationKind::kParallelToSerial,
+                      "thread_pool/spawn",
+                      "worker threads unavailable; serial search");
+  }
+  // Factorized -> monolithic: abandon the Gaifman-component split and
+  // search the whole source at once.
+  if (plan.components.size() >= 2 && HOMPRES_FAILPOINT("engine/factorize")) {
+    plan.components.clear();
+    plan.config.factorize = false;
+    if (plan.strategy == ExecStrategy::kFactorized) {
+      plan.strategy = plan.config.num_threads > 0
+                          ? ExecStrategy::kParallelSplit
+                          : ExecStrategy::kSerial;
+    }
+    RecordDegradation(root, trace, DegradationKind::kFactorizedToMonolithic,
+                      "engine/factorize",
+                      "component split abandoned; monolithic search");
+  }
+  // AC bitset -> naive backtracking: the packed-domain workspace cannot
+  // be grown, so the plan falls back to the naive kernel (which also
+  // never scans an index).
+  if (plan.config.use_arc_consistency &&
+      HOMPRES_FAILPOINT("hom/workspace_alloc")) {
+    plan.config.use_arc_consistency = false;
+    plan.config.use_index = false;
+    plan.use_index = false;
+    plan.kernel = SerialKernel::kNaiveBacktracking;
+    RecordDegradation(root, trace, DegradationKind::kAcToNaive,
+                      "hom/workspace_alloc",
+                      "AC workspace unavailable; naive backtracking");
+  }
+  return plan;
+}
 
 // Factorization rewrites hom(A, B) through the connected components of
 // A's Gaifman graph: a homomorphism is exactly an independent choice of
@@ -187,42 +272,63 @@ Outcome<uint64_t> CountDispatch(const HomPlan& plan, Budget& budget) {
   return Outcome<uint64_t>::Finish(budget, count);
 }
 
+// Cached -> uncached rung, shared by ExecuteHas/ExecuteCount: a failed
+// lookup means the shard cannot be trusted; evict it wholesale and
+// proceed as a miss (the insert below repopulates the now-empty shard).
+void DegradeFailedLookup(const HomPlan& plan, ExecutionTrace* trace) {
+  HomCache::Global().EvictShardFor(plan.source_fingerprint,
+                                   plan.target_fingerprint);
+  RecordDegradation(plan, trace, DegradationKind::kCacheLookupToMiss,
+                    "hom_cache/lookup",
+                    "shard unreadable; evicted and treated as a miss");
+}
+
 Outcome<HomResult> ExecuteHas(const HomPlan& plan, Budget& budget,
                               ExecutionTrace* trace) {
   if (plan.consult_cache) {
     if (trace != nullptr) trace->cache_consulted = true;
+    bool lookup_failed = false;
     if (auto hit = HomCache::Global().Lookup(
             plan.source_fingerprint, plan.target_fingerprint,
-            plan.options_digest, HomCache::Kind::kHas)) {
+            plan.options_digest, HomCache::Kind::kHas, &lookup_failed)) {
       if (trace != nullptr) trace->cache_hit = true;
       HomResult result;
       result.has = (*hit != 0);
       return Outcome<HomResult>::Done(std::move(result), budget.Report());
     }
-    auto found = FindDispatch(ReplanUncached(plan), budget);
+    if (lookup_failed) DegradeFailedLookup(plan, trace);
+    auto found = FindDispatch(
+        DegradeForDispatch(ReplanUncached(plan), plan, trace), budget);
     if (!found.IsDone()) {
       return Outcome<HomResult>::StoppedShort(found.Report());
     }
     const bool has = found.Value().has_value();
     // Only completed answers are cached; an exhausted search proves
     // nothing about the pair.
-    HomCache::Global().Insert(plan.source_fingerprint,
-                              plan.target_fingerprint, plan.options_digest,
-                              HomCache::Kind::kHas, has ? 1 : 0);
-    if (trace != nullptr) trace->cache_stored = true;
+    const bool stored = HomCache::Global().Insert(
+        plan.source_fingerprint, plan.target_fingerprint, plan.options_digest,
+        HomCache::Kind::kHas, has ? 1 : 0);
+    if (stored) {
+      if (trace != nullptr) trace->cache_stored = true;
+    } else {
+      RecordDegradation(plan, trace, DegradationKind::kCacheInsertSkipped,
+                        "hom_cache/shard_insert",
+                        "completed answer not memoized");
+    }
     HomResult result;
     result.has = has;
     return Outcome<HomResult>::Done(std::move(result), found.Report());
   }
-  auto found = FindDispatch(plan, budget);
+  auto found = FindDispatch(DegradeForDispatch(plan, plan, trace), budget);
   if (!found.IsDone()) return Outcome<HomResult>::StoppedShort(found.Report());
   HomResult result;
   result.has = found.Value().has_value();
   return Outcome<HomResult>::Done(std::move(result), found.Report());
 }
 
-Outcome<HomResult> ExecuteFind(const HomPlan& plan, Budget& budget) {
-  auto found = FindDispatch(plan, budget);
+Outcome<HomResult> ExecuteFind(const HomPlan& plan, Budget& budget,
+                               ExecutionTrace* trace) {
+  auto found = FindDispatch(DegradeForDispatch(plan, plan, trace), budget);
   if (!found.IsDone()) return Outcome<HomResult>::StoppedShort(found.Report());
   const BudgetReport report = found.Report();
   HomResult result;
@@ -235,27 +341,36 @@ Outcome<HomResult> ExecuteCount(const HomPlan& plan, Budget& budget,
                                 ExecutionTrace* trace) {
   if (plan.consult_cache) {
     if (trace != nullptr) trace->cache_consulted = true;
+    bool lookup_failed = false;
     if (auto hit = HomCache::Global().Lookup(
             plan.source_fingerprint, plan.target_fingerprint,
-            plan.options_digest, HomCache::Kind::kCount)) {
+            plan.options_digest, HomCache::Kind::kCount, &lookup_failed)) {
       if (trace != nullptr) trace->cache_hit = true;
       HomResult result;
       result.count = *hit;
       return Outcome<HomResult>::Done(std::move(result), budget.Report());
     }
-    auto counted = CountDispatch(ReplanUncached(plan), budget);
+    if (lookup_failed) DegradeFailedLookup(plan, trace);
+    auto counted = CountDispatch(
+        DegradeForDispatch(ReplanUncached(plan), plan, trace), budget);
     if (!counted.IsDone()) {
       return Outcome<HomResult>::StoppedShort(counted.Report());
     }
-    HomCache::Global().Insert(plan.source_fingerprint,
-                              plan.target_fingerprint, plan.options_digest,
-                              HomCache::Kind::kCount, counted.Value());
-    if (trace != nullptr) trace->cache_stored = true;
+    const bool stored = HomCache::Global().Insert(
+        plan.source_fingerprint, plan.target_fingerprint, plan.options_digest,
+        HomCache::Kind::kCount, counted.Value());
+    if (stored) {
+      if (trace != nullptr) trace->cache_stored = true;
+    } else {
+      RecordDegradation(plan, trace, DegradationKind::kCacheInsertSkipped,
+                        "hom_cache/shard_insert",
+                        "completed answer not memoized");
+    }
     HomResult result;
     result.count = counted.Value();
     return Outcome<HomResult>::Done(std::move(result), counted.Report());
   }
-  auto counted = CountDispatch(plan, budget);
+  auto counted = CountDispatch(DegradeForDispatch(plan, plan, trace), budget);
   if (!counted.IsDone()) {
     return Outcome<HomResult>::StoppedShort(counted.Report());
   }
@@ -264,7 +379,9 @@ Outcome<HomResult> ExecuteCount(const HomPlan& plan, Budget& budget,
   return Outcome<HomResult>::Done(std::move(result), counted.Report());
 }
 
-Outcome<HomResult> ExecuteEnumerate(const HomPlan& plan, Budget& budget) {
+Outcome<HomResult> ExecuteEnumerate(const HomPlan& root, Budget& budget,
+                                    ExecutionTrace* trace) {
+  const HomPlan plan = DegradeForDispatch(root, root, trace);
   const Structure& a = *plan.problem.source;
   const Structure& b = *plan.problem.target;
   bool callback_stopped = false;
@@ -303,22 +420,31 @@ std::string ExecutionTrace::ToString() const {
     s += "miss";
   }
   s += " steps=" + std::to_string(steps_charged);
+  if (!degradations.empty()) {
+    s += " degraded=";
+    for (size_t i = 0; i < degradations.size(); ++i) {
+      if (i > 0) s += "+";
+      s += DegradationKindName(degradations[i].kind);
+    }
+  }
   return s;
 }
 
 Outcome<HomResult> Engine::Execute(const HomPlan& plan, Budget& budget,
                                    ExecutionTrace* trace) {
   const uint64_t steps_before = budget.Report().steps_used;
+  // The plan's degradation log describes one execution; start fresh.
+  plan.degradations.clear();
   Outcome<HomResult> out = [&] {
     switch (plan.problem.mode) {
       case HomQueryMode::kHas:
         return ExecuteHas(plan, budget, trace);
       case HomQueryMode::kFind:
-        return ExecuteFind(plan, budget);
+        return ExecuteFind(plan, budget, trace);
       case HomQueryMode::kCount:
         return ExecuteCount(plan, budget, trace);
       case HomQueryMode::kEnumerate:
-        return ExecuteEnumerate(plan, budget);
+        return ExecuteEnumerate(plan, budget, trace);
     }
     HOMPRES_CHECK(false);
     return Outcome<HomResult>::StoppedShort(BudgetReport{});

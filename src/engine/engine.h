@@ -51,6 +51,9 @@ struct ExecutionTrace {
   bool cache_hit = false;
   bool cache_stored = false;
   uint64_t steps_charged = 0;  // budget steps used by this call
+  // Fallbacks taken during this call (mirrors plan.degradations; see
+  // the degradation ladder in engine.cc and DESIGN.md §4.6).
+  std::vector<DegradationEvent> degradations;
   std::string ToString() const;
 };
 

@@ -57,6 +57,24 @@ const char* SerialKernelName(SerialKernel kernel) {
   return "?";
 }
 
+const char* DegradationKindName(DegradationKind kind) {
+  switch (kind) {
+    case DegradationKind::kCacheLookupToMiss:
+      return "cache-lookup-to-miss";
+    case DegradationKind::kCacheInsertSkipped:
+      return "cache-insert-skipped";
+    case DegradationKind::kIndexToScan:
+      return "index-to-scan";
+    case DegradationKind::kParallelToSerial:
+      return "parallel-to-serial";
+    case DegradationKind::kFactorizedToMonolithic:
+      return "factorized-to-monolithic";
+    case DegradationKind::kAcToNaive:
+      return "ac-to-naive";
+  }
+  return "?";
+}
+
 const char* ExecStrategyName(ExecStrategy strategy) {
   switch (strategy) {
     case ExecStrategy::kSerial:
@@ -307,6 +325,13 @@ std::string HomPlan::Summary() const {
   s += std::to_string(split_tasks);
   s += " cache=";
   s += consult_cache ? "1" : "0";
+  if (!degradations.empty()) {
+    s += " degraded=";
+    for (size_t i = 0; i < degradations.size(); ++i) {
+      if (i > 0) s += "+";
+      s += DegradationKindName(degradations[i].kind);
+    }
+  }
   return s;
 }
 
@@ -360,6 +385,14 @@ std::string HomPlan::Explain() const {
   } else {
     for (const std::string& adjustment : adjustments) {
       s += "\n    - " + adjustment;
+    }
+  }
+  if (!degradations.empty()) {
+    s += "\n  degradations:";
+    for (const DegradationEvent& event : degradations) {
+      s += "\n    - ";
+      s += DegradationKindName(event.kind);
+      s += " (" + event.site + "): " + event.detail;
     }
   }
   s += "\n";

@@ -80,6 +80,34 @@ enum class ExecStrategy {
 const char* SerialKernelName(SerialKernel kernel);
 const char* ExecStrategyName(ExecStrategy strategy);
 
+// One rung of the execution-time degradation ladder (DESIGN.md §4.6):
+// which fallback a failed (or fault-injected) facility forced. The
+// ladder is ordered — cache first, then index, then parallelism, then
+// factorization, then the AC kernel — and every fallback preserves the
+// answer; only cost and (for parallel → serial with a nondeterministic
+// witness policy) witness choice can change.
+enum class DegradationKind {
+  kCacheLookupToMiss,        // unreadable shard: treat as miss, evict shard
+  kCacheInsertSkipped,       // result computed but not memoized
+  kIndexToScan,              // index build failed: unindexed scans
+  kParallelToSerial,         // workers unavailable: one serial search
+  kFactorizedToMonolithic,   // component split abandoned: whole-source search
+  kAcToNaive,                // AC workspace unavailable: naive backtracking
+};
+
+// Stable kebab-case name (e.g. "index-to-scan") for Explain/Summary and
+// the bench-JSON plan field.
+const char* DegradationKindName(DegradationKind kind);
+
+// A structured record of one fallback taken during execution: the rung,
+// the failpoint-style site name that tripped ("relation_index/build"),
+// and a human-readable detail.
+struct DegradationEvent {
+  DegradationKind kind;
+  std::string site;
+  std::string detail;
+};
+
 struct HomPlan {
   HomProblem problem;
   EngineConfig config;  // normalized by the validation pass
@@ -113,12 +141,24 @@ struct HomPlan {
   // validation pass, in table order. Empty = the config was taken as is.
   std::vector<std::string> adjustments;
 
-  // Multi-line, deterministic plan trace (CLI --explain).
+  // Degradations recorded by the most recent Engine::Execute of this
+  // plan (cleared at the start of each execution). Mutable because a
+  // plan is logically immutable — executing it does not change what was
+  // planned — but the audit of *how* it actually ran belongs with the
+  // plan the caller holds. Consequently a single HomPlan object must not
+  // be executed from two threads at once.
+  mutable std::vector<DegradationEvent> degradations;
+
+  // Multi-line, deterministic plan trace (CLI --explain). After an
+  // execution that degraded, ends with a "degradations:" section listing
+  // each event as "kind (site): detail".
   std::string Explain() const;
 
   // One-line summary ("mode=has strategy=serial kernel=ac-bitset
   // components=1 tasks=1 cache=0") stamped into bench JSON rows so plan
-  // changes are diffable in CI.
+  // changes are diffable in CI. After a degraded execution, gains a
+  // trailing "degraded=kind+kind" token (bench/check_regression.py flags
+  // it).
   std::string Summary() const;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "base/failpoint.h"
+
 namespace hompres {
 
 namespace {
@@ -165,6 +167,12 @@ class Parser {
 
 std::optional<FormulaPtr> ParseFormula(const std::string& text,
                                        ParseError* error) {
+  if (HOMPRES_FAILPOINT("parser/formula_io")) {
+    if (error != nullptr) {
+      *error = ParseError{0, 0, "injected I/O fault (parser/formula_io)"};
+    }
+    return std::nullopt;
+  }
   Parser parser(text);
   return parser.Run(error);
 }

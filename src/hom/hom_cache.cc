@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "base/hash.h"
 
 namespace hompres {
@@ -70,11 +71,18 @@ HomCache& HomCache::Global() {
 
 std::optional<uint64_t> HomCache::Lookup(uint64_t source_fp,
                                          uint64_t target_fp,
-                                         uint64_t options_digest, Kind kind) {
+                                         uint64_t options_digest, Kind kind,
+                                         bool* failed) {
+  if (failed != nullptr) *failed = false;
   Shard& shard = shards_[ShardOf(source_fp, target_fp)];
   const Key key{source_fp, target_fp, options_digest,
                 static_cast<uint8_t>(kind)};
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (HOMPRES_FAILPOINT("hom_cache/lookup")) {
+    ++shard.stats.failed_lookups;
+    if (failed != nullptr) *failed = true;
+    return std::nullopt;
+  }
   auto it = shard.table.find(key);
   if (it == shard.table.end()) {
     ++shard.stats.misses;
@@ -86,17 +94,21 @@ std::optional<uint64_t> HomCache::Lookup(uint64_t source_fp,
   return it->second->second;
 }
 
-void HomCache::Insert(uint64_t source_fp, uint64_t target_fp,
+bool HomCache::Insert(uint64_t source_fp, uint64_t target_fp,
                       uint64_t options_digest, Kind kind, uint64_t value) {
   Shard& shard = shards_[ShardOf(source_fp, target_fp)];
   const Key key{source_fp, target_fp, options_digest,
                 static_cast<uint8_t>(kind)};
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (HOMPRES_FAILPOINT("hom_cache/shard_insert")) {
+    ++shard.stats.failed_insertions;
+    return false;
+  }
   auto it = shard.table.find(key);
   if (it != shard.table.end()) {
     it->second->second = value;
     shard.order.splice(shard.order.begin(), shard.order, it->second);
-    return;
+    return true;
   }
   if (shard.table.size() >= static_cast<size_t>(kShardCapacity)) {
     shard.table.erase(shard.order.back().first);
@@ -106,6 +118,15 @@ void HomCache::Insert(uint64_t source_fp, uint64_t target_fp,
   shard.order.emplace_front(key, value);
   shard.table.emplace(key, shard.order.begin());
   ++shard.stats.insertions;
+  return true;
+}
+
+void HomCache::EvictShardFor(uint64_t source_fp, uint64_t target_fp) {
+  Shard& shard = shards_[ShardOf(source_fp, target_fp)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.order.clear();
+  shard.table.clear();
+  ++shard.stats.shard_evictions;
 }
 
 void HomCache::Clear() {
@@ -124,6 +145,9 @@ HomCacheStats HomCache::Stats() const {
     total.misses += shards_[i].stats.misses;
     total.insertions += shards_[i].stats.insertions;
     total.evictions += shards_[i].stats.evictions;
+    total.failed_lookups += shards_[i].stats.failed_lookups;
+    total.failed_insertions += shards_[i].stats.failed_insertions;
+    total.shard_evictions += shards_[i].stats.shard_evictions;
   }
   return total;
 }

@@ -41,6 +41,11 @@ struct HomCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  // Injected/real shard failures: lookups reported failed, insertions
+  // skipped, shards dropped by EvictShardFor.
+  uint64_t failed_lookups = 0;
+  uint64_t failed_insertions = 0;
+  uint64_t shard_evictions = 0;
 };
 
 class HomCache {
@@ -55,14 +60,27 @@ class HomCache {
   static HomCache& Global();
 
   // Looks up (source_fp, target_fp, options_digest, kind) and refreshes
-  // its LRU position. nullopt = miss.
+  // its LRU position. nullopt = miss. A shard failure (the
+  // "hom_cache/lookup" failpoint; a real store would report corruption
+  // here) also returns nullopt and sets *failed when non-null, so the
+  // caller can distinguish "not cached" from "cache unusable" and evict
+  // the shard.
   std::optional<uint64_t> Lookup(uint64_t source_fp, uint64_t target_fp,
-                                 uint64_t options_digest, Kind kind);
+                                 uint64_t options_digest, Kind kind,
+                                 bool* failed = nullptr);
 
   // Inserts or refreshes an entry, evicting the shard's LRU tail when
-  // full.
-  void Insert(uint64_t source_fp, uint64_t target_fp,
+  // full. Returns false when the store was skipped (the
+  // "hom_cache/shard_insert" failpoint): the answer is simply not
+  // memoized.
+  bool Insert(uint64_t source_fp, uint64_t target_fp,
               uint64_t options_digest, Kind kind, uint64_t value);
+
+  // Drops every entry of the shard that would hold (source_fp,
+  // target_fp): the degradation ladder's response to a failed lookup
+  // (a shard that cannot be read is discarded wholesale rather than
+  // trusted).
+  void EvictShardFor(uint64_t source_fp, uint64_t target_fp);
 
   // Drops every entry (tests use this to isolate trials).
   void Clear();

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <span>
 #include <utility>
 
 #include "base/bitset64.h"
 #include "base/check.h"
+#include "base/failpoint.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/problem.h"
@@ -86,7 +88,10 @@ class HomSearch {
     }
     if (options_.use_arc_consistency && options_.use_index &&
         !constraints_.empty()) {
-      index_ = &b.Index();
+      // A failed index build (allocation failure or injected fault)
+      // degrades to pure-scan propagation: same answers, more tuples
+      // visited per revision.
+      index_ = b.TryIndex();
     }
     n_ = a.UniverseSize();
     m_ = b.UniverseSize();
@@ -378,8 +383,23 @@ void RunSerialHomKernel(
     const Structure& a, const Structure& b, const KernelOptions& options,
     Budget& budget,
     const std::function<bool(const std::vector<int>&)>& emit) {
-  HomSearch search(a, b, options, budget);
-  search.Run(emit);
+  // An allocation failure while leasing or sizing the solver workspace
+  // (real, or the injected "hom/workspace_alloc_hard" fault) is
+  // unrecoverable at this level: contain it as a structured kMemory stop
+  // so the caller sees an exhausted Outcome, never a crash. The
+  // recoverable simulation — the AC workspace cannot grow, so the plan
+  // falls back to the naive kernel — is the engine's
+  // "hom/workspace_alloc" degradation rung.
+  if (HOMPRES_FAILPOINT("hom/workspace_alloc_hard")) {
+    budget.ForceStop(StopReason::kMemory);
+    return;
+  }
+  try {
+    HomSearch search(a, b, options, budget);
+    search.Run(emit);
+  } catch (const std::bad_alloc&) {
+    budget.ForceStop(StopReason::kMemory);
+  }
 }
 
 namespace {

@@ -99,7 +99,7 @@ Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
   ParallelRegion region(budget, num_tasks);
   ThreadPool pool(std::min(options.num_threads, num_tasks));
   for (int i = 0; i < num_tasks; ++i) {
-    pool.Submit([&, i] {
+    pool.Submit(region.GuardedTask([&, i] {
       Budget worker = region.WorkerBudget(i);
       HomOptions task_options = serial;
       task_options.forced.insert(task_options.forced.end(),
@@ -128,7 +128,7 @@ Outcome<std::optional<std::vector<int>>> ParallelFindHomomorphismBudgeted(
         }
       }
       region.TaskDone();
-    });
+    }));
   }
   const bool external_cancel = region.Join(pool);
 
@@ -191,7 +191,7 @@ Outcome<uint64_t> ParallelCountHomomorphismsBudgeted(
   ParallelRegion region(budget, num_tasks);
   ThreadPool pool(std::min(options.num_threads, num_tasks));
   for (int i = 0; i < num_tasks; ++i) {
-    pool.Submit([&, i] {
+    pool.Submit(region.GuardedTask([&, i] {
       Budget worker = region.WorkerBudget(i);
       HomOptions task_options = serial;
       task_options.forced.insert(task_options.forced.end(),
@@ -221,7 +221,7 @@ Outcome<uint64_t> ParallelCountHomomorphismsBudgeted(
         state.stop = out.Report().reason;
       }
       region.TaskDone();
-    });
+    }));
   }
   const bool external_cancel = region.Join(pool);
 

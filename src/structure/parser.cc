@@ -3,6 +3,8 @@
 #include <cctype>
 #include <limits>
 
+#include "base/failpoint.h"
+
 namespace hompres {
 
 namespace {
@@ -163,6 +165,14 @@ class Parser {
 std::optional<Structure> ParseStructure(const std::string& text,
                                         const Vocabulary& vocabulary,
                                         ParseError* error) {
+  // Simulated front-end I/O failure (truncated read, unreadable file):
+  // surfaces as an ordinary structured ParseError, never a crash.
+  if (HOMPRES_FAILPOINT("parser/structure_io")) {
+    if (error != nullptr) {
+      *error = ParseError{0, 0, "injected I/O fault (parser/structure_io)"};
+    }
+    return std::nullopt;
+  }
   return Parser(text, vocabulary).Run(error);
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <new>
 #include <sstream>
 
+#include "base/failpoint.h"
 #include "base/hash.h"
 #include "structure/relation_index.h"
 
@@ -48,6 +50,18 @@ const RelationIndex& Structure::Index() const {
     index_ = std::make_shared<const RelationIndex>(*this);
   }
   return *index_;
+}
+
+const RelationIndex* Structure::TryIndex() const {
+  std::lock_guard<std::mutex> lock(IndexBuildMutex());
+  if (index_ != nullptr) return index_.get();
+  if (HOMPRES_FAILPOINT("relation_index/build")) return nullptr;
+  try {
+    index_ = std::make_shared<const RelationIndex>(*this);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+  return index_.get();
 }
 
 uint64_t Structure::Fingerprint() const {

@@ -64,6 +64,15 @@ class Structure {
   // while other threads read is not (as for every other accessor).
   const RelationIndex& Index() const;
 
+  // Failure-tolerant variant for the degraded paths: returns the cached
+  // index if one is already built; otherwise attempts the build and
+  // returns nullptr if it fails (std::bad_alloc, or the
+  // "relation_index/build" failpoint) instead of propagating. Callers
+  // fall back to unindexed scans — same answers, more tuples visited.
+  // The already-built case never consults the failpoint, so a site that
+  // probed successfully is not re-failed downstream.
+  const RelationIndex* TryIndex() const;
+
   // A 64-bit order-sensitive fingerprint of the structure's value
   // (vocabulary arities, universe size, and every tuple entry in sorted
   // relation order). Equal structures always fingerprint equal; distinct

@@ -366,6 +366,24 @@ TEST(PreservationRetryTest, BudgetedPipelineMatchesUnbudgeted) {
 
 // --- Budgeted minimal-model search surfaces partial results. ---
 
+TEST(BudgetTest, HugeTimeoutSaturatesToUnlimited) {
+  // A timeout near the clock's maximum must not overflow `now + timeout`
+  // into the past (which would stop every Checkpoint immediately): it
+  // saturates to "no deadline".
+  Budget huge = Budget::Timeout(std::chrono::nanoseconds::max());
+  EXPECT_TRUE(huge.IsUnlimited());
+  EXPECT_TRUE(huge.Checkpoint());
+
+  Budget almost = Budget::Timeout(std::chrono::hours(24 * 365));
+  EXPECT_FALSE(almost.IsUnlimited());
+  EXPECT_TRUE(almost.Checkpoint());  // a year out: still running
+
+  Budget past = Budget::Timeout(std::chrono::nanoseconds(0));
+  // Zero-or-negative timeouts stay real deadlines and expire at once.
+  EXPECT_FALSE(past.Checkpoint());
+  EXPECT_EQ(past.Report().reason, StopReason::kDeadline);
+}
+
 TEST(MinimalModelsBudgetTest, PartialSurvivesExhaustion) {
   const Vocabulary voc = GraphVocabulary();
   const BooleanQuery q = [](const Structure& s) {

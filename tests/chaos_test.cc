@@ -1,0 +1,422 @@
+// Chaos harness: reruns engine queries under injected faults and checks
+// the degradation contract of DESIGN.md §4.6 — no crash, no leak, and
+// for every answer-preserving failpoint the answer is bit-identical to
+// the fault-free run with the fallback recorded as a DegradationEvent.
+// Hard faults (kernel allocation failure) must surface as a structured
+// budget stop, never as a crash.
+//
+// The random-schedule section draws its schedules from a fixed seed;
+// HOMPRES_CHAOS_SEED overrides it, which the CI chaos job uses to sweep
+// fresh seeds under ASan.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/budget.h"
+#include "base/failpoint.h"
+#include "base/parse_error.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/classes.h"
+#include "core/preservation.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "engine/config.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "engine/problem.h"
+#include "fo/parser.h"
+#include "hom/hom_cache.h"
+#include "hom/homomorphism.h"
+#include "hom/parallel.h"
+#include "structure/generators.h"
+#include "structure/parser.h"
+#include "structure/structure.h"
+#include "structure/vocabulary.h"
+
+namespace hompres {
+namespace {
+
+constexpr uint64_t kDefaultChaosSeed = 20260807;
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("HOMPRES_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultChaosSeed;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    ADD_FAILURE() << "HOMPRES_CHAOS_SEED is not a number: " << env;
+    return kDefaultChaosSeed;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Vocabulary GraphVoc() {
+  Vocabulary voc;
+  voc.AddRelation("E", 2);
+  return voc;
+}
+
+// Two disjoint edges: two Gaifman components (exercises factorization).
+Structure TwoEdges() {
+  Structure a(GraphVoc(), 4);
+  a.AddTuple(0, {0, 1});
+  a.AddTuple(0, {2, 3});
+  return a;
+}
+
+// Triangle with both directions: 6 E-tuples, so TwoEdges has 6*6 = 36
+// homomorphisms into it.
+Structure Triangle() {
+  Structure b(GraphVoc(), 3);
+  b.AddTuple(0, {0, 1});
+  b.AddTuple(0, {1, 2});
+  b.AddTuple(0, {2, 0});
+  b.AddTuple(0, {1, 0});
+  b.AddTuple(0, {2, 1});
+  b.AddTuple(0, {0, 2});
+  return b;
+}
+
+constexpr uint64_t kTwoEdgesToTriangleCount = 36;
+
+// Independent witness oracle (not VerifyHomomorphism, which the engines
+// use internally).
+bool CheckIsHomomorphism(const Structure& a, const Structure& b,
+                         const std::vector<int>& h) {
+  if (static_cast<int>(h.size()) != a.UniverseSize()) return false;
+  for (int image : h) {
+    if (image < 0 || image >= b.UniverseSize()) return false;
+  }
+  for (int rel = 0; rel < a.GetVocabulary().NumRelations(); ++rel) {
+    for (const Tuple& t : a.Tuples(rel)) {
+      Tuple image(t.size());
+      for (size_t i = 0; i < t.size(); ++i) {
+        image[i] = h[static_cast<size_t>(t[i])];
+      }
+      if (!b.HasTuple(rel, image)) return false;
+    }
+  }
+  return true;
+}
+
+// The full-ladder configuration: every degradation rung is reachable.
+EngineConfig LadderConfig() {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.factorize = true;
+  config.use_cache = true;
+  return config;
+}
+
+PlanResult PlanCount(const Structure& a, const Structure& b,
+                     const EngineConfig& config) {
+  HomProblem problem;
+  problem.source = &a;
+  problem.target = &b;
+  problem.mode = HomQueryMode::kCount;
+  return PlanHomQuery(problem, config, PlanMode::kCompat);
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Global().DisarmAll();
+    HomCache::Global().Clear();
+  }
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+// --- Every ladder rung, one armed failpoint at a time. ---
+
+struct LadderSite {
+  const char* failpoint;
+  DegradationKind kind;
+};
+
+TEST_F(ChaosTest, EachLadderSiteDegradesGracefullyWithIdenticalAnswer) {
+  const LadderSite ladder[] = {
+      {"relation_index/build", DegradationKind::kIndexToScan},
+      {"thread_pool/spawn", DegradationKind::kParallelToSerial},
+      {"engine/factorize", DegradationKind::kFactorizedToMonolithic},
+      {"hom/workspace_alloc", DegradationKind::kAcToNaive},
+      {"hom_cache/lookup", DegradationKind::kCacheLookupToMiss},
+      {"hom_cache/shard_insert", DegradationKind::kCacheInsertSkipped},
+  };
+  auto& registry = FailpointRegistry::Global();
+  for (const LadderSite& site : ladder) {
+    SCOPED_TRACE(site.failpoint);
+    // Fresh structures every iteration: the lazily built (and cached)
+    // RelationIndex must be rebuilt so relation_index/build is probed.
+    const Structure a = TwoEdges();
+    const Structure b = Triangle();
+    HomCache::Global().Clear();
+    ASSERT_TRUE(registry.Arm(site.failpoint, "once"));
+
+    ExecutionTrace trace;
+    const PlanResult planned = PlanCount(a, b, LadderConfig());
+    ASSERT_TRUE(planned.plan.has_value());
+    Budget budget = Budget::Unlimited();
+    auto outcome = Engine::Execute(*planned.plan, budget, &trace);
+
+    ASSERT_TRUE(outcome.IsDone());
+    EXPECT_EQ(outcome.Value().count, kTwoEdgesToTriangleCount)
+        << "degraded run changed the answer";
+    EXPECT_GT(registry.FireCount(site.failpoint), 0u)
+        << "armed site was never reached";
+    registry.Disarm(site.failpoint);  // drops the point's counters
+    const auto matches = [&](const DegradationEvent& e) {
+      return e.kind == site.kind;
+    };
+    EXPECT_TRUE(std::any_of(trace.degradations.begin(),
+                            trace.degradations.end(), matches))
+        << "fired fault produced no DegradationEvent";
+    EXPECT_NE(planned.plan->Explain().find(site.failpoint),
+              std::string::npos)
+        << "Explain() does not surface the degradation site";
+    EXPECT_NE(planned.plan->Summary().find("degraded="),
+              std::string::npos);
+  }
+
+  // Sanity: disarmed reruns are clean — right answer, no degradations.
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  HomCache::Global().Clear();
+  ExecutionTrace trace;
+  const PlanResult planned = PlanCount(a, b, LadderConfig());
+  ASSERT_TRUE(planned.plan.has_value());
+  Budget budget = Budget::Unlimited();
+  auto outcome = Engine::Execute(*planned.plan, budget, &trace);
+  ASSERT_TRUE(outcome.IsDone());
+  EXPECT_EQ(outcome.Value().count, kTwoEdgesToTriangleCount);
+  EXPECT_TRUE(trace.degradations.empty());
+  EXPECT_EQ(planned.plan->Summary().find("degraded="), std::string::npos);
+}
+
+TEST_F(ChaosTest, HardAllocationFaultIsAStructuredMemoryStop) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("hom/workspace_alloc_hard", "always"));
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  EngineConfig config;  // serial, uncached: straight into the kernel
+  config.use_cache = false;
+  const PlanResult planned = PlanCount(a, b, config);
+  ASSERT_TRUE(planned.plan.has_value());
+  Budget budget = Budget::Unlimited();
+  auto outcome = Engine::Execute(*planned.plan, budget);
+  EXPECT_FALSE(outcome.IsDone());
+  EXPECT_EQ(outcome.Report().reason, StopReason::kMemory);
+}
+
+// --- Random schedules over the answer-preserving sites. ---
+
+TEST_F(ChaosTest, RandomSchedulesNeverChangeAnswers) {
+  const char* kSites[] = {
+      "relation_index/build",  "thread_pool/spawn",
+      "engine/factorize",      "hom/workspace_alloc",
+      "hom_cache/lookup",      "hom_cache/shard_insert",
+  };
+  const char* kSpecs[] = {"once", "always", "every:2", "every:3",
+                          "prob:0.5"};
+  const uint64_t seed = ChaosSeed();
+  auto& registry = FailpointRegistry::Global();
+  Rng rng(seed);
+  const Vocabulary voc = GraphVoc();
+
+  constexpr int kTrials = 25;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " trial " +
+                 std::to_string(trial));
+    const int na = 2 + static_cast<int>(rng.Next() % 4);
+    const int nb = 2 + static_cast<int>(rng.Next() % 4);
+    const int ta = 2 + static_cast<int>(rng.Next() % 6);
+    const int tb = 2 + static_cast<int>(rng.Next() % 8);
+    const Structure a = RandomStructure(voc, na, ta, rng);
+    const Structure b = RandomStructure(voc, nb, tb, rng);
+
+    // Fault-free reference answer.
+    registry.DisarmAll();
+    HomCache::Global().Clear();
+    ExecutionTrace clean_trace;
+    const PlanResult clean_plan = PlanCount(a, b, LadderConfig());
+    ASSERT_TRUE(clean_plan.plan.has_value());
+    Budget clean_budget = Budget::Unlimited();
+    auto clean = Engine::Execute(*clean_plan.plan, clean_budget,
+                                 &clean_trace);
+    ASSERT_TRUE(clean.IsDone());
+    ASSERT_TRUE(clean_trace.degradations.empty());
+
+    // Arm a random schedule over 1-3 sites and rerun on fresh copies
+    // (fresh = the index rebuild and cache rungs stay reachable).
+    const Structure a2 = a;
+    const Structure b2 = b;
+    HomCache::Global().Clear();
+    registry.SetSeed(seed ^ static_cast<uint64_t>(trial));
+    const int num_armed = 1 + static_cast<int>(rng.Next() % 3);
+    for (int k = 0; k < num_armed; ++k) {
+      const char* site = kSites[rng.Next() % (sizeof(kSites) /
+                                              sizeof(kSites[0]))];
+      const char* spec = kSpecs[rng.Next() % (sizeof(kSpecs) /
+                                              sizeof(kSpecs[0]))];
+      ASSERT_TRUE(registry.Arm(site, spec));
+    }
+
+    ExecutionTrace chaos_trace;
+    const PlanResult chaos_plan = PlanCount(a2, b2, LadderConfig());
+    ASSERT_TRUE(chaos_plan.plan.has_value());
+    Budget chaos_budget = Budget::Unlimited();
+    auto chaotic = Engine::Execute(*chaos_plan.plan, chaos_budget,
+                                   &chaos_trace);
+    ASSERT_TRUE(chaotic.IsDone())
+        << "answer-preserving faults must not exhaust the budget";
+    EXPECT_EQ(chaotic.Value().count, clean.Value().count);
+
+    // Witness mode under the same schedule: existence matches the
+    // fault-free count and any witness passes the independent oracle.
+    HomProblem find;
+    find.source = &a2;
+    find.target = &b2;
+    find.mode = HomQueryMode::kFind;
+    EngineConfig config = LadderConfig();
+    config.use_cache = false;  // find is uncacheable
+    config.deterministic_witness = true;
+    const PlanResult planned = PlanHomQuery(find, config, PlanMode::kCompat);
+    ASSERT_TRUE(planned.plan.has_value());
+    Budget budget = Budget::Unlimited();
+    auto found = Engine::Execute(*planned.plan, budget);
+    ASSERT_TRUE(found.IsDone());
+    EXPECT_EQ(found.Value().witness.has_value(), clean.Value().count > 0);
+    if (found.Value().witness.has_value()) {
+      EXPECT_TRUE(CheckIsHomomorphism(a2, b2, *found.Value().witness));
+    }
+    registry.DisarmAll();
+  }
+}
+
+// --- Parser failpoints: injected I/O faults become ParseErrors. ---
+
+TEST_F(ChaosTest, ParserFaultsSurfaceAsParseErrors) {
+  auto& registry = FailpointRegistry::Global();
+  const Vocabulary voc = GraphVoc();
+
+  ASSERT_TRUE(registry.Arm("parser/structure_io", "once"));
+  ParseError error;
+  auto s = ParseStructure("|A|=2; E={(0 1)}", voc, &error);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_NE(error.message.find("injected I/O fault"), std::string::npos);
+  // The failpoint fired once; the same text now parses.
+  s = ParseStructure("|A|=2; E={(0 1)}", voc, &error);
+  EXPECT_TRUE(s.has_value());
+
+  ASSERT_TRUE(registry.Arm("parser/datalog_io", "once"));
+  auto program = ParseDatalogProgram("T(x,y) :- E(x,y).", voc, &error);
+  EXPECT_FALSE(program.has_value());
+  EXPECT_NE(error.message.find("injected I/O fault"), std::string::npos);
+
+  ASSERT_TRUE(registry.Arm("parser/formula_io", "once"));
+  auto formula = ParseFormula("exists x E(x,x)", &error);
+  EXPECT_FALSE(formula.has_value());
+  EXPECT_NE(error.message.find("injected I/O fault"), std::string::npos);
+}
+
+// --- Datalog: degraded rounds reach the identical fixpoint. ---
+
+TEST_F(ChaosTest, DatalogDegradationsPreserveTheFixpoint) {
+  auto& registry = FailpointRegistry::Global();
+  const Vocabulary voc = GraphVoc();
+  ParseError error;
+  auto program = ParseDatalogProgram(
+      "T(x,y) <- E(x,y). T(x,z) <- T(x,y), E(y,z).", voc, &error);
+  ASSERT_TRUE(program.has_value()) << error.ToString();
+  const Structure edb = DirectedCycleStructure(5);
+
+  DatalogEvalOptions options;
+  options.num_threads = 2;
+  options.use_index = true;
+  const DatalogResult clean = EvaluateSemiNaive(*program, edb, options);
+
+  // Parallel-round loss degrades to serial rounds: identical fixpoint,
+  // stage count, and derivation total.
+  ASSERT_TRUE(registry.Arm("datalog/parallel_round", "once"));
+  const DatalogResult serial_fallback =
+      EvaluateSemiNaive(*program, edb, options);
+  EXPECT_GT(registry.FireCount("datalog/parallel_round"), 0u);
+  EXPECT_EQ(serial_fallback.idb, clean.idb);
+  EXPECT_EQ(serial_fallback.stages, clean.stages);
+  EXPECT_EQ(serial_fallback.derivations, clean.derivations);
+  registry.Disarm("datalog/parallel_round");
+
+  // Compile loss degrades to the interpretive scan engine: identical
+  // fixpoint and stages (derivation counts legitimately differ).
+  ASSERT_TRUE(registry.Arm("datalog/compile", "once"));
+  const DatalogResult scan_fallback =
+      EvaluateSemiNaive(*program, edb, options);
+  EXPECT_GT(registry.FireCount("datalog/compile"), 0u);
+  EXPECT_EQ(scan_fallback.idb, clean.idb);
+  EXPECT_EQ(scan_fallback.stages, clean.stages);
+}
+
+// --- Thread-pool and task faults are contained, never terminate. ---
+
+TEST_F(ChaosTest, ThrowingParallelTaskCancelsTheRegion) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("parallel/task_throw", "always"));
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  HomOptions options;
+  options.num_threads = 2;
+  Budget budget = Budget::Unlimited();
+  auto outcome = ParallelFindHomomorphismBudgeted(a, b, budget, options);
+  // Every subtree task throws; the region cancels cleanly instead of
+  // calling std::terminate, and the stop is structured.
+  EXPECT_FALSE(outcome.IsDone());
+  EXPECT_TRUE(outcome.IsCancelled());
+}
+
+TEST_F(ChaosTest, TotalSpawnFailureDegradesSubmitToInline) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("thread_pool/spawn", "always"));
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.NumWorkers(), 0);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  // Zero workers: Submit ran each task inline before returning.
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// --- Retry layer: a lost attempt is recorded and escalation recovers. ---
+
+TEST_F(ChaosTest, PreservationRetrySurvivesAnInjectedAttemptLoss) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("preservation/attempt", "nth:1"));
+  const Vocabulary voc = GraphVoc();
+  const BooleanQuery q = [](const Structure& s) {
+    for (const Tuple& t : s.Tuples(0)) {
+      if (t[0] == t[1]) return true;
+    }
+    return false;
+  };
+  PreservationBudgetOptions options;
+  options.initial_steps = 0;  // unlimited: only the injected loss stops it
+  options.initial_timeout = std::chrono::nanoseconds(0);
+  options.max_attempts = 3;
+  const PreservationReport report = PreservationPipelineWithRetry(
+      q, voc, AllStructuresClass(), /*search_universe=*/2,
+      /*verify_universe=*/2, options);
+  ASSERT_TRUE(report.completed);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_FALSE(report.attempts[0].completed);  // the injected loss
+  EXPECT_EQ(report.attempts[0].report.reason, StopReason::kSteps);
+  EXPECT_TRUE(report.attempts[1].completed);
+  EXPECT_TRUE(report.result.verified);
+}
+
+}  // namespace
+}  // namespace hompres

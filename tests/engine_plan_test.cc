@@ -5,6 +5,8 @@
 // budget steps; an out-of-range forced pair is a certain "no" without
 // search).
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "engine/plan.h"
 #include "engine/problem.h"
 #include "gtest/gtest.h"
+#include "hom/core.h"
 #include "hom/hom_cache.h"
 #include "structure/structure.h"
 
@@ -337,6 +340,116 @@ TEST(EnginePlan, OutOfRangeForcedPairIsACertainNoWithoutSearch) {
   const auto out = Engine::Execute(*planned.plan, zero);
   ASSERT_TRUE(out.IsDone());
   EXPECT_FALSE(out.Value().has);
+}
+
+// --- Stop-reason propagation: every mode x config x budget stop. ---
+
+namespace stop_table {
+
+// A raised flag the cancel rows share; never reset (the budget only
+// reads it).
+std::atomic<bool> g_always_cancelled{true};
+
+struct StopRow {
+  const char* name;
+  StopReason want;
+};
+
+Budget MakeStoppedBudget(StopReason want) {
+  switch (want) {
+    case StopReason::kSteps:
+      return Budget::MaxSteps(1);
+    case StopReason::kDeadline:
+      return Budget::Timeout(std::chrono::nanoseconds(0));
+    case StopReason::kMemory: {
+      Budget budget;
+      budget.WithMaxMemoryBytes(1);
+      budget.ChargeMemory(2);  // pre-exhausted: first checkpoint stops
+      return budget;
+    }
+    case StopReason::kCancelled: {
+      Budget budget;
+      budget.WithCancelFlag(&g_always_cancelled);
+      return budget;
+    }
+    default:
+      ADD_FAILURE() << "unexpected stop row";
+      return Budget::Unlimited();
+  }
+}
+
+}  // namespace stop_table
+
+TEST(EngineExecution, EveryModeSurfacesEveryStopReason) {
+  using stop_table::MakeStoppedBudget;
+  const Structure a = TwoEdges();  // two components: factorization runs
+  const Structure b = Triangle();
+
+  const stop_table::StopRow stops[] = {
+      {"steps", StopReason::kSteps},
+      {"deadline", StopReason::kDeadline},
+      {"memory", StopReason::kMemory},
+      {"cancel", StopReason::kCancelled},
+  };
+
+  struct ConfigRow {
+    const char* name;
+    EngineConfig config;
+  };
+  std::vector<ConfigRow> configs;
+  configs.push_back({"serial", EngineConfig{}});
+  {
+    EngineConfig parallel;
+    parallel.num_threads = 2;
+    configs.push_back({"parallel", parallel});
+  }
+  {
+    EngineConfig cached;
+    cached.use_cache = true;
+    configs.push_back({"cached", cached});
+  }
+
+  for (const HomQueryMode mode :
+       {HomQueryMode::kHas, HomQueryMode::kFind, HomQueryMode::kCount,
+        HomQueryMode::kEnumerate}) {
+    for (const auto& row : configs) {
+      HomProblem problem = MakeProblem(a, b, mode);
+      if (mode == HomQueryMode::kEnumerate) {
+        problem.callback = [](const std::vector<int>&) { return true; };
+      }
+      const PlanResult planned =
+          PlanHomQuery(problem, row.config, PlanMode::kCompat);
+      ASSERT_TRUE(planned.plan.has_value())
+          << row.name << " mode " << static_cast<int>(mode);
+      for (const auto& stop : stops) {
+        SCOPED_TRACE(std::string(row.name) + "/" + stop.name + "/mode=" +
+                     std::to_string(static_cast<int>(mode)));
+        // An earlier cached row must not answer this one from the cache
+        // (a hit legitimately completes without touching the budget).
+        HomCache::Global().Clear();
+        Budget budget = MakeStoppedBudget(stop.want);
+        const auto out = Engine::Execute(*planned.plan, budget);
+        EXPECT_FALSE(out.IsDone());
+        EXPECT_EQ(out.Report().reason, stop.want);
+        EXPECT_EQ(out.IsCancelled(), stop.want == StopReason::kCancelled);
+        EXPECT_EQ(out.IsExhausted(), stop.want != StopReason::kCancelled);
+      }
+    }
+  }
+
+  // The budgeted core probes surface the same stop vocabulary.
+  for (const auto& stop : stops) {
+    SCOPED_TRACE(std::string("core/") + stop.name);
+    Budget budget = MakeStoppedBudget(stop.want);
+    const auto core = ComputeCoreBudgeted(b, budget);
+    EXPECT_FALSE(core.IsDone());
+    EXPECT_EQ(core.Report().reason, stop.want);
+
+    Budget probe = MakeStoppedBudget(stop.want);
+    const auto is_core = IsCoreBudgeted(b, probe);
+    EXPECT_FALSE(is_core.IsDone());
+    EXPECT_EQ(is_core.Report().reason, stop.want);
+  }
 }
 
 TEST(EnginePlan, GreedyBoundFirstAtomOrderPrefersBoundSlots) {

@@ -1,0 +1,308 @@
+// Tests for the fault-injection registry (base/failpoint.h) and the
+// reusable retry schedule (base/retry.h): schedule-spec parsing, firing
+// semantics and determinism of every mode, hit/fire accounting, and the
+// escalation/caps/jitter/cancellation contract of RetrySchedule.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/budget.h"
+#include "base/failpoint.h"
+#include "base/retry.h"
+
+namespace hompres {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+// Every test starts and leaves the global registry clean so suites can
+// interleave — and so a HOMPRES_FAILPOINTS env spec (armed before main)
+// cannot perturb these unit tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Global().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedMacroIsFalseAndRecordsNothing) {
+  auto& registry = FailpointRegistry::Global();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/unarmed"));
+  EXPECT_EQ(registry.HitCount("test/unarmed"), 0u);
+  EXPECT_EQ(registry.FireCount("test/unarmed"), 0u);
+  EXPECT_TRUE(registry.ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnFirstHit) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/once", "once"));
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(HOMPRES_FAILPOINT("test/once"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/once"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/once"));
+  EXPECT_EQ(registry.HitCount("test/once"), 3u);
+  EXPECT_EQ(registry.FireCount("test/once"), 1u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresOnEveryHit) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/always", "always"));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(HOMPRES_FAILPOINT("test/always"));
+  }
+  EXPECT_EQ(registry.HitCount("test/always"), 5u);
+  EXPECT_EQ(registry.FireCount("test/always"), 5u);
+}
+
+TEST_F(FailpointTest, NthFiresOnlyOnTheKthHit) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/nth", "nth:3"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/nth"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/nth"));
+  EXPECT_TRUE(HOMPRES_FAILPOINT("test/nth"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/nth"));
+  EXPECT_EQ(registry.FireCount("test/nth"), 1u);
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/every", "every:2"));
+  std::vector<bool> fired;
+  fired.reserve(6);
+  for (int i = 0; i < 6; ++i) fired.push_back(HOMPRES_FAILPOINT("test/every"));
+  const std::vector<bool> expected = {false, true, false, true, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(registry.FireCount("test/every"), 3u);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicUnderTheSameSeed) {
+  auto& registry = FailpointRegistry::Global();
+  const auto draw = [&registry](uint64_t seed) {
+    registry.SetSeed(seed);
+    EXPECT_TRUE(registry.Arm("test/prob", "prob:0.5"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(HOMPRES_FAILPOINT("test/prob"));
+    registry.Disarm("test/prob");
+    return fired;
+  };
+  const std::vector<bool> first = draw(42);
+  const std::vector<bool> second = draw(42);
+  EXPECT_EQ(first, second);
+  // A 0.5 schedule over 64 hits fires at least once and skips at least
+  // once with probability 1 - 2^-63.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/p0", "prob:0"));
+  ASSERT_TRUE(registry.Arm("test/p1", "prob:1"));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(HOMPRES_FAILPOINT("test/p0"));
+    EXPECT_TRUE(HOMPRES_FAILPOINT("test/p1"));
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  auto& registry = FailpointRegistry::Global();
+  EXPECT_FALSE(registry.Arm("test/bad", ""));
+  EXPECT_FALSE(registry.Arm("test/bad", "sometimes"));
+  EXPECT_FALSE(registry.Arm("test/bad", "nth:0"));
+  EXPECT_FALSE(registry.Arm("test/bad", "nth:-1"));
+  EXPECT_FALSE(registry.Arm("test/bad", "nth:abc"));
+  EXPECT_FALSE(registry.Arm("test/bad", "every:0"));
+  EXPECT_FALSE(registry.Arm("test/bad", "prob:1.5"));
+  EXPECT_FALSE(registry.Arm("test/bad", "prob:-0.1"));
+  EXPECT_FALSE(registry.Arm("test/bad", "prob:x"));
+  EXPECT_FALSE(registry.Arm("", "once"));
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+}
+
+TEST_F(FailpointTest, ArmFromSpecArmsEveryWellFormedEntry) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(
+      registry.ArmFromSpec("test/a=once;test/b=every:2,test/c=prob:0.25"));
+  std::vector<std::string> names = registry.ArmedNames();
+  std::sort(names.begin(), names.end());
+  const std::vector<std::string> expected = {"test/a", "test/b", "test/c"};
+  EXPECT_EQ(names, expected);
+  // A malformed tail entry reports failure but keeps earlier arms.
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.ArmFromSpec("test/a=once;test/b=banana"));
+  EXPECT_EQ(registry.ArmedNames(), std::vector<std::string>{"test/a"});
+}
+
+TEST_F(FailpointTest, ReArmingResetsCounters) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/rearm", "always"));
+  EXPECT_TRUE(HOMPRES_FAILPOINT("test/rearm"));
+  EXPECT_EQ(registry.HitCount("test/rearm"), 1u);
+  ASSERT_TRUE(registry.Arm("test/rearm", "once"));
+  EXPECT_EQ(registry.HitCount("test/rearm"), 0u);
+  EXPECT_EQ(registry.FireCount("test/rearm"), 0u);
+  EXPECT_TRUE(HOMPRES_FAILPOINT("test/rearm"));
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/rearm"));
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Arm("test/x", "always"));
+  ASSERT_TRUE(registry.Arm("test/y", "always"));
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  registry.DisarmAll();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_FALSE(HOMPRES_FAILPOINT("test/x"));
+  EXPECT_EQ(registry.HitCount("test/x"), 0u);
+  EXPECT_TRUE(registry.ArmedNames().empty());
+}
+
+TEST(RetryScheduleTest, AttemptZeroUsesInitialLimits) {
+  RetryPolicy policy;
+  policy.initial_steps = 1000;
+  policy.initial_timeout = milliseconds(100);
+  policy.max_attempts = 3;
+  policy.escalation_factor = 4;
+  const RetrySchedule schedule(policy);
+  EXPECT_EQ(schedule.NumAttempts(), 3);
+  const RetryAttempt first = schedule.Attempt(0);
+  EXPECT_EQ(first.max_steps, 1000u);
+  EXPECT_EQ(first.timeout, milliseconds(100));
+  EXPECT_EQ(first.backoff, nanoseconds(0));
+}
+
+TEST(RetryScheduleTest, LimitsEscalateGeometrically) {
+  RetryPolicy policy;
+  policy.initial_steps = 10;
+  policy.initial_timeout = milliseconds(5);
+  policy.max_attempts = 4;
+  policy.escalation_factor = 4;
+  const RetrySchedule schedule(policy);
+  EXPECT_EQ(schedule.Attempt(1).max_steps, 40u);
+  EXPECT_EQ(schedule.Attempt(2).max_steps, 160u);
+  EXPECT_EQ(schedule.Attempt(3).max_steps, 640u);
+  EXPECT_EQ(schedule.Attempt(2).timeout, milliseconds(80));
+}
+
+TEST(RetryScheduleTest, UnlimitedStaysUnlimitedAndEscalationSaturates) {
+  RetryPolicy policy;
+  policy.initial_steps = 0;  // unlimited
+  policy.initial_timeout = nanoseconds(0);
+  policy.max_attempts = 3;
+  policy.escalation_factor = 1000;
+  const RetrySchedule schedule(policy);
+  EXPECT_EQ(schedule.Attempt(2).max_steps, 0u);
+  EXPECT_EQ(schedule.Attempt(2).timeout, nanoseconds(0));
+
+  RetryPolicy huge;
+  huge.initial_steps = UINT64_MAX / 2;
+  huge.initial_timeout = nanoseconds::max() / 2;
+  huge.max_attempts = 5;
+  huge.escalation_factor = 1000;
+  const RetrySchedule saturating(huge);
+  // Saturates instead of wrapping: stays at the max, never becomes small
+  // (or zero, which would silently mean "unlimited").
+  EXPECT_EQ(saturating.Attempt(4).max_steps, UINT64_MAX);
+  EXPECT_EQ(saturating.Attempt(4).timeout, nanoseconds::max());
+}
+
+TEST(RetryScheduleTest, FactorAtMostOneMeansNoGrowth) {
+  for (const uint64_t factor : {uint64_t{0}, uint64_t{1}}) {
+    RetryPolicy policy;
+    policy.initial_steps = 100;
+    policy.initial_timeout = milliseconds(10);
+    policy.max_attempts = 3;
+    policy.escalation_factor = factor;
+    const RetrySchedule schedule(policy);
+    EXPECT_EQ(schedule.Attempt(2).max_steps, 100u);
+    EXPECT_EQ(schedule.Attempt(2).timeout, milliseconds(10));
+  }
+}
+
+TEST(RetryScheduleTest, CapsClampEscalatedLimits) {
+  RetryPolicy policy;
+  policy.initial_steps = 10;
+  policy.initial_timeout = milliseconds(5);
+  policy.max_attempts = 5;
+  policy.escalation_factor = 10;
+  policy.max_steps = 500;
+  policy.max_timeout = milliseconds(200);
+  const RetrySchedule schedule(policy);
+  EXPECT_EQ(schedule.Attempt(1).max_steps, 100u);
+  EXPECT_EQ(schedule.Attempt(2).max_steps, 500u);  // clamped from 1000
+  EXPECT_EQ(schedule.Attempt(4).max_steps, 500u);
+  EXPECT_EQ(schedule.Attempt(3).timeout, milliseconds(200));  // from 5000
+}
+
+TEST(RetryScheduleTest, BackoffEscalatesAndJitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.escalation_factor = 2;
+  policy.initial_backoff = milliseconds(8);
+  policy.max_backoff = milliseconds(20);
+  const RetrySchedule plain(policy);
+  EXPECT_EQ(plain.Attempt(0).backoff, nanoseconds(0));
+  EXPECT_EQ(plain.Attempt(1).backoff, milliseconds(8));
+  EXPECT_EQ(plain.Attempt(2).backoff, milliseconds(16));
+  EXPECT_EQ(plain.Attempt(3).backoff, milliseconds(20));  // capped from 32
+
+  policy.jitter_seed = 7;
+  const RetrySchedule jittered(policy);
+  for (int i = 1; i < 4; ++i) {
+    const nanoseconds base = plain.Attempt(i).backoff;
+    const nanoseconds drawn = jittered.Attempt(i).backoff;
+    EXPECT_GE(drawn, base / 2) << "attempt " << i;
+    EXPECT_LE(drawn, base) << "attempt " << i;
+    // Deterministic in (seed, attempt).
+    EXPECT_EQ(drawn, RetrySchedule(policy).Attempt(i).backoff);
+  }
+}
+
+TEST(RetryScheduleTest, MakeBudgetAppliesLimitsAndCancelFlag) {
+  std::atomic<bool> cancel{false};
+  RetryPolicy policy;
+  policy.initial_steps = 3;
+  policy.initial_timeout = nanoseconds(0);  // unlimited
+  policy.max_attempts = 2;
+  policy.cancel = &cancel;
+  const RetrySchedule schedule(policy);
+
+  Budget budget = schedule.MakeBudget(0);
+  EXPECT_TRUE(budget.Checkpoint());
+  EXPECT_TRUE(budget.Checkpoint());
+  EXPECT_TRUE(budget.Checkpoint());
+  EXPECT_FALSE(budget.Checkpoint());  // 4th step exceeds max_steps=3
+  EXPECT_EQ(budget.Report().reason, StopReason::kSteps);
+
+  Budget cancellable = schedule.MakeBudget(1);
+  EXPECT_TRUE(cancellable.Checkpoint());
+  cancel.store(true);
+  EXPECT_FALSE(cancellable.Checkpoint());
+  EXPECT_EQ(cancellable.Report().reason, StopReason::kCancelled);
+}
+
+TEST(RetryScheduleTest, BackoffHonorsCancellation) {
+  std::atomic<bool> cancel{false};
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = milliseconds(1);
+  policy.cancel = &cancel;
+  const RetrySchedule schedule(policy);
+  EXPECT_FALSE(schedule.Cancelled());
+  EXPECT_TRUE(schedule.Backoff(0));  // attempt 0 never waits
+  EXPECT_TRUE(schedule.Backoff(1));
+  cancel.store(true);
+  EXPECT_TRUE(schedule.Cancelled());
+  EXPECT_FALSE(schedule.Backoff(1));
+  EXPECT_FALSE(schedule.Backoff(0));  // raised flag blocks even attempt 0
+}
+
+}  // namespace
+}  // namespace hompres
