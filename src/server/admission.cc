@@ -1,0 +1,61 @@
+#include "server/admission.h"
+
+#include "base/failpoint.h"
+
+namespace hompres {
+
+std::optional<ProtocolError> AdmissionController::TryAdmit(
+    uint64_t client_id) {
+  if (HOMPRES_FAILPOINT("server/admit")) {
+    ProtocolError error;
+    error.code = "admission/rejected";
+    error.message = "admission rejected (injected fault)";
+    return error;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ >= policy_.max_queue) {
+    ProtocolError error;
+    error.code = "admission/queue-full";
+    error.message = "server queue is full (" +
+                    std::to_string(policy_.max_queue) + " requests)";
+    return error;
+  }
+  size_t& inflight = per_client_[client_id];
+  if (inflight >= policy_.max_inflight_per_client) {
+    ProtocolError error;
+    error.code = "admission/per-client";
+    error.message = "client exceeds its in-flight quota (" +
+                    std::to_string(policy_.max_inflight_per_client) + ")";
+    return error;
+  }
+  ++inflight;
+  ++total_;
+  return std::nullopt;
+}
+
+void AdmissionController::Release(uint64_t client_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_client_.find(client_id);
+  if (it == per_client_.end()) return;  // already fully released
+  if (--it->second == 0) per_client_.erase(it);
+  if (total_ > 0) --total_;
+}
+
+void AdmissionController::ClampBudget(uint64_t* max_steps,
+                                      uint64_t* timeout_ms) const {
+  if (policy_.max_steps_cap != 0 &&
+      (*max_steps == 0 || *max_steps > policy_.max_steps_cap)) {
+    *max_steps = policy_.max_steps_cap;
+  }
+  if (policy_.timeout_ms_cap != 0 &&
+      (*timeout_ms == 0 || *timeout_ms > policy_.timeout_ms_cap)) {
+    *timeout_ms = policy_.timeout_ms_cap;
+  }
+}
+
+size_t AdmissionController::Admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace hompres

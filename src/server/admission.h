@@ -1,0 +1,69 @@
+// Admission control for hompresd (DESIGN.md §4.7).
+//
+// Admission is the daemon's first line of overload defense, built on the
+// same Budget machinery every solver already obeys: a request admitted
+// past the gates still runs under a per-request Budget whose step and
+// deadline limits are clamped to the server's caps, so no tenant can
+// park an unbounded search on a worker thread. The gates themselves are
+// queue-shaped: one bounded global queue (protects worker memory) and a
+// per-client in-flight bound (protects tenants from each other — one
+// client streaming requests cannot occupy every queue slot).
+//
+// Rejections are structured protocol errors ("admission/queue-full",
+// "admission/per-client", or "admission/rejected" when the
+// "server/admit" failpoint fires), sent to exactly the offending client;
+// admitted requests are unaffected. Slots are released when the request
+// finishes (or is dropped because its client disconnected).
+
+#ifndef HOMPRES_SERVER_ADMISSION_H_
+#define HOMPRES_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "server/protocol.h"
+
+namespace hompres {
+
+struct AdmissionPolicy {
+  // Bounded global queue of admitted-but-unfinished requests.
+  size_t max_queue = 1024;
+  // Queued + executing requests per connection.
+  size_t max_inflight_per_client = 64;
+  // Caps clamped onto every request's Budget; 0 = no cap. A request
+  // naming no budget of its own gets exactly the cap.
+  uint64_t max_steps_cap = 0;
+  uint64_t timeout_ms_cap = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy) : policy_(policy) {}
+
+  // Tries to take one slot for `client_id`. Returns nullopt on success,
+  // otherwise the structured rejection. The "server/admit" failpoint
+  // injects a rejection here (exactly one client sees it).
+  std::optional<ProtocolError> TryAdmit(uint64_t client_id);
+
+  // Returns the slot taken by TryAdmit (request finished or dropped).
+  void Release(uint64_t client_id);
+
+  // Applies the policy's step/deadline caps to a request budget: a
+  // request asking for more than the cap (or for "unlimited") is
+  // clamped down to it.
+  void ClampBudget(uint64_t* max_steps, uint64_t* timeout_ms) const;
+
+  size_t Admitted() const;
+
+ private:
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  size_t total_ = 0;
+  std::unordered_map<uint64_t, size_t> per_client_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_SERVER_ADMISSION_H_

@@ -1,0 +1,135 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/parse_error.h"
+
+namespace hompres {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), frames_(std::move(other.frames_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    frames_ = std::move(other.frames_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::Connect(const std::string& socket_path, std::string* error) {
+  Close();
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path empty or too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (error != nullptr) {
+      *error = std::string("connect: ") + std::strerror(errno);
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  frames_ = FrameReader();
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Client::SendPayload(const std::string& payload) {
+  return SendRaw(EncodeFrame(payload));
+}
+
+std::optional<std::string> Client::ReadFrame(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  std::string payload;
+  ParseError frame_error;
+  char buffer[64 * 1024];
+  for (;;) {
+    switch (frames_.Next(&payload, &frame_error)) {
+      case FrameReader::Status::kFrame:
+        return payload;
+      case FrameReader::Status::kError:
+        if (error != nullptr) *error = frame_error.message;
+        return std::nullopt;
+      case FrameReader::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error != nullptr) {
+        *error = n == 0 ? (frames_.MidFrame() ? "eof mid-frame" : "eof")
+                        : std::string("recv: ") + std::strerror(errno);
+      }
+      return std::nullopt;
+    }
+    frames_.Feed(buffer, static_cast<size_t>(n));
+  }
+}
+
+std::optional<JsonValue> Client::Roundtrip(const JsonValue& request,
+                                           std::string* error) {
+  const std::string payload = request.Serialize();
+  if (!SendPayload(payload)) {
+    if (error != nullptr) *error = "send failed";
+    return std::nullopt;
+  }
+  auto frame = ReadFrame(error);
+  if (!frame.has_value()) return std::nullopt;
+  ParseError json_error;
+  auto parsed = ParseJson(*frame, &json_error);
+  if (!parsed.has_value()) {
+    if (error != nullptr) *error = "response json: " + json_error.message;
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace hompres

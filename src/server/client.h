@@ -1,0 +1,57 @@
+// A minimal blocking client for the hompresd wire protocol, used by the
+// differential/protocol tests, the chaos harness, and the load-generator
+// bench. One connection, one outstanding request at a time (Roundtrip);
+// SendRaw exists so the protocol tests can ship deliberately malformed
+// bytes past the framing helpers.
+
+#ifndef HOMPRES_SERVER_CLIENT_H_
+#define HOMPRES_SERVER_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "server/frame.h"
+#include "server/json.h"
+
+namespace hompres {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes the socket
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  // Connects to the daemon's unix-domain socket. False (with *error
+  // filled when non-null) on failure.
+  bool Connect(const std::string& socket_path, std::string* error = nullptr);
+  void Close();
+  bool Connected() const { return fd_ >= 0; }
+
+  // Writes raw bytes to the socket, bypassing framing — the protocol
+  // tests use this to send truncated prefixes, oversized lengths, and
+  // partial frames. Returns false on a write error.
+  bool SendRaw(const std::string& bytes);
+
+  // Frames `payload` and writes it.
+  bool SendPayload(const std::string& payload);
+
+  // Blocks for the next complete frame. nullopt on EOF or error (EOF
+  // mid-frame and socket errors fill *error when non-null).
+  std::optional<std::string> ReadFrame(std::string* error = nullptr);
+
+  // Serializes `request`, sends it, and parses the next frame as JSON.
+  std::optional<JsonValue> Roundtrip(const JsonValue& request,
+                                     std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameReader frames_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_SERVER_CLIENT_H_

@@ -1,0 +1,64 @@
+#include "server/frame.h"
+
+#include "base/check.h"
+
+namespace hompres {
+
+std::string EncodeFrame(const std::string& payload) {
+  HOMPRES_CHECK(!payload.empty());
+  HOMPRES_CHECK_LE(payload.size(), kMaxFramePayloadBytes);
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame += payload;
+  return frame;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  if (failed_) return;  // the stream is already condemned
+  // Compact once the consumed prefix dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameReader::Status FrameReader::Next(std::string* payload,
+                                      ParseError* error) {
+  if (failed_) {
+    if (error != nullptr) error->message = error_message_;
+    return Status::kError;
+  }
+  if (Buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
+                     (static_cast<uint32_t>(p[1]) << 16) |
+                     (static_cast<uint32_t>(p[2]) << 8) |
+                     static_cast<uint32_t>(p[3]);
+  if (n == 0) {
+    failed_ = true;
+    error_message_ = "zero-length frame";
+    if (error != nullptr) error->message = error_message_;
+    return Status::kError;
+  }
+  if (n > kMaxFramePayloadBytes) {
+    failed_ = true;
+    error_message_ = "frame length " + std::to_string(n) +
+                     " exceeds cap " + std::to_string(kMaxFramePayloadBytes);
+    if (error != nullptr) error->message = error_message_;
+    return Status::kError;
+  }
+  if (Buffered() < kFrameHeaderBytes + n) return Status::kNeedMore;
+  payload->assign(buffer_, consumed_ + kFrameHeaderBytes, n);
+  consumed_ += kFrameHeaderBytes + n;
+  return Status::kFrame;
+}
+
+}  // namespace hompres

@@ -1,0 +1,68 @@
+// Length-prefixed framing for the hompresd wire protocol.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON (one request or response object). The length must
+// be nonzero and at most kMaxFramePayloadBytes: a daemon that trusted a
+// client-supplied length would hand the client an allocation primitive,
+// so an oversized (or zero) prefix is a protocol error and the
+// connection is torn down — there is no way to resynchronize a stream
+// whose framing cannot be trusted.
+//
+// FrameReader is an incremental decoder: bytes arrive in whatever chunks
+// the socket delivers (interleaved partial writes are the common case,
+// not the exception), Feed() buffers them, and Next() pops complete
+// frames. Errors are sticky: after the first malformed prefix every
+// subsequent Next() reports the same error.
+
+#ifndef HOMPRES_SERVER_FRAME_H_
+#define HOMPRES_SERVER_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "base/parse_error.h"
+
+namespace hompres {
+
+// Hard cap on a frame's payload. Larger structures should be defined
+// once ("define") and referenced by name, not re-shipped per request.
+inline constexpr uint32_t kMaxFramePayloadBytes = 4u << 20;  // 4 MiB
+
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+// The frame for `payload`: 4-byte big-endian length + the bytes.
+// Requires 0 < payload.size() <= kMaxFramePayloadBytes (checked).
+std::string EncodeFrame(const std::string& payload);
+
+class FrameReader {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete frame buffered yet
+    kFrame,     // *payload holds the next frame's bytes
+    kError,     // the stream is malformed (sticky; close the connection)
+  };
+
+  // Appends `n` raw bytes from the stream.
+  void Feed(const char* data, size_t n);
+
+  // Pops the next complete frame into *payload, or reports why not.
+  // On kError, *error (when non-null) describes the malformation.
+  Status Next(std::string* payload, ParseError* error = nullptr);
+
+  // True when the buffer holds a partial frame — an EOF now means the
+  // peer truncated a frame mid-write.
+  bool MidFrame() const { return !failed_ && Buffered() > 0; }
+
+  size_t Buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already handed out
+  bool failed_ = false;
+  std::string error_message_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_SERVER_FRAME_H_

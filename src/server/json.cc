@@ -1,0 +1,721 @@
+#include "server/json.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/check.h"
+
+namespace hompres {
+
+// --- value construction and access -----------------------------------
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.is_integer_ = true;
+  v.negative_ = value < 0;
+  // Negate via uint64 arithmetic so INT64_MIN is representable.
+  v.magnitude_ = value < 0 ? ~static_cast<uint64_t>(value) + 1
+                           : static_cast<uint64_t>(value);
+  return v;
+}
+
+JsonValue JsonValue::Uint(uint64_t value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.is_integer_ = true;
+  v.magnitude_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.double_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  HOMPRES_CHECK(IsBool());
+  return bool_;
+}
+
+const std::string& JsonValue::AsString() const {
+  HOMPRES_CHECK(IsString());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::Items() const {
+  HOMPRES_CHECK(IsArray());
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::Members()
+    const {
+  HOMPRES_CHECK(IsObject());
+  return members_;
+}
+
+std::optional<int64_t> JsonValue::AsInt64() const {
+  if (!IsNumber() || !is_integer_) return std::nullopt;
+  if (negative_) {
+    if (magnitude_ > static_cast<uint64_t>(INT64_MAX) + 1) return std::nullopt;
+    return static_cast<int64_t>(~magnitude_ + 1);
+  }
+  if (magnitude_ > static_cast<uint64_t>(INT64_MAX)) return std::nullopt;
+  return static_cast<int64_t>(magnitude_);
+}
+
+std::optional<uint64_t> JsonValue::AsUint64() const {
+  if (!IsNumber() || !is_integer_ || negative_) return std::nullopt;
+  return magnitude_;
+}
+
+std::optional<double> JsonValue::AsDouble() const {
+  if (!IsNumber()) return std::nullopt;
+  if (!is_integer_) return double_;
+  const double d = static_cast<double>(magnitude_);
+  return negative_ ? -d : d;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Append(JsonValue v) {
+  HOMPRES_CHECK(IsArray());
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  HOMPRES_CHECK(IsObject());
+  for (auto& [name, value] : members_) {
+    if (name == key) {
+      value = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_ == b.bool_;
+    case JsonValue::Type::kNumber:
+      if (a.is_integer_ != b.is_integer_) return false;
+      if (a.is_integer_) {
+        // -0 never parses as an integer, so sign+magnitude is canonical.
+        return a.negative_ == b.negative_ && a.magnitude_ == b.magnitude_;
+      }
+      return a.double_ == b.double_;
+    case JsonValue::Type::kString:
+      return a.string_ == b.string_;
+    case JsonValue::Type::kArray:
+      return a.items_ == b.items_;
+    case JsonValue::Type::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+// --- serialization ----------------------------------------------------
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void SerializeTo(const JsonValue& v, std::string* out);
+
+void SerializeNumber(const JsonValue& v, std::string* out) {
+  const auto as_uint = v.AsUint64();
+  const auto as_int = v.AsInt64();
+  char buf[40];
+  if (as_int.has_value()) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *as_int);
+  } else if (as_uint.has_value()) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, *as_uint);
+  } else {
+    const double d = *v.AsDouble();
+    if (!std::isfinite(d)) {
+      // JSON has no Inf/NaN; the protocol never produces them, but be
+      // total anyway.
+      *out += "null";
+      return;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  *out += buf;
+}
+
+void SerializeTo(const JsonValue& v, std::string* out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      SerializeNumber(v, out);
+      break;
+    case JsonValue::Type::kString:
+      EscapeTo(v.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.Items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeTo(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [name, value] : v.Members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeTo(name, out);
+        out->push_back(':');
+        SerializeTo(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(*this, &out);
+  return out;
+}
+
+// --- parsing ----------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, ParseError* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    SkipWhitespace();
+    JsonValue v;
+    if (!ParseValue(0, &v)) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing content after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (error_ != nullptr && error_->message.empty()) {
+      *error_ = ParseErrorAt(text_, pos_, std::move(message));
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c, const char* what) {
+    if (AtEnd() || Peek() != c) {
+      Fail(std::string("expected ") + what);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(const char* word, JsonValue value, JsonValue* out) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      Fail("invalid literal");
+      return false;
+    }
+    pos_ += n;
+    *out = std::move(value);
+    return true;
+  }
+
+  bool ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxJsonDepth) {
+      Fail("nesting depth exceeds limit");
+      return false;
+    }
+    if (AtEnd()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    switch (Peek()) {
+      case 'n':
+        return Literal("null", JsonValue::Null(), out);
+      case 't':
+        return Literal("true", JsonValue::Bool(true), out);
+      case 'f':
+        return Literal("false", JsonValue::Bool(false), out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue::String(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(depth, out);
+      case '{':
+        return ParseObject(depth, out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = std::move(array);
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue item;
+      if (!ParseValue(depth + 1, &item)) return false;
+      array.Append(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail("unterminated array");
+        return false;
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        *out = std::move(array);
+        return true;
+      }
+      Fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = std::move(object);
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        Fail("expected string key in object");
+        return false;
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Expect(':', "':' after object key")) return false;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(depth + 1, &value)) return false;
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail("unterminated object");
+        return false;
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        *out = std::move(object);
+        return true;
+      }
+      Fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  // Appends the UTF-8 encoding of `cp` (already validated to be a scalar
+  // value) to *out.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return false;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        Fail("invalid hex digit in \\u escape");
+        return false;
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  bool ParseEscape(std::string* out) {
+    ++pos_;  // '\\'
+    if (AtEnd()) {
+      Fail("truncated escape");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '"':
+      case '\\':
+      case '/':
+        out->push_back(c);
+        ++pos_;
+        return true;
+      case 'b':
+        out->push_back('\b');
+        ++pos_;
+        return true;
+      case 'f':
+        out->push_back('\f');
+        ++pos_;
+        return true;
+      case 'n':
+        out->push_back('\n');
+        ++pos_;
+        return true;
+      case 'r':
+        out->push_back('\r');
+        ++pos_;
+        return true;
+      case 't':
+        out->push_back('\t');
+        ++pos_;
+        return true;
+      case 'u': {
+        ++pos_;
+        uint32_t cp = 0;
+        if (!ParseHex4(&cp)) return false;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: must be followed by \uDC00-\uDFFF.
+          if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+              text_[pos_ + 1] != 'u') {
+            Fail("unpaired high surrogate");
+            return false;
+          }
+          pos_ += 2;
+          uint32_t low = 0;
+          if (!ParseHex4(&low)) return false;
+          if (low < 0xDC00 || low > 0xDFFF) {
+            Fail("invalid low surrogate");
+            return false;
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          Fail("unpaired low surrogate");
+          return false;
+        }
+        AppendUtf8(cp, out);
+        return true;
+      }
+      default:
+        Fail("invalid escape character");
+        return false;
+    }
+  }
+
+  // Validates and copies one UTF-8 sequence starting at pos_. Rejects
+  // overlong encodings, surrogates, and out-of-range code points.
+  bool ParseUtf8Sequence(std::string* out) {
+    const unsigned char lead = static_cast<unsigned char>(text_[pos_]);
+    int extra = 0;
+    uint32_t cp = 0;
+    uint32_t min = 0;
+    if (lead < 0x80) {
+      out->push_back(static_cast<char>(lead));
+      ++pos_;
+      return true;
+    } else if ((lead & 0xE0) == 0xC0) {
+      extra = 1;
+      cp = lead & 0x1F;
+      min = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      extra = 2;
+      cp = lead & 0x0F;
+      min = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      extra = 3;
+      cp = lead & 0x07;
+      min = 0x10000;
+    } else {
+      Fail("invalid UTF-8 lead byte in string");
+      return false;
+    }
+    if (pos_ + static_cast<size_t>(extra) >= text_.size()) {
+      Fail("truncated UTF-8 sequence in string");
+      return false;
+    }
+    for (int i = 1; i <= extra; ++i) {
+      const unsigned char c =
+          static_cast<unsigned char>(text_[pos_ + static_cast<size_t>(i)]);
+      if ((c & 0xC0) != 0x80) {
+        Fail("invalid UTF-8 continuation byte in string");
+        return false;
+      }
+      cp = (cp << 6) | (c & 0x3F);
+    }
+    if (cp < min || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      Fail("invalid UTF-8 code point in string");
+      return false;
+    }
+    out->append(text_, pos_, static_cast<size_t>(extra) + 1);
+    pos_ += static_cast<size_t>(extra) + 1;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    for (;;) {
+      if (AtEnd()) {
+        Fail("unterminated string");
+        return false;
+      }
+      const unsigned char c = static_cast<unsigned char>(Peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (!ParseEscape(out)) return false;
+        continue;
+      }
+      if (c < 0x20) {
+        Fail("unescaped control character in string");
+        return false;
+      }
+      if (!ParseUtf8Sequence(out)) return false;
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool negative = false;
+    if (!AtEnd() && Peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      Fail("invalid number");
+      return false;
+    }
+    // Integer part; leading zeros are invalid JSON ("01").
+    if (Peek() == '0') {
+      ++pos_;
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        Fail("leading zero in number");
+        return false;
+      }
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        Fail("missing digits after decimal point");
+        return false;
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        Fail("missing exponent digits");
+        return false;
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Overflow-checked accumulation into a 64-bit magnitude; on
+      // overflow, fall through to the double path.
+      uint64_t magnitude = 0;
+      bool fits = true;
+      for (size_t i = negative ? 1 : 0; i < token.size(); ++i) {
+        const uint64_t digit = static_cast<uint64_t>(token[i] - '0');
+        if (magnitude > (UINT64_MAX - digit) / 10) {
+          fits = false;
+          break;
+        }
+        magnitude = magnitude * 10 + digit;
+      }
+      if (fits && negative &&
+          magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
+        fits = false;
+      }
+      if (fits) {
+        *out = negative ? JsonValue::Int(static_cast<int64_t>(~magnitude + 1))
+                        : JsonValue::Uint(magnitude);
+        return true;
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      Fail("number out of range");
+      return false;
+    }
+    *out = JsonValue::Double(d);
+    return true;
+  }
+
+  const std::string& text_;
+  ParseError* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(const std::string& text,
+                                   ParseError* error) {
+  ParseError local;
+  ParseError* err = error != nullptr ? error : &local;
+  *err = ParseError{};
+  if (text.size() > kMaxJsonBytes) {
+    err->message = "JSON input exceeds size limit";
+    return std::nullopt;
+  }
+  Parser parser(text, err);
+  return parser.Run();
+}
+
+}  // namespace hompres

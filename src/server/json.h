@@ -1,0 +1,106 @@
+// Minimal JSON values for the hompresd wire protocol.
+//
+// The server speaks length-prefixed JSON frames (server/frame.h), so it
+// needs a parser that treats every byte sequence a client can send as
+// input, not as trust: the grammar is RFC 8259, strings must be valid
+// UTF-8 (overlong encodings, stray continuation bytes, and unpaired
+// \uD800-range escapes are malformed input, not undefined behavior),
+// nesting depth and total size are capped, and every rejection is a
+// ParseError with a line/column — the same structured-failure discipline
+// as the text parsers in structure/parser.h. No malformed frame may reach
+// a HOMPRES_CHECK abort.
+//
+// Numbers: JSON has one number type, but the protocol carries 64-bit
+// counters (hom counts saturate at UINT64_MAX), so integer literals that
+// fit are kept exact as a sign + 64-bit magnitude; everything else is a
+// double. Serialization re-emits integers losslessly.
+
+#ifndef HOMPRES_SERVER_JSON_H_
+#define HOMPRES_SERVER_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/parse_error.h"
+
+namespace hompres {
+
+// Hard caps applied by ParseJson: inputs exceeding them are malformed.
+inline constexpr size_t kMaxJsonBytes = 8u << 20;  // 8 MiB
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t v);
+  static JsonValue Uint(uint64_t v);
+  static JsonValue Double(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items = {});
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  // Requires the matching type (checked).
+  bool AsBool() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& Items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const;
+
+  // Numeric accessors return nullopt when the value is not a number or
+  // does not fit the requested range exactly.
+  std::optional<int64_t> AsInt64() const;
+  std::optional<uint64_t> AsUint64() const;
+  std::optional<double> AsDouble() const;  // any number
+
+  // Object lookup by key (first match; protocol objects have unique
+  // keys). nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Builders.
+  void Append(JsonValue v);                       // requires kArray
+  void Set(const std::string& key, JsonValue v);  // requires kObject
+
+  // Structural equality (objects compare member order sensitively; the
+  // serializer is deterministic, so roundtrips preserve order).
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+  // Compact RFC 8259 serialization; strings are escaped, integers are
+  // emitted exactly, doubles via shortest round-trip formatting.
+  std::string Serialize() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool negative_ = false;    // sign of an exact integer
+  bool is_integer_ = false;  // number is an exact 64-bit integer
+  uint64_t magnitude_ = 0;   // |value| for exact integers
+  double double_ = 0.0;      // value for non-integer numbers
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses exactly one JSON value spanning the whole input (trailing
+// whitespace allowed, trailing content not). On failure returns nullopt
+// and fills *error (when non-null) with a 1-based line/column.
+std::optional<JsonValue> ParseJson(const std::string& text,
+                                   ParseError* error = nullptr);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_SERVER_JSON_H_

@@ -1,0 +1,487 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace hompres {
+
+namespace {
+
+struct OpName {
+  RequestOp op;
+  const char* name;
+};
+
+constexpr OpName kOpNames[] = {
+    {RequestOp::kPing, "ping"},
+    {RequestOp::kStats, "stats"},
+    {RequestOp::kDefine, "define"},
+    {RequestOp::kMutate, "mutate"},
+    {RequestOp::kHomHas, "hom_has"},
+    {RequestOp::kHomFind, "hom_find"},
+    {RequestOp::kHomCount, "hom_count"},
+    {RequestOp::kHomEnumerate, "hom_enumerate"},
+    {RequestOp::kCqSatisfied, "cq_satisfied"},
+    {RequestOp::kCqEvaluate, "cq_evaluate"},
+    {RequestOp::kUcqSatisfied, "ucq_satisfied"},
+    {RequestOp::kUcqEvaluate, "ucq_evaluate"},
+    {RequestOp::kCqContained, "cq_contained"},
+};
+
+void SetError(ProtocolError* error, std::string code, std::string message) {
+  if (error != nullptr && error->code.empty()) {
+    error->code = std::move(code);
+    error->message = std::move(message);
+  }
+}
+
+// Field accessors, each reporting a "request/invalid" on type mismatch.
+
+const JsonValue* FindField(const JsonValue& v, const char* key) {
+  return v.Find(key);
+}
+
+bool GetString(const JsonValue& v, const char* key, bool required,
+               std::string* out, ProtocolError* error) {
+  const JsonValue* field = FindField(v, key);
+  if (field == nullptr) {
+    if (required) {
+      SetError(error, "request/invalid",
+               std::string("missing required field '") + key + "'");
+      return false;
+    }
+    return true;
+  }
+  if (!field->IsString()) {
+    SetError(error, "request/invalid",
+             std::string("field '") + key + "' must be a string");
+    return false;
+  }
+  *out = field->AsString();
+  return true;
+}
+
+bool GetUint(const JsonValue& v, const char* key, uint64_t* out,
+             ProtocolError* error) {
+  const JsonValue* field = FindField(v, key);
+  if (field == nullptr) return true;
+  const auto value = field->AsUint64();
+  if (!value.has_value()) {
+    SetError(error, "request/invalid",
+             std::string("field '") + key +
+                 "' must be a non-negative integer");
+    return false;
+  }
+  *out = *value;
+  return true;
+}
+
+bool GetBool(const JsonValue& v, const char* key, bool* out, bool* present,
+             ProtocolError* error) {
+  const JsonValue* field = FindField(v, key);
+  if (field == nullptr) return true;
+  if (!field->IsBool()) {
+    SetError(error, "request/invalid",
+             std::string("field '") + key + "' must be a boolean");
+    return false;
+  }
+  *out = field->AsBool();
+  if (present != nullptr) *present = true;
+  return true;
+}
+
+bool GetIntList(const JsonValue& v, std::vector<int>* out,
+                const char* what, ProtocolError* error) {
+  if (!v.IsArray()) {
+    SetError(error, "request/invalid",
+             std::string(what) + " must be an array of integers");
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& item : v.Items()) {
+    const auto value = item.AsInt64();
+    if (!value.has_value() || *value < INT32_MIN || *value > INT32_MAX) {
+      SetError(error, "request/invalid",
+               std::string(what) + " must contain 32-bit integers");
+      return false;
+    }
+    out->push_back(static_cast<int>(*value));
+  }
+  return true;
+}
+
+bool ParseCqSpec(const JsonValue& v, const char* what, CqSpec* out,
+                 ProtocolError* error) {
+  if (!v.IsObject()) {
+    SetError(error, "request/invalid",
+             std::string(what) + " must be an object");
+    return false;
+  }
+  if (!GetString(v, "structure", /*required=*/true, &out->structure_text,
+                 error)) {
+    return false;
+  }
+  const JsonValue* free = v.Find("free");
+  out->free_elements.clear();
+  if (free != nullptr &&
+      !GetIntList(*free, &out->free_elements,
+                  (std::string(what) + ".free").c_str(), error)) {
+    return false;
+  }
+  return true;
+}
+
+bool ParseConfig(const JsonValue& v, EngineConfig* config,
+                 bool* cache_explicit, ProtocolError* error) {
+  if (!v.IsObject()) {
+    SetError(error, "request/invalid", "'config' must be an object");
+    return false;
+  }
+  if (!GetBool(v, "surjective", &config->surjective, nullptr, error) ||
+      !GetBool(v, "arc_consistency", &config->use_arc_consistency, nullptr,
+               error) ||
+      !GetBool(v, "index", &config->use_index, nullptr, error) ||
+      !GetBool(v, "deterministic_witness", &config->deterministic_witness,
+               nullptr, error) ||
+      !GetBool(v, "factorize", &config->factorize, nullptr, error) ||
+      !GetBool(v, "cache", &config->use_cache, cache_explicit, error)) {
+    return false;
+  }
+  const JsonValue* threads = v.Find("threads");
+  if (threads != nullptr) {
+    const auto value = threads->AsInt64();
+    if (!value.has_value() || *value < 0 || *value > 256) {
+      SetError(error, "request/invalid",
+               "'config.threads' must be an integer in [0, 256]");
+      return false;
+    }
+    config->num_threads = static_cast<int>(*value);
+  }
+  const JsonValue* forced = v.Find("forced");
+  if (forced != nullptr) {
+    if (!forced->IsArray()) {
+      SetError(error, "request/invalid",
+               "'config.forced' must be an array of [a, b] pairs");
+      return false;
+    }
+    for (const JsonValue& pair : forced->Items()) {
+      std::vector<int> entries;
+      if (!GetIntList(pair, &entries, "'config.forced' entry", error)) {
+        return false;
+      }
+      if (entries.size() != 2) {
+        SetError(error, "request/invalid",
+                 "'config.forced' entries must be [a, b] pairs");
+        return false;
+      }
+      config->forced.emplace_back(entries[0], entries[1]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* RequestOpName(RequestOp op) {
+  for (const OpName& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "unknown";
+}
+
+std::optional<RequestOp> RequestOpFromName(const std::string& name) {
+  for (const OpName& entry : kOpNames) {
+    if (name == entry.name) return entry.op;
+  }
+  return std::nullopt;
+}
+
+bool IsHomOp(RequestOp op) {
+  return op == RequestOp::kHomHas || op == RequestOp::kHomFind ||
+         op == RequestOp::kHomCount || op == RequestOp::kHomEnumerate;
+}
+
+int64_t RequestIdOrZero(const JsonValue& v) {
+  if (!v.IsObject()) return 0;
+  const JsonValue* id = v.Find("id");
+  if (id == nullptr) return 0;
+  return id->AsInt64().value_or(0);
+}
+
+std::optional<Request> ParseRequest(const JsonValue& v,
+                                    ProtocolError* error) {
+  if (!v.IsObject()) {
+    SetError(error, "request/invalid", "request must be a JSON object");
+    return std::nullopt;
+  }
+  Request request;
+  const JsonValue* id = v.Find("id");
+  if (id == nullptr || !id->AsInt64().has_value()) {
+    SetError(error, "request/invalid",
+             "missing or non-integer required field 'id'");
+    return std::nullopt;
+  }
+  request.id = *id->AsInt64();
+
+  std::string op_name;
+  if (!GetString(v, "op", /*required=*/true, &op_name, error)) {
+    return std::nullopt;
+  }
+  const auto op = RequestOpFromName(op_name);
+  if (!op.has_value()) {
+    SetError(error, "request/invalid", "unknown op '" + op_name + "'");
+    return std::nullopt;
+  }
+  request.op = *op;
+
+  const JsonValue* vocabulary = v.Find("vocabulary");
+  if (vocabulary != nullptr) {
+    auto parsed = ParseVocabularyJson(*vocabulary, error);
+    if (!parsed.has_value()) return std::nullopt;
+    request.vocabulary = std::move(parsed);
+  }
+
+  const JsonValue* config = v.Find("config");
+  if (config != nullptr &&
+      !ParseConfig(*config, &request.config, &request.cache_explicit,
+                   error)) {
+    return std::nullopt;
+  }
+
+  const JsonValue* budget = v.Find("budget");
+  if (budget != nullptr) {
+    if (!budget->IsObject()) {
+      SetError(error, "request/invalid", "'budget' must be an object");
+      return std::nullopt;
+    }
+    if (!GetUint(*budget, "max_steps", &request.max_steps, error) ||
+        !GetUint(*budget, "timeout_ms", &request.timeout_ms, error)) {
+      return std::nullopt;
+    }
+  }
+
+  switch (request.op) {
+    case RequestOp::kPing:
+    case RequestOp::kStats:
+      break;
+    case RequestOp::kDefine:
+      if (!GetString(v, "name", /*required=*/true, &request.name, error) ||
+          !GetString(v, "structure", /*required=*/true,
+                     &request.structure_text, error)) {
+        return std::nullopt;
+      }
+      break;
+    case RequestOp::kMutate: {
+      if (!GetString(v, "name", /*required=*/true, &request.name, error)) {
+        return std::nullopt;
+      }
+      const JsonValue* add_tuple = v.Find("add_tuple");
+      if (add_tuple != nullptr) {
+        if (!add_tuple->IsObject()) {
+          SetError(error, "request/invalid",
+                   "'add_tuple' must be an object");
+          return std::nullopt;
+        }
+        if (!GetString(*add_tuple, "relation", /*required=*/true,
+                       &request.mutate_relation, error)) {
+          return std::nullopt;
+        }
+        const JsonValue* tuple = add_tuple->Find("tuple");
+        if (tuple == nullptr ||
+            !GetIntList(*tuple, &request.mutate_tuple, "'add_tuple.tuple'",
+                        error)) {
+          SetError(error, "request/invalid",
+                   "'add_tuple.tuple' must be an array of integers");
+          return std::nullopt;
+        }
+      }
+      uint64_t add_elements = 0;
+      if (!GetUint(v, "add_elements", &add_elements, error)) {
+        return std::nullopt;
+      }
+      if (add_elements > 1'000'000) {
+        SetError(error, "request/invalid", "'add_elements' exceeds limit");
+        return std::nullopt;
+      }
+      request.mutate_add_elements = static_cast<int>(add_elements);
+      if (request.mutate_relation.empty() && add_elements == 0) {
+        SetError(error, "request/invalid",
+                 "mutate needs 'add_tuple' and/or 'add_elements'");
+        return std::nullopt;
+      }
+      break;
+    }
+    case RequestOp::kHomHas:
+    case RequestOp::kHomFind:
+    case RequestOp::kHomCount:
+    case RequestOp::kHomEnumerate:
+      if (!GetString(v, "source", /*required=*/true, &request.source_text,
+                     error) ||
+          !GetString(v, "target", /*required=*/true, &request.target_spec,
+                     error) ||
+          !GetUint(v, "limit", &request.limit, error) ||
+          !GetUint(v, "max_results", &request.max_results, error)) {
+        return std::nullopt;
+      }
+      if (request.limit != 0 && request.op != RequestOp::kHomCount) {
+        SetError(error, "request/invalid",
+                 "'limit' is only meaningful for hom_count");
+        return std::nullopt;
+      }
+      break;
+    case RequestOp::kCqSatisfied:
+    case RequestOp::kCqEvaluate: {
+      const JsonValue* query = v.Find("query");
+      if (query == nullptr ||
+          !ParseCqSpec(*query, "'query'", &request.query, error)) {
+        SetError(error, "request/invalid", "missing required field 'query'");
+        return std::nullopt;
+      }
+      if (!GetString(v, "target", /*required=*/true, &request.target_spec,
+                     error) ||
+          !GetUint(v, "max_results", &request.max_results, error)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case RequestOp::kUcqSatisfied:
+    case RequestOp::kUcqEvaluate: {
+      const JsonValue* disjuncts = v.Find("disjuncts");
+      if (disjuncts == nullptr || !disjuncts->IsArray()) {
+        SetError(error, "request/invalid",
+                 "missing required array field 'disjuncts'");
+        return std::nullopt;
+      }
+      for (const JsonValue& d : disjuncts->Items()) {
+        CqSpec spec;
+        if (!ParseCqSpec(d, "'disjuncts' entry", &spec, error)) {
+          return std::nullopt;
+        }
+        request.disjuncts.push_back(std::move(spec));
+      }
+      uint64_t arity = 0;
+      if (!GetUint(v, "arity", &arity, error)) return std::nullopt;
+      if (arity > 64) {
+        SetError(error, "request/invalid", "'arity' exceeds limit");
+        return std::nullopt;
+      }
+      request.ucq_arity = static_cast<int>(arity);
+      if (!GetString(v, "target", /*required=*/true, &request.target_spec,
+                     error) ||
+          !GetUint(v, "max_results", &request.max_results, error)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case RequestOp::kCqContained: {
+      const JsonValue* q1 = v.Find("q1");
+      const JsonValue* q2 = v.Find("q2");
+      if (q1 == nullptr || q2 == nullptr) {
+        SetError(error, "request/invalid",
+                 "cq_contained needs 'q1' and 'q2'");
+        return std::nullopt;
+      }
+      if (!ParseCqSpec(*q1, "'q1'", &request.q1, error) ||
+          !ParseCqSpec(*q2, "'q2'", &request.q2, error)) {
+        return std::nullopt;
+      }
+      break;
+    }
+  }
+  return request;
+}
+
+JsonValue OkResponse(int64_t id, RequestOp op) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", JsonValue::Int(id));
+  response.Set("op", JsonValue::String(RequestOpName(op)));
+  response.Set("ok", JsonValue::Bool(true));
+  return response;
+}
+
+JsonValue ErrorResponse(int64_t id, const ProtocolError& error) {
+  JsonValue response = JsonValue::Object();
+  response.Set("id", JsonValue::Int(id));
+  response.Set("ok", JsonValue::Bool(false));
+  JsonValue detail = JsonValue::Object();
+  detail.Set("code", JsonValue::String(error.code));
+  detail.Set("message", JsonValue::String(error.message));
+  if (error.line > 0) {
+    detail.Set("line", JsonValue::Int(error.line));
+    detail.Set("column", JsonValue::Int(error.column));
+  }
+  response.Set("error", std::move(detail));
+  return response;
+}
+
+JsonValue ErrorResponse(int64_t id, const std::string& code,
+                        const std::string& message) {
+  ProtocolError error;
+  error.code = code;
+  error.message = message;
+  return ErrorResponse(id, error);
+}
+
+std::string StructureText(const Structure& s) {
+  std::string out = "|A|=" + std::to_string(s.UniverseSize());
+  const Vocabulary& voc = s.GetVocabulary();
+  for (int rel = 0; rel < voc.NumRelations(); ++rel) {
+    out += "; " + voc.Name(rel) + "={";
+    bool first = true;
+    for (const Tuple& t : s.Tuples(rel)) {
+      if (!first) out += ",";
+      first = false;
+      out += "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += " ";
+        out += std::to_string(t[i]);
+      }
+      out += ")";
+    }
+    out += "}";
+  }
+  return out;
+}
+
+JsonValue VocabularyJson(const Vocabulary& vocabulary) {
+  JsonValue out = JsonValue::Array();
+  for (int rel = 0; rel < vocabulary.NumRelations(); ++rel) {
+    JsonValue entry = JsonValue::Array();
+    entry.Append(JsonValue::String(vocabulary.Name(rel)));
+    entry.Append(JsonValue::Int(vocabulary.Arity(rel)));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+std::optional<Vocabulary> ParseVocabularyJson(const JsonValue& v,
+                                              ProtocolError* error) {
+  if (!v.IsArray()) {
+    SetError(error, "request/invalid",
+             "'vocabulary' must be an array of [name, arity] pairs");
+    return std::nullopt;
+  }
+  Vocabulary vocabulary;
+  for (const JsonValue& entry : v.Items()) {
+    if (!entry.IsArray() || entry.Items().size() != 2 ||
+        !entry.Items()[0].IsString() ||
+        !entry.Items()[1].AsInt64().has_value()) {
+      SetError(error, "request/invalid",
+               "'vocabulary' entries must be [name, arity] pairs");
+      return std::nullopt;
+    }
+    const std::string& name = entry.Items()[0].AsString();
+    const int64_t arity = *entry.Items()[1].AsInt64();
+    if (name.empty() || arity < 0 || arity > 32 ||
+        vocabulary.IndexOf(name).has_value()) {
+      SetError(error, "request/invalid",
+               "'vocabulary' has an empty, duplicate, or oversized entry");
+      return std::nullopt;
+    }
+    vocabulary.AddRelation(name, static_cast<int>(arity));
+  }
+  return vocabulary;
+}
+
+}  // namespace hompres

@@ -1,0 +1,90 @@
+// hompresd: a long-lived daemon serving homomorphism/CQ/UCQ queries
+// over a local (unix-domain) socket. See DESIGN.md §4.7 for the serving
+// model; the protocol lives in server/protocol.h, the framing in
+// server/frame.h.
+//
+// Threading: one accept thread, one reader thread per connection, and a
+// small pool of worker threads draining one bounded queue. Readers
+// parse frames, resolve structures (inline texts and "@name" registry
+// references) and run admission; workers pull *batches* — runs of
+// queued requests against the same target structure, recognized by
+// Structure::Fingerprint() — so one RelationIndex build and one pass of
+// HomCache warming is shared across every request in the batch. The
+// answer-level cache is the global HomCache, keyed by fingerprints, so
+// cross-request reuse needs no extra invalidation protocol: mutating a
+// named structure (the "mutate" op) swaps in a copy-on-write snapshot
+// with a new fingerprint, in-flight batches keep the old snapshot, and
+// stale cache entries simply become unreachable.
+//
+// Failure behavior (chaos-tested; see tests/chaos_test.cc): a fault in
+// accept drops only the new connection; a fault reading or writing one
+// client's frames tears down only that connection; an admission fault
+// rejects exactly one request with a structured error; a fault building
+// a batch's shared index degrades that batch to per-request index
+// builds (and, through the engine ladder of §4.6, to scans) without
+// changing any answer. Disconnection raises the connection's cancel
+// flag, which every in-flight Budget of that client polls.
+
+#ifndef HOMPRES_SERVER_SERVER_H_
+#define HOMPRES_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "server/admission.h"
+#include "server/metrics.h"
+
+namespace hompres {
+
+struct ServerOptions {
+  // Filesystem path of the unix-domain listening socket. Must fit
+  // sockaddr_un (~100 bytes); an existing socket file is replaced.
+  std::string socket_path;
+
+  // Worker threads executing queued requests.
+  int num_workers = 2;
+
+  // Largest run of same-target requests executed as one batch.
+  size_t max_batch = 16;
+
+  // Group queued requests by target fingerprint (off = every request
+  // executes alone; differential tests compare both).
+  bool batching = true;
+
+  // Default HomCache use for has/count requests whose client did not
+  // set "config.cache" itself.
+  bool shared_cache = true;
+
+  // Admission gates and budget caps.
+  AdmissionPolicy admission;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and spawns the accept/worker threads. False (with
+  // *error filled) when the socket cannot be set up.
+  bool Start(std::string* error);
+
+  // Stops accepting, cancels in-flight work, joins every thread, and
+  // removes the socket file. Idempotent.
+  void Stop();
+
+  bool Running() const;
+  const std::string& SocketPath() const;
+
+  ServerMetricsSnapshot Metrics() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_SERVER_SERVER_H_

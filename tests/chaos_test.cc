@@ -9,9 +9,12 @@
 // HOMPRES_CHAOS_SEED overrides it, which the CI chaos job uses to sweep
 // fresh seeds under ASan.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +38,9 @@
 #include "hom/hom_cache.h"
 #include "hom/homomorphism.h"
 #include "hom/parallel.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/server.h"
 #include "structure/generators.h"
 #include "structure/parser.h"
 #include "structure/structure.h"
@@ -416,6 +422,221 @@ TEST_F(ChaosTest, PreservationRetrySurvivesAnInjectedAttemptLoss) {
   EXPECT_EQ(report.attempts[0].report.reason, StopReason::kSteps);
   EXPECT_TRUE(report.attempts[1].completed);
   EXPECT_TRUE(report.result.verified);
+}
+
+// --- hompresd: daemon failpoints follow the §4.7 containment contract.
+// A fault in accept drops only the new connection; a frame read/write
+// fault tears down only that client; an admission fault rejects exactly
+// one request with a structured error; a batch-build fault degrades the
+// batch to per-request index builds without changing any answer or
+// harming a batch-mate.
+
+class ServerChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    ChaosTest::SetUp();
+    ServerOptions options;
+    options.socket_path =
+        "/tmp/hompres-chaos-" + std::to_string(::getpid()) + ".sock";
+    options.num_workers = 1;  // deterministic batching
+    server_ = std::make_unique<Server>(options);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override {
+    // Disarm before Stop: teardown wakes readers through recv, which
+    // would otherwise consume (or trip over) a still-armed schedule.
+    FailpointRegistry::Global().DisarmAll();
+    if (server_ != nullptr) server_->Stop();
+    ChaosTest::TearDown();
+  }
+
+  Client Connect() {
+    Client client;
+    std::string error;
+    EXPECT_TRUE(client.Connect(server_->SocketPath(), &error)) << error;
+    return client;
+  }
+
+  static JsonValue Ping(int64_t id) {
+    JsonValue request = JsonValue::Object();
+    request.Set("id", JsonValue::Int(id));
+    request.Set("op", JsonValue::String("ping"));
+    return request;
+  }
+
+  // hom_has/hom_count over inline graph-vocabulary structure texts.
+  static JsonValue HomRequest(int64_t id, const char* op,
+                              const std::string& source,
+                              const std::string& target) {
+    JsonValue request = JsonValue::Object();
+    request.Set("id", JsonValue::Int(id));
+    request.Set("op", JsonValue::String(op));
+    request.Set("source", JsonValue::String(source));
+    request.Set("target", JsonValue::String(target));
+    return request;
+  }
+
+  static void ExpectPingOk(Client& client, int64_t id,
+                           const char* context) {
+    std::string error;
+    auto response = client.Roundtrip(Ping(id), &error);
+    ASSERT_TRUE(response.has_value()) << context << ": " << error;
+    EXPECT_TRUE(response->Find("ok")->AsBool()) << context;
+    EXPECT_EQ(response->Find("id")->AsInt64(),
+              std::optional<int64_t>(id))
+        << context;
+  }
+
+  static constexpr const char* kEdge = "|A|=2; E={(0 1)}";
+  static constexpr const char* kTriangle = "|A|=3; E={(0 1),(1 2),(2 0)}";
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerChaosTest, AcceptFaultDropsOnlyTheNewConnection) {
+  auto& registry = FailpointRegistry::Global();
+  Client established = Connect();
+  ExpectPingOk(established, 1, "before the fault");
+
+  ASSERT_TRUE(registry.Arm("server/accept", "once"));
+  Client doomed = Connect();  // connect() lands in the listen backlog
+  // The server accepts and immediately drops the fd: the client sees
+  // EOF (its send may also fail once the far end is gone).
+  if (doomed.SendPayload(Ping(2).Serialize())) {
+    std::string error;
+    EXPECT_FALSE(doomed.ReadFrame(&error).has_value());
+  }
+  EXPECT_EQ(registry.FireCount("server/accept"), 1u);
+
+  // The established connection never noticed, and ("once") the next
+  // fresh connection is accepted normally.
+  ExpectPingOk(established, 3, "established survives the accept fault");
+  Client fresh = Connect();
+  ExpectPingOk(fresh, 4, "post-fault connections are accepted");
+  EXPECT_GE(server_->Metrics().connections_dropped, 1u);
+}
+
+TEST_F(ServerChaosTest, ReadFaultTearsDownOnlyThatClient) {
+  auto& registry = FailpointRegistry::Global();
+  Client victim = Connect();
+  Client bystander = Connect();
+  ExpectPingOk(victim, 1, "victim before the fault");
+  ExpectPingOk(bystander, 2, "bystander before the fault");
+
+  // Only the victim sends while armed, so only its reader's recv
+  // returns and trips the injected read fault ("once" is then spent).
+  ASSERT_TRUE(registry.Arm("server/frame_read", "once"));
+  ASSERT_TRUE(victim.SendPayload(Ping(3).Serialize()));
+  std::string error;
+  EXPECT_FALSE(victim.ReadFrame(&error).has_value())
+      << "read fault must tear the victim down, not answer it";
+  EXPECT_EQ(registry.FireCount("server/frame_read"), 1u);
+
+  ExpectPingOk(bystander, 4, "bystander survives the read fault");
+  EXPECT_GE(server_->Metrics().connections_dropped, 1u);
+}
+
+TEST_F(ServerChaosTest, WriteFaultTearsDownOnlyThatClient) {
+  auto& registry = FailpointRegistry::Global();
+  Client victim = Connect();
+  Client bystander = Connect();
+  ExpectPingOk(victim, 1, "victim before the fault");
+  ExpectPingOk(bystander, 2, "bystander before the fault");
+
+  // The fault fires on the victim's response write: the response is
+  // lost and the connection dropped, exactly like a dead socket.
+  ASSERT_TRUE(registry.Arm("server/frame_write", "once"));
+  ASSERT_TRUE(victim.SendPayload(Ping(3).Serialize()));
+  std::string error;
+  EXPECT_FALSE(victim.ReadFrame(&error).has_value());
+  EXPECT_EQ(registry.FireCount("server/frame_write"), 1u);
+
+  ExpectPingOk(bystander, 4, "bystander survives the write fault");
+  EXPECT_GE(server_->Metrics().connections_dropped, 1u);
+}
+
+TEST_F(ServerChaosTest, AdmitFaultRejectsExactlyOneRequestStructurally) {
+  auto& registry = FailpointRegistry::Global();
+  Client client = Connect();
+
+  ASSERT_TRUE(registry.Arm("server/admit", "once"));
+  auto rejected = client.Roundtrip(HomRequest(1, "hom_has", kEdge,
+                                              kTriangle));
+  ASSERT_TRUE(rejected.has_value())
+      << "an admission fault is an error response, not a teardown";
+  EXPECT_FALSE(rejected->Find("ok")->AsBool());
+  EXPECT_EQ(rejected->Find("id")->AsInt64(), std::optional<int64_t>(1));
+  const JsonValue* error = rejected->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->AsString(), "admission/rejected");
+  EXPECT_EQ(registry.FireCount("server/admit"), 1u);
+
+  // Same connection, next request: admitted and answered.
+  auto answered = client.Roundtrip(HomRequest(2, "hom_has", kEdge,
+                                              kTriangle));
+  ASSERT_TRUE(answered.has_value());
+  EXPECT_TRUE(answered->Find("ok")->AsBool());
+  EXPECT_TRUE(answered->Find("has")->AsBool());
+  EXPECT_EQ(server_->Metrics().requests_rejected, 1u);
+}
+
+TEST_F(ServerChaosTest, BatchBuildFaultDegradesWithoutPoisoningTheBatch) {
+  auto& registry = FailpointRegistry::Global();
+  Client client = Connect();
+
+  // Register the shared target so every queued request batches on its
+  // fingerprint.
+  JsonValue define = JsonValue::Object();
+  define.Set("id", JsonValue::Int(1));
+  define.Set("op", JsonValue::String("define"));
+  define.Set("name", JsonValue::String("t"));
+  define.Set("structure", JsonValue::String(kTriangle));
+  auto defined = client.Roundtrip(define);
+  ASSERT_TRUE(defined.has_value() && defined->Find("ok")->AsBool());
+
+  // Every multi-request batch loses its shared index build.
+  ASSERT_TRUE(registry.Arm("server/batch_build", "always"));
+
+  // A heavier count holds the single worker while the pipeline queues
+  // up behind it into real batches.
+  const std::string heavy_source =
+      "|A|=7; E={(0 1),(1 2),(2 3),(3 4),(4 5),(5 6),(6 0),(0 3),(2 5)}";
+  constexpr int kPipelined = 16;
+  ASSERT_TRUE(client.SendPayload(
+      HomRequest(100, "hom_count", heavy_source, "@t").Serialize()));
+  for (int i = 1; i <= kPipelined; ++i) {
+    ASSERT_TRUE(client.SendPayload(
+        HomRequest(100 + i, "hom_has", kEdge, "@t").Serialize()));
+  }
+
+  for (int i = 0; i <= kPipelined; ++i) {
+    std::string error;
+    auto frame = client.ReadFrame(&error);
+    ASSERT_TRUE(frame.has_value()) << "response " << i << ": " << error;
+    ParseError json_error;
+    auto response = ParseJson(*frame, &json_error);
+    ASSERT_TRUE(response.has_value()) << json_error.message;
+    // In order, all ok, answers unchanged by the degraded batches.
+    EXPECT_EQ(response->Find("id")->AsInt64(),
+              std::optional<int64_t>(100 + i));
+    EXPECT_TRUE(response->Find("ok")->AsBool())
+        << "batch-mate " << i << " was poisoned by the batch fault";
+    if (i > 0) {
+      EXPECT_TRUE(response->Find("has")->AsBool());
+      const JsonValue* batch = response->Find("batch");
+      ASSERT_NE(batch, nullptr);
+      EXPECT_FALSE(batch->Find("shared_index")->AsBool())
+          << "fired batch fault must disable the shared index build";
+    }
+  }
+
+  // The fault actually fired, which also proves multi-request batches
+  // formed (the failpoint sits behind the size > 1 check).
+  EXPECT_GT(registry.FireCount("server/batch_build"), 0u)
+      << "pipelined same-target requests never formed a batch";
+  EXPECT_GT(server_->Metrics().max_batch_size, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,555 @@
+// The fuzz wall around the hompresd wire protocol (frame codec + JSON
+// parser + request envelope), unit-level and over a live socket.
+//
+// Invariant under test: every malformed input — truncated length
+// prefixes, oversized frames, invalid UTF-8, broken JSON, interleaved
+// partial writes — yields a structured protocol error (or a clean
+// teardown for untrusted framing); the daemon never crashes, never
+// hangs, and never aborts on client bytes.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "server/client.h"
+#include "server/frame.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace hompres {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("HOMPRES_TEST_SEED");
+  return env != nullptr && *env != '\0' ? std::strtoull(env, nullptr, 10)
+                                        : 20260808ULL;
+}
+
+std::string RawPrefix(uint32_t length) {
+  std::string out(4, '\0');
+  out[0] = static_cast<char>((length >> 24) & 0xFF);
+  out[1] = static_cast<char>((length >> 16) & 0xFF);
+  out[2] = static_cast<char>((length >> 8) & 0xFF);
+  out[3] = static_cast<char>(length & 0xFF);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Frame codec, unit level.
+
+TEST(FrameCodec, RoundtripUnderRandomChunking) {
+  Rng rng(TestSeed());
+  for (int trial = 0; trial < 50; ++trial) {
+    // A handful of frames with payload sizes straddling the buffer
+    // compaction and header boundaries.
+    std::vector<std::string> payloads;
+    const int count = rng.UniformInt(1, 8);
+    for (int i = 0; i < count; ++i) {
+      const int size = rng.UniformInt(1, 2000);
+      std::string p(static_cast<size_t>(size), '\0');
+      for (char& c : p) c = static_cast<char>(rng.Uniform(256));
+      payloads.push_back(std::move(p));
+    }
+    std::string stream;
+    for (const auto& p : payloads) stream += EncodeFrame(p);
+
+    // Feed in random chunks (1 byte up to the rest) — the interleaved
+    // partial write is the common case, not the exception.
+    FrameReader reader;
+    std::vector<std::string> decoded;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t chunk = 1 + rng.Uniform(stream.size() - offset);
+      reader.Feed(stream.data() + offset, chunk);
+      offset += chunk;
+      std::string payload;
+      while (reader.Next(&payload) == FrameReader::Status::kFrame) {
+        decoded.push_back(payload);
+      }
+    }
+    ASSERT_EQ(decoded, payloads) << "trial " << trial;
+    EXPECT_FALSE(reader.MidFrame());
+  }
+}
+
+TEST(FrameCodec, TruncatedPrefixIsMidFrame) {
+  for (size_t cut = 1; cut <= 3; ++cut) {
+    FrameReader reader;
+    const std::string prefix = RawPrefix(10);
+    reader.Feed(prefix.data(), cut);
+    std::string payload;
+    EXPECT_EQ(reader.Next(&payload), FrameReader::Status::kNeedMore);
+    EXPECT_TRUE(reader.MidFrame());  // an EOF here = truncated frame
+  }
+}
+
+TEST(FrameCodec, TruncatedPayloadIsMidFrame) {
+  FrameReader reader;
+  const std::string frame = EncodeFrame("hello");
+  reader.Feed(frame.data(), frame.size() - 2);
+  std::string payload;
+  EXPECT_EQ(reader.Next(&payload), FrameReader::Status::kNeedMore);
+  EXPECT_TRUE(reader.MidFrame());
+}
+
+TEST(FrameCodec, ZeroLengthPrefixIsError) {
+  FrameReader reader;
+  const std::string prefix = RawPrefix(0);
+  reader.Feed(prefix.data(), prefix.size());
+  std::string payload;
+  ParseError error;
+  EXPECT_EQ(reader.Next(&payload, &error), FrameReader::Status::kError);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(FrameCodec, OversizedPrefixIsError) {
+  for (uint32_t length :
+       {kMaxFramePayloadBytes + 1, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+    FrameReader reader;
+    const std::string prefix = RawPrefix(length);
+    reader.Feed(prefix.data(), prefix.size());
+    std::string payload;
+    EXPECT_EQ(reader.Next(&payload), FrameReader::Status::kError)
+        << "length " << length;
+  }
+}
+
+TEST(FrameCodec, ErrorIsSticky) {
+  FrameReader reader;
+  const std::string bad = RawPrefix(0);
+  reader.Feed(bad.data(), bad.size());
+  std::string payload;
+  EXPECT_EQ(reader.Next(&payload), FrameReader::Status::kError);
+  // A perfectly valid frame after the malformation changes nothing: the
+  // stream's framing can no longer be trusted.
+  const std::string good = EncodeFrame("{}");
+  reader.Feed(good.data(), good.size());
+  EXPECT_EQ(reader.Next(&payload), FrameReader::Status::kError);
+  EXPECT_FALSE(reader.MidFrame());
+}
+
+TEST(FrameCodec, MaxSizePayloadRoundtrips) {
+  std::string payload(kMaxFramePayloadBytes, 'x');
+  const std::string frame = EncodeFrame(payload);
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  std::string decoded;
+  ASSERT_EQ(reader.Next(&decoded), FrameReader::Status::kFrame);
+  EXPECT_EQ(decoded.size(), payload.size());
+}
+
+// ---------------------------------------------------------------------
+// JSON parser: roundtrip property + malformed-input fuzz.
+
+JsonValue RandomJson(Rng& rng, int depth) {
+  const int kind = rng.UniformInt(0, depth <= 0 ? 3 : 5);
+  switch (kind) {
+    case 0:
+      return JsonValue::Null();
+    case 1:
+      return JsonValue::Bool(rng.Bernoulli(0.5));
+    case 2:
+      // Exact integers across the full 64-bit range, signs included.
+      if (rng.Bernoulli(0.5)) {
+        return JsonValue::Uint(rng.Next());
+      }
+      return JsonValue::Int(static_cast<int64_t>(rng.Next()));
+    case 3: {
+      // Strings exercising escapes, controls, and multibyte UTF-8.
+      static const char* kPieces[] = {"a",  "\"", "\\", "\n", "\t",
+                                      "é",  "✓", "𝄞", " ",  "{}[]",
+                                      "\x01", "end"};
+      std::string s;
+      const int pieces = rng.UniformInt(0, 6);
+      for (int i = 0; i < pieces; ++i) {
+        s += kPieces[rng.Uniform(sizeof(kPieces) / sizeof(kPieces[0]))];
+      }
+      return JsonValue::String(std::move(s));
+    }
+    case 4: {
+      JsonValue array = JsonValue::Array();
+      const int n = rng.UniformInt(0, 4);
+      for (int i = 0; i < n; ++i) array.Append(RandomJson(rng, depth - 1));
+      return array;
+    }
+    default: {
+      JsonValue object = JsonValue::Object();
+      const int n = rng.UniformInt(0, 4);
+      for (int i = 0; i < n; ++i) {
+        object.Set("k" + std::to_string(i), RandomJson(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(JsonParser, SerializeParseRoundtrip) {
+  Rng rng(TestSeed() ^ 0x1111);
+  for (int trial = 0; trial < 500; ++trial) {
+    const JsonValue value = RandomJson(rng, 4);
+    const std::string text = value.Serialize();
+    ParseError error;
+    auto parsed = ParseJson(text, &error);
+    ASSERT_TRUE(parsed.has_value())
+        << "trial " << trial << ": " << error.ToString() << "\n" << text;
+    EXPECT_TRUE(*parsed == value) << text;
+    // Serialization is deterministic, so the roundtrip is a fixpoint.
+    EXPECT_EQ(parsed->Serialize(), text);
+  }
+}
+
+TEST(JsonParser, RejectsInvalidUtf8) {
+  const std::string cases[] = {
+      std::string("\"\xFF\""),          // stray invalid byte
+      std::string("\"\xC0\x80\""),      // overlong NUL
+      std::string("\"\xE0\x80\x80\""),  // overlong 3-byte
+      std::string("\"\xC3\""),          // truncated 2-byte sequence
+      std::string("\"\xED\xA0\x80\""),  // UTF-8-encoded surrogate
+      std::string("\"\xF5\x80\x80\x80\""),  // beyond U+10FFFF
+      std::string("\"\x80\""),          // bare continuation byte
+  };
+  for (const std::string& text : cases) {
+    ParseError error;
+    EXPECT_FALSE(ParseJson(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.message.empty());
+  }
+}
+
+TEST(JsonParser, RejectsMalformedEscapesAndNumbers) {
+  const char* cases[] = {
+      "\"\\uD800\"",      // unpaired high surrogate escape
+      "\"\\uDC00\"",      // lone low surrogate escape
+      "\"\\uD800\\u0041\"",  // high surrogate + non-surrogate
+      "\"\\x41\"",        // unknown escape
+      "\"abc",            // unterminated string
+      "01",               // leading zero
+      "+1",               // explicit plus
+      "1.",               // bare decimal point
+      ".5",               // missing integer part
+      "1e",               // empty exponent
+      "--1",              // double sign
+      "{} {}",            // trailing content
+      "[1,]",             // trailing comma
+      "{\"a\":}",         // missing value
+      "{\"a\" 1}",        // missing colon
+      "{1:2}",            // non-string key
+      "[1 2]",            // missing comma
+      "tru",              // truncated literal
+      "nul",              //
+      "",                 // empty input
+      "\x01",             // control character outside string
+  };
+  for (const char* text : cases) {
+    ParseError error;
+    EXPECT_FALSE(ParseJson(text, &error).has_value()) << "'" << text << "'";
+    EXPECT_FALSE(error.message.empty());
+  }
+}
+
+TEST(JsonParser, DepthCapEnforced) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) deep += '[';
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).has_value());
+  // Just inside the cap parses fine.
+  std::string ok;
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) ok += '[';
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) ok += ']';
+  EXPECT_TRUE(ParseJson(ok).has_value());
+}
+
+TEST(JsonParser, ExactIntegerBoundaries) {
+  auto min64 = ParseJson("-9223372036854775808");
+  ASSERT_TRUE(min64.has_value());
+  EXPECT_EQ(min64->AsInt64(), std::optional<int64_t>(INT64_MIN));
+  EXPECT_EQ(min64->Serialize(), "-9223372036854775808");
+
+  auto maxu64 = ParseJson("18446744073709551615");
+  ASSERT_TRUE(maxu64.has_value());
+  EXPECT_EQ(maxu64->AsUint64(), std::optional<uint64_t>(UINT64_MAX));
+  EXPECT_EQ(maxu64->AsInt64(), std::nullopt);  // does not fit signed
+
+  // One past the unsigned range: still a valid JSON number, kept as a
+  // double (no exact integer representation claimed).
+  auto beyond = ParseJson("18446744073709551616");
+  ASSERT_TRUE(beyond.has_value());
+  EXPECT_EQ(beyond->AsUint64(), std::nullopt);
+  EXPECT_TRUE(beyond->AsDouble().has_value());
+}
+
+// Mutate serialized valid JSON: every mutant either parses or fails with
+// a located error — never a crash or a CHECK abort.
+TEST(JsonParser, MutationFuzzNeverAborts) {
+  Rng rng(TestSeed() ^ 0x2222);
+  int parsed_count = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = RandomJson(rng, 3).Serialize();
+    const int mutations = rng.UniformInt(1, 4);
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = rng.Uniform(text.size());
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+    }
+    ParseError error;
+    auto result = ParseJson(text, &error);
+    if (result.has_value()) {
+      ++parsed_count;
+      // Whatever survived mutation must itself roundtrip.
+      EXPECT_TRUE(ParseJson(result->Serialize()).has_value());
+    } else {
+      EXPECT_FALSE(error.message.empty());
+    }
+  }
+  // Sanity: the fuzz actually explores both outcomes.
+  EXPECT_GT(parsed_count, 0);
+}
+
+// Pure random bytes, including NULs and high bytes.
+TEST(JsonParser, RandomBytesNeverAbort) {
+  Rng rng(TestSeed() ^ 0x3333);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text(rng.Uniform(64), '\0');
+    for (char& c : text) c = static_cast<char>(rng.Uniform(256));
+    ParseError error;
+    auto result = ParseJson(text, &error);
+    if (!result.has_value()) EXPECT_FALSE(error.message.empty());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Request envelope validation.
+
+TEST(RequestEnvelope, RejectsStructurallyInvalidRequests) {
+  const char* cases[] = {
+      "[]",                                  // not an object
+      "{}",                                  // missing op
+      "{\"op\":42}",                         // op not a string
+      "{\"op\":\"no_such_op\"}",             // unknown op
+      "{\"op\":\"hom_has\"}",                // missing source/target
+      "{\"op\":\"hom_has\",\"source\":1,\"target\":\"|A|=1;\"}",
+      "{\"op\":\"hom_has\",\"source\":\"|A|=1;\",\"target\":\"|A|=1;\","
+      "\"limit\":5}",                        // limit outside hom_count
+      "{\"op\":\"define\",\"structure\":\"|A|=1;\"}",  // missing name
+      "{\"op\":\"cq_evaluate\",\"target\":\"|A|=1;\"}",  // missing query
+  };
+  for (const char* text : cases) {
+    auto json = ParseJson(text);
+    ASSERT_TRUE(json.has_value()) << text;
+    ProtocolError error;
+    EXPECT_FALSE(ParseRequest(*json, &error).has_value()) << text;
+    EXPECT_FALSE(error.code.empty()) << text;
+  }
+}
+
+TEST(RequestEnvelope, IdSurvivesMalformedBodies) {
+  auto json = ParseJson("{\"id\":77,\"op\":\"no_such_op\"}");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(RequestIdOrZero(*json), 77);
+  EXPECT_EQ(RequestIdOrZero(*ParseJson("[1,2]")), 0);
+}
+
+// ---------------------------------------------------------------------
+// Live socket: the daemon's frame handling end to end.
+
+class ServerSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.socket_path = "/tmp/hompres-ptest-" +
+                          std::to_string(::getpid()) + ".sock";
+    options.num_workers = 2;
+    server_ = std::make_unique<Server>(options);
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  // A fresh connection to the daemon.
+  Client Connect() {
+    Client client;
+    std::string error;
+    EXPECT_TRUE(client.Connect(server_->SocketPath(), &error)) << error;
+    return client;
+  }
+
+  static JsonValue PingRequest(int64_t id) {
+    JsonValue request = JsonValue::Object();
+    request.Set("id", JsonValue::Int(id));
+    request.Set("op", JsonValue::String("ping"));
+    return request;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerSocketTest, PingPong) {
+  Client client = Connect();
+  auto response = client.Roundtrip(PingRequest(7));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->Find("ok")->AsBool());
+  EXPECT_EQ(response->Find("id")->AsInt64(), std::optional<int64_t>(7));
+}
+
+TEST_F(ServerSocketTest, ByteAtATimeWritesStillParse) {
+  Client client = Connect();
+  const std::string frame = EncodeFrame(PingRequest(3).Serialize());
+  for (char c : frame) {
+    ASSERT_TRUE(client.SendRaw(std::string(1, c)));
+  }
+  auto payload = client.ReadFrame();
+  ASSERT_TRUE(payload.has_value());
+  auto response = ParseJson(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->Find("ok")->AsBool());
+}
+
+TEST_F(ServerSocketTest, InvalidJsonIsRecoverable) {
+  Client client = Connect();
+  ASSERT_TRUE(client.SendPayload("{\"op\":"));  // truncated JSON
+  auto payload = client.ReadFrame();
+  ASSERT_TRUE(payload.has_value());
+  auto response = ParseJson(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->Find("ok")->AsBool());
+  EXPECT_EQ(response->Find("error")->Find("code")->AsString(), "json/parse");
+
+  // The framing was intact, so the connection survives.
+  auto pong = client.Roundtrip(PingRequest(9));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->Find("ok")->AsBool());
+}
+
+TEST_F(ServerSocketTest, InvalidUtf8PayloadIsRecoverable) {
+  Client client = Connect();
+  ASSERT_TRUE(client.SendPayload("{\"op\":\"ping\",\"x\":\"\xFF\xFE\"}"));
+  auto payload = client.ReadFrame();
+  ASSERT_TRUE(payload.has_value());
+  auto response = ParseJson(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->Find("error")->Find("code")->AsString(), "json/parse");
+  auto pong = client.Roundtrip(PingRequest(2));
+  ASSERT_TRUE(pong.has_value());
+}
+
+TEST_F(ServerSocketTest, UnknownOpIsRecoverable) {
+  Client client = Connect();
+  auto response = client.Roundtrip(*ParseJson(
+      "{\"id\":5,\"op\":\"launch_missiles\"}"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->Find("ok")->AsBool());
+  EXPECT_EQ(response->Find("id")->AsInt64(), std::optional<int64_t>(5));
+  auto pong = client.Roundtrip(PingRequest(6));
+  ASSERT_TRUE(pong.has_value());
+}
+
+TEST_F(ServerSocketTest, ZeroLengthPrefixTearsDownWithStructuredError) {
+  Client client = Connect();
+  ASSERT_TRUE(client.SendRaw(RawPrefix(0)));
+  auto payload = client.ReadFrame();
+  ASSERT_TRUE(payload.has_value());  // the structured error frame
+  auto response = ParseJson(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->Find("error")->Find("code")->AsString(),
+            "frame/malformed");
+  // Untrusted framing: the connection is closed after the error.
+  EXPECT_FALSE(client.ReadFrame().has_value());
+  // The daemon itself is fine.
+  Client fresh = Connect();
+  EXPECT_TRUE(fresh.Roundtrip(PingRequest(1)).has_value());
+}
+
+TEST_F(ServerSocketTest, OversizedPrefixTearsDownWithStructuredError) {
+  Client client = Connect();
+  ASSERT_TRUE(client.SendRaw(RawPrefix(0xFFFFFFFFu)));
+  auto payload = client.ReadFrame();
+  ASSERT_TRUE(payload.has_value());
+  auto response = ParseJson(*payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->Find("error")->Find("code")->AsString(),
+            "frame/malformed");
+  EXPECT_FALSE(client.ReadFrame().has_value());
+}
+
+TEST_F(ServerSocketTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  {
+    Client client = Connect();
+    ASSERT_TRUE(client.SendRaw(RawPrefix(100) + "only twenty bytes..."));
+    client.Close();  // EOF mid-frame
+  }
+  Client fresh = Connect();
+  auto pong = fresh.Roundtrip(PingRequest(1));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->Find("ok")->AsBool());
+}
+
+// The socket-level fuzz: mutated request bytes over real connections.
+// Every frame gets either a response or a teardown; the daemon survives
+// them all.
+TEST_F(ServerSocketTest, MalformedFrameFuzz) {
+  Rng rng(TestSeed() ^ 0x4444);
+  const std::string templates[] = {
+      "{\"id\":1,\"op\":\"ping\"}",
+      "{\"id\":2,\"op\":\"hom_has\",\"source\":\"|A|=2; E={(0 1)}\","
+      "\"target\":\"|A|=2; E={(0 1),(1 0)}\"}",
+      "{\"id\":3,\"op\":\"define\",\"name\":\"t\","
+      "\"structure\":\"|A|=3; E={(0 1),(1 2)}\"}",
+      "{\"id\":4,\"op\":\"stats\"}",
+  };
+  Client client = Connect();
+  int responses = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text =
+        templates[rng.Uniform(sizeof(templates) / sizeof(templates[0]))];
+    const int mutations = rng.UniformInt(0, 3);
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = rng.Uniform(text.size());
+      if (rng.Bernoulli(0.5)) {
+        text[pos] = static_cast<char>(rng.Uniform(256));
+      } else {
+        text.erase(pos, 1);
+      }
+    }
+    if (text.empty()) continue;
+    if (!client.SendPayload(text)) {
+      // A previous mutant tore the connection down; reconnect.
+      client = Connect();
+      continue;
+    }
+    auto payload = client.ReadFrame();
+    if (!payload.has_value()) {
+      client = Connect();
+      continue;
+    }
+    auto response = ParseJson(*payload);
+    ASSERT_TRUE(response.has_value()) << *payload;
+    ASSERT_NE(response->Find("ok"), nullptr);
+    if (!response->Find("ok")->AsBool()) {
+      // Structured error: code present and kebab-cased.
+      const JsonValue* code = response->Find("error")->Find("code");
+      ASSERT_NE(code, nullptr);
+      EXPECT_NE(code->AsString().find('/'), std::string::npos);
+    }
+    ++responses;
+  }
+  EXPECT_GT(responses, 0);
+  Client fresh = Connect();
+  EXPECT_TRUE(fresh.Roundtrip(PingRequest(99)).has_value());
+}
+
+}  // namespace
+}  // namespace hompres
