@@ -1,0 +1,209 @@
+// Kernel-level microbenchmarks for the dispatched bitset64 word kernels
+// (base/simd.h): GB/s and ns/op per ISA per width, so a kernel
+// regression (a lost vector path, a tail loop gone quadratic) is caught
+// here independently of the end-to-end solver noise.
+//
+// Benchmarks are registered dynamically, one family per SIMD level the
+// host actually supports (a CI runner without AVX-512 simply has no
+// avx512 rows — check_regression.py treats one-sided rows as
+// informational). Each family covers lane-aligned widths and ragged
+// tails (widths one word past a lane boundary), because the tail words
+// run the scalar epilogue inside the SIMD kernels. Names look like
+//
+//   BM_Kernel/intersect/avx2/65536
+//
+// and every row carries a gib_per_s counter (bytes the kernel touched,
+// not bytes of useful output).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json_main.h"
+
+#include "base/bitset64.h"
+#include "base/rng.h"
+#include "base/row_pool.h"
+#include "base/simd.h"
+
+namespace hompres {
+namespace {
+
+using simd::SimdKernels;
+using simd::SimdLevel;
+
+// Widths in bits: one sub-lane width, lane-aligned widths across the
+// cache hierarchy (L1-resident to L2/L3), and ragged widths straddling a
+// 512-bit lane boundary by one word (the tail the scalar epilogue eats).
+constexpr int kWidths[] = {256, 4096, 4159, 65536, 65599, 1048576};
+
+std::vector<uint64_t> RandomWords(int bits, uint64_t seed) {
+  Rng rng(seed);
+  const int words = bitset64::WordsFor(bits);
+  std::vector<uint64_t> out(static_cast<size_t>(words), 0);
+  for (int w = 0; w < words; ++w) {
+    out[static_cast<size_t>(w)] =
+        rng.Next() & rng.Next();  // ~1/4 density, like narrowed domains
+  }
+  if (bits & 63) {
+    out[static_cast<size_t>(words - 1)] &=
+        (uint64_t{1} << (bits & 63)) - 1;  // tail-zero invariant
+  }
+  return out;
+}
+
+// Copies `src` into a 64-byte-aligned pool, the layout the solver row
+// pools guarantee.
+void FillAligned(AlignedWordPool& pool, const std::vector<uint64_t>& src) {
+  pool.Resize(src.size());
+  for (size_t i = 0; i < src.size(); ++i) pool.data()[i] = src[i];
+}
+
+void BM_KernelPopcount(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  AlignedWordPool a;
+  FillAligned(a, RandomWords(bits, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.popcount(a.data(), words));
+  }
+  state.counters["gib_per_s"] = benchmark::Counter(
+      static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void BM_KernelIntersect(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  AlignedWordPool dst;
+  AlignedWordPool src;
+  FillAligned(dst, RandomWords(bits, 2));
+  FillAligned(src, RandomWords(bits, 3));
+  // After the first iteration dst is a fixed point of &= src, so the
+  // steady state measures the no-change revision — the solver's common
+  // case in the AC-3 fixpoint loop.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.intersect_in_place(dst.data(), src.data(),
+                                                  words));
+  }
+  state.counters["gib_per_s"] = benchmark::Counter(
+      2.0 * static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void BM_KernelUnion(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  AlignedWordPool dst;
+  AlignedWordPool src;
+  FillAligned(dst, RandomWords(bits, 4));
+  FillAligned(src, RandomWords(bits, 5));
+  for (auto _ : state) {
+    k.union_in_place(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.counters["gib_per_s"] = benchmark::Counter(
+      2.0 * static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void BM_KernelAnySet(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  // All-zero row: the worst case, a full scan (any set bit would
+  // short-circuit and measure nothing).
+  AlignedWordPool a;
+  a.Resize(static_cast<size_t>(words));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.any_set(a.data(), words));
+  }
+  state.counters["gib_per_s"] = benchmark::Counter(
+      static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void BM_KernelEqual(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  const std::vector<uint64_t> init = RandomWords(bits, 6);
+  AlignedWordPool a;
+  AlignedWordPool b;
+  FillAligned(a, init);
+  FillAligned(b, init);  // equal rows: full-scan worst case
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.equal(a.data(), b.data(), words));
+  }
+  state.counters["gib_per_s"] = benchmark::Counter(
+      2.0 * static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+void BM_KernelFindAll(benchmark::State& state, SimdLevel level, int bits) {
+  const SimdKernels& k = simd::KernelsFor(level);
+  const int words = bitset64::WordsFor(bits);
+  // Sparse row (~1/256 density): the find loop spends its time skipping
+  // zero words, which is where the wide any-nonzero probes pay off.
+  Rng rng(7);
+  AlignedWordPool a;
+  a.Resize(static_cast<size_t>(words));
+  for (int i = 0; i < bits / 256 + 1; ++i) {
+    bitset64::Set(a.data(), static_cast<int>(rng.Next() %
+                                             static_cast<uint64_t>(bits)));
+  }
+  int64_t visited = 0;
+  for (auto _ : state) {
+    for (int bit = k.find_first(a.data(), words); bit >= 0;
+         bit = k.find_next(a.data(), words, bit)) {
+      ++visited;
+    }
+  }
+  benchmark::DoNotOptimize(visited);
+  state.counters["gib_per_s"] = benchmark::Counter(
+      static_cast<double>(words) * sizeof(uint64_t),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1024);
+}
+
+struct KernelBench {
+  const char* name;
+  void (*fn)(benchmark::State&, SimdLevel, int);
+};
+
+constexpr KernelBench kKernelBenches[] = {
+    {"popcount", &BM_KernelPopcount}, {"intersect", &BM_KernelIntersect},
+    {"union", &BM_KernelUnion},       {"anyset", &BM_KernelAnySet},
+    {"equal", &BM_KernelEqual},       {"findall", &BM_KernelFindAll},
+};
+
+// Registered at static-init time (Google Benchmark keeps its registry in
+// a function-local static, so ordering is safe): one benchmark per
+// (kernel, supported level, width).
+int RegisterKernelBenchmarks() {
+  const int max_level = static_cast<int>(simd::DetectedSimdLevel());
+  for (const KernelBench& kb : kKernelBenches) {
+    for (int level = 0; level <= max_level; ++level) {
+      const SimdLevel l = static_cast<SimdLevel>(level);
+      for (int bits : kWidths) {
+        const std::string name = std::string("BM_Kernel/") + kb.name + "/" +
+                                 simd::SimdLevelName(l) + "/" +
+                                 std::to_string(bits);
+        benchmark::RegisterBenchmark(name.c_str(), kb.fn, l, bits);
+      }
+    }
+  }
+  return 0;
+}
+
+const int kRegistered = RegisterKernelBenchmarks();
+
+}  // namespace
+}  // namespace hompres
+
+HOMPRES_BENCHMARK_MAIN()

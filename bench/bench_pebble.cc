@@ -91,11 +91,18 @@ void BM_PebbleGameCost(benchmark::State& state) {
   }
 }
 
+// The n=6/10 rows keep the historical small-instance baseline; the
+// n=32/16 rows extend the cost curve to larger position-map families.
+// Pebble value-set rows are target-universe-wide (n bits), so all of
+// these stay on the inline scalar bitset path — the fixpoint cost here
+// scales with the family size, not the row width.
 BENCHMARK(BM_PebbleGameCost)
     ->Args({2, 6})
     ->Args({2, 10})
+    ->Args({2, 32})
     ->Args({3, 6})
-    ->Args({3, 10});
+    ->Args({3, 10})
+    ->Args({3, 16});
 
 }  // namespace
 }  // namespace hompres

@@ -15,11 +15,18 @@ different hardware, so only order-of-magnitude blowups — an accidentally
 quadratic kernel, a lost index — should trip it. Exit status: 0 clean,
 1 regression detected, 2 usage/parse error.
 
+Timings are only compared like-for-like on ISA: every row carries a
+"simd" field (the dispatched bitset64 kernel level — scalar, avx2 or
+avx512), and a shared row whose baseline and current levels differ is
+skipped with a note instead of silently gating an AVX run against a
+scalar baseline (or vice versa). Rows from baselines old enough to lack
+the field are compared as before.
+
 Rows stamped with a "plan" field (the engine's HomPlan::Summary()) are
-additionally diffed: a changed kernel= or components= token is printed as
-a PLAN CHANGE warning. Plan changes are informational, never fatal — they
-explain timing shifts (a query that stopped factorizing, a kernel swap)
-rather than gate them.
+additionally diffed: a changed kernel=, simd=, or components= token is
+printed as a PLAN CHANGE warning. Plan changes are informational, never
+fatal — they explain timing shifts (a query that stopped factorizing, a
+kernel swap) rather than gate them.
 
 The exception is the "degraded=" token: the engine stamps it only when a
 run fell down the degradation ladder (index -> scan, parallel -> serial,
@@ -45,6 +52,7 @@ def load_rows(path):
         sys.exit(2)
     table = {}
     plans = {}
+    simd = {}
     for row in rows:
         key = (row.get("bench", "?"), row.get("name", "?"))
         time = row.get("real_time_ns")
@@ -53,7 +61,10 @@ def load_rows(path):
         plan = row.get("plan")
         if isinstance(plan, str) and plan:
             plans[key] = plan
-    return table, plans
+        level = row.get("simd")
+        if isinstance(level, str) and level:
+            simd[key] = level
+    return table, plans, simd
 
 
 def plan_tokens(summary):
@@ -62,7 +73,7 @@ def plan_tokens(summary):
     for part in summary.split():
         if "=" in part:
             name, _, value = part.partition("=")
-            if name in ("kernel", "components", "strategy"):
+            if name in ("kernel", "components", "strategy", "simd"):
                 tokens[name] = value
     return tokens
 
@@ -87,8 +98,8 @@ def main(argv):
         print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
         return 2
 
-    baseline, base_plans = load_rows(paths[0])
-    current, cur_plans = load_rows(paths[1])
+    baseline, base_plans, base_simd = load_rows(paths[0])
+    current, cur_plans, cur_simd = load_rows(paths[1])
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("error: no shared (bench, name) rows to compare", file=sys.stderr)
@@ -100,8 +111,28 @@ def main(argv):
         print(f"note: {only_base} baseline-only and {only_cur} current-only "
               "rows skipped", file=sys.stderr)
 
-    regressions = []
+    # Like-for-like ISA: timings from different dispatched SIMD levels are
+    # not comparable (that difference is the point of the dispatch), so
+    # mismatched rows sit out the timing gate. Rows lacking the field on
+    # either side (pre-simd baselines) are compared as before.
+    isa_skipped = []
+    comparable = []
     for key in shared:
+        b_level = base_simd.get(key)
+        c_level = cur_simd.get(key)
+        if b_level is not None and c_level is not None and b_level != c_level:
+            isa_skipped.append((key, b_level, c_level))
+        else:
+            comparable.append(key)
+    if isa_skipped:
+        print(f"note: {len(isa_skipped)} shared row(s) skipped: baseline and "
+              "current ran different SIMD levels", file=sys.stderr)
+        for (bench, name), b_level, c_level in isa_skipped:
+            print(f"ISA MISMATCH  {bench}  {name}  "
+                  f"(baseline {b_level}, current {c_level})")
+
+    regressions = []
+    for key in comparable:
         ratio = current[key] / baseline[key]
         if ratio > threshold:
             regressions.append((ratio, key))
@@ -133,8 +164,10 @@ def main(argv):
                 for n in changed)
             print(f"PLAN CHANGE  {bench}  {name}  ({detail})")
 
-    print(f"compared {len(shared)} shared rows "
-          f"(threshold {threshold:.1f}x on real_time_ns)")
+    print(f"compared {len(comparable)} shared rows "
+          f"(threshold {threshold:.1f}x on real_time_ns"
+          + (f"; {len(isa_skipped)} ISA-mismatched skipped" if isa_skipped
+             else "") + ")")
     if plan_changes:
         print(f"{plan_changes} row(s) changed plan (informational)")
     for (bench, name), kinds in degradations:

@@ -5,9 +5,14 @@
 // arguments), every benchmark row is emitted as one self-contained JSON
 // object per line on stdout:
 //
-//   {"name":"BM_Foo/8","git_sha":"62c4808","mode":"quick",
+//   {"name":"BM_Foo/8","git_sha":"62c4808","mode":"quick","simd":"avx2",
 //    "real_time_ns":123.4,"cpu_time_ns":120.1,
 //    "iterations":1000,"counters":{"satisfiable":0}}
+//
+// The `simd` field is the dispatched bitset64 kernel level for the whole
+// process (base/simd.h: CPUID clamped by HOMPRES_SIMD), so baselines
+// recorded on different ISAs are distinguishable —
+// bench/check_regression.py only compares timings of like-for-like rows.
 //
 // One line per row keeps the format shell-friendly: bench/run_all.sh
 // concatenates the lines of every binary into BENCH_results.json without
@@ -30,6 +35,8 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "base/simd.h"
 
 namespace hompres {
 namespace bench_internal {
@@ -82,7 +89,9 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter {
       std::ostream& out = GetOutputStream();
       out << "{\"name\":\"" << JsonEscape(run.benchmark_name()) << "\""
           << ",\"git_sha\":\"" << JsonEscape(git_sha_) << "\""
-          << ",\"mode\":\"" << JsonEscape(mode_) << "\"";
+          << ",\"mode\":\"" << JsonEscape(mode_) << "\""
+          << ",\"simd\":\"" << simd::SimdLevelName(simd::ActiveSimdLevel())
+          << "\"";
       if (!run.report_label.empty()) {
         // Benchmarks label themselves with the engine's plan summary
         // (HomPlan::Summary()); bench/check_regression.py diffs it.

@@ -16,6 +16,13 @@
 //   * Bitset64, a small owning set for callers that want one set with
 //     value semantics.
 //
+// Whole-row operations on rows wider than kInlineWords words dispatch to
+// the runtime-selected SIMD kernels (base/simd.h: scalar/AVX2/AVX-512,
+// picked once by CPUID and clamped by HOMPRES_SIMD); narrower rows keep
+// the inlined scalar loops. Row families that want full-width lanes pad
+// their stride with PaddedWordsFor and align the pool base to
+// kRowAlignBytes (base/row_pool.h).
+//
 // Iteration order of set bits is ascending, matching the value order of
 // the std::vector<bool> loops these kernels replace — solver answers stay
 // bit-identical.
@@ -29,16 +36,42 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/simd.h"
 
 namespace hompres {
 namespace bitset64 {
 
 inline constexpr int kWordBits = 64;
 
+// Rows at or below this many words run the inlined scalar loops below;
+// wider rows go through the dispatched SIMD kernels (base/simd.h). Four
+// words = 256 bits: below that a vector lane cannot even fill once, and
+// the indirect call would cost more than the loop it replaces. Results
+// are bit-identical either way — the SIMD kernels compute the same words
+// in a different grouping.
+inline constexpr int kInlineWords = 4;
+
 // Number of uint64_t words needed for `bits` bits (the fixed stride of a
 // packed row family). 0 bits -> 0 words.
 inline constexpr int WordsFor(int bits) {
   return (bits + kWordBits - 1) / kWordBits;
+}
+
+// Words per row lane-group: a padded stride is a multiple of this, so a
+// row is a whole number of 512-bit lanes (and of cache lines).
+inline constexpr int kRowAlignWords = 8;
+
+// Stride (in words) for a padded row family over `bits` bits: WordsFor
+// rounded up to a multiple of kRowAlignWords, so the dispatched kernels
+// run full-width lanes with an empty ragged tail. Rows that would fit
+// the inline fast path anyway (<= kInlineWords words) keep their exact
+// width — padding them would only dilute the memcpy-heavy checkpointing
+// of small instances. Padding words obey the same stays-zero invariant
+// as the tail bits of the last partial word.
+inline constexpr int PaddedWordsFor(int bits) {
+  const int words = WordsFor(bits);
+  if (words <= kInlineWords) return words;
+  return (words + kRowAlignWords - 1) / kRowAlignWords * kRowAlignWords;
 }
 
 inline bool Test(const uint64_t* words, int bit) {
@@ -67,6 +100,9 @@ inline void SetFirstN(uint64_t* words, int num_words, int bits) {
 }
 
 inline int Popcount(const uint64_t* words, int num_words) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().popcount(words, num_words);
+  }
   int count = 0;
   for (int w = 0; w < num_words; ++w) count += std::popcount(words[w]);
   return count;
@@ -74,6 +110,9 @@ inline int Popcount(const uint64_t* words, int num_words) {
 
 // Smallest set bit, or -1 if the row is empty.
 inline int FindFirst(const uint64_t* words, int num_words) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().find_first(words, num_words);
+  }
   for (int w = 0; w < num_words; ++w) {
     if (words[w] != 0) {
       return w * kWordBits + std::countr_zero(words[w]);
@@ -86,6 +125,9 @@ inline int FindFirst(const uint64_t* words, int num_words) {
 // == FindFirst(row), so `for (b = FindFirst(...); b >= 0; b = FindNext(...,
 // b))` visits every set bit in ascending order.
 inline int FindNext(const uint64_t* words, int num_words, int bit) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().find_next(words, num_words, bit);
+  }
   int w = (bit + 1) >> 6;
   if (w >= num_words) return -1;
   uint64_t masked = words[w] & (~uint64_t{0} << ((bit + 1) & 63));
@@ -101,6 +143,9 @@ inline int FindNext(const uint64_t* words, int num_words, int bit) {
 // dst &= src. Returns true iff dst changed.
 inline bool IntersectInPlace(uint64_t* dst, const uint64_t* src,
                              int num_words) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().intersect_in_place(dst, src, num_words);
+  }
   bool changed = false;
   for (int w = 0; w < num_words; ++w) {
     const uint64_t next = dst[w] & src[w];
@@ -112,10 +157,17 @@ inline bool IntersectInPlace(uint64_t* dst, const uint64_t* src,
 
 // dst |= src.
 inline void UnionInPlace(uint64_t* dst, const uint64_t* src, int num_words) {
+  if (num_words > kInlineWords) {
+    simd::ActiveKernels().union_in_place(dst, src, num_words);
+    return;
+  }
   for (int w = 0; w < num_words; ++w) dst[w] |= src[w];
 }
 
 inline bool AnySet(const uint64_t* words, int num_words) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().any_set(words, num_words);
+  }
   for (int w = 0; w < num_words; ++w) {
     if (words[w] != 0) return true;
   }
@@ -123,6 +175,9 @@ inline bool AnySet(const uint64_t* words, int num_words) {
 }
 
 inline bool Equal(const uint64_t* a, const uint64_t* b, int num_words) {
+  if (num_words > kInlineWords) {
+    return simd::ActiveKernels().equal(a, b, num_words);
+  }
   return std::memcmp(a, b,
                      static_cast<size_t>(num_words) * sizeof(uint64_t)) == 0;
 }
@@ -130,12 +185,16 @@ inline bool Equal(const uint64_t* a, const uint64_t* b, int num_words) {
 }  // namespace bitset64
 
 // One owning set over {0..SizeBits()-1} with value semantics. Thin sugar
-// over the kernels above for callers outside a flat row pool.
+// over the kernels above for callers outside a flat row pool. The word
+// buffer is padded (PaddedWordsFor), so wide sets — e.g. the treewidth
+// DP's candidate sets over B's universe — run full SIMD lanes; the
+// padding words obey the same stays-zero invariant as the tail bits.
 class Bitset64 {
  public:
   Bitset64() = default;
   explicit Bitset64(int bits)
-      : bits_(bits), words_(static_cast<size_t>(bitset64::WordsFor(bits)), 0) {
+      : bits_(bits),
+        words_(static_cast<size_t>(bitset64::PaddedWordsFor(bits)), 0) {
     HOMPRES_CHECK_GE(bits, 0);
   }
 

@@ -1,6 +1,7 @@
 #include "base/thread_pool.h"
 
 #include <system_error>
+#include <utility>
 
 #include "base/check.h"
 #include "base/failpoint.h"
@@ -14,18 +15,174 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_worker = -1;
 
+constexpr size_t kDequeInitialCapacity = 256;   // slots; grows geometrically
+constexpr size_t kInjectionCapacity = 8192;     // must be a power of two
+
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+// ---------------------------------------------------------------------------
+// Chase-Lev deque. The memory-order discipline is the C11 formulation of
+// Le et al. (PPoPP 2013) with the standalone seq_cst fences strengthened
+// into seq_cst accesses on top_/bottom_: the store-load orderings the
+// fences provided are then carried by the total order on those accesses,
+// which is at least as strong, and every ordering constraint lives on an
+// atomic access TSan models exactly. Slots are atomic pointers, so a
+// thief reading a slot concurrently with the owner recycling it is a
+// value race resolved by the top_ CAS (the loser discards its read),
+// never a data race.
+
+ThreadPool::Deque::Deque() {
+  array_.store(new Array(kDequeInitialCapacity), std::memory_order_relaxed);
+}
+
+ThreadPool::Deque::~Deque() {
+  delete array_.load(std::memory_order_relaxed);
+}
+
+ThreadPool::Deque::Array* ThreadPool::Deque::Grow(Array* old, int64_t top,
+                                                  int64_t bottom) {
+  Array* bigger = new Array(old->capacity * 2);
+  for (int64_t i = top; i < bottom; ++i) {
+    bigger->slots[static_cast<size_t>(i) & bigger->mask].store(
+        old->slots[static_cast<size_t>(i) & old->mask].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  array_.store(bigger, std::memory_order_release);
+  // A thief that loaded `old` before the swap may still read its slots;
+  // its subsequent top_ CAS decides whether that read counts. Retire the
+  // array instead of deleting it — freed with the deque, after joins.
+  retired_.emplace_back(old);
+  return bigger;
+}
+
+void ThreadPool::Deque::PushBottom(TaskNode* node) {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_acquire);
+  Array* a = array_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<int64_t>(a->capacity) - 1) a = Grow(a, t, b);
+  a->slots[static_cast<size_t>(b) & a->mask].store(node,
+                                                   std::memory_order_relaxed);
+  // seq_cst publication: a thief that observes the new bottom also
+  // observes the slot store above (release would give that too); the
+  // seq_cst totality is what replaces the fence in PopBottom's proof.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+ThreadPool::TaskNode* ThreadPool::Deque::PopBottom() {
+  const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Array* a = array_.load(std::memory_order_relaxed);
+  // Announce the claim on slot b before reading top: every thief whose
+  // CAS succeeds after this store sees bottom <= b and aborts on t >= b,
+  // so owner and thief can only collide on the single remaining element,
+  // which the CAS below arbitrates.
+  bottom_.store(b, std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    TaskNode* node = a->slots[static_cast<size_t>(b) & a->mask].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        node = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return node;
+  }
+  // Deque was empty; restore bottom.
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+ThreadPool::TaskNode* ThreadPool::Deque::Steal() {
+  int64_t t = top_.load(std::memory_order_seq_cst);
+  const int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;  // empty (or the owner is mid-pop on the last)
+  Array* a = array_.load(std::memory_order_acquire);
+  TaskNode* node =
+      a->slots[static_cast<size_t>(t) & a->mask].load(std::memory_order_relaxed);
+  // The CAS validates the read: if top moved (another thief, or the owner
+  // taking the last element), the node pointer read above is discarded.
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Vyukov bounded MPMC queue: each cell carries a sequence number that
+// tickets producers and consumers; the acquire load / release store on it
+// transfers the (non-atomic) node pointer without any lock.
+
+ThreadPool::InjectionQueue::InjectionQueue(size_t capacity_pow2)
+    : cells_(capacity_pow2), mask_(capacity_pow2 - 1) {
+  HOMPRES_CHECK((capacity_pow2 & mask_) == 0);  // power of two
+  for (size_t i = 0; i < capacity_pow2; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+    cells_[i].node = nullptr;
+  }
+}
+
+bool ThreadPool::InjectionQueue::TryPush(TaskNode* node) {
+  size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.node = node;
+        cell.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+ThreadPool::TaskNode* ThreadPool::InjectionQueue::TryPop() {
+  size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        TaskNode* node = cell.node;
+        cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return node;
+      }
+    } else if (dif < 0) {
+      return nullptr;  // empty
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+ThreadPool::ThreadPool(int num_threads) : injection_(kInjectionCapacity) {
   HOMPRES_CHECK_GE(num_threads, 1);
-  queues_.reserve(static_cast<size_t>(num_threads));
+  deques_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    queues_.push_back(std::make_unique<WorkerQueue>());
+    deques_.push_back(std::make_unique<Deque>());
   }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     // A failed spawn (resource exhaustion, or the injected fault) skips
-    // this worker; its deque stays and the survivors steal from it. If
+    // this worker; nothing is ever pushed to its deque (only workers push
+    // to deques), so the survivors lose only a failed steal probe. If
     // every spawn fails the pool degrades to inline execution in Submit.
     if (HOMPRES_FAILPOINT("thread_pool/spawn")) continue;
     try {
@@ -38,8 +195,11 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
+    // The lock orders the flag with a worker's decision to sleep: a
+    // worker that checked stopping_ before this store is either awake or
+    // inside wait(), and notify_all reaches both.
     std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_seq_cst);
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
@@ -57,92 +217,108 @@ void ThreadPool::Submit(std::function<void()> task) {
     }
     return;
   }
-  size_t target;
+  TaskNode* node = new TaskNode{std::move(task)};
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
   if (tls_pool == this && tls_worker >= 0) {
-    target = static_cast<size_t>(tls_worker);
+    // Worker fast path: owner-side push, no shared state touched beyond
+    // the deque's own bottom.
+    deques_[static_cast<size_t>(tls_worker)]->PushBottom(node);
   } else {
+    // External fast path: lock-free ticketed push. A full queue waits for
+    // the workers to drain a slot; they always do, because every loop
+    // iteration of every worker tries TryPop before stealing.
+    while (!injection_.TryPush(node)) std::this_thread::yield();
+  }
+  unclaimed_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake a sleeper only if there is one — the contended case. While all
+  // workers are busy (the common case under load), Submit never touches
+  // the mutex. The seq_cst ordering of the unclaimed_ increment against
+  // the sleeper's registration makes the miss impossible: either this
+  // load sees the sleeper (notify under lock reaches it), or the sleeper
+  // registered later and its wait predicate sees unclaimed_ > 0.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    target = next_queue_;
-    next_queue_ = (next_queue_ + 1) % queues_.size();
+    work_available_.notify_one();
   }
-  {
-    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-    queues_[target]->tasks.push_back(std::move(task));
-  }
-  // The push precedes the count increment, so a worker that claims a unit
-  // of work (decrements queued_) always finds some task in some deque.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++queued_;
-    ++in_flight_;
-  }
-  work_available_.notify_one();
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  all_done_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+void ThreadPool::RunTask(TaskNode* node) {
+  // An exception escaping a task must not reach the thread boundary
+  // (std::terminate); swallow and count it. Drivers that need
+  // cancel-on-throw semantics wrap bodies in ParallelRegion::GuardedTask
+  // before this backstop is reached.
+  try {
+    node->fn();
+  } catch (...) {
+    exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  delete node;
+  if (in_flight_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    // Last task of the batch: rendezvous with WaitIdle under the lock so
+    // its predicate check and our notify cannot interleave.
+    std::lock_guard<std::mutex> lock(mutex_);
+    all_done_.notify_all();
+  }
 }
 
 void ThreadPool::WorkerLoop(int self) {
   tls_pool = this;
   tls_worker = self;
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return queued_ > 0 || stopping_; });
-      if (queued_ == 0) return;  // stopping and fully drained
-      --queued_;  // claim one unit of work
+    TaskNode* node = FindTask(self);
+    if (node != nullptr) {
+      unclaimed_.fetch_sub(1, std::memory_order_seq_cst);
+      RunTask(node);
+      continue;
     }
-    // Claims never outnumber pushed tasks, so the claimed task is in some
-    // deque; a miss is a transient interleaving with other claimants.
-    std::function<void()> task;
-    for (;;) {
-      task = TakeTask(self);
-      if (task) break;
+    if (unclaimed_.load(std::memory_order_seq_cst) > 0) {
+      // Work exists but wasn't found: a push racing our scan, or steals
+      // lost to contention (or the injected steal fault). Spin again
+      // rather than sleep — the claim protocol guarantees another pass
+      // finds it once the producer's push lands.
       std::this_thread::yield();
+      continue;
     }
-    // An exception escaping a task must not reach the thread boundary
-    // (std::terminate); swallow and count it. Drivers that need
-    // cancel-on-throw semantics wrap bodies in
-    // ParallelRegion::GuardedTask before this backstop is reached.
-    try {
-      task();
-    } catch (...) {
-      exceptions_.fetch_add(1, std::memory_order_relaxed);
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    if (stopping_.load(std::memory_order_seq_cst)) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    work_available_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_seq_cst) ||
+             unclaimed_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (stopping_.load(std::memory_order_seq_cst) &&
+        unclaimed_.load(std::memory_order_seq_cst) <= 0) {
+      return;
     }
   }
 }
 
-std::function<void()> ThreadPool::TakeTask(int self) {
-  {
-    WorkerQueue& own = *queues_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(own.mutex);
-    if (!own.tasks.empty()) {
-      std::function<void()> task = std::move(own.tasks.back());
-      own.tasks.pop_back();
-      return task;
-    }
-  }
-  // Scan every deque (there is one per requested worker, possibly more
-  // than live workers after spawn failures).
-  const int n = static_cast<int>(queues_.size());
+ThreadPool::TaskNode* ThreadPool::FindTask(int self) {
+  TaskNode* node = deques_[static_cast<size_t>(self)]->PopBottom();
+  if (node != nullptr) return node;
+  node = injection_.TryPop();
+  if (node != nullptr) return node;
+  // Steal scan over the other deques (one per requested worker; deques of
+  // failed spawns are forever empty). A fired "thread_pool/steal"
+  // failpoint abandons that victim this pass — exactly the effect of a
+  // lost CAS race — so chaos schedules exercise the retry path without
+  // ever dropping a task.
+  const int n = static_cast<int>(deques_.size());
   for (int k = 1; k < n; ++k) {
-    WorkerQueue& victim = *queues_[static_cast<size_t>((self + k) % n)];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.tasks.empty()) {
-      std::function<void()> task = std::move(victim.tasks.front());
-      victim.tasks.pop_front();
-      return task;
-    }
+    const int victim = (self + k) % n;
+    if (HOMPRES_FAILPOINT("thread_pool/steal")) continue;
+    node = deques_[static_cast<size_t>(victim)]->Steal();
+    if (node != nullptr) return node;
   }
-  return {};
+  return nullptr;
 }
 
 void ParallelFor(ThreadPool& pool, int n,

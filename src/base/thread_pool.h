@@ -1,13 +1,19 @@
-// A small work-stealing thread pool for the parallel search drivers.
+// A lock-free work-stealing thread pool for the parallel search drivers.
 //
-// The pool owns a fixed set of worker threads, each with its own task
-// deque in the Chase-Lev discipline: the owner pushes and pops at the
-// back (LIFO, cache-friendly for recursively spawned work), thieves steal
-// from the front (FIFO, takes the oldest and typically largest task).
-// The deques are guarded by per-deque locks rather than the lock-free
-// Chase-Lev protocol: the tasks scheduled here are coarse subtree
-// searches (milliseconds to seconds), so queue contention is noise, and
-// the locked form is trivially data-race-free under TSan.
+// The pool owns a fixed set of worker threads, each with its own
+// Chase-Lev deque: the owner pushes and pops at the bottom (LIFO,
+// cache-friendly for recursively spawned work) and thieves steal from
+// the top (FIFO, takes the oldest and typically largest task). The
+// deques follow the lock-free Chase-Lev protocol (the C11 formulation of
+// Le, Pop, Cohen, Zappa Nardelli, with the standalone fences strengthened
+// into seq_cst accesses on top/bottom so the discipline is exactly what
+// TSan models); see DESIGN.md section 4.8 for the correctness argument.
+// Submissions from outside the pool take a contention-free fast path
+// into a bounded lock-free MPMC injection queue (Vyukov discipline) that
+// every worker drains alongside its deque — no mutex is touched on
+// Submit unless a sleeping worker must be woken. The only blocking
+// pieces left are the parking lot (a condition variable workers sleep on
+// when the pool is empty) and WaitIdle.
 //
 // Cooperation with the Budget layer is by convention, not mechanism: a
 // parallel driver gives every task a worker budget (Budget::SpawnWorker)
@@ -23,7 +29,10 @@
 // ParallelRegion::GuardedTask. Worker spawning is also fault-tolerant:
 // a std::system_error from std::thread (or the "thread_pool/spawn"
 // failpoint) skips that worker, and a pool left with zero workers
-// degrades to running every Submit inline on the calling thread.
+// degrades to running every Submit inline on the calling thread. A
+// failed steal attempt (contended top, or the "thread_pool/steal"
+// failpoint) leaves the task in place for the owner or a later thief —
+// a retry, never a lost task.
 
 #ifndef HOMPRES_BASE_THREAD_POOL_H_
 #define HOMPRES_BASE_THREAD_POOL_H_
@@ -31,7 +40,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -64,12 +72,13 @@ class ThreadPool {
     return exceptions_.load(std::memory_order_relaxed);
   }
 
-  // Enqueues a task. Submissions from outside the pool are distributed
-  // round-robin across the worker deques; a submission from a worker
-  // thread goes to that worker's own deque (back), where it pops it LIFO
-  // and idle workers steal it FIFO. With zero workers (total spawn
-  // failure) the task runs inline on the calling thread before Submit
-  // returns — a serial degeneration, not an error.
+  // Enqueues a task. A submission from a worker thread goes to that
+  // worker's own deque (bottom), where it pops it LIFO and idle workers
+  // steal it FIFO; submissions from outside the pool go to the lock-free
+  // injection queue, which spreads across whichever workers drain it
+  // first. With zero workers (total spawn failure) the task runs inline
+  // on the calling thread before Submit returns — a serial degeneration,
+  // not an error.
   void Submit(std::function<void()> task);
 
   // Blocks until every task submitted so far has finished. The pool is
@@ -78,31 +87,98 @@ class ThreadPool {
   void WaitIdle();
 
  private:
-  struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+  // Tasks travel through the lock-free structures as owned heap nodes:
+  // a raw pointer is the natural unit of an atomic slot, and ownership
+  // transfers to whichever thread pops the node (it deletes after
+  // running).
+  struct TaskNode {
+    std::function<void()> fn;
+  };
+
+  // The Chase-Lev deque. PushBottom/PopBottom are owner-only; Steal is
+  // safe from any thread. The circular array grows geometrically;
+  // retired arrays are kept until the deque dies because a slow thief
+  // may still be reading one (its stale top CAS then fails harmlessly).
+  class Deque {
+   public:
+    Deque();
+    ~Deque();
+
+    void PushBottom(TaskNode* node);  // owner only
+    TaskNode* PopBottom();            // owner only
+    TaskNode* Steal();                // any thread; nullptr = empty or lost race
+
+   private:
+    struct Array {
+      explicit Array(size_t cap)
+          : capacity(cap),
+            mask(cap - 1),
+            slots(new std::atomic<TaskNode*>[cap]) {}
+      size_t capacity;
+      size_t mask;
+      std::unique_ptr<std::atomic<TaskNode*>[]> slots;
+    };
+
+    Array* Grow(Array* old, int64_t top, int64_t bottom);
+
+    std::atomic<int64_t> top_{0};
+    std::atomic<int64_t> bottom_{0};
+    std::atomic<Array*> array_;
+    std::vector<std::unique_ptr<Array>> retired_;  // owner-only; freed here
+  };
+
+  // Bounded lock-free MPMC queue (Vyukov) for submissions from outside
+  // the pool. A full queue makes Submit spin-yield until a worker drains
+  // a slot; the workers make progress, so so does the producer.
+  class InjectionQueue {
+   public:
+    explicit InjectionQueue(size_t capacity_pow2);
+
+    bool TryPush(TaskNode* node);
+    TaskNode* TryPop();
+
+   private:
+    struct Cell {
+      std::atomic<size_t> sequence;
+      TaskNode* node;
+    };
+
+    std::vector<Cell> cells_;
+    size_t mask_;
+    std::atomic<size_t> enqueue_pos_{0};
+    std::atomic<size_t> dequeue_pos_{0};
   };
 
   void WorkerLoop(int self);
 
-  // Pops from own back, else steals from the fronts of the others,
-  // starting after `self` so thieves spread out. Returns an empty
-  // function if every deque came up empty.
-  std::function<void()> TakeTask(int self);
+  // Pops from own bottom, else the injection queue, else steals from the
+  // tops of the others, starting after `self` so thieves spread out.
+  TaskNode* FindTask(int self);
+
+  void RunTask(TaskNode* node);
 
   // One deque per *requested* worker; when a spawn fails its deque stays
-  // (tasks round-robined there are stolen by the surviving workers).
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  // empty (nothing is ever pushed to it) and costs one failed steal probe.
+  std::vector<std::unique_ptr<Deque>> deques_;
+  InjectionQueue injection_;
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> exceptions_{0};
 
+  // Counts are the wakeup/termination protocol, not the task transport:
+  // unclaimed_ is incremented after a push and decremented after a
+  // successful pop (so > 0 means "some structure holds a task", modulo a
+  // harmless transient negative when a pop outruns its producer's
+  // increment); in_flight_ is submitted-but-not-finished, for WaitIdle.
+  std::atomic<int64_t> unclaimed_{0};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int> sleepers_{0};
+
+  // Blocking is confined to parking: workers sleep here when the pool is
+  // empty, WaitIdle sleeps here until the last task finishes.
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  int queued_ = 0;      // submitted, not yet claimed by a worker
-  int in_flight_ = 0;   // submitted, not yet finished
-  size_t next_queue_ = 0;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
 };
 
 // Runs fn(0) ... fn(n-1) on the pool and blocks until all calls return.

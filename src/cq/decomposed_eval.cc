@@ -1,7 +1,7 @@
 #include "cq/decomposed_eval.h"
 
 #include <algorithm>
-#include <set>
+#include <numeric>
 
 #include "base/bitset64.h"
 #include "base/check.h"
@@ -14,9 +14,62 @@ namespace hompres {
 
 namespace {
 
-// Partial assignments over a (sorted) bag are vectors aligned with the
-// bag's order.
-using AssignmentSet = std::set<std::vector<int>>;
+// Partial assignments over a (sorted) bag, aligned with the bag's order
+// and stored row-major in one flat buffer: `width` ints per assignment,
+// lexicographically sorted and duplicate-free (see Normalize). The flat
+// layout replaces a std::set<std::vector<int>> — no per-assignment node
+// or vector allocation, sequential scans instead of pointer chasing, and
+// joins become linear merges of sorted rows. Both forms hold the same
+// set of assignments at every node, so the DP's verdict is unchanged.
+//
+// `rows` is explicit rather than data.size()/width: width-0 tables (the
+// leaf, and any bag that forgets everything) still distinguish "the one
+// empty assignment" from "no assignments".
+struct AssignmentTable {
+  int width = 0;
+  size_t rows = 0;
+  std::vector<int> data;
+
+  const int* Row(size_t r) const {
+    return data.data() + r * static_cast<size_t>(width);
+  }
+};
+
+bool RowLess(const int* a, const int* b, int width) {
+  return std::lexicographical_compare(a, a + width, b, b + width);
+}
+bool RowEq(const int* a, const int* b, int width) {
+  return std::equal(a, a + width, b);
+}
+
+// Canonical form: rows sorted lexicographically, duplicates dropped.
+void Normalize(AssignmentTable& t) {
+  if (t.width == 0) {
+    t.rows = t.rows > 0 ? 1 : 0;
+    return;
+  }
+  if (t.rows <= 1) return;
+  std::vector<size_t> order(t.rows);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return RowLess(t.Row(x), t.Row(y), t.width);
+  });
+  std::vector<int> packed;
+  packed.reserve(t.data.size());
+  size_t kept = 0;
+  for (const size_t r : order) {
+    const int* row = t.Row(r);
+    if (kept > 0 &&
+        RowEq(packed.data() + (kept - 1) * static_cast<size_t>(t.width), row,
+              t.width)) {
+      continue;
+    }
+    packed.insert(packed.end(), row, row + t.width);
+    ++kept;
+  }
+  t.data = std::move(packed);
+  t.rows = kept;
+}
 
 // A canonical tuple relevant to an introduce node: fully contained in the
 // bag and mentioning the introduced element. `bag_pos[j]` is the bag
@@ -39,7 +92,7 @@ class DecompositionDp {
         canonical_index_(canonical.Index()),
         b_index_(b.Index()) {}
 
-  bool Run() { return !Solve(nice_.root).empty(); }
+  bool Run() { return Solve(nice_.root).rows > 0; }
 
  private:
   // All tuples of the canonical structure fully contained in `bag` that
@@ -74,18 +127,21 @@ class DecompositionDp {
 
   // Fills `out` with the values v such that the image of `r.t` under the
   // extended assignment (fresh -> v, other bag elements -> their value in
-  // `assignment`, which is aligned with the bag minus `fresh`) is a tuple
-  // of B. The enumeration runs over the shortest inverted list of a bound
-  // position (or the whole relation if every position is fresh); a value
-  // qualifies exactly when HasTuple would accept the image, and the
+  // `assignment`, a table row aligned with the bag minus `fresh`) is a
+  // tuple of B. The enumeration runs over the shortest inverted list of a
+  // bound position (or the whole relation if every position is fresh); a
+  // value qualifies exactly when HasTuple would accept the image, and the
   // packed set iterates ascending, so the DP tables match the old
   // sorted-vector construction bit for bit.
-  void CandidateValues(const RelevantTuple& r,
-                       const std::vector<int>& assignment, size_t fresh_pos,
-                       Bitset64& out) const {
+  void CandidateValues(const RelevantTuple& r, const int* assignment,
+                       size_t fresh_pos, Bitset64& out) const {
     const size_t arity = r.t.size();
-    // Bound value per position (-1 at fresh positions).
-    std::vector<int> bound(arity, -1);
+    // Bound value per position (-1 at fresh positions). Reused scratch:
+    // CandidateValues runs once per (assignment, tuple) in the introduce
+    // loop, and a fresh heap allocation per call would dominate the
+    // word-wise intersection it feeds.
+    std::vector<int>& bound = bound_scratch_;
+    bound.assign(arity, -1);
     int best_pos = -1;
     size_t best_size = 0;
     for (size_t j = 0; j < arity; ++j) {
@@ -126,12 +182,15 @@ class DecompositionDp {
     }
   }
 
-  AssignmentSet Solve(int node) const {
+  AssignmentTable Solve(int node) const {
     const auto& bag = nice_.bags[static_cast<size_t>(node)];
     const auto& children = nice_.children[static_cast<size_t>(node)];
     switch (nice_.kinds[static_cast<size_t>(node)]) {
-      case NiceNodeKind::kLeaf:
-        return {std::vector<int>{}};
+      case NiceNodeKind::kLeaf: {
+        AssignmentTable t;
+        t.rows = 1;  // the empty assignment
+        return t;
+      }
       case NiceNodeKind::kIntroduce: {
         const auto& child_bag =
             nice_.bags[static_cast<size_t>(children[0])];
@@ -147,14 +206,16 @@ class DecompositionDp {
         const size_t fresh_pos = static_cast<size_t>(
             std::lower_bound(bag.begin(), bag.end(), fresh) - bag.begin());
         const auto tuples = RelevantTuples(bag, fresh);
-        const AssignmentSet below = Solve(children[0]);
-        AssignmentSet result;
+        const AssignmentTable below = Solve(children[0]);
+        AssignmentTable result;
+        result.width = static_cast<int>(bag.size());
         // Packed candidate sets, hoisted out of the assignment loop; the
         // per-tuple intersection is a word-wise AND instead of a
         // set_intersection over sorted vectors.
         Bitset64 candidates(b_.UniverseSize());
         Bitset64 per_tuple(b_.UniverseSize());
-        for (const auto& assignment : below) {
+        for (size_t r = 0; r < below.rows; ++r) {
+          const int* assignment = below.Row(r);
           // Values the fresh element may take: all of B's universe when no
           // canonical tuple constrains it, otherwise the intersection of
           // the per-tuple candidate sets.
@@ -169,12 +230,17 @@ class DecompositionDp {
           }
           for (int value = candidates.FindFirst(); value >= 0;
                value = candidates.FindNext(value)) {
-            std::vector<int> extended = assignment;
-            extended.insert(extended.begin() + static_cast<long>(fresh_pos),
-                            value);
-            result.insert(std::move(extended));
+            // Extended row: the child row with `value` spliced in at the
+            // fresh element's bag position.
+            result.data.insert(result.data.end(), assignment,
+                               assignment + fresh_pos);
+            result.data.push_back(value);
+            result.data.insert(result.data.end(), assignment + fresh_pos,
+                               assignment + below.width);
+            ++result.rows;
           }
         }
+        Normalize(result);
         return result;
       }
       case NiceNodeKind::kForget: {
@@ -188,21 +254,47 @@ class DecompositionDp {
             break;
           }
         }
-        AssignmentSet result;
-        for (const auto& assignment : Solve(children[0])) {
-          std::vector<int> projected = assignment;
-          projected.erase(projected.begin() + static_cast<long>(drop_pos));
-          result.insert(std::move(projected));
+        const AssignmentTable child = Solve(children[0]);
+        AssignmentTable result;
+        result.width = child.width - 1;
+        result.rows = child.rows;
+        result.data.reserve(child.rows * static_cast<size_t>(result.width));
+        for (size_t r = 0; r < child.rows; ++r) {
+          const int* row = child.Row(r);
+          result.data.insert(result.data.end(), row, row + drop_pos);
+          result.data.insert(result.data.end(), row + drop_pos + 1,
+                             row + child.width);
         }
+        Normalize(result);  // projection may collide rows
         return result;
       }
       case NiceNodeKind::kJoin: {
-        const AssignmentSet left = Solve(children[0]);
-        if (left.empty()) return {};
-        const AssignmentSet right = Solve(children[1]);
-        AssignmentSet result;
-        for (const auto& assignment : left) {
-          if (right.count(assignment) > 0) result.insert(assignment);
+        const AssignmentTable left = Solve(children[0]);
+        if (left.rows == 0) {
+          AssignmentTable empty;
+          empty.width = static_cast<int>(bag.size());
+          return empty;
+        }
+        const AssignmentTable right = Solve(children[1]);
+        // Both sides are sorted and unique: intersect with one linear
+        // merge (already canonical, no Normalize needed).
+        AssignmentTable result;
+        result.width = left.width;
+        size_t i = 0;
+        size_t j = 0;
+        while (i < left.rows && j < right.rows) {
+          const int* a = left.Row(i);
+          const int* b = right.Row(j);
+          if (RowLess(a, b, left.width)) {
+            ++i;
+          } else if (RowLess(b, a, left.width)) {
+            ++j;
+          } else {
+            result.data.insert(result.data.end(), a, a + left.width);
+            ++result.rows;
+            ++i;
+            ++j;
+          }
         }
         return result;
       }
@@ -216,6 +308,7 @@ class DecompositionDp {
   const NiceTreeDecomposition& nice_;
   const RelationIndex& canonical_index_;
   const RelationIndex& b_index_;
+  mutable std::vector<int> bound_scratch_;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/simd.h"
 #include "engine/ordering.h"
 #include "graph/algorithms.h"
 #include "structure/gaifman.h"
@@ -319,6 +320,8 @@ std::string HomPlan::Summary() const {
   s += ExecStrategyName(strategy);
   s += " kernel=";
   s += SerialKernelName(kernel);
+  s += " simd=";
+  s += simd::SimdLevelName(simd::ActiveSimdLevel());
   s += " components=";
   s += std::to_string(components.empty() ? 1 : components.size());
   s += " tasks=";
@@ -348,6 +351,11 @@ std::string HomPlan::Explain() const {
   s += "\n  kernel: ";
   s += SerialKernelName(kernel);
   s += use_index ? " (index narrowing on)" : " (index narrowing off)";
+  s += "\n  simd: ";
+  s += simd::SimdLevelName(simd::ActiveSimdLevel());
+  s += " (detected ";
+  s += simd::SimdLevelName(simd::DetectedSimdLevel());
+  s += ")";
   s += "\n  cache: ";
   s += consult_cache ? "consult" : "off";
   s += "\n  components: ";

@@ -155,10 +155,11 @@ struct HomPlan {
   std::string Explain() const;
 
   // One-line summary ("mode=has strategy=serial kernel=ac-bitset
-  // components=1 tasks=1 cache=0") stamped into bench JSON rows so plan
-  // changes are diffable in CI. After a degraded execution, gains a
-  // trailing "degraded=kind+kind" token (bench/check_regression.py flags
-  // it).
+  // simd=avx2 components=1 tasks=1 cache=0") stamped into bench JSON
+  // rows so plan changes are diffable in CI; the simd token is the
+  // dispatched bitset64 kernel level (base/simd.h). After a degraded
+  // execution, gains a trailing "degraded=kind+kind" token
+  // (bench/check_regression.py flags it).
   std::string Summary() const;
 };
 

@@ -8,6 +8,7 @@
 #include "base/bitset64.h"
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/row_pool.h"
 #include "base/subsets.h"
 #include "engine/engine.h"
 
@@ -91,7 +92,10 @@ Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
   // family. The greatest fixpoint is unique, so the worklist order does
   // not change the surviving set: the winner is identical to the old
   // iterate-until-no-change sweeps.
-  const int stride = bitset64::WordsFor(m);
+  // Padded stride + 64-byte-aligned flat pool: every extension row is a
+  // whole number of SIMD lanes, so the AnySet/FindFirst sweeps below run
+  // full-width with no ragged tail (padding words stay zero).
+  const int stride = bitset64::PaddedWordsFor(m);
   std::vector<PartialMap> maps;
   std::unordered_map<PartialMap, int, PartialMapHash> ids;
   maps.reserve(alive.size());
@@ -112,26 +116,33 @@ Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
                            sizeof(uint64_t))) {
     return Outcome<bool>::StoppedShort(budget.Report());
   }
-  std::vector<uint64_t> rows(static_cast<size_t>(num_maps) * row_stride, 0);
+  AlignedWordPool rows;
+  rows.Resize(static_cast<size_t>(num_maps) * row_stride);  // zeroed
   const auto row = [&](int idx, int e) {
     return rows.data() + static_cast<size_t>(idx) * row_stride +
            static_cast<size_t>(e) * static_cast<size_t>(stride);
   };
+  // Build every extension row in one pass by scattering each map into the
+  // rows of its one-point restrictions: q = p[e:=v] is in the family iff
+  // bit v belongs in row(p, e), so walking the assigned positions of
+  // every map sets exactly the same bits as probing all m candidate
+  // values per free position — with |dom(q)| hash lookups per map instead
+  // of (n - |dom|) * m.
   PartialMap probe;
   for (int idx = 0; idx < num_maps; ++idx) {
     if (!budget.Checkpoint()) {
       return Outcome<bool>::StoppedShort(budget.Report());
     }
-    if (domain_size[static_cast<size_t>(idx)] >= max_domain) continue;
-    probe = maps[static_cast<size_t>(idx)];
+    const PartialMap& p = maps[static_cast<size_t>(idx)];
+    probe = p;
     for (int e = 0; e < n; ++e) {
-      if (probe[static_cast<size_t>(e)] != -1) continue;
-      uint64_t* r = row(idx, e);
-      for (int v = 0; v < m; ++v) {
-        probe[static_cast<size_t>(e)] = v;
-        if (ids.find(probe) != ids.end()) bitset64::Set(r, v);
-      }
+      const int val = p[static_cast<size_t>(e)];
+      if (val == -1) continue;
       probe[static_cast<size_t>(e)] = -1;
+      const auto it = ids.find(probe);
+      HOMPRES_CHECK(it != ids.end());  // restrictions stay in the family
+      probe[static_cast<size_t>(e)] = val;
+      bitset64::Set(row(it->second, e), val);
     }
   }
 
@@ -143,13 +154,18 @@ Outcome<bool> DuplicatorWinsExistentialKPebbleGameBudgeted(const Structure& a,
     worklist.push_back(idx);
   };
   // Initial forth violations (closure holds initially: every restriction
-  // of a partial homomorphism is a partial homomorphism).
+  // of a partial homomorphism is a partial homomorphism). The scan walks
+  // each map's row block front to back — one contiguous cache-resident
+  // streak of `n * stride` words per map — touching the pool exactly once.
   for (int idx = 0; idx < num_maps; ++idx) {
     if (domain_size[static_cast<size_t>(idx)] >= max_domain) continue;
     const PartialMap& p = maps[static_cast<size_t>(idx)];
+    const uint64_t* block = row(idx, 0);
     for (int e = 0; e < n; ++e) {
       if (p[static_cast<size_t>(e)] != -1) continue;
-      if (!bitset64::AnySet(row(idx, e), stride)) {
+      if (!bitset64::AnySet(block + static_cast<size_t>(e) *
+                                        static_cast<size_t>(stride),
+                            stride)) {
         kill(idx);
         break;
       }

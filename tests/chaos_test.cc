@@ -397,6 +397,65 @@ TEST_F(ChaosTest, TotalSpawnFailureDegradesSubmitToInline) {
   EXPECT_EQ(ran.load(), 2);
 }
 
+// Steal-drill: the thread_pool/steal failpoint makes every armed steal
+// attempt behave like a lost Chase-Lev CAS race (the thief walks away
+// empty-handed; the task stays where it is). Containment contract: no
+// task is ever lost or run twice, WaitIdle still terminates, and nothing
+// calls std::terminate — a worker that cannot steal simply falls back to
+// the injection queue and its own deque.
+TEST_F(ChaosTest, StealFaultsNeverLoseOrDuplicateTasks) {
+  auto& registry = FailpointRegistry::Global();
+  const uint64_t seed = ChaosSeed();
+  const char* kSpecs[] = {"always", "prob:0.7", "every:2"};
+  for (size_t s = 0; s < sizeof(kSpecs) / sizeof(kSpecs[0]); ++s) {
+    SCOPED_TRACE(kSpecs[s]);
+    registry.SetSeed(seed ^ s);
+    ASSERT_TRUE(registry.Arm("thread_pool/steal", kSpecs[s]));
+    ThreadPool pool(4);
+    constexpr int kTasks = 4000;
+    std::atomic<int> ran{0};
+    std::vector<std::atomic<int>> per_task(kTasks);
+    for (auto& c : per_task) c.store(0);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&pool, &ran, &per_task, i] {
+        per_task[static_cast<size_t>(i)].fetch_add(1);
+        ran.fetch_add(1);
+        // Recursive submission lands in the submitting worker's own
+        // deque, the path a poisoned steal leaves as the only consumer.
+        if (i % 16 == 0) {
+          pool.Submit([&ran] { ran.fetch_add(1); });
+        }
+      });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(ran.load(), kTasks + kTasks / 16);
+    for (int i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(per_task[static_cast<size_t>(i)].load(), 1) << "task " << i;
+    }
+    registry.Disarm("thread_pool/steal");
+  }
+}
+
+// The same drill through the engine: a parallel hom query under a
+// poisoned steal path must return the exact fault-free answer (workers
+// that cannot steal still drain the injection queue, so the subtree
+// tasks all run).
+TEST_F(ChaosTest, StealFaultsPreserveParallelAnswers) {
+  auto& registry = FailpointRegistry::Global();
+  const Structure a = TwoEdges();
+  const Structure b = Triangle();
+  HomOptions serial;
+  const uint64_t expected = CountHomomorphisms(a, b, /*limit=*/0, serial);
+
+  registry.SetSeed(ChaosSeed());
+  ASSERT_TRUE(registry.Arm("thread_pool/steal", "always"));
+  HomOptions parallel;
+  parallel.num_threads = 3;
+  EXPECT_EQ(CountHomomorphisms(a, b, /*limit=*/0, parallel), expected);
+  EXPECT_GT(registry.FireCount("thread_pool/steal"), 0u)
+      << "the parallel run never reached a steal attempt";
+}
+
 // --- Retry layer: a lost attempt is recorded and escalation recovers. ---
 
 TEST_F(ChaosTest, PreservationRetrySurvivesAnInjectedAttemptLoss) {

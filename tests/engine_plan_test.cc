@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/budget.h"
+#include "base/simd.h"
 #include "engine/config.h"
 #include "engine/engine.h"
 #include "engine/ordering.h"
@@ -91,24 +92,32 @@ TEST(EnginePlan, PlanningIsDeterministic) {
 }
 
 TEST(EnginePlan, ExplainAndSummaryAreGoldenStable) {
+  // The dispatched SIMD level is machine-dependent; pin it to scalar so
+  // the golden strings are stable everywhere (the detected level still
+  // varies, so Explain's parenthetical is matched structurally below).
+  simd::ScopedSimdOverride forced_scalar(simd::SimdLevel::kScalar);
   const Structure a = Path3();
   const Structure b = Triangle();
   const PlanResult planned =
       PlanHomQuery(MakeProblem(a, b, HomQueryMode::kFind), EngineConfig{});
   ASSERT_TRUE(planned.plan.has_value());
   EXPECT_EQ(planned.plan->Summary(),
-            "mode=find strategy=serial kernel=ac-bitset components=1 "
-            "tasks=1 cache=0");
-  EXPECT_EQ(planned.plan->Explain(),
-            "HomPlan\n"
-            "  mode: find\n"
-            "  strategy: serial\n"
-            "  kernel: ac-bitset (index narrowing on)\n"
-            "  cache: off\n"
-            "  components: 1 (monolithic)\n"
-            "  split: none\n"
-            "  forced: 0 pairs\n"
-            "  adjustments: none\n");
+            "mode=find strategy=serial kernel=ac-bitset simd=scalar "
+            "components=1 tasks=1 cache=0");
+  const std::string expected_explain =
+      "HomPlan\n"
+      "  mode: find\n"
+      "  strategy: serial\n"
+      "  kernel: ac-bitset (index narrowing on)\n"
+      "  simd: scalar (detected " +
+      std::string(simd::SimdLevelName(simd::DetectedSimdLevel())) +
+      ")\n"
+      "  cache: off\n"
+      "  components: 1 (monolithic)\n"
+      "  split: none\n"
+      "  forced: 0 pairs\n"
+      "  adjustments: none\n";
+  EXPECT_EQ(planned.plan->Explain(), expected_explain);
 }
 
 TEST(EnginePlan, StrictModeRejectsEachAuditedCombination) {

@@ -23,6 +23,7 @@
 
 #include "base/budget.h"
 #include "base/rng.h"
+#include "base/simd.h"
 #include "engine/engine.h"
 #include "hom/homomorphism.h"
 #include "structure/generators.h"
@@ -514,6 +515,45 @@ TEST(PropertyHom, StrictEnginePlansMatchLegacyApiExactly) {
           legacy);
       ASSERT_EQ(engine_seen, legacy_seen)
           << "enumeration order divergence; " << where;
+    }
+  }
+}
+
+// Forced-scalar differential: the same query run under the dispatched
+// SIMD kernels and under ScopedSimdOverride(kScalar) must produce
+// byte-identical witnesses and counts. The targets here are large enough
+// (universe > 256) that the solver rows exceed the 4-word inline
+// threshold and genuinely route through the vector kernels, unlike the
+// small-structure trials above. On a scalar-only host this degenerates
+// to scalar-vs-scalar, which still pins the override machinery.
+TEST(PropertyHom, DispatchedSimdMatchesForcedScalarExactly) {
+  const uint64_t seed = TestSeed() ^ 0x51D0C0DEULL;
+  Rng rng(seed);
+  const Vocabulary voc = GraphVocabulary();
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = rng.UniformInt(3, 5);
+    const int m = rng.UniformInt(260, 420);
+    const Structure a = RandomStructure(voc, n, rng.UniformInt(n, 2 * n), rng);
+    const Structure b = RandomStructure(voc, m, rng.UniformInt(m, 4 * m), rng);
+    const std::string where =
+        "seed " + std::to_string(seed) + " trial " + std::to_string(trial);
+
+    HomOptions options;  // AC bitset kernel, the SIMD consumer
+    const auto dispatched = FindHomomorphism(a, b, options);
+    const uint64_t dispatched_count =
+        CountHomomorphisms(a, b, /*limit=*/1000, options);
+    std::optional<std::vector<int>> scalar;
+    uint64_t scalar_count = 0;
+    {
+      simd::ScopedSimdOverride forced(simd::SimdLevel::kScalar);
+      scalar = FindHomomorphism(a, b, options);
+      scalar_count = CountHomomorphisms(a, b, /*limit=*/1000, options);
+    }
+    ASSERT_EQ(dispatched, scalar) << "witness divergence; " << where;
+    ASSERT_EQ(dispatched_count, scalar_count)
+        << "count divergence; " << where;
+    if (dispatched.has_value()) {
+      ASSERT_TRUE(CheckIsHomomorphism(a, b, *dispatched)) << where;
     }
   }
 }
