@@ -4,7 +4,8 @@
 //       [--workers <n>] [--max-batch <n>] [--no-batching]
 //       [--max-queue <n>] [--max-inflight <n>]
 //       [--max-steps-cap <n>] [--timeout-ms-cap <n>]
-//       [--no-shared-cache]
+//       [--no-shared-cache] [--no-optimize]
+//       [--optimize-max-steps <n>] [--containment-cache-capacity <n>]
 //
 // Runs until SIGINT/SIGTERM, then drains and exits. Clients speak the
 // length-prefixed JSON protocol of server/protocol.h; try:
@@ -19,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "opt/containment_cache.h"
 #include "server/server.h"
 
 namespace {
@@ -66,6 +68,15 @@ int main(int argc, char** argv) {
       options.batching = false;
     } else if (arg == "--no-shared-cache") {
       options.shared_cache = false;
+    } else if (arg == "--no-optimize") {
+      options.optimize = false;
+    } else if (arg == "--optimize-max-steps") {
+      options.optimize_max_steps =
+          ParseCount("--optimize-max-steps", next("--optimize-max-steps"));
+    } else if (arg == "--containment-cache-capacity") {
+      ContainmentCache::Global().SetTotalCapacity(ParseCount(
+          "--containment-cache-capacity",
+          next("--containment-cache-capacity")));
     } else if (arg == "--max-queue") {
       options.admission.max_queue =
           static_cast<size_t>(ParseCount("--max-queue", next("--max-queue")));
@@ -82,6 +93,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: hompresd --socket PATH [--workers N] [--max-batch N]\n"
           "                [--no-batching] [--no-shared-cache]\n"
+          "                [--no-optimize] [--optimize-max-steps N]\n"
+          "                [--containment-cache-capacity N]\n"
           "                [--max-queue N] [--max-inflight N]\n"
           "                [--max-steps-cap N] [--timeout-ms-cap N]\n");
       return 0;

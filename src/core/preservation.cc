@@ -7,6 +7,7 @@
 #include "base/retry.h"
 #include "cq/cq.h"
 #include "fo/eval.h"
+#include "opt/optimizer.h"
 
 namespace hompres {
 
@@ -27,8 +28,15 @@ Outcome<PreservationResult> PreservationPipelineBudgeted(
                                               partial);
   if (!search.IsDone()) return Result::StoppedShort(budget.Report());
   result.minimal_models = std::move(search).TakeValue();
-  result.equivalent_ucq =
-      MinimizeUcq(UcqFromMinimalModels(result.minimal_models));
+  // Theorem 3.1's UCQ is one disjunct per minimal model — typically full
+  // of renamed duplicates and subsumed specializations. The optimizer
+  // collapses them on the pipeline's own budget; when that budget runs
+  // out mid-pass it hands back the unminimized (still equivalent) union
+  // and the verification scan below decides whether there is budget
+  // left to certify it.
+  result.equivalent_ucq = OptimizeUcqBudgeted(
+      UcqFromMinimalModels(result.minimal_models), budget);
+  if (budget.Stopped()) return Result::StoppedShort(budget.Report());
   // Exhaustive verification within the cap: q(A) == UCQ(A) for every
   // A in C with at most verify_universe elements.
   bool all_agree = true;

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "base/budget.h"
 #include "base/check.h"
 #include "engine/engine.h"
 
 namespace hompres {
+
+bool NullaryAtomsHold(const Structure& pattern, const Structure& b) {
+  const Vocabulary& vocabulary = pattern.GetVocabulary();
+  for (int rel = 0; rel < vocabulary.NumRelations(); ++rel) {
+    if (vocabulary.Arity(rel) != 0) continue;
+    if (!pattern.Tuples(rel).empty() && b.Tuples(rel).empty()) return false;
+  }
+  return true;
+}
 
 ConjunctiveQuery::ConjunctiveQuery(Structure canonical,
                                    std::vector<int> free_elements)
@@ -24,6 +34,7 @@ ConjunctiveQuery ConjunctiveQuery::BooleanQueryOf(Structure canonical) {
 }
 
 bool ConjunctiveQuery::SatisfiedBy(const Structure& b) const {
+  if (!NullaryAtomsHold(canonical_, b)) return false;
   // Satisfaction is a pure has-hom question; the pipeline's minimal-model
   // and verification scans ask it about the same (canonical, b) pairs
   // over and over, so consult the global result cache.
@@ -34,6 +45,7 @@ bool ConjunctiveQuery::SatisfiedBy(const Structure& b) const {
 }
 
 std::vector<Tuple> ConjunctiveQuery::Evaluate(const Structure& b) const {
+  if (!NullaryAtomsHold(canonical_, b)) return {};
   std::vector<Tuple> answers;
   Budget unlimited = Budget::Unlimited();
   Engine::Enumerate(canonical_, b, unlimited, [&](const std::vector<int>& h) {
@@ -77,8 +89,18 @@ std::string ConjunctiveQuery::ToString() const {
   return out.str();
 }
 
-bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+Outcome<bool> CqContainedBudgeted(const ConjunctiveQuery& q1,
+                                  const ConjunctiveQuery& q2, Budget& budget) {
   HOMPRES_CHECK_EQ(q1.Arity(), q2.Arity());
+  // Nullary atoms constrain no variable, so the kernel's propagation
+  // never sees them — and with an empty q2 universe it emits the empty
+  // map unconditionally. Atoms must still map onto same-relation atoms:
+  // a 0-ary tuple of q2 absent from q1 is a certain "no" here.
+  const Structure& sub = q1.Canonical();
+  const Structure& sup = q2.Canonical();
+  if (!NullaryAtomsHold(sup, sub)) {
+    return Outcome<bool>::Done(false, budget.Report());
+  }
   EngineConfig config;
   for (int i = 0; i < q2.Arity(); ++i) {
     config.forced.emplace_back(q2.FreeElements()[static_cast<size_t>(i)],
@@ -87,9 +109,21 @@ bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   // Forced pairs pin the unsplit universe; a boolean containment (no
   // free variables) still factorizes.
   config.factorize = config.forced.empty();
+  return Engine::Has(sup, sub, budget, config);
+}
+
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
   Budget unlimited = Budget::Unlimited();
-  return Engine::Has(q2.Canonical(), q1.Canonical(), unlimited, config)
-      .Value();
+  return CqContainedBudgeted(q1, q2, unlimited).Value();
+}
+
+Outcome<bool> CqEquivalentBudgeted(const ConjunctiveQuery& q1,
+                                   const ConjunctiveQuery& q2,
+                                   Budget& budget) {
+  auto forward = CqContainedBudgeted(q1, q2, budget);
+  if (!forward.IsDone()) return forward;
+  if (!forward.Value()) return Outcome<bool>::Done(false, budget.Report());
+  return CqContainedBudgeted(q2, q1, budget);
 }
 
 bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
@@ -100,7 +134,9 @@ namespace {
 
 // Tries to find a one-step reduction of q's canonical structure (remove
 // one non-free element, or one tuple) that stays equivalent to q.
-bool FindOneStepReduction(const ConjunctiveQuery& q, ConjunctiveQuery* out) {
+// Returns false with a stopped budget when the search ran out mid-scan.
+bool FindOneStepReduction(const ConjunctiveQuery& q, Budget& budget,
+                          ConjunctiveQuery* out) {
   const Structure& canonical = q.Canonical();
   std::vector<bool> is_free(static_cast<size_t>(canonical.UniverseSize()),
                             false);
@@ -114,7 +150,9 @@ bool FindOneStepReduction(const ConjunctiveQuery& q, ConjunctiveQuery* out) {
       free_elements.push_back(old_to_new[static_cast<size_t>(f)]);
     }
     ConjunctiveQuery reduced(std::move(candidate), std::move(free_elements));
-    if (CqEquivalent(q, reduced)) {
+    auto equivalent = CqEquivalentBudgeted(q, reduced, budget);
+    if (!equivalent.IsDone()) return false;
+    if (equivalent.Value()) {
       *out = std::move(reduced);
       return true;
     }
@@ -124,7 +162,9 @@ bool FindOneStepReduction(const ConjunctiveQuery& q, ConjunctiveQuery* out) {
     for (int i = 0; i < count; ++i) {
       ConjunctiveQuery reduced(canonical.RemoveTuple(rel, i),
                                q.FreeElements());
-      if (CqEquivalent(q, reduced)) {
+      auto equivalent = CqEquivalentBudgeted(q, reduced, budget);
+      if (!equivalent.IsDone()) return false;
+      if (equivalent.Value()) {
         *out = std::move(reduced);
         return true;
       }
@@ -135,12 +175,23 @@ bool FindOneStepReduction(const ConjunctiveQuery& q, ConjunctiveQuery* out) {
 
 }  // namespace
 
-ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+Outcome<ConjunctiveQuery> MinimizeCqBudgeted(const ConjunctiveQuery& q,
+                                             Budget& budget) {
   ConjunctiveQuery current = q;
   ConjunctiveQuery next = q;
-  while (FindOneStepReduction(current, &next)) {
+  while (FindOneStepReduction(current, budget, &next)) {
     current = next;
   }
+  if (budget.Stopped()) {
+    return Outcome<ConjunctiveQuery>::StoppedShort(budget.Report());
+  }
+  return Outcome<ConjunctiveQuery>::Done(std::move(current), budget.Report());
+}
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+  Budget unlimited = Budget::Unlimited();
+  ConjunctiveQuery current =
+      std::move(MinimizeCqBudgeted(q, unlimited)).TakeValue();
   HOMPRES_CHECK(CqEquivalent(q, current));
   return current;
 }

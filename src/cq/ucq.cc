@@ -9,6 +9,7 @@
 #include "base/check.h"
 #include "base/thread_pool.h"
 #include "engine/engine.h"
+#include "opt/optimizer.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
@@ -45,6 +46,10 @@ bool UnionOfCq::SatisfiedBy(const Structure& b, int num_threads) const {
   for (const ConjunctiveQuery& d : disjuncts_) {
     pool.Submit([&found, &d, &b] {
       if (found.load(std::memory_order_relaxed)) return;
+      // Same nullary guard the serial path applies inside
+      // CQ::SatisfiedBy; this path calls the engine directly for the
+      // cancellation budget.
+      if (!NullaryAtomsHold(d.Canonical(), b)) return;
       Budget budget = Budget().WithCancelFlag(&found);
       EngineConfig config;
       config.use_cache = true;
@@ -119,34 +124,16 @@ bool UcqEquivalent(const UnionOfCq& q1, const UnionOfCq& q2) {
 }
 
 UnionOfCq MinimizeUcq(const UnionOfCq& q) {
-  std::vector<ConjunctiveQuery> minimized;
-  minimized.reserve(q.Disjuncts().size());
-  for (const auto& d : q.Disjuncts()) {
-    minimized.push_back(MinimizeCq(d));
-  }
-  // Drop any disjunct contained in another; if two are equivalent, keep
-  // the earlier one.
-  std::vector<bool> keep(minimized.size(), true);
-  for (size_t i = 0; i < minimized.size(); ++i) {
-    if (!keep[i]) continue;
-    for (size_t j = 0; j < minimized.size(); ++j) {
-      if (i == j || !keep[j]) continue;
-      if (CqContained(minimized[i], minimized[j])) {
-        // i ⊆ j. Drop i unless they are equivalent and i comes first.
-        if (!(CqContained(minimized[j], minimized[i]) && i < j)) {
-          keep[i] = false;
-          break;
-        }
-      }
-    }
-  }
-  std::vector<ConjunctiveQuery> kept;
-  for (size_t i = 0; i < minimized.size(); ++i) {
-    if (keep[i]) kept.push_back(std::move(minimized[i]));
-  }
-  UnionOfCq result(std::move(kept), q.Arity());
-  HOMPRES_CHECK(UcqEquivalent(q, result));
-  return result;
+  // Delegates to the containment-driven optimizer (opt/optimizer.h):
+  // fingerprint dedup collapses renamed duplicates before any search,
+  // the subsumption pass prefilters and memoizes its containment
+  // probes, and an equivalence class keeps its smallest-canonical-
+  // fingerprint member — a function of the queries alone, where the
+  // historical O(n²) scan here kept whichever member happened to come
+  // first in the input.
+  OptimizerOptions options;
+  options.verify = true;
+  return OptimizeUcq(q, options);
 }
 
 }  // namespace hompres

@@ -50,9 +50,14 @@ bool UcqContained(const UnionOfCq& q1, const UnionOfCq& q2);
 
 bool UcqEquivalent(const UnionOfCq& q1, const UnionOfCq& q2);
 
-// Minimizes each disjunct and drops disjuncts contained in another
-// (keeping the first of any equivalent pair). The result is equivalent
-// to the input and no disjunct is contained in a different one.
+// Minimizes each disjunct and drops disjuncts contained in another. Of
+// any set of mutually equivalent disjuncts, the one with the smallest
+// canonical fingerprint (opt/canonical.h) is kept, so the result is
+// invariant under permutations of the input disjuncts. The result is
+// equivalent to the input and no disjunct is contained in a different
+// one. Implemented by the containment-driven optimizer
+// (opt/optimizer.h); callers that need budgets, threads, or statistics
+// should use OptimizeUcqBudgeted directly.
 UnionOfCq MinimizeUcq(const UnionOfCq& q);
 
 }  // namespace hompres

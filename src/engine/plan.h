@@ -93,6 +93,8 @@ enum class DegradationKind {
   kParallelToSerial,         // workers unavailable: one serial search
   kFactorizedToMonolithic,   // component split abandoned: whole-source search
   kAcToNaive,                // AC workspace unavailable: naive backtracking
+  kMinimizeToUnminimized,    // UCQ optimizer budget/probe failure: keep the
+                             // redundant (but equivalent) input disjuncts
 };
 
 // Stable kebab-case name (e.g. "index-to-scan") for Explain/Summary and
@@ -157,8 +159,11 @@ struct HomPlan {
   // One-line summary ("mode=has strategy=serial kernel=ac-bitset
   // simd=avx2 components=1 tasks=1 cache=0") stamped into bench JSON
   // rows so plan changes are diffable in CI; the simd token is the
-  // dispatched bitset64 kernel level (base/simd.h). After a degraded
-  // execution, gains a trailing "degraded=kind+kind" token
+  // dispatched bitset64 kernel level (base/simd.h). Plans carrying
+  // EngineConfig::optimizer additionally stamp "optimizer=1
+  // ccache-hit-rate=NN" (the containment cache's point-in-time hit
+  // percentage, opt/containment_cache.h). After a degraded execution,
+  // gains a trailing "degraded=kind+kind" token
   // (bench/check_regression.py flags it).
   std::string Summary() const;
 };

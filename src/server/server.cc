@@ -28,6 +28,8 @@
 #include "engine/plan.h"
 #include "engine/problem.h"
 #include "hom/hom_cache.h"
+#include "opt/containment_cache.h"
+#include "opt/optimizer.h"
 #include "server/frame.h"
 #include "server/json.h"
 #include "server/protocol.h"
@@ -136,6 +138,54 @@ struct Server::Impl {
   // the daemon's only freshness mechanism — there is no cache flush.
   std::mutex registry_mu;
   std::unordered_map<std::string, std::shared_ptr<const Structure>> registry;
+
+  // Optimize-once memo for served UCQs, keyed by UcqFingerprint (order-
+  // and renaming-invariant, opt/canonical.h): a batch of requests over
+  // the same union — even re-sent with permuted disjuncts or renamed
+  // variables — pays one optimization pass. Entries are immutable
+  // snapshots, so in-flight requests pinning one are unaffected by
+  // eviction. Bounded FIFO (kUcqMemoCapacity) under its own lock; the
+  // ContainmentCache underneath keeps the pairwise verdicts warm even
+  // across evictions.
+  static constexpr size_t kUcqMemoCapacity = 128;
+  std::mutex ucq_memo_mu;
+  std::unordered_map<uint64_t, std::shared_ptr<const UnionOfCq>> ucq_memo;
+  std::deque<uint64_t> ucq_memo_order;
+  std::atomic<uint64_t> ucq_memo_hits{0};
+  std::atomic<uint64_t> ucq_memo_misses{0};
+
+  // The memoized optimization of `q` (computing and inserting it on the
+  // first sight of its fingerprint). Two workers racing on a new
+  // fingerprint both compute — same deterministic result, one copy
+  // wins — rather than serializing every UCQ behind one optimizing
+  // thread.
+  std::shared_ptr<const UnionOfCq> OptimizedUcq(const UnionOfCq& q) {
+    const uint64_t fingerprint = UcqFingerprint(q);
+    {
+      std::lock_guard<std::mutex> lock(ucq_memo_mu);
+      auto it = ucq_memo.find(fingerprint);
+      if (it != ucq_memo.end()) {
+        ucq_memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    ucq_memo_misses.fetch_add(1, std::memory_order_relaxed);
+    Budget budget = Budget::MaxSteps(options.optimize_max_steps);
+    // An exhausted pass returns the input unchanged (still equivalent);
+    // memoizing that result keeps a pathological union from re-running
+    // the optimizer on every request.
+    auto optimized = std::make_shared<const UnionOfCq>(
+        OptimizeUcqBudgeted(q, budget));
+    std::lock_guard<std::mutex> lock(ucq_memo_mu);
+    auto [it, inserted] = ucq_memo.emplace(fingerprint, optimized);
+    if (!inserted) return it->second;  // a racer beat us; use its copy
+    ucq_memo_order.push_back(fingerprint);
+    while (ucq_memo.size() > kUcqMemoCapacity) {
+      ucq_memo.erase(ucq_memo_order.front());
+      ucq_memo_order.pop_front();
+    }
+    return optimized;
+  }
 
   // --- socket helpers --------------------------------------------------
 
@@ -517,12 +567,21 @@ struct Server::Impl {
         break;
       }
       case RequestOp::kUcqSatisfied:
-        response.Set(
-            "satisfied",
-            JsonValue::Bool(pending.ucq->SatisfiedBy(*pending.target)));
-        break;
       case RequestOp::kUcqEvaluate: {
-        std::vector<Tuple> answers = pending.ucq->Evaluate(*pending.target);
+        // Serve the optimized (redundancy-free, equivalent) union when
+        // enabled; the memo makes repeats of the same union free.
+        std::shared_ptr<const UnionOfCq> optimized;
+        const UnionOfCq* ucq = &*pending.ucq;
+        if (options.optimize) {
+          optimized = OptimizedUcq(*pending.ucq);
+          ucq = optimized.get();
+        }
+        if (request.op == RequestOp::kUcqSatisfied) {
+          response.Set("satisfied",
+                       JsonValue::Bool(ucq->SatisfiedBy(*pending.target)));
+          break;
+        }
+        std::vector<Tuple> answers = ucq->Evaluate(*pending.target);
         const bool truncated = answers.size() > max_results;
         if (truncated) answers.resize(max_results);
         response.Set("answers", TupleListJson(answers));
@@ -708,6 +767,25 @@ struct Server::Impl {
     cache_json.Set("insertions", JsonValue::Uint(cache.insertions));
     cache_json.Set("evictions", JsonValue::Uint(cache.evictions));
     response.Set("hom_cache", std::move(cache_json));
+    const ContainmentCacheStats ccache = ContainmentCache::Global().Stats();
+    JsonValue ccache_json = JsonValue::Object();
+    ccache_json.Set("hits", JsonValue::Uint(ccache.hits));
+    ccache_json.Set("misses", JsonValue::Uint(ccache.misses));
+    ccache_json.Set("insertions", JsonValue::Uint(ccache.insertions));
+    ccache_json.Set("evictions", JsonValue::Uint(ccache.evictions));
+    ccache_json.Set("hit_rate_percent",
+                    JsonValue::Uint(ccache.HitRatePercent()));
+    response.Set("containment_cache", std::move(ccache_json));
+    JsonValue memo_json = JsonValue::Object();
+    memo_json.Set("hits", JsonValue::Uint(
+                              ucq_memo_hits.load(std::memory_order_relaxed)));
+    memo_json.Set("misses", JsonValue::Uint(ucq_memo_misses.load(
+                                std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> lock(ucq_memo_mu);
+      memo_json.Set("size", JsonValue::Uint(ucq_memo.size()));
+    }
+    response.Set("ucq_memo", std::move(memo_json));
     return response;
   }
 

@@ -55,6 +55,20 @@ struct ServerOptions {
   // set "config.cache" itself.
   bool shared_cache = true;
 
+  // Run every served UCQ through the containment-driven optimizer
+  // (opt/optimizer.h) before evaluation, memoizing the optimized query
+  // by its order- and renaming-invariant fingerprint so a batch of
+  // requests over the same (possibly re-sent) union pays the
+  // minimization once. Answers are identical either way — the optimizer
+  // only removes redundant disjuncts — so differential tests compare
+  // both settings. The hompresd --no-optimize flag clears this.
+  bool optimize = true;
+
+  // Step cap for one optimization pass. An exhausted pass degrades to
+  // serving the unoptimized union (and memoizes that verdict, so a
+  // pathological query is not re-attempted per request).
+  uint64_t optimize_max_steps = 1u << 22;
+
   // Admission gates and budget caps.
   AdmissionPolicy admission;
 };

@@ -28,6 +28,8 @@
 #include "base/thread_pool.h"
 #include "core/classes.h"
 #include "core/preservation.h"
+#include "cq/cq.h"
+#include "cq/ucq.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
 #include "engine/config.h"
@@ -38,6 +40,8 @@
 #include "hom/hom_cache.h"
 #include "hom/homomorphism.h"
 #include "hom/parallel.h"
+#include "opt/containment_cache.h"
+#include "opt/optimizer.h"
 #include "server/client.h"
 #include "server/json.h"
 #include "server/server.h"
@@ -135,6 +139,7 @@ class ChaosTest : public ::testing::Test {
   void SetUp() override {
     FailpointRegistry::Global().DisarmAll();
     HomCache::Global().Clear();
+    ContainmentCache::Global().Clear();
   }
   void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
 };
@@ -302,6 +307,202 @@ TEST_F(ChaosTest, RandomSchedulesNeverChangeAnswers) {
       EXPECT_TRUE(CheckIsHomomorphism(a2, b2, *found.Value().witness));
     }
     registry.DisarmAll();
+  }
+}
+
+// --- Optimizer failpoints: faults weaken pruning, never the answer. ---
+
+// Boolean cycle query C_k: E(x0,x1) & ... & E(x{k-1},x0).
+ConjunctiveQuery CycleQuery(int length) {
+  Structure s(GraphVoc(), length);
+  for (int i = 0; i < length; ++i) {
+    s.AddTuple(0, {i, (i + 1) % length});
+  }
+  return ConjunctiveQuery::BooleanQueryOf(std::move(s));
+}
+
+// Boolean two-edge path Ex0 Ex1 Ex2 (E(x0,x1) & E(x1,x2)).
+ConjunctiveQuery Path2Query() {
+  Structure s(GraphVoc(), 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {1, 2});
+  return ConjunctiveQuery::BooleanQueryOf(std::move(s));
+}
+
+// Redundant by construction: C3 and C4 each admit a hom from the path
+// structure, so both are subsumed by the path disjunct, and the reversed
+// 3-cycle is an isomorphic respelling of C3 the fingerprint pass drops
+// before any containment probe runs. Fault-free optimum: {path2} alone.
+UnionOfCq RedundantPathCycleUnion() {
+  Structure reversed(GraphVoc(), 3);
+  reversed.AddTuple(0, {0, 2});
+  reversed.AddTuple(0, {2, 1});
+  reversed.AddTuple(0, {1, 0});
+  return UnionOfCq({Path2Query(), CycleQuery(3),
+                    ConjunctiveQuery::BooleanQueryOf(std::move(reversed)),
+                    CycleQuery(4)},
+                   0);
+}
+
+// Chain 0 -> 1 -> 2: satisfies path2 but no cycle query. If a faulted
+// pass ever wrongly dropped the path disjunct, the answer here flips.
+Structure Chain3() {
+  Structure s(GraphVoc(), 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {1, 2});
+  return s;
+}
+
+TEST_F(ChaosTest, OptimizerFaultsNeverChangeUcqAnswers) {
+  const LadderSite kOptimizerSites[] = {
+      {"opt/contain", DegradationKind::kMinimizeToUnminimized},
+      {"containment_cache/lookup", DegradationKind::kCacheLookupToMiss},
+      {"containment_cache/insert", DegradationKind::kCacheInsertSkipped},
+  };
+  const char* kSpecs[] = {"once", "always", "every:2", "prob:0.5"};
+
+  const UnionOfCq redundant = RedundantPathCycleUnion();
+  const Structure chain = Chain3();
+  const Structure two_edges = TwoEdges();
+  const Structure triangle = Triangle();
+
+  // Fault-free reference: the union collapses to the path query alone.
+  OptimizerStats clean_stats;
+  const UnionOfCq clean = OptimizeUcq(redundant, {}, &clean_stats);
+  ASSERT_TRUE(clean_stats.degradations.empty());
+  ASSERT_EQ(clean.Disjuncts().size(), 1u);
+  ASSERT_TRUE(clean.SatisfiedBy(chain));
+  ASSERT_FALSE(clean.SatisfiedBy(two_edges));
+  ASSERT_TRUE(clean.SatisfiedBy(triangle));
+
+  auto& registry = FailpointRegistry::Global();
+  for (const LadderSite& site : kOptimizerSites) {
+    for (const char* spec : kSpecs) {
+      SCOPED_TRACE(std::string(site.failpoint) + " " + spec);
+      // Cold verdict cache each round so lookup/insert stay reachable.
+      ContainmentCache::Global().Clear();
+      registry.SetSeed(ChaosSeed());
+      ASSERT_TRUE(registry.Arm(site.failpoint, spec));
+
+      OptimizerStats stats;
+      const UnionOfCq faulted = OptimizeUcq(redundant, {}, &stats);
+      const uint64_t fired = registry.FireCount(site.failpoint);
+      registry.Disarm(site.failpoint);
+
+      // The contract: a fault may only weaken pruning. The result stays
+      // equivalent to the input, never grows, and answers bit-identical.
+      EXPECT_LE(faulted.Disjuncts().size(), redundant.Disjuncts().size());
+      EXPECT_TRUE(faulted.SatisfiedBy(chain));
+      EXPECT_FALSE(faulted.SatisfiedBy(two_edges));
+      EXPECT_TRUE(faulted.SatisfiedBy(triangle));
+      EXPECT_TRUE(UcqEquivalent(faulted, redundant));
+
+      // Every fired fault is visible as a matching DegradationEvent.
+      if (fired > 0) {
+        const auto matches = [&](const DegradationEvent& e) {
+          return e.kind == site.kind && e.site == site.failpoint;
+        };
+        EXPECT_TRUE(std::any_of(stats.degradations.begin(),
+                                stats.degradations.end(), matches))
+            << "fired optimizer fault produced no DegradationEvent";
+      } else {
+        EXPECT_TRUE(stats.degradations.empty());
+      }
+    }
+  }
+
+  // A probe degraded by opt/contain must keep the candidate disjunct:
+  // with every probe faulted, nothing is pruned by subsumption, so the
+  // three pairwise-inequivalent survivors of the fingerprint/minimize
+  // stages (path2, C3, C4) all remain.
+  ContainmentCache::Global().Clear();
+  ASSERT_TRUE(registry.Arm("opt/contain", "always"));
+  OptimizerStats unpruned_stats;
+  const UnionOfCq unpruned = OptimizeUcq(redundant, {}, &unpruned_stats);
+  registry.Disarm("opt/contain");
+  EXPECT_EQ(unpruned.Disjuncts().size(), 3u);
+  EXPECT_EQ(unpruned_stats.containment_tests, 0u);
+  EXPECT_TRUE(UcqEquivalent(unpruned, clean));
+
+  // Disarmed rerun on a cold cache is clean again.
+  ContainmentCache::Global().Clear();
+  OptimizerStats rerun_stats;
+  const UnionOfCq rerun = OptimizeUcq(redundant, {}, &rerun_stats);
+  EXPECT_EQ(rerun.Disjuncts().size(), 1u);
+  EXPECT_TRUE(rerun_stats.degradations.empty());
+}
+
+// Random schedules over the optimizer sites: every trial draws a random
+// redundant union (random base CQs plus cycle/path disjuncts known to
+// interact), arms 1-3 random optimizer failpoints, and checks the
+// optimized union answers exactly as the fault-free optimum on a panel
+// of random structures.
+TEST_F(ChaosTest, RandomOptimizerSchedulesNeverChangeUcqAnswers) {
+  const char* kSites[] = {"opt/contain", "containment_cache/lookup",
+                          "containment_cache/insert"};
+  const char* kSpecs[] = {"once", "always", "every:2", "every:3",
+                          "prob:0.5"};
+  const uint64_t seed = ChaosSeed();
+  auto& registry = FailpointRegistry::Global();
+  Rng rng(seed ^ 0x09717u);  // decorrelate from the engine-site sweep
+  const Vocabulary voc = GraphVoc();
+
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " trial " +
+                 std::to_string(trial));
+    // A union with guaranteed redundancy: two random boolean CQs, the
+    // path/cycle family, and a duplicate of one random disjunct.
+    std::vector<ConjunctiveQuery> disjuncts;
+    for (int i = 0; i < 2; ++i) {
+      const int n = 2 + static_cast<int>(rng.Next() % 3);
+      const int t = 1 + static_cast<int>(rng.Next() % 4);
+      disjuncts.push_back(
+          ConjunctiveQuery::BooleanQueryOf(RandomStructure(voc, n, t, rng)));
+    }
+    disjuncts.push_back(disjuncts[rng.Next() % 2]);
+    disjuncts.push_back(Path2Query());
+    disjuncts.push_back(CycleQuery(3));
+    disjuncts.push_back(CycleQuery(4));
+    const UnionOfCq redundant(std::move(disjuncts), 0);
+
+    std::vector<Structure> panel;
+    for (int i = 0; i < 4; ++i) {
+      const int n = 2 + static_cast<int>(rng.Next() % 4);
+      const int t = 1 + static_cast<int>(rng.Next() % 6);
+      panel.push_back(RandomStructure(voc, n, t, rng));
+    }
+
+    registry.DisarmAll();
+    ContainmentCache::Global().Clear();
+    OptimizerStats clean_stats;
+    const UnionOfCq clean = OptimizeUcq(redundant, {}, &clean_stats);
+    ASSERT_TRUE(clean_stats.degradations.empty());
+    std::vector<bool> clean_answers;
+    for (const Structure& b : panel) {
+      clean_answers.push_back(clean.SatisfiedBy(b));
+    }
+
+    ContainmentCache::Global().Clear();
+    registry.SetSeed(seed ^ static_cast<uint64_t>(trial));
+    const int num_armed = 1 + static_cast<int>(rng.Next() % 3);
+    for (int k = 0; k < num_armed; ++k) {
+      const char* site = kSites[rng.Next() % (sizeof(kSites) /
+                                              sizeof(kSites[0]))];
+      const char* spec = kSpecs[rng.Next() % (sizeof(kSpecs) /
+                                              sizeof(kSpecs[0]))];
+      ASSERT_TRUE(registry.Arm(site, spec));
+    }
+
+    const UnionOfCq faulted = OptimizeUcq(redundant, {});
+    registry.DisarmAll();
+
+    EXPECT_LE(faulted.Disjuncts().size(), redundant.Disjuncts().size());
+    for (size_t i = 0; i < panel.size(); ++i) {
+      EXPECT_EQ(faulted.SatisfiedBy(panel[i]), clean_answers[i])
+          << "structure " << i << " answer changed under optimizer faults";
+    }
+    EXPECT_TRUE(UcqEquivalent(faulted, clean));
   }
 }
 

@@ -71,6 +71,90 @@ TEST(Cq, ContainmentRespectsFreeVariables) {
   EXPECT_FALSE(CqContained(q2, q1));
 }
 
+TEST(Cq, ContainmentWithRepeatedVariableInOneAtom) {
+  // loop = Ex E(x,x); edge = Ex Ey E(x,y). A loop is an edge, so
+  // loop ⊆ edge; an edge need not be a loop.
+  Structure loop_canonical(GraphVocabulary(), 1);
+  loop_canonical.AddTuple(0, {0, 0});
+  ConjunctiveQuery loop = ConjunctiveQuery::BooleanQueryOf(loop_canonical);
+  ConjunctiveQuery edge = PathQuery(1);
+  EXPECT_TRUE(CqContained(loop, edge));
+  EXPECT_FALSE(CqContained(edge, loop));
+}
+
+TEST(Cq, ContainmentWithRepeatedFreeVariable) {
+  // diag(x, x) = E(x,x) listing the same element in both output
+  // positions, versus pair(x, y) = E(x,y). The containment test forces
+  // free variables pointwise, so the repeated-variable query is
+  // contained in the general one but not conversely: pair's two free
+  // variables cannot both be forced onto diag's single element unless
+  // they were already equal.
+  Structure diag_canonical(GraphVocabulary(), 1);
+  diag_canonical.AddTuple(0, {0, 0});
+  ConjunctiveQuery diag(diag_canonical, {0, 0});
+  Structure pair_canonical(GraphVocabulary(), 2);
+  pair_canonical.AddTuple(0, {0, 1});
+  ConjunctiveQuery pair(pair_canonical, {0, 1});
+  EXPECT_TRUE(CqContained(diag, pair));
+  EXPECT_FALSE(CqContained(pair, diag));
+  // Sanity at the answer level: on a structure with a loop and a
+  // non-loop edge, diag answers only the loop pair.
+  Structure b(GraphVocabulary(), 2);
+  b.AddTuple(0, {0, 0});
+  b.AddTuple(0, {0, 1});
+  EXPECT_EQ(diag.Evaluate(b), (std::vector<Tuple>{{0, 0}}));
+  EXPECT_EQ(pair.Evaluate(b), (std::vector<Tuple>{{0, 0}, {0, 1}}));
+}
+
+// {P/0, E/2}: a nullary "flag" relation alongside edges.
+Vocabulary FlagVocabulary() {
+  Vocabulary voc;
+  voc.AddRelation("P", 0);
+  voc.AddRelation("E", 2);
+  return voc;
+}
+
+TEST(Cq, ContainmentWithNullaryAtoms) {
+  // q_flag = P() & Ex E(x,y): asserts the flag. q_plain = Ex E(x,y).
+  // q_flag ⊆ q_plain (dropping a conjunct only widens the query), but
+  // q_plain ⊄ q_flag: a structure with an edge and no flag separates
+  // them. The homomorphism kernel's propagation is variable-driven and
+  // never sees a 0-ary atom, so this row pins the explicit nullary
+  // pre-check in CqContainedBudgeted.
+  Structure flag_canonical(FlagVocabulary(), 2);
+  flag_canonical.AddTuple(0, {});
+  flag_canonical.AddTuple(1, {0, 1});
+  ConjunctiveQuery q_flag = ConjunctiveQuery::BooleanQueryOf(flag_canonical);
+  Structure plain_canonical(FlagVocabulary(), 2);
+  plain_canonical.AddTuple(1, {0, 1});
+  ConjunctiveQuery q_plain =
+      ConjunctiveQuery::BooleanQueryOf(plain_canonical);
+  EXPECT_TRUE(CqContained(q_flag, q_plain));
+  EXPECT_FALSE(CqContained(q_plain, q_flag));
+  // The separating structure, checked end to end.
+  Structure edge_no_flag(FlagVocabulary(), 2);
+  edge_no_flag.AddTuple(1, {0, 1});
+  EXPECT_TRUE(q_plain.SatisfiedBy(edge_no_flag));
+  EXPECT_FALSE(q_flag.SatisfiedBy(edge_no_flag));
+}
+
+TEST(Cq, NullaryOnlyQueriesContainEachOther) {
+  // Two copies of the pure-flag query P() over empty universes: mutual
+  // containment must hold even though there is no variable at all.
+  Structure a(FlagVocabulary(), 0);
+  a.AddTuple(0, {});
+  Structure b(FlagVocabulary(), 0);
+  b.AddTuple(0, {});
+  EXPECT_TRUE(CqEquivalent(ConjunctiveQuery::BooleanQueryOf(a),
+                           ConjunctiveQuery::BooleanQueryOf(b)));
+  // And the flagless empty query strictly contains the flagged one.
+  Structure no_flag(FlagVocabulary(), 0);
+  ConjunctiveQuery q_true = ConjunctiveQuery::BooleanQueryOf(no_flag);
+  ConjunctiveQuery q_flag = ConjunctiveQuery::BooleanQueryOf(a);
+  EXPECT_TRUE(CqContained(q_flag, q_true));
+  EXPECT_FALSE(CqContained(q_true, q_flag));
+}
+
 TEST(Cq, EquivalenceOfRenamedQueries) {
   // Two copies of the same pattern with different element orders.
   Structure a(GraphVocabulary(), 2);
