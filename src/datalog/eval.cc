@@ -10,97 +10,12 @@
 #include "base/failpoint.h"
 #include "base/parallel_driver.h"
 #include "base/thread_pool.h"
-#include "engine/ordering.h"
+#include "datalog/rule_eval.h"
 #include "structure/relation_index.h"
 
 namespace hompres {
 
 namespace {
-
-// --- Compiled rules (indexed engine) ------------------------------------
-//
-// Variable names resolve to dense integer slots once per evaluation, so
-// the join loop never touches a string map. Body atoms are reordered
-// greedily — the atom with the most already-bound positions joins next,
-// ties keeping the original order — and every inequality is attached to
-// the earliest atom after which both of its slots are bound.
-
-struct CompiledAtom {
-  int body_pos;            // original body index (keys into job sources)
-  std::vector<int> slots;  // variable slot per argument position
-};
-
-struct CompiledRule {
-  int num_slots = 0;
-  std::vector<CompiledAtom> atoms;  // greedy bound-first order
-  std::vector<int> head_slots;
-  // ineqs_after[i]: slot pairs to check right after atoms[i] unifies.
-  std::vector<std::vector<std::pair<int, int>>> ineqs_after;
-};
-
-CompiledRule CompileRule(const DatalogRule& rule) {
-  CompiledRule cr;
-  std::map<std::string, int> slot_of;
-  const auto slot = [&slot_of](const std::string& v) {
-    const auto [it, inserted] =
-        slot_of.try_emplace(v, static_cast<int>(slot_of.size()));
-    return it->second;
-  };
-  std::vector<std::vector<int>> atom_slots;
-  atom_slots.reserve(rule.body.size());
-  for (const DatalogAtom& atom : rule.body) {
-    std::vector<int> slots;
-    slots.reserve(atom.arguments.size());
-    for (const auto& v : atom.arguments) slots.push_back(slot(v));
-    atom_slots.push_back(std::move(slots));
-  }
-  cr.num_slots = static_cast<int>(slot_of.size());
-  cr.head_slots.reserve(rule.head.arguments.size());
-  for (const auto& v : rule.head.arguments) {
-    const auto it = slot_of.find(v);
-    HOMPRES_CHECK(it != slot_of.end());  // safety: head vars occur in body
-    cr.head_slots.push_back(it->second);
-  }
-  const size_t n = rule.body.size();
-  // Join order: most-bound-slots-first greedy (engine/ordering.h), the
-  // same statistics-driven policy the hom engine's planner uses.
-  for (int i : GreedyBoundFirstAtomOrder(atom_slots, cr.num_slots)) {
-    cr.atoms.push_back(CompiledAtom{i, atom_slots[static_cast<size_t>(i)]});
-  }
-  cr.ineqs_after.assign(n, {});
-  std::vector<bool> bound(static_cast<size_t>(cr.num_slots), false);
-  std::vector<std::pair<int, int>> pending;
-  for (const auto& [left, right] : rule.inequalities) {
-    const auto l = slot_of.find(left);
-    const auto r = slot_of.find(right);
-    HOMPRES_CHECK(l != slot_of.end());
-    HOMPRES_CHECK(r != slot_of.end());
-    pending.emplace_back(l->second, r->second);
-  }
-  for (size_t i = 0; i < cr.atoms.size(); ++i) {
-    for (int s : cr.atoms[i].slots) bound[static_cast<size_t>(s)] = true;
-    for (auto it = pending.begin(); it != pending.end();) {
-      if (bound[static_cast<size_t>(it->first)] &&
-          bound[static_cast<size_t>(it->second)]) {
-        cr.ineqs_after[i].push_back(*it);
-        it = pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  HOMPRES_CHECK(pending.empty());  // every ineq var occurs in the body
-  return cr;
-}
-
-std::vector<CompiledRule> CompileProgram(const DatalogProgram& program) {
-  std::vector<CompiledRule> compiled;
-  compiled.reserve(program.Rules().size());
-  for (const DatalogRule& rule : program.Rules()) {
-    compiled.push_back(CompileRule(rule));
-  }
-  return compiled;
-}
 
 // One tuple store a body atom joins against: either an IDB/delta tuple
 // set, or an EDB relation (sorted vector plus its RelationIndex).

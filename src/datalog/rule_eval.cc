@@ -1,0 +1,75 @@
+#include "datalog/rule_eval.h"
+
+#include <map>
+#include <string>
+
+#include "base/check.h"
+#include "engine/ordering.h"
+
+namespace hompres {
+
+CompiledRule CompileRule(const DatalogRule& rule) {
+  CompiledRule cr;
+  std::map<std::string, int> slot_of;
+  const auto slot = [&slot_of](const std::string& v) {
+    const auto [it, inserted] =
+        slot_of.try_emplace(v, static_cast<int>(slot_of.size()));
+    return it->second;
+  };
+  std::vector<std::vector<int>> atom_slots;
+  atom_slots.reserve(rule.body.size());
+  for (const DatalogAtom& atom : rule.body) {
+    std::vector<int> slots;
+    slots.reserve(atom.arguments.size());
+    for (const auto& v : atom.arguments) slots.push_back(slot(v));
+    atom_slots.push_back(std::move(slots));
+  }
+  cr.num_slots = static_cast<int>(slot_of.size());
+  cr.head_slots.reserve(rule.head.arguments.size());
+  for (const auto& v : rule.head.arguments) {
+    const auto it = slot_of.find(v);
+    HOMPRES_CHECK(it != slot_of.end());  // safety: head vars occur in body
+    cr.head_slots.push_back(it->second);
+  }
+  const size_t n = rule.body.size();
+  // Join order: most-bound-slots-first greedy (engine/ordering.h), the
+  // same statistics-driven policy the hom engine's planner uses.
+  for (int i : GreedyBoundFirstAtomOrder(atom_slots, cr.num_slots)) {
+    cr.atoms.push_back(CompiledAtom{i, atom_slots[static_cast<size_t>(i)]});
+  }
+  cr.ineqs_after.assign(n, {});
+  std::vector<bool> bound(static_cast<size_t>(cr.num_slots), false);
+  std::vector<std::pair<int, int>> pending;
+  for (const auto& [left, right] : rule.inequalities) {
+    const auto l = slot_of.find(left);
+    const auto r = slot_of.find(right);
+    HOMPRES_CHECK(l != slot_of.end());
+    HOMPRES_CHECK(r != slot_of.end());
+    pending.emplace_back(l->second, r->second);
+  }
+  for (size_t i = 0; i < cr.atoms.size(); ++i) {
+    for (int s : cr.atoms[i].slots) bound[static_cast<size_t>(s)] = true;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (bound[static_cast<size_t>(it->first)] &&
+          bound[static_cast<size_t>(it->second)]) {
+        cr.ineqs_after[i].push_back(*it);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  HOMPRES_CHECK(pending.empty());  // every ineq var occurs in the body
+  return cr;
+}
+
+std::vector<CompiledRule> CompileProgram(const DatalogProgram& program) {
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(program.Rules().size());
+  for (const DatalogRule& rule : program.Rules()) {
+    compiled.push_back(CompileRule(rule));
+  }
+  return compiled;
+}
+
+}  // namespace hompres

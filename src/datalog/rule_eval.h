@@ -1,0 +1,42 @@
+// Compiled rule bodies, shared by the batch evaluators (datalog/eval.cc)
+// and the incremental view maintainer (datalog/incremental.cc).
+//
+// Variable names resolve to dense integer slots once per evaluation, so
+// join loops never touch a string map. Body atoms are reordered greedily
+// — the atom with the most already-bound positions joins next, ties
+// keeping the original order — and every inequality is attached to the
+// earliest atom after which both of its slots are bound. Compilation is
+// a pure function of the rule: both consumers compile identically, so a
+// maintained view enumerates the same joins the batch engine would.
+
+#ifndef HOMPRES_DATALOG_RULE_EVAL_H_
+#define HOMPRES_DATALOG_RULE_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace hompres {
+
+struct CompiledAtom {
+  int body_pos;            // original body index (keys into job sources)
+  std::vector<int> slots;  // variable slot per argument position
+};
+
+struct CompiledRule {
+  int num_slots = 0;
+  std::vector<CompiledAtom> atoms;  // greedy bound-first order
+  std::vector<int> head_slots;
+  // ineqs_after[i]: slot pairs to check right after atoms[i] unifies.
+  std::vector<std::vector<std::pair<int, int>>> ineqs_after;
+};
+
+CompiledRule CompileRule(const DatalogRule& rule);
+
+// One compiled rule per program rule, in rule order.
+std::vector<CompiledRule> CompileProgram(const DatalogProgram& program);
+
+}  // namespace hompres
+
+#endif  // HOMPRES_DATALOG_RULE_EVAL_H_

@@ -75,6 +75,10 @@ const char* DegradationKindName(DegradationKind kind) {
       return "ac-to-naive";
     case DegradationKind::kMinimizeToUnminimized:
       return "minimize-to-unminimized";
+    case DegradationKind::kMaintainToFromScratch:
+      return "maintain-to-scratch";
+    case DegradationKind::kIndexDeltaToRebuild:
+      return "index-delta-to-rebuild";
   }
   return "?";
 }

@@ -95,6 +95,9 @@ enum class DegradationKind {
   kAcToNaive,                // AC workspace unavailable: naive backtracking
   kMinimizeToUnminimized,    // UCQ optimizer budget/probe failure: keep the
                              // redundant (but equivalent) input disjuncts
+  kMaintainToFromScratch,    // view maintenance fault: full refixpoint
+  kIndexDeltaToRebuild,      // structure cache fault under a delta:
+                             // blanket invalidation, lazy rebuild
 };
 
 // Stable kebab-case name (e.g. "index-to-scan") for Explain/Summary and

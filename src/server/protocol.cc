@@ -18,6 +18,8 @@ constexpr OpName kOpNames[] = {
     {RequestOp::kStats, "stats"},
     {RequestOp::kDefine, "define"},
     {RequestOp::kMutate, "mutate"},
+    {RequestOp::kViewDefine, "view_define"},
+    {RequestOp::kViewTuples, "view_tuples"},
     {RequestOp::kHomHas, "hom_has"},
     {RequestOp::kHomFind, "hom_find"},
     {RequestOp::kHomCount, "hom_count"},
@@ -127,6 +129,32 @@ bool ParseCqSpec(const JsonValue& v, const char* what, CqSpec* out,
   if (free != nullptr &&
       !GetIntList(*free, &out->free_elements,
                   (std::string(what) + ".free").c_str(), error)) {
+    return false;
+  }
+  return true;
+}
+
+// One mutate tuple op ("add_tuple" / "remove_tuple"): an optional
+// {relation, tuple} object. Absence leaves *relation empty.
+bool ParseTupleOp(const JsonValue& v, const char* key,
+                  std::string* relation, std::vector<int>* tuple,
+                  ProtocolError* error) {
+  const JsonValue* op = v.Find(key);
+  if (op == nullptr) return true;
+  if (!op->IsObject()) {
+    SetError(error, "request/invalid",
+             std::string("'") + key + "' must be an object");
+    return false;
+  }
+  if (!GetString(*op, "relation", /*required=*/true, relation, error)) {
+    return false;
+  }
+  const JsonValue* t = op->Find("tuple");
+  if (t == nullptr ||
+      !GetIntList(*t, tuple, (std::string("'") + key + ".tuple'").c_str(),
+                  error)) {
+    SetError(error, "request/invalid",
+             std::string("'") + key + ".tuple' must be an array of integers");
     return false;
   }
   return true;
@@ -276,25 +304,11 @@ std::optional<Request> ParseRequest(const JsonValue& v,
       if (!GetString(v, "name", /*required=*/true, &request.name, error)) {
         return std::nullopt;
       }
-      const JsonValue* add_tuple = v.Find("add_tuple");
-      if (add_tuple != nullptr) {
-        if (!add_tuple->IsObject()) {
-          SetError(error, "request/invalid",
-                   "'add_tuple' must be an object");
-          return std::nullopt;
-        }
-        if (!GetString(*add_tuple, "relation", /*required=*/true,
-                       &request.mutate_relation, error)) {
-          return std::nullopt;
-        }
-        const JsonValue* tuple = add_tuple->Find("tuple");
-        if (tuple == nullptr ||
-            !GetIntList(*tuple, &request.mutate_tuple, "'add_tuple.tuple'",
-                        error)) {
-          SetError(error, "request/invalid",
-                   "'add_tuple.tuple' must be an array of integers");
-          return std::nullopt;
-        }
+      if (!ParseTupleOp(v, "add_tuple", &request.mutate_relation,
+                        &request.mutate_tuple, error) ||
+          !ParseTupleOp(v, "remove_tuple", &request.mutate_remove_relation,
+                        &request.mutate_remove_tuple, error)) {
+        return std::nullopt;
       }
       uint64_t add_elements = 0;
       if (!GetUint(v, "add_elements", &add_elements, error)) {
@@ -305,13 +319,40 @@ std::optional<Request> ParseRequest(const JsonValue& v,
         return std::nullopt;
       }
       request.mutate_add_elements = static_cast<int>(add_elements);
-      if (request.mutate_relation.empty() && add_elements == 0) {
+      if (request.mutate_relation.empty() &&
+          request.mutate_remove_relation.empty() && add_elements == 0) {
         SetError(error, "request/invalid",
-                 "mutate needs 'add_tuple' and/or 'add_elements'");
+                 "mutate needs 'add_tuple', 'remove_tuple', and/or "
+                 "'add_elements'");
         return std::nullopt;
       }
       break;
     }
+    case RequestOp::kViewDefine: {
+      if (!GetString(v, "name", /*required=*/true, &request.name, error) ||
+          !GetString(v, "on", /*required=*/true, &request.view_on, error) ||
+          !GetString(v, "program", /*required=*/true, &request.view_program,
+                     error)) {
+        return std::nullopt;
+      }
+      uint64_t stage = static_cast<uint64_t>(request.view_max_bounded_stage);
+      if (!GetUint(v, "max_bounded_stage", &stage, error)) {
+        return std::nullopt;
+      }
+      if (stage > 8) {
+        SetError(error, "request/invalid",
+                 "'max_bounded_stage' must be at most 8");
+        return std::nullopt;
+      }
+      request.view_max_bounded_stage = static_cast<int>(stage);
+      break;
+    }
+    case RequestOp::kViewTuples:
+      if (!GetString(v, "name", /*required=*/true, &request.name, error) ||
+          !GetUint(v, "max_results", &request.max_results, error)) {
+        return std::nullopt;
+      }
+      break;
     case RequestOp::kHomHas:
     case RequestOp::kHomFind:
     case RequestOp::kHomCount:

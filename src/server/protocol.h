@@ -5,9 +5,10 @@
 // ("ok": true) or a structured error ("ok": false, "error": {code,
 // message, line, column}). Error codes are kebab-case "subsystem/event"
 // strings, mirroring the failpoint catalogue: "frame/malformed",
-// "json/parse", "request/invalid", "structure/parse", "plan/<kind>",
-// "admission/queue-full", "admission/per-client", "admission/rejected",
-// "registry/unknown-name", "server/shutting-down".
+// "json/parse", "request/invalid", "structure/parse", "program/parse",
+// "plan/<kind>", "admission/queue-full", "admission/per-client",
+// "admission/rejected", "registry/unknown-name", "registry/unknown-view",
+// "server/shutting-down".
 //
 // Operations:
 //   ping            liveness probe
@@ -15,10 +16,34 @@
 //                   cache hit rate, latency percentiles)
 //   define          register a named structure ("name", "structure",
 //                   optional "vocabulary")
-//   mutate          add tuples/elements to a named structure; the
-//                   update is copy-on-write, so in-flight batches keep
-//                   their snapshot and freshness is carried entirely by
-//                   the new fingerprint (see DESIGN.md §4.7)
+//   mutate          edit a named structure by delta: any of "add_tuple"
+//                   ({relation, tuple}), "remove_tuple" ({relation,
+//                   tuple}), "add_elements" (count), applied as one
+//                   StructureDelta with the element appends taking
+//                   effect first (so a new tuple may reference the
+//                   freshly appended elements). The update is
+//                   copy-on-write, so in-flight batches keep their
+//                   snapshot and freshness is carried entirely by the
+//                   new fingerprint (see DESIGN.md §4.7). Every
+//                   materialized view registered on the structure is
+//                   maintained incrementally under the same delta, and
+//                   the response carries a "maintenance" block: what
+//                   the delta did to the base ("applied": inserted /
+//                   removed / elements / noops / index flags / version)
+//                   and, per warm view, the chosen strategy with its
+//                   work counters ("views": [{name, strategy, summary,
+//                   derivations, rounds, idb_inserted, idb_removed,
+//                   rederived, recomputed, degradations}]).
+//   view_define     register a materialized Datalog view ("name") over
+//                   a named structure ("on") from a program text
+//                   ("program", datalog/parser.h grammar); optional
+//                   "max_bounded_stage" caps the Ajtai-Gurevich
+//                   boundedness probe. The view evaluates its fixpoint
+//                   up front and is kept warm by every later mutate of
+//                   the base.
+//   view_tuples     read a maintained view's IDB ("name"): per-IDB
+//                   tuple lists plus version/strategy metadata,
+//                   truncated at "max_results".
 //   hom_has/find/count/enumerate
 //                   HomProblem-shaped queries: "source" (structure
 //                   text), "target" (structure text or "@name"),
@@ -65,6 +90,8 @@ enum class RequestOp {
   kStats,
   kDefine,
   kMutate,
+  kViewDefine,
+  kViewTuples,
   kHomHas,
   kHomFind,
   kHomCount,
@@ -125,12 +152,17 @@ struct Request {
   int ucq_arity = 0;
   CqSpec q1, q2;  // cq_contained
 
-  // define / mutate.
+  // define / mutate / view_define / view_tuples.
   std::string name;
   std::string structure_text;            // define
-  std::string mutate_relation;           // mutate: relation name
-  std::vector<int> mutate_tuple;         //   tuple to add (with relation)
+  std::string mutate_relation;           // mutate: "add_tuple" relation
+  std::vector<int> mutate_tuple;         //   tuple to insert
+  std::string mutate_remove_relation;    // mutate: "remove_tuple" relation
+  std::vector<int> mutate_remove_tuple;  //   tuple to delete
   int mutate_add_elements = 0;           //   universe elements to append
+  std::string view_on;                   // view_define: base structure name
+  std::string view_program;              //   Datalog program text
+  int view_max_bounded_stage = 2;        //   boundedness probe cap
 };
 
 // Parses one request object. On failure returns nullopt and fills

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <deque>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -24,6 +25,8 @@
 #include "base/outcome.h"
 #include "cq/cq.h"
 #include "cq/ucq.h"
+#include "datalog/incremental.h"
+#include "datalog/parser.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/problem.h"
@@ -33,6 +36,7 @@
 #include "server/frame.h"
 #include "server/json.h"
 #include "server/protocol.h"
+#include "structure/delta.h"
 #include "structure/parser.h"
 
 namespace hompres {
@@ -138,6 +142,27 @@ struct Server::Impl {
   // the daemon's only freshness mechanism — there is no cache flush.
   std::mutex registry_mu;
   std::unordered_map<std::string, std::shared_ptr<const Structure>> registry;
+  // Monotone per-name mutation version: 0 at define, bumped by every
+  // effective delta op a mutate applies. (Structure::Version() orders
+  // the states of one instance and restarts on the copy-on-write
+  // copies, so the registry keeps its own counter.)
+  std::unordered_map<std::string, uint64_t> registry_versions;
+
+  // Materialized Datalog views, each bound to a named structure and kept
+  // warm by every mutate of that structure (datalog/incremental.h). A
+  // view owns its own base copy; it starts from the bound snapshot and
+  // replays exactly the deltas the registry applies, so base and view
+  // stay fingerprint-identical. Guarded by registry_mu: define / mutate
+  // / view ops are inline reader-thread work, and maintenance cost
+  // scales with the delta, not the base.
+  struct View {
+    std::string base;  // bound structure name
+    MaterializedViewOptions options;
+    std::unique_ptr<MaterializedView> view;
+  };
+  std::unordered_map<std::string, View> views;
+  std::atomic<uint64_t> views_maintained{0};  // incremental Apply() calls
+  std::atomic<uint64_t> views_recomputed{0};  // of those, full refixpoints
 
   // Optimize-once memo for served UCQs, keyed by UcqFingerprint (order-
   // and renaming-invariant, opt/canonical.h): a batch of requests over
@@ -704,11 +729,90 @@ struct Server::Impl {
     const uint64_t fingerprint = stored->Fingerprint();
     {
       std::lock_guard<std::mutex> lock(registry_mu);
-      registry[request.name] = std::move(stored);
+      registry[request.name] = stored;
+      registry_versions[request.name] = 0;
+      // Redefining a structure replaces its value wholesale, so every
+      // bound view rebuilds from scratch on the new base (warm
+      // maintenance is only sound across deltas of the same value).
+      for (auto& [view_name, view] : views) {
+        if (view.base != request.name) continue;
+        view.view = std::make_unique<MaterializedView>(
+            view.view->GetProgram(), *stored, view.options);
+        views_recomputed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     JsonValue response = OkResponse(request.id, request.op);
     response.Set("fingerprint", JsonValue::Uint(fingerprint));
     return response;
+  }
+
+  // Validates one mutate tuple op against the post-append universe and
+  // adds it to the delta. `what` is the wire field for error messages.
+  bool AddTupleOp(const Structure& base, const std::string& relation,
+                  const std::vector<int>& tuple, int new_universe,
+                  bool insert, const char* what, StructureDelta* delta,
+                  std::string* message) {
+    const auto rel = base.GetVocabulary().IndexOf(relation);
+    if (!rel.has_value()) {
+      *message = "unknown relation '" + relation + "'";
+      return false;
+    }
+    if (static_cast<int>(tuple.size()) != base.GetVocabulary().Arity(*rel)) {
+      *message = std::string("'") + what + ".tuple' arity mismatch";
+      return false;
+    }
+    for (int e : tuple) {
+      if (e < 0 || e >= new_universe) {
+        *message = std::string("'") + what + ".tuple' element out of range";
+        return false;
+      }
+    }
+    if (insert) {
+      delta->InsertTuple(*rel, tuple);
+    } else {
+      delta->RemoveTuple(*rel, tuple);
+    }
+    return true;
+  }
+
+  static JsonValue DeltaAppliedJson(const DeltaApplyResult& applied) {
+    JsonValue out = JsonValue::Object();
+    out.Set("inserted", JsonValue::Int(applied.tuples_inserted));
+    out.Set("removed", JsonValue::Int(applied.tuples_removed));
+    out.Set("elements", JsonValue::Int(applied.elements_appended));
+    out.Set("noops", JsonValue::Int(applied.noop_ops));
+    out.Set("index_maintained", JsonValue::Bool(applied.index_maintained));
+    out.Set("index_degraded", JsonValue::Bool(applied.index_degraded));
+    out.Set("index_compacted", JsonValue::Bool(applied.index_compacted));
+    out.Set("version", JsonValue::Uint(applied.version));
+    return out;
+  }
+
+  static JsonValue ViewStatsJson(const std::string& name,
+                                 const ViewMaintenanceStats& stats) {
+    JsonValue out = JsonValue::Object();
+    out.Set("name", JsonValue::String(name));
+    out.Set("strategy",
+            JsonValue::String(MaintainStrategyName(stats.plan.strategy)));
+    out.Set("summary", JsonValue::String(stats.plan.Summary()));
+    out.Set("derivations", JsonValue::Int(stats.derivations));
+    out.Set("rounds", JsonValue::Int(stats.rounds));
+    out.Set("idb_inserted", JsonValue::Int(stats.idb_inserted));
+    out.Set("idb_removed", JsonValue::Int(stats.idb_removed));
+    out.Set("rederived", JsonValue::Int(stats.rederived));
+    out.Set("recomputed", JsonValue::Bool(stats.recomputed));
+    if (!stats.plan.degradations.empty()) {
+      JsonValue events = JsonValue::Array();
+      for (const DegradationEvent& event : stats.plan.degradations) {
+        JsonValue e = JsonValue::Object();
+        e.Set("kind", JsonValue::String(DegradationKindName(event.kind)));
+        e.Set("site", JsonValue::String(event.site));
+        e.Set("detail", JsonValue::String(event.detail));
+        events.Append(std::move(e));
+      }
+      out.Set("degradations", std::move(events));
+    }
+    return out;
   }
 
   JsonValue HandleMutate(const Request& request) {
@@ -719,41 +823,166 @@ struct Server::Impl {
                            "no structure named '" + request.name +
                                "' is defined");
     }
-    // Copy-on-write: mutate a fresh copy and swap the snapshot in.
-    // In-flight batches keep the old pointer (and its fingerprint);
-    // every later request resolves to the new one, whose different
-    // fingerprint keys fresh HomCache entries — stale answers are
-    // unreachable by construction, with no cache flush.
-    Structure updated(*it->second);
-    for (int i = 0; i < request.mutate_add_elements; ++i) {
-      updated.AddElement();
+    const Structure& base = *it->second;
+
+    // The request is one StructureDelta: appends first (so new tuples
+    // may reference the appended elements), then the insert, then the
+    // remove. The same script drives the registry copy and every bound
+    // view, which is what keeps them fingerprint-identical.
+    StructureDelta delta;
+    if (request.mutate_add_elements > 0) {
+      delta.AppendElements(request.mutate_add_elements);
     }
-    if (!request.mutate_relation.empty()) {
-      const auto rel =
-          updated.GetVocabulary().IndexOf(request.mutate_relation);
-      if (!rel.has_value()) {
-        return ErrorResponse(request.id, "request/invalid",
-                             "unknown relation '" + request.mutate_relation +
-                                 "'");
-      }
-      if (static_cast<int>(request.mutate_tuple.size()) !=
-          updated.GetVocabulary().Arity(*rel)) {
-        return ErrorResponse(request.id, "request/invalid",
-                             "'add_tuple.tuple' arity mismatch");
-      }
-      for (int e : request.mutate_tuple) {
-        if (e < 0 || e >= updated.UniverseSize()) {
-          return ErrorResponse(request.id, "request/invalid",
-                               "'add_tuple.tuple' element out of range");
-        }
-      }
-      updated.AddTuple(*rel, request.mutate_tuple);
+    const int new_universe =
+        base.UniverseSize() + request.mutate_add_elements;
+    std::string message;
+    if (!request.mutate_relation.empty() &&
+        !AddTupleOp(base, request.mutate_relation, request.mutate_tuple,
+                    new_universe, /*insert=*/true, "add_tuple", &delta,
+                    &message)) {
+      return ErrorResponse(request.id, "request/invalid", message);
     }
+    if (!request.mutate_remove_relation.empty() &&
+        !AddTupleOp(base, request.mutate_remove_relation,
+                    request.mutate_remove_tuple, new_universe,
+                    /*insert=*/false, "remove_tuple", &delta, &message)) {
+      return ErrorResponse(request.id, "request/invalid", message);
+    }
+
+    // Copy-on-write: apply the delta to a fresh copy and swap the
+    // snapshot in. In-flight batches keep the old pointer (and its
+    // fingerprint); every later request resolves to the new one, whose
+    // different fingerprint keys fresh HomCache entries — stale answers
+    // are unreachable by construction, with no cache flush.
+    Structure updated(base);
+    const DeltaApplyResult applied = updated.Apply(delta);
     auto stored = std::make_shared<const Structure>(std::move(updated));
     const uint64_t fingerprint = stored->Fingerprint();
     it->second = std::move(stored);
+    // The fresh copy's version restarted at zero, so after the apply it
+    // counts exactly this delta's effective ops; fold into the
+    // registry's cumulative counter.
+    const uint64_t version = registry_versions[request.name] += applied.version;
+
+    JsonValue maintenance = JsonValue::Object();
+    maintenance.Set("applied", DeltaAppliedJson(applied));
+    JsonValue view_stats = JsonValue::Array();
+    for (auto& [view_name, view] : views) {
+      if (view.base != request.name) continue;
+      const ViewMaintenanceStats stats = view.view->Apply(delta);
+      views_maintained.fetch_add(1, std::memory_order_relaxed);
+      if (stats.recomputed) {
+        views_recomputed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!stats.plan.degradations.empty()) {
+        metrics.degraded_executions.fetch_add(1, std::memory_order_relaxed);
+      }
+      view_stats.Append(ViewStatsJson(view_name, stats));
+    }
+    maintenance.Set("views", std::move(view_stats));
+
     JsonValue response = OkResponse(request.id, request.op);
     response.Set("fingerprint", JsonValue::Uint(fingerprint));
+    response.Set("version", JsonValue::Uint(version));
+    response.Set("maintenance", std::move(maintenance));
+    return response;
+  }
+
+  JsonValue HandleViewDefine(const Request& request) {
+    if (request.name.empty() || request.name.size() > 128 ||
+        request.name.find('@') != std::string::npos) {
+      return ErrorResponse(request.id, "request/invalid",
+                           "'name' must be nonempty, short, and '@'-free");
+    }
+    std::lock_guard<std::mutex> lock(registry_mu);
+    auto it = registry.find(request.view_on);
+    if (it == registry.end()) {
+      return ErrorResponse(request.id, "registry/unknown-name",
+                           "no structure named '" + request.view_on +
+                               "' is defined");
+    }
+    ParseError parse_error;
+    auto program = ParseDatalogProgram(
+        request.view_program, it->second->GetVocabulary(), &parse_error);
+    if (!program.has_value()) {
+      ProtocolError error;
+      error.code = "program/parse";
+      error.message = parse_error.message;
+      error.line = parse_error.line;
+      error.column = parse_error.column;
+      return ErrorResponse(request.id, error);
+    }
+    View view;
+    view.base = request.view_on;
+    view.options.max_bounded_stage = request.view_max_bounded_stage;
+    // Initial fixpoint + boundedness probe run here, inline: view_define
+    // is a rare setup op, and paying it now is what makes every later
+    // mutate's maintenance delta-sized.
+    view.view = std::make_unique<MaterializedView>(*std::move(program),
+                                                   *it->second, view.options);
+
+    JsonValue response = OkResponse(request.id, request.op);
+    response.Set("on", JsonValue::String(view.base));
+    response.Set("version", JsonValue::Uint(view.view->Version()));
+    response.Set("recursive", JsonValue::Bool(view.view->Recursive()));
+    response.Set("bounded", JsonValue::Bool(view.view->Bounded()));
+    if (view.view->Bounded()) {
+      response.Set("bounded_stage", JsonValue::Int(view.view->BoundedStage()));
+    }
+    const Vocabulary& idb = view.view->GetProgram().Idb();
+    JsonValue relations = JsonValue::Array();
+    for (int rel = 0; rel < idb.NumRelations(); ++rel) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::String(idb.Name(rel)));
+      entry.Set("arity", JsonValue::Int(idb.Arity(rel)));
+      entry.Set("size",
+                JsonValue::Uint(view.view->IdbRelation(rel).size()));
+      relations.Append(std::move(entry));
+    }
+    response.Set("idb", std::move(relations));
+    views[request.name] = std::move(view);
+    return response;
+  }
+
+  JsonValue HandleViewTuples(const Request& request) {
+    std::lock_guard<std::mutex> lock(registry_mu);
+    auto it = views.find(request.name);
+    if (it == views.end()) {
+      return ErrorResponse(request.id, "registry/unknown-view",
+                           "no view named '" + request.name +
+                               "' is defined");
+    }
+    const MaterializedView& view = *it->second.view;
+    JsonValue response = OkResponse(request.id, request.op);
+    response.Set("on", JsonValue::String(it->second.base));
+    response.Set("version", JsonValue::Uint(view.Version()));
+    response.Set("recursive", JsonValue::Bool(view.Recursive()));
+    response.Set("bounded", JsonValue::Bool(view.Bounded()));
+    uint64_t remaining =
+        std::min<uint64_t>(request.max_results, kMaxResultsCap);
+    bool truncated = false;
+    const Vocabulary& idb = view.GetProgram().Idb();
+    JsonValue relations = JsonValue::Array();
+    for (int rel = 0; rel < idb.NumRelations(); ++rel) {
+      const std::set<Tuple>& tuples = view.IdbRelation(rel);
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::String(idb.Name(rel)));
+      entry.Set("arity", JsonValue::Int(idb.Arity(rel)));
+      entry.Set("size", JsonValue::Uint(tuples.size()));
+      JsonValue list = JsonValue::Array();
+      for (const Tuple& t : tuples) {
+        if (remaining == 0) {
+          truncated = true;
+          break;
+        }
+        --remaining;
+        list.Append(TupleJson(t));
+      }
+      entry.Set("tuples", std::move(list));
+      relations.Append(std::move(entry));
+    }
+    response.Set("idb", std::move(relations));
+    response.Set("truncated", JsonValue::Bool(truncated));
     return response;
   }
 
@@ -786,6 +1015,16 @@ struct Server::Impl {
       memo_json.Set("size", JsonValue::Uint(ucq_memo.size()));
     }
     response.Set("ucq_memo", std::move(memo_json));
+    JsonValue views_json = JsonValue::Object();
+    views_json.Set("maintained", JsonValue::Uint(views_maintained.load(
+                                     std::memory_order_relaxed)));
+    views_json.Set("recomputed", JsonValue::Uint(views_recomputed.load(
+                                     std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> lock(registry_mu);
+      views_json.Set("count", JsonValue::Uint(views.size()));
+    }
+    response.Set("views", std::move(views_json));
     return response;
   }
 
@@ -827,10 +1066,23 @@ struct Server::Impl {
         metrics.requests_ok.fetch_add(1, std::memory_order_relaxed);
         return;
       case RequestOp::kDefine:
-      case RequestOp::kMutate: {
-        JsonValue response = request->op == RequestOp::kDefine
-                                 ? HandleDefine(*request)
-                                 : HandleMutate(*request);
+      case RequestOp::kMutate:
+      case RequestOp::kViewDefine:
+      case RequestOp::kViewTuples: {
+        JsonValue response;
+        switch (request->op) {
+          case RequestOp::kDefine:
+            response = HandleDefine(*request);
+            break;
+          case RequestOp::kMutate:
+            response = HandleMutate(*request);
+            break;
+          case RequestOp::kViewDefine:
+            response = HandleViewDefine(*request);
+            break;
+          default:
+            response = HandleViewTuples(*request);
+        }
         const bool ok = response.Find("ok")->AsBool();
         SendResponse(conn, response);
         (ok ? metrics.requests_ok : metrics.requests_error)

@@ -1,0 +1,72 @@
+#include "structure/delta.h"
+
+#include <sstream>
+#include <utility>
+
+#include "base/check.h"
+
+namespace hompres {
+
+StructureDelta& StructureDelta::InsertTuple(int rel, Tuple tuple) {
+  HOMPRES_CHECK_GE(rel, 0);
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kInsertTuple;
+  op.rel = rel;
+  op.tuple = std::move(tuple);
+  ops_.push_back(std::move(op));
+  ++insert_ops_;
+  return *this;
+}
+
+StructureDelta& StructureDelta::RemoveTuple(int rel, Tuple tuple) {
+  HOMPRES_CHECK_GE(rel, 0);
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveTuple;
+  op.rel = rel;
+  op.tuple = std::move(tuple);
+  ops_.push_back(std::move(op));
+  ++remove_ops_;
+  return *this;
+}
+
+StructureDelta& StructureDelta::AppendElements(int count) {
+  HOMPRES_CHECK_GE(count, 0);
+  if (count == 0) return *this;
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAppendElements;
+  op.count = count;
+  ops_.push_back(std::move(op));
+  element_appends_ += count;
+  return *this;
+}
+
+std::string StructureDelta::DebugString(const Vocabulary& vocabulary) const {
+  std::ostringstream out;
+  out << "Delta[";
+  bool first = true;
+  for (const DeltaOp& op : ops_) {
+    if (!first) out << "; ";
+    first = false;
+    switch (op.kind) {
+      case DeltaOp::Kind::kAppendElements:
+        out << "+|A|*" << op.count;
+        continue;
+      case DeltaOp::Kind::kInsertTuple:
+        out << '+';
+        break;
+      case DeltaOp::Kind::kRemoveTuple:
+        out << '-';
+        break;
+    }
+    out << vocabulary.Name(op.rel) << '(';
+    for (size_t i = 0; i < op.tuple.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << op.tuple[i];
+    }
+    out << ')';
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace hompres

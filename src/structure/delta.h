@@ -1,0 +1,87 @@
+// Structure deltas: first-class, ordered edit scripts against a
+// Structure (ROADMAP item 3).
+//
+// A StructureDelta records tuple insertions, tuple deletions, and
+// universe-element appends in the order they should apply. It is the
+// unit of mutation for everything that keeps derived state warm:
+// Structure::Apply() replays the ops while *incrementally* maintaining
+// the cached RelationIndex and fingerprint (structure/structure.h), and
+// datalog/incremental.h's MaterializedView consumes the same delta to
+// maintain a Datalog fixpoint without refixpointing from scratch.
+//
+// Deltas are value types: build one with the fluent mutators, hand it to
+// as many structures/views as you like. Ops that turn out to be no-ops
+// against a particular structure (inserting a present tuple, removing an
+// absent one) are skipped and counted, not errors — the same delta can
+// be broadcast to replicas that are not bit-identical.
+
+#ifndef HOMPRES_STRUCTURE_DELTA_H_
+#define HOMPRES_STRUCTURE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "structure/vocabulary.h"
+
+namespace hompres {
+
+using Tuple = std::vector<int>;
+
+// One edit: insert/remove `tuple` in relation `rel`, or append `count`
+// fresh universe elements.
+struct DeltaOp {
+  enum class Kind { kInsertTuple, kRemoveTuple, kAppendElements };
+  Kind kind = Kind::kInsertTuple;
+  int rel = -1;       // tuple ops
+  Tuple tuple;        // tuple ops
+  int count = 0;      // kAppendElements
+};
+
+class StructureDelta {
+ public:
+  StructureDelta() = default;
+
+  StructureDelta& InsertTuple(int rel, Tuple tuple);
+  StructureDelta& RemoveTuple(int rel, Tuple tuple);
+  StructureDelta& AppendElements(int count);
+
+  const std::vector<DeltaOp>& Ops() const { return ops_; }
+  bool Empty() const { return ops_.empty(); }
+
+  // Totals over the ops (not net effect): how many insert/remove ops and
+  // how many elements the append ops request.
+  int InsertOps() const { return insert_ops_; }
+  int RemoveOps() const { return remove_ops_; }
+  int ElementAppends() const { return element_appends_; }
+
+  std::string DebugString(const Vocabulary& vocabulary) const;
+
+ private:
+  std::vector<DeltaOp> ops_;
+  int insert_ops_ = 0;
+  int remove_ops_ = 0;
+  int element_appends_ = 0;
+};
+
+// What one Structure::Apply actually did. `tuples_inserted` /
+// `tuples_removed` count the ops that changed the structure (duplicates
+// and misses land in `noop_ops`). The index flags record how the cached
+// RelationIndex fared: maintained in place, dropped by the "delta/apply"
+// failpoint (degraded; it lazily rebuilds on next use), or dropped by
+// the compaction threshold once incremental maintenance debt exceeded a
+// rebuild.
+struct DeltaApplyResult {
+  int tuples_inserted = 0;
+  int tuples_removed = 0;
+  int elements_appended = 0;
+  int noop_ops = 0;
+  bool index_maintained = false;
+  bool index_degraded = false;
+  bool index_compacted = false;
+  uint64_t version = 0;  // Structure::Version() after the apply
+};
+
+}  // namespace hompres
+
+#endif  // HOMPRES_STRUCTURE_DELTA_H_

@@ -17,34 +17,30 @@ RelationIndex::RelationIndex(const Structure& s)
     r.tuples = &s.Tuples(rel);
     r.arity = s.GetVocabulary().Arity(rel);
     const auto& tuples = *r.tuples;
-    const size_t slots =
-        static_cast<size_t>(r.arity) * static_cast<size_t>(universe_size_);
-    // Counting sort per position: counts -> offsets -> fill in tuple-id
-    // order, so every inverted list comes out ascending.
-    r.starts.assign(slots + 1, 0);
-    for (const Tuple& t : tuples) {
-      for (size_t p = 0; p < t.size(); ++p) {
-        const size_t slot = p * static_cast<size_t>(universe_size_) +
-                            static_cast<size_t>(t[p]);
-        ++r.starts[slot + 1];
-        ++occurrences_[static_cast<size_t>(t[p])];
-      }
+    r.lists.assign(static_cast<size_t>(r.arity), {});
+    for (auto& per_value : r.lists) {
+      per_value.resize(static_cast<size_t>(universe_size_));
     }
-    for (size_t i = 1; i <= slots; ++i) r.starts[i] += r.starts[i - 1];
-    r.ids.resize(static_cast<size_t>(r.arity) * tuples.size());
-    std::vector<int> cursor(r.starts.begin(), r.starts.end() - 1);
+    // One pass in tuple-id order, so every inverted list comes out
+    // ascending.
     for (size_t id = 0; id < tuples.size(); ++id) {
       const Tuple& t = tuples[id];
       for (size_t p = 0; p < t.size(); ++p) {
-        const size_t slot = p * static_cast<size_t>(universe_size_) +
-                            static_cast<size_t>(t[p]);
-        r.ids[static_cast<size_t>(cursor[slot]++)] = static_cast<int>(id);
+        r.lists[p][static_cast<size_t>(t[p])].push_back(
+            static_cast<int>(id));
+        ++occurrences_[static_cast<size_t>(t[p])];
       }
     }
   }
 }
 
 const RelationIndex::RelIndex& RelationIndex::Rel(int rel) const {
+  HOMPRES_CHECK_GE(rel, 0);
+  HOMPRES_CHECK_LT(rel, static_cast<int>(rels_.size()));
+  return rels_[static_cast<size_t>(rel)];
+}
+
+RelationIndex::RelIndex& RelationIndex::MutableRel(int rel) {
   HOMPRES_CHECK_GE(rel, 0);
   HOMPRES_CHECK_LT(rel, static_cast<int>(rels_.size()));
   return rels_[static_cast<size_t>(rel)];
@@ -57,12 +53,9 @@ std::span<const int> RelationIndex::TuplesAt(int rel, int pos,
   HOMPRES_CHECK_LT(pos, r.arity);
   HOMPRES_CHECK_GE(value, 0);
   HOMPRES_CHECK_LT(value, universe_size_);
-  const size_t slot = static_cast<size_t>(pos) *
-                          static_cast<size_t>(universe_size_) +
-                      static_cast<size_t>(value);
-  const int lo = r.starts[slot];
-  const int hi = r.starts[slot + 1];
-  return {r.ids.data() + lo, static_cast<size_t>(hi - lo)};
+  const std::vector<int>& ids =
+      r.lists[static_cast<size_t>(pos)][static_cast<size_t>(value)];
+  return {ids.data(), ids.size()};
 }
 
 std::pair<int, int> RelationIndex::PrefixRange(int rel,
@@ -99,6 +92,88 @@ std::vector<int> RelationIndex::TuplesMentioning(int rel, int e) const {
 
 int RelationIndex::NumTuples(int rel) const {
   return static_cast<int>(Rel(rel).tuples->size());
+}
+
+void RelationIndex::ApplyInsert(int rel, int id, const Tuple& tuple) {
+  RelIndex& r = MutableRel(rel);
+  HOMPRES_CHECK_EQ(static_cast<int>(tuple.size()), r.arity);
+  const int new_size = static_cast<int>(r.tuples->size());
+  HOMPRES_CHECK_GE(id, 0);
+  HOMPRES_CHECK_LT(id, new_size);
+  // A mid-list insert shifts the ids of every later tuple of this
+  // relation up by one; the tail append (the common streaming case)
+  // skips the whole pass. Walking the shifted tuples themselves (rather
+  // than every slot list) keeps the cost O(arity * shifted), independent
+  // of the universe size. Descending order keeps each list ascending
+  // while its entries are bumped in place: by the time old id j-1
+  // becomes j, every old id >= j in the same list has already moved up.
+  const auto& tuples = *r.tuples;
+  for (int j = new_size - 1; j > id; --j) {
+    const Tuple& moved = tuples[static_cast<size_t>(j)];
+    for (size_t p = 0; p < moved.size(); ++p) {
+      std::vector<int>& ids =
+          r.lists[p][static_cast<size_t>(moved[p])];
+      const auto it = std::lower_bound(ids.begin(), ids.end(), j - 1);
+      HOMPRES_CHECK(it != ids.end() && *it == j - 1);
+      *it = j;
+    }
+    debt_ += moved.size();
+  }
+  for (size_t p = 0; p < tuple.size(); ++p) {
+    std::vector<int>& ids =
+        r.lists[p][static_cast<size_t>(tuple[p])];
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+    ++occurrences_[static_cast<size_t>(tuple[p])];
+  }
+  debt_ += tuple.size();
+}
+
+void RelationIndex::ApplyRemove(int rel, int id, const Tuple& tuple) {
+  RelIndex& r = MutableRel(rel);
+  HOMPRES_CHECK_EQ(static_cast<int>(tuple.size()), r.arity);
+  HOMPRES_CHECK_GE(id, 0);
+  for (size_t p = 0; p < tuple.size(); ++p) {
+    std::vector<int>& ids =
+        r.lists[p][static_cast<size_t>(tuple[p])];
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    HOMPRES_CHECK(it != ids.end() && *it == id);
+    ids.erase(it);
+    --occurrences_[static_cast<size_t>(tuple[p])];
+  }
+  // Ids above the removed tuple shift down by one; removing the tail
+  // (id == new size) has nothing to shift. Ascending order keeps each
+  // list sorted while entries move down: old id exactly j was already
+  // decremented when its (earlier) tuple was processed.
+  const auto& tuples = *r.tuples;
+  for (int j = id; j < static_cast<int>(tuples.size()); ++j) {
+    const Tuple& moved = tuples[static_cast<size_t>(j)];
+    for (size_t p = 0; p < moved.size(); ++p) {
+      std::vector<int>& ids =
+          r.lists[p][static_cast<size_t>(moved[p])];
+      const auto it = std::lower_bound(ids.begin(), ids.end(), j + 1);
+      HOMPRES_CHECK(it != ids.end() && *it == j + 1);
+      *it = j;
+    }
+    debt_ += moved.size();
+  }
+  debt_ += tuple.size();
+}
+
+void RelationIndex::ApplyAppendElement() {
+  ++universe_size_;
+  occurrences_.push_back(0);
+  for (RelIndex& r : rels_) {
+    for (auto& per_value : r.lists) per_value.emplace_back();
+    debt_ += static_cast<size_t>(r.arity);
+  }
+}
+
+size_t RelationIndex::RebuildCost() const {
+  size_t slots = 0;
+  for (const RelIndex& r : rels_) {
+    slots += static_cast<size_t>(r.arity) * r.tuples->size();
+  }
+  return slots;
 }
 
 }  // namespace hompres

@@ -6,7 +6,8 @@
 // sub-linear:
 //
 //   * per-position inverted lists   element -> ids of tuples holding it
-//                                   at a given position (CSR layout),
+//                                   at a given position (one ascending
+//                                   id list per (position, value) slot),
 //   * bound-prefix range lookup     lower_bound/upper_bound over the
 //                                   sorted tuple vector for atoms whose
 //                                   leading positions are bound,
@@ -18,14 +19,24 @@
 // would have accepted, in the same relative (lexicographic) order, so
 // search results stay bit-identical.
 //
+// Incremental maintenance: the index can follow a mutating structure
+// without a rebuild. A tail insertion or removal (the lexicographically
+// last tuple of its relation) costs O(arity); a mid-list edit also
+// shifts the ids of that relation's later tuples, O(arity * |R|). The
+// Apply* methods accumulate that shift work as *maintenance debt*;
+// Structure compares the debt against the cost of rebuilding from
+// scratch and drops the index (lazy rebuild = compaction) once in-place
+// maintenance stops paying for itself. See DESIGN.md §4.10.
+//
 // Lifetime: RelationIndex borrows the tuple storage of the Structure it
 // was built from (ids plus raw pointers to the sorted vectors). It is
-// obtained via Structure::Index(), which caches it until the next
-// mutation; see the invalidation rules documented there.
+// obtained via Structure::Index(), which maintains or rebuilds it across
+// mutations; see the rules documented there.
 
 #ifndef HOMPRES_STRUCTURE_RELATION_INDEX_H_
 #define HOMPRES_STRUCTURE_RELATION_INDEX_H_
 
+#include <cstddef>
 #include <span>
 #include <utility>
 #include <vector>
@@ -59,24 +70,44 @@ class RelationIndex {
   // full scan incrementing per slot would).
   const std::vector<int>& ElementOccurrences() const { return occurrences_; }
 
-  // Number of tuples of `rel` at build time.
+  // Number of tuples of `rel` as of the last build/maintenance step.
   int NumTuples(int rel) const;
+
+  // --- Incremental maintenance (Structure's mutators only) --------------
+  //
+  // Callers must have already edited the owning structure's sorted tuple
+  // vector: `id` is the position `tuple` now occupies (ApplyInsert) or
+  // occupied until just now (ApplyRemove). Concurrent readers are not
+  // allowed during maintenance, exactly as for structure mutation.
+
+  void ApplyInsert(int rel, int id, const Tuple& tuple);
+  void ApplyRemove(int rel, int id, const Tuple& tuple);
+
+  // One fresh (isolated) universe element appended: grows every
+  // position's slot table and the occurrence counts.
+  void ApplyAppendElement();
+
+  // Slot-edit work done by the Apply* calls since the build, versus the
+  // slot count a from-scratch rebuild would touch now. Structure drops
+  // the index for lazy rebuild once debt exceeds rebuild cost.
+  size_t MaintenanceDebt() const { return debt_; }
+  size_t RebuildCost() const;
 
  private:
   struct RelIndex {
     const std::vector<Tuple>* tuples;  // borrowed from the owning Structure
     int arity = 0;
-    // CSR inverted lists: ids of tuples with value v at position p live in
-    // ids[starts[p * universe + v] .. starts[p * universe + v + 1]).
-    std::vector<int> starts;
-    std::vector<int> ids;
+    // lists[p][v] = ascending ids of tuples with value v at position p.
+    std::vector<std::vector<std::vector<int>>> lists;
   };
 
   const RelIndex& Rel(int rel) const;
+  RelIndex& MutableRel(int rel);
 
   int universe_size_ = 0;
   std::vector<RelIndex> rels_;
   std::vector<int> occurrences_;
+  size_t debt_ = 0;
 };
 
 }  // namespace hompres

@@ -15,11 +15,17 @@ namespace {
 
 // Guards the lazy index build across threads. Consumers fetch Index()
 // once per search/evaluation (not per node), so a single global lock is
-// contention-free in practice; mutators bypass it entirely.
+// contention-free in practice; mutators bypass it entirely (mutation is
+// single-threaded by contract).
 std::mutex& IndexBuildMutex() {
   static std::mutex mu;
   return mu;
 }
+
+// Fixed slack under the compaction threshold so tiny structures (whose
+// rebuild cost rounds to a handful of slots) still amortize a few
+// in-place edits before compacting.
+constexpr size_t kCompactionSlack = 64;
 
 }  // namespace
 
@@ -39,6 +45,7 @@ Structure& Structure::operator=(const Structure& other) {
     vocabulary_ = other.vocabulary_;
     universe_size_ = other.universe_size_;
     relations_ = other.relations_;
+    version_ = 0;
     InvalidateIndex();
   }
   return *this;
@@ -47,7 +54,7 @@ Structure& Structure::operator=(const Structure& other) {
 const RelationIndex& Structure::Index() const {
   std::lock_guard<std::mutex> lock(IndexBuildMutex());
   if (index_ == nullptr) {
-    index_ = std::make_shared<const RelationIndex>(*this);
+    index_ = std::make_shared<RelationIndex>(*this);
   }
   return *index_;
 }
@@ -57,35 +64,48 @@ const RelationIndex* Structure::TryIndex() const {
   if (index_ != nullptr) return index_.get();
   if (HOMPRES_FAILPOINT("relation_index/build")) return nullptr;
   try {
-    index_ = std::make_shared<const RelationIndex>(*this);
+    index_ = std::make_shared<RelationIndex>(*this);
   } catch (const std::bad_alloc&) {
     return nullptr;
   }
   return index_.get();
 }
 
-uint64_t Structure::Fingerprint() const {
-  std::lock_guard<std::mutex> lock(IndexBuildMutex());
-  if (fingerprint_ != 0) return fingerprint_;
-  // Order-sensitive chain over (arities, universe size, tuple entries).
-  // Relation lists are kept sorted, so equal values hash equal no matter
-  // the insertion history; a relation boundary is mixed in explicitly so
-  // moving a tuple between same-arity relations changes the hash.
+uint64_t Structure::TupleHash(int rel, const Tuple& tuple) const {
+  // Order-sensitive within the tuple (position matters), seeded with a
+  // relation boundary so moving a tuple between same-arity relations
+  // changes the hash. The per-tuple hashes combine by wrapping addition
+  // in tuple_acc_ — commutative, so insertions add and removals subtract
+  // without re-reading the tuple store.
+  uint64_t h = Mix64(0xABCDULL + static_cast<uint64_t>(rel));
+  for (int e : tuple) h = Mix64(h ^ static_cast<uint64_t>(e));
+  return h;
+}
+
+uint64_t Structure::FinalizeFingerprint() const {
   uint64_t h = Mix64(0x486F6D507265ULL);  // "HomPre"
   h = Mix64(h ^ static_cast<uint64_t>(vocabulary_.NumRelations()));
   for (int rel = 0; rel < vocabulary_.NumRelations(); ++rel) {
     h = Mix64(h ^ static_cast<uint64_t>(vocabulary_.Arity(rel)));
   }
   h = Mix64(h ^ static_cast<uint64_t>(universe_size_));
+  h = Mix64(h ^ tuple_acc_);
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  return h;
+}
+
+uint64_t Structure::Fingerprint() const {
+  std::lock_guard<std::mutex> lock(IndexBuildMutex());
+  if (fingerprint_ != 0) return fingerprint_;
+  uint64_t acc = 0;
   for (size_t rel = 0; rel < relations_.size(); ++rel) {
-    h = Mix64(h ^ (0xABCDULL + rel));  // relation boundary
     for (const Tuple& t : relations_[rel]) {
-      for (int e : t) h = Mix64(h ^ static_cast<uint64_t>(e));
+      acc += TupleHash(static_cast<int>(rel), t);
     }
   }
-  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
-  fingerprint_ = h;
-  return h;
+  tuple_acc_ = acc;
+  fingerprint_ = FinalizeFingerprint();
+  return fingerprint_;
 }
 
 void Structure::CheckRelation(int rel) const {
@@ -98,9 +118,40 @@ void Structure::CheckElement(int a) const {
   HOMPRES_CHECK_LT(a, universe_size_);
 }
 
+bool Structure::BeginCacheMaintenance() {
+  if (index_ == nullptr && fingerprint_ == 0) return false;
+  if (HOMPRES_FAILPOINT("delta/apply")) {
+    InvalidateIndex();
+    cache_fault_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Structure::CompactIndexIfIndebted() {
+  if (index_ == nullptr) return false;
+  if (index_->MaintenanceDebt() <=
+      index_->RebuildCost() + kCompactionSlack) {
+    return false;
+  }
+  // Compaction: drop the indebted index and let the next Index() call
+  // rebuild it densely. The fingerprint is value-tracking, not
+  // id-tracking, so it survives.
+  index_.reset();
+  return true;
+}
+
 int Structure::AddElement() {
-  InvalidateIndex();
-  return universe_size_++;
+  ++version_;
+  const bool maintain = BeginCacheMaintenance();
+  const int id = universe_size_++;
+  if (maintain) {
+    if (index_ != nullptr) index_->ApplyAppendElement();
+    // tuple_acc_ is untouched: the universe size enters at finalization.
+    if (fingerprint_ != 0) fingerprint_ = FinalizeFingerprint();
+    CompactIndexIfIndebted();
+  }
+  return id;
 }
 
 bool Structure::AddTuple(int rel, const Tuple& tuple) {
@@ -110,9 +161,78 @@ bool Structure::AddTuple(int rel, const Tuple& tuple) {
   auto& tuples = relations_[static_cast<size_t>(rel)];
   auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple);
   if (it != tuples.end() && *it == tuple) return false;
-  InvalidateIndex();
+  ++version_;
+  const bool maintain = BeginCacheMaintenance();
+  const int id = static_cast<int>(it - tuples.begin());
   tuples.insert(it, tuple);
+  if (maintain) {
+    if (index_ != nullptr) index_->ApplyInsert(rel, id, tuple);
+    if (fingerprint_ != 0) {
+      tuple_acc_ += TupleHash(rel, tuple);
+      fingerprint_ = FinalizeFingerprint();
+    }
+    CompactIndexIfIndebted();
+  }
   return true;
+}
+
+bool Structure::RemoveTupleByValue(int rel, const Tuple& tuple) {
+  CheckRelation(rel);
+  HOMPRES_CHECK_EQ(static_cast<int>(tuple.size()), vocabulary_.Arity(rel));
+  auto& tuples = relations_[static_cast<size_t>(rel)];
+  auto it = std::lower_bound(tuples.begin(), tuples.end(), tuple);
+  if (it == tuples.end() || *it != tuple) return false;
+  ++version_;
+  const bool maintain = BeginCacheMaintenance();
+  const int id = static_cast<int>(it - tuples.begin());
+  tuples.erase(it);
+  if (maintain) {
+    if (index_ != nullptr) index_->ApplyRemove(rel, id, tuple);
+    if (fingerprint_ != 0) {
+      tuple_acc_ -= TupleHash(rel, tuple);
+      fingerprint_ = FinalizeFingerprint();
+    }
+    CompactIndexIfIndebted();
+  }
+  return true;
+}
+
+DeltaApplyResult Structure::Apply(const StructureDelta& delta) {
+  DeltaApplyResult result;
+  const bool had_index = index_ != nullptr;
+  cache_fault_ = false;
+  for (const DeltaOp& op : delta.Ops()) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kAppendElements:
+        for (int i = 0; i < op.count; ++i) AddElement();
+        result.elements_appended += op.count;
+        break;
+      case DeltaOp::Kind::kInsertTuple:
+        if (AddTuple(op.rel, op.tuple)) {
+          ++result.tuples_inserted;
+        } else {
+          ++result.noop_ops;
+        }
+        break;
+      case DeltaOp::Kind::kRemoveTuple:
+        if (RemoveTupleByValue(op.rel, op.tuple)) {
+          ++result.tuples_removed;
+        } else {
+          ++result.noop_ops;
+        }
+        break;
+    }
+  }
+  result.version = version_;
+  result.index_maintained = had_index && index_ != nullptr;
+  if (had_index && index_ == nullptr) {
+    // Either the "delta/apply" failpoint degraded an edit to blanket
+    // invalidation, or the compaction threshold retired an indebted
+    // index (the fingerprint survives compaction).
+    result.index_degraded = cache_fault_;
+    result.index_compacted = !cache_fault_;
+  }
+  return result;
 }
 
 bool Structure::HasTuple(int rel, const Tuple& tuple) const {

@@ -6,14 +6,22 @@
 // induced), and the maximal proper substructures of A are exactly
 // "A minus one tuple" and "A minus one isolated element" — the fact the
 // minimal-model machinery in src/core relies on.
+//
+// Mutation is versioned and cache-maintaining (DESIGN.md §4.10): every
+// successful in-place mutation bumps Version(), and an already-built
+// RelationIndex / fingerprint follows the edit incrementally instead of
+// being invalidated wholesale. Structured edit scripts arrive as
+// StructureDelta values through Apply().
 
 #ifndef HOMPRES_STRUCTURE_STRUCTURE_H_
 #define HOMPRES_STRUCTURE_STRUCTURE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "structure/delta.h"
 #include "structure/vocabulary.h"
 
 namespace hompres {
@@ -30,7 +38,7 @@ class Structure {
 
   // Copies do not inherit the cached relation index (it borrows the
   // source's tuple storage); moves carry it along (the storage moves
-  // with the structure).
+  // with the structure). Copies restart version counting; moves keep it.
   Structure(const Structure& other);
   Structure& operator=(const Structure& other);
   Structure(Structure&&) noexcept = default;
@@ -39,12 +47,30 @@ class Structure {
   const Vocabulary& GetVocabulary() const { return vocabulary_; }
   int UniverseSize() const { return universe_size_; }
 
+  // Monotone mutation counter of this structure instance: bumped by
+  // every successful AddElement/AddTuple/RemoveTupleByValue (and so by
+  // every effective Apply op). Versions order the states of ONE
+  // instance; they carry no meaning across copies.
+  uint64_t Version() const { return version_; }
+
   // Appends an element to the universe and returns its id.
   int AddElement();
 
   // Adds `tuple` to relation `rel`. Requires matching arity and in-range
   // elements. Returns false (no change) if the tuple is already present.
   bool AddTuple(int rel, const Tuple& tuple);
+
+  // Removes `tuple` from relation `rel` in place. Returns false (no
+  // change) if the tuple is not present. The value-keyed counterpart of
+  // the copying RemoveTuple() below.
+  bool RemoveTupleByValue(int rel, const Tuple& tuple);
+
+  // Applies `delta`'s ops in order (see structure/delta.h): element
+  // appends, tuple insertions, tuple deletions. No-op ops (duplicate
+  // insert, missing remove) are counted, not errors. The cached index
+  // and fingerprint are maintained incrementally across the whole
+  // script; the result records what changed and how the index fared.
+  DeltaApplyResult Apply(const StructureDelta& delta);
 
   bool HasTuple(int rel, const Tuple& tuple) const;
 
@@ -56,12 +82,17 @@ class Structure {
 
   // The per-position relation index over the current tuples (see
   // structure/relation_index.h), built lazily on first use and cached.
-  // AddTuple/AddElement invalidate the cache; the copy/mutation
-  // constructors (RemoveTuple, RemoveElement, InducedSubstructure,
-  // DisjointUnion, Image, plain copies) produce structures without a
-  // cache. The reference stays valid until the next mutation of *this.
-  // Concurrent Index() calls on a const structure are safe; mutating
-  // while other threads read is not (as for every other accessor).
+  // An already-built index is *maintained in place* by AddTuple /
+  // RemoveTupleByValue / AddElement (amortized O(arity) for tail edits,
+  // O(arity * |R_rel|) worst case for mid-list edits), so the reference
+  // stays valid across mutations and always reflects the current value;
+  // once maintenance debt exceeds a rebuild (or the "delta/apply"
+  // failpoint fires) the cache is dropped and lazily rebuilt instead.
+  // The copy/mutation constructors (RemoveTuple, RemoveElement,
+  // InducedSubstructure, DisjointUnion, Image, plain copies) produce
+  // structures without a cache. Concurrent Index() calls on a const
+  // structure are safe; mutating while other threads read is not (as for
+  // every other accessor).
   const RelationIndex& Index() const;
 
   // Failure-tolerant variant for the degraded paths: returns the cached
@@ -73,14 +104,16 @@ class Structure {
   // probed successfully is not re-failed downstream.
   const RelationIndex* TryIndex() const;
 
-  // A 64-bit order-sensitive fingerprint of the structure's value
-  // (vocabulary arities, universe size, and every tuple entry in sorted
-  // relation order). Equal structures always fingerprint equal; distinct
+  // A 64-bit fingerprint of the structure's value (vocabulary arities,
+  // universe size, and the set of tuples per relation; each tuple is
+  // hashed order-sensitively and the per-tuple hashes combine
+  // commutatively, so the cached value follows insertions and deletions
+  // incrementally). Equal structures always fingerprint equal; distinct
   // structures collide with probability ~2^-64. Computed lazily, cached
-  // next to the relation index, and invalidated by exactly the same
-  // mutations (AddTuple/AddElement; copies recompute, moves carry it).
-  // Keys the homomorphism-result cache (hom/hom_cache.h). Never zero.
-  // Concurrent Fingerprint() calls on a const structure are safe.
+  // next to the relation index, and maintained by the same mutations
+  // (copies recompute, moves carry it). Keys the homomorphism-result
+  // cache (hom/hom_cache.h). Never zero. Concurrent Fingerprint() calls
+  // on a const structure are safe.
   uint64_t Fingerprint() const;
 
   // --- Substructure operations -------------------------------------------
@@ -131,16 +164,35 @@ class Structure {
     index_.reset();
     fingerprint_ = 0;
   }
+  // Decides, per mutation, whether the cached index/fingerprint are
+  // maintained in place. Fires the "delta/apply" failpoint: a fault
+  // degrades the edit to blanket invalidation (lazy rebuild — answers
+  // unchanged, cost re-paid). No cache, nothing to maintain.
+  bool BeginCacheMaintenance();
+  // Drops the index (keeping the fingerprint) once incremental
+  // maintenance debt exceeds a from-scratch rebuild: the compaction
+  // threshold of DESIGN.md §4.10. Returns true if it compacted.
+  bool CompactIndexIfIndebted();
+  uint64_t TupleHash(int rel, const Tuple& tuple) const;
+  uint64_t FinalizeFingerprint() const;
 
   Vocabulary vocabulary_;
   int universe_size_ = 0;
   std::vector<std::vector<Tuple>> relations_;  // sorted tuple lists
-  // Lazily built index cache; null until Index() is first called and
-  // reset by any mutation. Shared-ptr so moves transfer it for free.
-  mutable std::shared_ptr<const RelationIndex> index_;
+  uint64_t version_ = 0;
+  // Lazily built index cache; null until Index() is first called,
+  // maintained in place (or dropped for lazy rebuild) by mutations.
+  // Shared-ptr so moves transfer it for free; never shared outside.
+  mutable std::shared_ptr<RelationIndex> index_;
   // Lazily computed Fingerprint(); 0 = not yet computed (the hash is
-  // remapped away from 0). Same invalidation discipline as index_.
+  // remapped away from 0). tuple_acc_ is the commutative sum of
+  // per-tuple hashes backing it, valid exactly when fingerprint_ != 0.
   mutable uint64_t fingerprint_ = 0;
+  mutable uint64_t tuple_acc_ = 0;
+  // Set by a "delta/apply" fault inside the current Apply() (reset at
+  // its start) so the apply result can distinguish a degraded drop from
+  // a compaction.
+  bool cache_fault_ = false;
 };
 
 }  // namespace hompres

@@ -31,8 +31,10 @@
 #include "cq/cq.h"
 #include "cq/ucq.h"
 #include "datalog/eval.h"
+#include "datalog/incremental.h"
 #include "datalog/parser.h"
 #include "engine/config.h"
+#include "engine/maintain.h"
 #include "engine/engine.h"
 #include "engine/plan.h"
 #include "engine/problem.h"
@@ -45,8 +47,10 @@
 #include "server/client.h"
 #include "server/json.h"
 #include "server/server.h"
+#include "structure/delta.h"
 #include "structure/generators.h"
 #include "structure/parser.h"
+#include "structure/relation_index.h"
 #include "structure/structure.h"
 #include "structure/vocabulary.h"
 
@@ -567,6 +571,132 @@ TEST_F(ChaosTest, DatalogDegradationsPreserveTheFixpoint) {
   EXPECT_GT(registry.FireCount("datalog/compile"), 0u);
   EXPECT_EQ(scan_fallback.idb, clean.idb);
   EXPECT_EQ(scan_fallback.stages, clean.stages);
+}
+
+// --- Incremental maintenance: faults cost a recompute, never the IDB. ---
+
+// A "view/maintain" fault demotes whatever incremental strategy the
+// planner chose (delta-insert, DRed, counting, bounded-UCQ) to a full
+// from-scratch refixpoint. The contract: the maintained IDB still equals
+// the from-scratch fixpoint over an identically mutated mirror, the plan
+// keeps the strategy it chose, and the demotion is a recorded
+// DegradationEvent surfaced by Summary()/Explain().
+TEST_F(ChaosTest, ViewMaintainFaultDegradesToFromScratchRecompute) {
+  auto& registry = FailpointRegistry::Global();
+  const Vocabulary voc = GraphVoc();
+  ParseError error;
+  auto program = ParseDatalogProgram(
+      "T(x,y) <- E(x,y). T(x,z) <- T(x,y), E(y,z).", voc, &error);
+  ASSERT_TRUE(program.has_value()) << error.ToString();
+
+  Structure base(voc, 5);
+  for (int i = 0; i + 1 < 5; ++i) base.AddTuple(0, {i, i + 1});
+  Structure mirror(base);
+  MaterializedView view(*program, base);
+
+  struct Drill {
+    StructureDelta delta;
+    MaintainStrategy planned;
+  };
+  std::vector<Drill> drills(3);
+  drills[0].delta.InsertTuple(0, {4, 0});  // close the cycle
+  drills[0].planned = MaintainStrategy::kDeltaInsert;
+  drills[1].delta.RemoveTuple(0, {2, 3});  // cut it again
+  drills[1].planned = MaintainStrategy::kDRed;
+  drills[2].delta.AppendElements(1).InsertTuple(0, {3, 5}).RemoveTuple(
+      0, {0, 1});
+  drills[2].planned = MaintainStrategy::kDRed;
+
+  for (size_t i = 0; i < drills.size(); ++i) {
+    SCOPED_TRACE("drill " + std::to_string(i));
+    ASSERT_TRUE(registry.Arm("view/maintain", "once"));
+    const ViewMaintenanceStats stats = view.Apply(drills[i].delta);
+    EXPECT_GT(registry.FireCount("view/maintain"), 0u);
+    registry.Disarm("view/maintain");
+
+    // The plan keeps its chosen strategy; execution recorded the demotion.
+    EXPECT_EQ(stats.plan.strategy, drills[i].planned);
+    EXPECT_TRUE(stats.recomputed);
+    const auto demoted = [](const DegradationEvent& e) {
+      return e.kind == DegradationKind::kMaintainToFromScratch;
+    };
+    EXPECT_TRUE(std::any_of(stats.plan.degradations.begin(),
+                            stats.plan.degradations.end(), demoted));
+    EXPECT_NE(stats.plan.Summary().find("degraded=maintain-to-scratch"),
+              std::string::npos);
+    EXPECT_NE(stats.plan.Explain().find("view/maintain"),
+              std::string::npos);
+
+    // Never a wrong IDB: still the from-scratch fixpoint of the mirror.
+    mirror.Apply(drills[i].delta);
+    EXPECT_EQ(view.Base().Fingerprint(), mirror.Fingerprint());
+    EXPECT_EQ(view.Idb(), EvaluateSemiNaive(*program, mirror).idb);
+  }
+
+  // Fault-free replay of the same stream from the same start: identical
+  // IDB, incremental strategies, no degradations.
+  Structure replay_base(voc, 5);
+  for (int i = 0; i + 1 < 5; ++i) replay_base.AddTuple(0, {i, i + 1});
+  MaterializedView clean(*program, replay_base);
+  for (const Drill& drill : drills) {
+    const ViewMaintenanceStats stats = clean.Apply(drill.delta);
+    EXPECT_FALSE(stats.recomputed);
+    EXPECT_TRUE(stats.plan.degradations.empty());
+  }
+  EXPECT_EQ(clean.Idb(), view.Idb());
+}
+
+// A "delta/apply" fault inside the base application drops the cached
+// RelationIndex (blanket invalidation, lazy rebuild) but never the
+// value: tuples, fingerprint, and any maintained view IDB are identical
+// to the fault-free run.
+TEST_F(ChaosTest, DeltaApplyFaultInvalidatesTheIndexNeverTheValue) {
+  auto& registry = FailpointRegistry::Global();
+  const Vocabulary voc = GraphVoc();
+
+  // Plain structure drill: index built, fault on apply.
+  Structure faulted = DirectedCycleStructure(6);
+  Structure mirror(faulted);
+  ASSERT_NE(faulted.TryIndex(), nullptr);  // build the cache to poison
+  StructureDelta delta;
+  delta.InsertTuple(0, {0, 3}).RemoveTuple(0, {1, 2});
+  ASSERT_TRUE(registry.Arm("delta/apply", "once"));
+  const DeltaApplyResult applied = faulted.Apply(delta);
+  EXPECT_GT(registry.FireCount("delta/apply"), 0u);
+  registry.Disarm("delta/apply");
+  EXPECT_TRUE(applied.index_degraded);
+  EXPECT_FALSE(applied.index_maintained);
+  mirror.Apply(delta);
+  EXPECT_EQ(faulted.Fingerprint(), mirror.Fingerprint());
+  for (int rel = 0; rel < voc.NumRelations(); ++rel) {
+    EXPECT_EQ(faulted.Tuples(rel), mirror.Tuples(rel));
+  }
+  // The dropped index lazily rebuilds and serves the new value.
+  const RelationIndex* rebuilt = faulted.TryIndex();
+  ASSERT_NE(rebuilt, nullptr);
+
+  // Through a view: the fault is recorded as kIndexDeltaToRebuild and
+  // the maintained IDB still matches from-scratch.
+  ParseError error;
+  auto program = ParseDatalogProgram(
+      "T(x,y) <- E(x,y). T(x,z) <- T(x,y), E(y,z).", voc, &error);
+  ASSERT_TRUE(program.has_value()) << error.ToString();
+  Structure view_mirror = DirectedCycleStructure(6);
+  MaterializedView view(*program, DirectedCycleStructure(6));
+  view.Base().Fingerprint();  // prime the cache so the failpoint probes
+  ASSERT_TRUE(registry.Arm("delta/apply", "always"));
+  const ViewMaintenanceStats stats = view.Apply(delta);
+  registry.Disarm("delta/apply");
+  EXPECT_TRUE(stats.base.index_degraded);
+  const auto dropped = [](const DegradationEvent& e) {
+    return e.kind == DegradationKind::kIndexDeltaToRebuild;
+  };
+  EXPECT_TRUE(std::any_of(stats.plan.degradations.begin(),
+                          stats.plan.degradations.end(), dropped));
+  EXPECT_NE(stats.plan.Summary().find("index-delta-to-rebuild"),
+            std::string::npos);
+  view_mirror.Apply(delta);
+  EXPECT_EQ(view.Idb(), EvaluateSemiNaive(*program, view_mirror).idb);
 }
 
 // --- Thread-pool and task faults are contained, never terminate. ---
